@@ -1,0 +1,315 @@
+package offramps
+
+import (
+	"testing"
+
+	"offramps/internal/detect"
+	"offramps/internal/flaw3d"
+	"offramps/internal/reconstruct"
+	"offramps/internal/sim"
+	"offramps/internal/trojan"
+)
+
+// Each benchmark regenerates one table or figure of the paper's
+// evaluation (see DESIGN.md §3 for the experiment index). The benchmarks
+// report simulated seconds per run and verify the experiment's headline
+// property, so `go test -bench .` doubles as a reproduction run.
+
+// BenchmarkTableI regenerates Table I: golden print plus all nine
+// trojans, judging each physical effect.
+func BenchmarkTableI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := TableI(uint64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range rep.Rows {
+			if !row.Observed {
+				b.Fatalf("%s effect not observed: %s", row.ID, row.Measured)
+			}
+		}
+		b.ReportMetric(float64(len(rep.Rows)), "trojans/op")
+	}
+}
+
+// BenchmarkTableII regenerates Table II: the eight Flaw3D trojans, each
+// printed and checked against the golden capture, plus the clean control.
+func BenchmarkTableII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := TableII(uint64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		detected := 0
+		for _, row := range rep.Rows {
+			if row.Detected {
+				detected++
+			}
+		}
+		if detected != len(rep.Rows) {
+			b.Fatalf("only %d/%d Flaw3D cases detected", detected, len(rep.Rows))
+		}
+		if rep.CleanFalsePositive {
+			b.Fatal("clean control false positive")
+		}
+		b.ReportMetric(float64(detected), "detected/op")
+	}
+}
+
+// BenchmarkFigure4 regenerates Figure 4: the relocation-trojan capture
+// comparison and the detector's report.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := Figure4(uint64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.Report.TrojanLikely {
+			b.Fatal("Figure 4 trojan not detected")
+		}
+		b.ReportMetric(float64(rep.Report.NumMismatches), "mismatches/op")
+	}
+}
+
+// BenchmarkOverhead regenerates §V-B: propagation delay, signal envelope,
+// and the no-quality-impact comparison.
+func BenchmarkOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := Overhead(uint64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.MaxStepFrequency >= 20_000 {
+			b.Fatalf("step frequency %v outside paper envelope", rep.MaxStepFrequency)
+		}
+		b.ReportMetric(float64(rep.MaxPropagation), "prop-delay-ns/op")
+		b.ReportMetric(rep.MaxStepFrequency, "max-step-hz/op")
+	}
+}
+
+// BenchmarkDrift regenerates §V-C: repeated known-good prints, measuring
+// the worst per-window drift against the 5 % margin.
+func BenchmarkDrift(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep, err := Drift(uint64(i)+1, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.FalsePositives != 0 {
+			b.Fatalf("%d false positives", rep.FalsePositives)
+		}
+		b.ReportMetric(rep.MaxDriftPercent, "max-drift-%/op")
+	}
+}
+
+// BenchmarkGoldenPrint measures one full end-to-end simulated print —
+// slicer output through firmware, MITM, drivers, plant, and capture.
+func BenchmarkGoldenPrint(b *testing.B) {
+	prog, err := TestPart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb, err := NewTestbed(WithSeed(uint64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := tb.Run(prog, runBudget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Completed {
+			b.Fatal(res.HaltError)
+		}
+		b.ReportMetric(res.Duration.Seconds(), "sim-s/op")
+		b.ReportMetric(float64(tb.Engine.Executed()), "events/op")
+	}
+}
+
+// BenchmarkDetectorThroughput measures the pure detection algorithm on a
+// pre-recorded capture pair (no simulation in the loop) — the cost of the
+// paper's real-time analysis path.
+func BenchmarkDetectorThroughput(b *testing.B) {
+	prog, err := TestPart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden, err := captureRun(prog, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tampered, err := flaw3d.Reduce(prog, 0.9)
+	if err != nil {
+		b.Fatal(err)
+	}
+	suspect, err := captureRun(tampered, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := detect.Compare(golden, suspect, detect.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rep.TrojanLikely {
+			b.Fatal("missed")
+		}
+	}
+	b.ReportMetric(float64(golden.Len()), "transactions")
+}
+
+// BenchmarkAblationExportPeriod sweeps the capture window — the design
+// choice §V-C calls out ("This 5% margin of error can be made
+// significantly smaller with a faster communication protocol"). Shorter
+// windows mean fewer steps per transaction and tighter drift.
+func BenchmarkAblationExportPeriod(b *testing.B) {
+	prog, err := TestPart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, period := range []sim.Time{50 * sim.Millisecond, 100 * sim.Millisecond, 200 * sim.Millisecond} {
+		period := period
+		b.Run(period.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run := func(seed uint64) *Result {
+					tb, err := NewTestbed(WithSeed(seed), WithExportPeriod(period))
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := tb.Run(prog, runBudget)
+					if err != nil {
+						b.Fatal(err)
+					}
+					return res
+				}
+				a := run(uint64(i)*2 + 1)
+				c := run(uint64(i)*2 + 2)
+				rep, err := detect.Compare(a.Recording, c.Recording, detect.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.LargestSubstantial, "drift-%/op")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTimeNoise sweeps the injected execution jitter to show
+// the drift margin scales with the machine's asynchrony, the paper's
+// stated source of the 5 % margin.
+func BenchmarkAblationTimeNoise(b *testing.B) {
+	prog, err := TestPart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, noise := range []sim.Time{0, 200 * sim.Microsecond, 1000 * sim.Microsecond} {
+		noise := noise
+		b.Run(noise.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				run := func(seed uint64) *Result {
+					tb, err := NewTestbed(WithSeed(seed), WithTimeNoise(noise))
+					if err != nil {
+						b.Fatal(err)
+					}
+					res, err := tb.Run(prog, runBudget)
+					if err != nil {
+						b.Fatal(err)
+					}
+					return res
+				}
+				a := run(uint64(i)*2 + 1)
+				c := run(uint64(i)*2 + 2)
+				rep, err := detect.Compare(a.Recording, c.Recording, detect.DefaultConfig())
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(rep.LargestSubstantial, "drift-%/op")
+			}
+		})
+	}
+}
+
+// BenchmarkGoldenFree measures the §VI golden-free rule engine over a
+// real capture — like the comparator, it must be far faster than the
+// 0.1 s window period to run live.
+func BenchmarkGoldenFree(b *testing.B) {
+	prog, err := TestPart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := captureRun(prog, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := detect.CheckGoldenFree(rec, detect.DefaultLimits())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.TrojanLikely {
+			b.Fatal("clean capture flagged")
+		}
+	}
+}
+
+// BenchmarkReconstruct measures the §VI design reverse-engineering pass.
+func BenchmarkReconstruct(b *testing.B) {
+	prog, err := TestPart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec, err := captureRun(prog, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		design, err := reconstruct.FromCapture(rec, reconstruct.DefaultCalibration(), 0.1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(design.Layers) == 0 {
+			b.Fatal("no layers reconstructed")
+		}
+	}
+}
+
+// BenchmarkTrojanOverhead measures how much simulation cost the trojan
+// datapath adds over bypass — the in-fabric analogue of the paper's
+// "trojans are multiplexed over the original control signals".
+func BenchmarkTrojanOverhead(b *testing.B) {
+	prog, err := TestPart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("bypass", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tb, err := NewTestbed(WithSeed(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tb.Run(prog, runBudget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("t2-masking", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tb, err := NewTestbed(WithSeed(1),
+				WithTrojan(trojan.NewT2ExtrusionReduction(trojan.T2Params{KeepRatio: 0.5})))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := tb.Run(prog, runBudget); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

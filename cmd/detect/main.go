@@ -1,0 +1,100 @@
+// Command detect compares a captured pulse profile against a golden
+// reference and prints the paper's Figure 4c report — the Go port of the
+// paper's Python detection script (§V-C).
+//
+// Usage:
+//
+//	detect -golden golden.csv -capture print.csv
+//	detect -golden golden.csv -capture print.csv -margin 0.03
+//	detect -golden-free -capture print.csv          # physics rules only
+//
+// The -golden-free mode needs no reference capture: it checks the
+// machine-physics plausibility rules (build volume, step rate, retraction
+// depth, stationary extrusion) from the §VI future-work extension.
+//
+// Exit status: 0 = no trojan suspected, 2 = trojan likely, 1 = error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"offramps/internal/capture"
+	"offramps/internal/detect"
+)
+
+func main() {
+	code, err := run(os.Args[1:])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "detect:", err)
+		os.Exit(1)
+	}
+	os.Exit(code)
+}
+
+func run(args []string) (int, error) {
+	fs := flag.NewFlagSet("detect", flag.ContinueOnError)
+	var (
+		goldenPath = fs.String("golden", "", "golden capture CSV (required unless -golden-free)")
+		printPath  = fs.String("capture", "", "suspect capture CSV (required)")
+		margin     = fs.Float64("margin", 0.05, "per-window margin of error (paper: 0.05)")
+		maxShown   = fs.Int("max-shown", 64, "cap on mismatch lines printed")
+		goldenFree = fs.Bool("golden-free", false, "use machine-physics rules instead of a golden capture")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 1, err
+	}
+	if *printPath == "" {
+		return 1, fmt.Errorf("-capture is required")
+	}
+	if *goldenFree {
+		suspect, err := readCapture(*printPath)
+		if err != nil {
+			return 1, fmt.Errorf("capture: %w", err)
+		}
+		report, err := detect.CheckGoldenFree(suspect, detect.DefaultLimits())
+		if err != nil {
+			return 1, err
+		}
+		fmt.Print(report.Format())
+		if report.TrojanLikely {
+			return 2, nil
+		}
+		return 0, nil
+	}
+	if *goldenPath == "" {
+		return 1, fmt.Errorf("-golden is required (or use -golden-free)")
+	}
+
+	golden, err := readCapture(*goldenPath)
+	if err != nil {
+		return 1, fmt.Errorf("golden: %w", err)
+	}
+	suspect, err := readCapture(*printPath)
+	if err != nil {
+		return 1, fmt.Errorf("capture: %w", err)
+	}
+
+	cfg := detect.DefaultConfig()
+	cfg.Margin = *margin
+	cfg.MaxReported = *maxShown
+	report, err := detect.Compare(golden, suspect, cfg)
+	if err != nil {
+		return 1, err
+	}
+	fmt.Print(report.Format())
+	if report.TrojanLikely {
+		return 2, nil
+	}
+	return 0, nil
+}
+
+func readCapture(path string) (*capture.Recording, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return capture.ReadCSV(f)
+}

@@ -1,0 +1,89 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCSV(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const goldenCSV = `Index, X, Y, Z, E
+0, 1000, 1200, 80, 500
+1, 2000, 2400, 80, 1000
+2, 3000, 3600, 80, 1500
+`
+
+func TestRunCleanPair(t *testing.T) {
+	g := writeCSV(t, "g.csv", goldenCSV)
+	s := writeCSV(t, "s.csv", goldenCSV)
+	code, err := run([]string{"-golden", g, "-capture", s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("exit = %d, want 0", code)
+	}
+}
+
+func TestRunTrojanPair(t *testing.T) {
+	g := writeCSV(t, "g.csv", goldenCSV)
+	s := writeCSV(t, "s.csv", `Index, X, Y, Z, E
+0, 1000, 1200, 80, 500
+1, 2000, 2400, 80, 700
+2, 3000, 3600, 80, 900
+`)
+	code, err := run([]string{"-golden", g, "-capture", s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("exit = %d, want 2 (trojan likely)", code)
+	}
+}
+
+func TestRunGoldenFreeMode(t *testing.T) {
+	s := writeCSV(t, "s.csv", goldenCSV)
+	code, err := run([]string{"-golden-free", "-capture", s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Errorf("clean golden-free exit = %d", code)
+	}
+	bad := writeCSV(t, "bad.csv", `Index, X, Y, Z, E
+0, 1000, 1200, 80, 500
+1, 99000, 1200, 80, 1000
+`)
+	code, err = run([]string{"-golden-free", "-capture", bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 2 {
+		t.Errorf("out-of-volume golden-free exit = %d, want 2", code)
+	}
+}
+
+func TestRunArgumentErrors(t *testing.T) {
+	g := writeCSV(t, "g.csv", goldenCSV)
+	if _, err := run([]string{"-golden", g}); err == nil {
+		t.Error("missing -capture accepted")
+	}
+	if _, err := run([]string{"-capture", g}); err == nil {
+		t.Error("missing -golden accepted")
+	}
+	if _, err := run([]string{"-golden", "/nope", "-capture", g}); err == nil {
+		t.Error("missing golden file accepted")
+	}
+	bad := writeCSV(t, "bad.csv", "not a capture\n")
+	if _, err := run([]string{"-golden", bad, "-capture", g}); err == nil {
+		t.Error("malformed golden accepted")
+	}
+}

@@ -1,0 +1,75 @@
+// Command experiments regenerates every table and figure in the paper's
+// evaluation section (see DESIGN.md §3 and EXPERIMENTS.md for the mapping
+// and the recorded results).
+//
+// Usage:
+//
+//	experiments -all
+//	experiments -table1 -figure4
+//	experiments -drift -runs 6
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		all      = fs.Bool("all", false, "run every experiment")
+		table1   = fs.Bool("table1", false, "Table I: the nine-trojan suite")
+		table2   = fs.Bool("table2", false, "Table II: Flaw3D detection matrix")
+		figure4  = fs.Bool("figure4", false, "Figure 4: detection output excerpt")
+		overhead = fs.Bool("overhead", false, "§V-B: monitoring overhead")
+		drift    = fs.Bool("drift", false, "§V-C: time-noise drift bound")
+		seed     = fs.Uint64("seed", 1, "base time-noise seed")
+		runs     = fs.Int("runs", 4, "number of prints for the drift experiment")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *all {
+		*table1, *table2, *figure4, *overhead, *drift = true, true, true, true, true
+	}
+	if !*table1 && !*table2 && !*figure4 && !*overhead && !*drift {
+		fs.Usage()
+		return fmt.Errorf("nothing selected; use -all or pick experiments")
+	}
+
+	type experiment struct {
+		enabled bool
+		name    string
+		run     func() (interface{ Format() string }, error)
+	}
+	list := []experiment{
+		{*table1, "Table I", func() (interface{ Format() string }, error) { return offrampsTableI(*seed) }},
+		{*table2, "Table II", func() (interface{ Format() string }, error) { return offrampsTableII(*seed) }},
+		{*figure4, "Figure 4", func() (interface{ Format() string }, error) { return offrampsFigure4(*seed) }},
+		{*overhead, "Overhead (§V-B)", func() (interface{ Format() string }, error) { return offrampsOverhead(*seed) }},
+		{*drift, "Drift (§V-C)", func() (interface{ Format() string }, error) { return offrampsDrift(*seed, *runs) }},
+	}
+	for _, ex := range list {
+		if !ex.enabled {
+			continue
+		}
+		fmt.Printf("==== %s ====\n", ex.name)
+		start := time.Now()
+		rep, err := ex.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", ex.name, err)
+		}
+		fmt.Print(rep.Format())
+		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

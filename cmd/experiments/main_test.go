@@ -1,0 +1,22 @@
+package main
+
+import "testing"
+
+func TestRunRequiresSelection(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("empty selection accepted")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("bad flag accepted")
+	}
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full simulated prints")
+	}
+	// The overhead experiment is the fastest full-pipeline one.
+	if err := run([]string{"-overhead"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,26 @@
+package main
+
+import "offramps"
+
+// Thin adapters giving each experiment the common Format() interface the
+// runner loop consumes.
+
+func offrampsTableI(seed uint64) (interface{ Format() string }, error) {
+	return offramps.TableI(seed)
+}
+
+func offrampsTableII(seed uint64) (interface{ Format() string }, error) {
+	return offramps.TableII(seed)
+}
+
+func offrampsFigure4(seed uint64) (interface{ Format() string }, error) {
+	return offramps.Figure4(seed)
+}
+
+func offrampsOverhead(seed uint64) (interface{ Format() string }, error) {
+	return offramps.Overhead(seed)
+}
+
+func offrampsDrift(seed uint64, runs int) (interface{ Format() string }, error) {
+	return offramps.Drift(seed, runs)
+}

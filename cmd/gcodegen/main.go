@@ -1,0 +1,100 @@
+// Command gcodegen slices a built-in test shape into Marlin G-code — the
+// repository's stand-in for Ultimaker Cura in the paper's toolchain.
+//
+// Usage:
+//
+//	gcodegen -shape box -x 20 -y 20 -z 1.6 -o part.gcode
+//	gcodegen -shape cylinder -r 8 -z 5
+//	gcodegen -shape tensile -len 60 -z 2 -flow 0.9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"offramps/internal/gcode"
+	"offramps/internal/slicer"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "gcodegen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout *os.File) error {
+	fs := flag.NewFlagSet("gcodegen", flag.ContinueOnError)
+	var (
+		shape   = fs.String("shape", "box", "shape to slice: box, cylinder, tensile")
+		x       = fs.Float64("x", 20, "box width, mm")
+		y       = fs.Float64("y", 20, "box depth, mm")
+		z       = fs.Float64("z", 1.6, "part height, mm")
+		r       = fs.Float64("r", 8, "cylinder radius, mm")
+		barLen  = fs.Float64("len", 60, "tensile bar length, mm")
+		flow    = fs.Float64("flow", 1.0, "extrusion multiplier")
+		layerH  = fs.Float64("layer", 0.2, "layer height, mm")
+		infill  = fs.Float64("infill", 2.0, "infill line spacing, mm (0 = walls only)")
+		solidN  = fs.Int("solid", 0, "solid top/bottom shell layers")
+		skirt   = fs.Int("skirt", 0, "skirt loops around the part on layer 1")
+		hotend  = fs.Float64("hotend", 210, "hotend temperature, °C")
+		bed     = fs.Float64("bed", 60, "bed temperature, °C")
+		out     = fs.String("o", "", "output file (default stdout)")
+		summary = fs.Bool("stats", false, "print program statistics to stderr")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := slicer.DefaultConfig()
+	cfg.FlowMultiplier = *flow
+	cfg.LayerHeight = *layerH
+	cfg.FirstLayerHeight = *layerH
+	cfg.InfillSpacing = *infill
+	cfg.SolidLayers = *solidN
+	cfg.SkirtLoops = *skirt
+	if *skirt > 0 {
+		cfg.SkirtGap = 3
+	}
+	cfg.HotendTemp = *hotend
+	cfg.BedTemp = *bed
+
+	var solid slicer.Shape
+	var err error
+	switch *shape {
+	case "box":
+		solid, err = slicer.NewBox(*x, *y, *z)
+	case "cylinder":
+		solid, err = slicer.NewCylinder(*r, *z, 48)
+	case "tensile":
+		solid, err = slicer.NewTensileBar(*barLen, *z)
+	default:
+		return fmt.Errorf("unknown shape %q (want box, cylinder, tensile)", *shape)
+	}
+	if err != nil {
+		return err
+	}
+
+	prog, err := slicer.Slice(solid, cfg)
+	if err != nil {
+		return err
+	}
+	if *summary {
+		fmt.Fprintln(os.Stderr, gcode.ComputeStats(prog))
+	}
+
+	dst := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if _, err := dst.WriteString(prog.String()); err != nil {
+		return fmt.Errorf("writing output: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"offramps/internal/gcode"
+)
+
+func TestRunGeneratesParseableGCode(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "part.gcode")
+	if err := run([]string{"-shape", "box", "-x", "12", "-y", "12", "-z", "0.6", "-o", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := gcode.ParseString(string(data))
+	if err != nil {
+		t.Fatalf("generated G-code does not parse: %v", err)
+	}
+	stats := gcode.ComputeStats(prog)
+	if stats.PrintingMoves == 0 || stats.Layers != 3 {
+		t.Errorf("stats = %v", stats)
+	}
+}
+
+func TestRunShapes(t *testing.T) {
+	for _, shape := range []string{"cylinder", "tensile"} {
+		out := filepath.Join(t.TempDir(), shape+".gcode")
+		if err := run([]string{"-shape", shape, "-z", "0.4", "-o", out}, os.Stdout); err != nil {
+			t.Errorf("%s: %v", shape, err)
+		}
+	}
+}
+
+func TestRunSkirtAndSolid(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "part.gcode")
+	if err := run([]string{"-x", "12", "-y", "12", "-z", "0.6", "-skirt", "1", "-solid", "1", "-o", out}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if !strings.Contains(string(data), "G1") {
+		t.Error("no moves generated")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-shape", "sphere"}, os.Stdout); err == nil {
+		t.Error("unknown shape accepted")
+	}
+	if err := run([]string{"-shape", "box", "-x", "0"}, os.Stdout); err == nil {
+		t.Error("zero dimension accepted")
+	}
+	if err := run([]string{"-bogusflag"}, os.Stdout); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunBuiltinPartWithCaptureAndVCD(t *testing.T) {
+	dir := t.TempDir()
+	capPath := filepath.Join(dir, "cap.csv")
+	vcdPath := filepath.Join(dir, "steps.vcd")
+	if err := run([]string{"-capture", capPath, "-vcd", vcdPath, "-seed", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	capData, err := os.ReadFile(capPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(capData), "Index, X, Y, Z, E") {
+		t.Errorf("capture header: %.40s", capData)
+	}
+	vcdData, err := os.ReadFile(vcdPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(vcdData), "$var wire 1") {
+		t.Error("VCD missing variable declarations")
+	}
+}
+
+func TestRunWithTrojan(t *testing.T) {
+	// T6 kills the print early: the run must still succeed (the halt is
+	// the experiment's outcome, not a tool failure).
+	if err := run([]string{"-trojan", "T6"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunDirectMode(t *testing.T) {
+	if err := run([]string{"-direct"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGCodeFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tiny.gcode")
+	src := "G28\nG1 X30 Y30 F9000\nG1 X40 E1 F1200\nM84\n"
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-gcode", path}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{"-trojan", "T99"}); err == nil {
+		t.Error("unknown trojan accepted")
+	}
+	if err := run([]string{"-gcode", "/nonexistent.gcode"}); err == nil {
+		t.Error("missing gcode file accepted")
+	}
+	if err := run([]string{"-trojan", "T1", "-direct"}); err == nil {
+		t.Error("trojan in direct mode accepted")
+	}
+}

@@ -1,0 +1,79 @@
+// Command reconstruct reverse-engineers a printed part from an OFFRAMPS
+// capture — the IP-theft direction the paper's discussion raises ("even
+// reverse-engineering printed parts from their control signals", §VI).
+// Unlike the acoustic/power side channels of prior work, the MITM capture
+// is lossless, so the stolen toolpath is exact at window resolution.
+//
+// Usage:
+//
+//	reconstruct -capture print.csv
+//	reconstruct -capture print.csv -layer 3 -width 60   # ASCII render
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"offramps/internal/capture"
+	"offramps/internal/reconstruct"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "reconstruct:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("reconstruct", flag.ContinueOnError)
+	var (
+		capPath = fs.String("capture", "", "capture CSV to reverse-engineer (required)")
+		layer   = fs.Int("layer", -1, "render this layer as ASCII (-1 = none)")
+		width   = fs.Int("width", 60, "ASCII render width, columns")
+		window  = fs.Float64("window", 0.1, "capture window length, seconds")
+		xspm    = fs.Float64("x-steps", 80, "X steps per mm of the victim machine")
+		yspm    = fs.Float64("y-steps", 80, "Y steps per mm")
+		zspm    = fs.Float64("z-steps", 400, "Z steps per mm")
+		espm    = fs.Float64("e-steps", 96, "E steps per mm")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *capPath == "" {
+		return fmt.Errorf("-capture is required")
+	}
+	f, err := os.Open(*capPath)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rec, err := capture.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+
+	cal := reconstruct.Calibration{
+		XStepsPerMM: *xspm, YStepsPerMM: *yspm,
+		ZStepsPerMM: *zspm, EStepsPerMM: *espm,
+	}
+	design, err := reconstruct.FromCapture(rec, cal, *window)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("stolen design: %s\n", design.Summary())
+	fmt.Printf("%-8s %-10s %-12s %s\n", "layer", "Z (mm)", "filament", "extent (mm)")
+	for i, l := range design.Layers {
+		fmt.Printf("%-8d %-10.2f %-12.2f %.2f × %.2f\n", i, l.Z, l.Filament, l.Width(), l.Depth())
+	}
+	if *layer >= 0 {
+		img, err := design.RenderLayer(*layer, *width)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("\nlayer %d toolpath:\n%s", *layer, img)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+const sampleCSV = `Index, X, Y, Z, E
+0, 0, 0, 80, 0
+1, 8000, 8000, 80, 0
+2, 9600, 8000, 80, 96
+3, 9600, 9600, 80, 192
+4, 8000, 9600, 80, 288
+5, 8000, 8000, 80, 384
+`
+
+func TestRunSummary(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cap.csv")
+	if err := os.WriteFile(path, []byte(sampleCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-capture", path}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-capture", path, "-layer", "0", "-width", "24"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -capture accepted")
+	}
+	if err := run([]string{"-capture", "/nope.csv"}); err == nil {
+		t.Error("missing file accepted")
+	}
+	path := filepath.Join(t.TempDir(), "cap.csv")
+	os.WriteFile(path, []byte(sampleCSV), 0o644)
+	if err := run([]string{"-capture", path, "-layer", "99"}); err == nil {
+		t.Error("out-of-range layer accepted")
+	}
+	if err := run([]string{"-capture", path, "-window", "0"}); err == nil {
+		t.Error("zero window accepted")
+	}
+	if err := run([]string{"-capture", path, "-x-steps", "0"}); err == nil {
+		t.Error("zero calibration accepted")
+	}
+}

@@ -1,0 +1,91 @@
+// Command trojanize applies a Flaw3D-style trojan to a G-code file — the
+// Go port of the Python script the paper uses to recreate the malicious
+// bootloader's edits (§V-D): "We recreate these Trojans using a Python
+// script which modifies given g-code in the same way the malicious
+// bootloader does."
+//
+// Usage:
+//
+//	trojanize -mode reduction -value 0.5  -i part.gcode -o bad.gcode
+//	trojanize -mode relocation -value 20  -i part.gcode -o bad.gcode
+//	trojanize -case 7 -i part.gcode -o bad.gcode   # Table II test case
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"offramps/internal/flaw3d"
+	"offramps/internal/gcode"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "trojanize:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("trojanize", flag.ContinueOnError)
+	var (
+		mode    = fs.String("mode", "", "trojan family: reduction or relocation")
+		value   = fs.Float64("value", 0, "reduction factor (0,1] or relocation interval")
+		caseNum = fs.Int("case", 0, "Table II test case number (1-8); overrides -mode/-value")
+		in      = fs.String("i", "", "input G-code file (default stdin)")
+		out     = fs.String("o", "", "output G-code file (default stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	src := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	prog, err := gcode.Parse(src)
+	if err != nil {
+		return err
+	}
+
+	var tampered gcode.Program
+	switch {
+	case *caseNum != 0:
+		cases := flaw3d.TableII()
+		if *caseNum < 1 || *caseNum > len(cases) {
+			return fmt.Errorf("-case must be 1..%d", len(cases))
+		}
+		tc := cases[*caseNum-1]
+		fmt.Fprintf(os.Stderr, "trojanize: applying %s\n", tc)
+		tampered, err = tc.Apply(prog)
+	case *mode == "reduction":
+		tampered, err = flaw3d.Reduce(prog, *value)
+	case *mode == "relocation":
+		tampered, err = flaw3d.Relocate(prog, int(*value))
+	default:
+		return fmt.Errorf("need -case N or -mode reduction|relocation")
+	}
+	if err != nil {
+		return err
+	}
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	if _, err := dst.WriteString(tampered.String()); err != nil {
+		return fmt.Errorf("writing output: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"offramps/internal/gcode"
+)
+
+const sample = `G28
+M83
+G1 X10 Y10 F3000
+G1 X20 Y10 E1.0 F1200
+G1 X20 Y20 E1.0
+G1 X10 Y20 E1.0
+`
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "in.gcode")
+	if err := os.WriteFile(path, []byte(sample), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunReduction(t *testing.T) {
+	in := writeSample(t)
+	out := filepath.Join(t.TempDir(), "out.gcode")
+	if err := run([]string{"-mode", "reduction", "-value", "0.5", "-i", in, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	prog, err := gcode.ParseString(string(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := gcode.ComputeStats(prog).NetFilament; got != 1.5 {
+		t.Errorf("net filament = %v, want 1.5 (3.0 × 0.5)", got)
+	}
+}
+
+func TestRunRelocation(t *testing.T) {
+	in := writeSample(t)
+	out := filepath.Join(t.TempDir(), "out.gcode")
+	if err := run([]string{"-mode", "relocation", "-value", "2", "-i", in, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(out)
+	if len(data) == 0 {
+		t.Fatal("empty output")
+	}
+}
+
+func TestRunTableIICase(t *testing.T) {
+	in := writeSample(t)
+	out := filepath.Join(t.TempDir(), "out.gcode")
+	if err := run([]string{"-case", "1", "-i", in, "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	in := writeSample(t)
+	if err := run([]string{"-i", in}); err == nil {
+		t.Error("no mode accepted")
+	}
+	if err := run([]string{"-case", "99", "-i", in}); err == nil {
+		t.Error("case 99 accepted")
+	}
+	if err := run([]string{"-mode", "reduction", "-value", "2", "-i", in}); err == nil {
+		t.Error("factor 2 accepted")
+	}
+	if err := run([]string{"-mode", "reduction", "-value", "0.5", "-i", "/nonexistent"}); err == nil {
+		t.Error("missing input accepted")
+	}
+}

@@ -1,0 +1,54 @@
+// Quickstart: slice a part, print it on the simulated OFFRAMPS testbed,
+// and look at what the FPGA captured.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"offramps"
+	"offramps/internal/sim"
+)
+
+func main() {
+	// 1. Slice the standard test part (a 20 mm calibration box — the
+	//    simulated stand-in for the paper's graph-paper photos).
+	prog, err := offramps.TestPart()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sliced program: %d lines\n", len(prog))
+
+	// 2. Assemble the testbed: firmware twin, OFFRAMPS MITM, RAMPS
+	//    drivers, printer plant. No trojans — this is the paper's T0
+	//    "golden print" with the FPGA in bypass mode.
+	tb, err := offramps.NewTestbed(offramps.WithSeed(42))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Print it. The limit bounds *simulated* time, not wall time; a
+	//    full print simulates in well under a second of wall clock.
+	res, err := tb.Run(prog, 3600*sim.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Inspect the outcome.
+	fmt.Printf("print finished in %v simulated time\n", res.Duration)
+	fmt.Printf("printed part: %s\n", res.Quality)
+	fmt.Printf("hotend peak: %.1f °C, bed peak: %.1f °C\n", res.PeakHotendTemp, res.PeakBedTemp)
+
+	// 5. The OFFRAMPS capture: one transaction per 0.1 s with the step
+	//    counts of all four motors (paper §V-B).
+	fmt.Printf("capture: %d transactions\n", res.Recording.Len())
+	fmt.Println("first five:")
+	fmt.Println("Index, X, Y, Z, E")
+	for _, tx := range res.Recording.Transactions[:5] {
+		fmt.Printf("%d, %d, %d, %d, %d\n", tx.Index, tx.X, tx.Y, tx.Z, tx.E)
+	}
+	final, _ := res.Recording.Final()
+	fmt.Printf("final counts: X=%d Y=%d Z=%d E=%d\n", final.X, final.Y, final.Z, final.E)
+}

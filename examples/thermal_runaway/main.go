@@ -1,0 +1,81 @@
+// Thermal runaway: the paper's destructive trojan T7. The FPGA clamps the
+// hotend MOSFET gate high; the firmware's MAXTEMP panic fires and kills
+// its output — but the clamp sits downstream of the kill, so the element
+// keeps heating past its working specification (§IV-C).
+//
+// The example prints an ASCII temperature timeline showing the setpoint
+// ramp, the clamp engaging, the firmware panic, and the runaway.
+//
+//	go run ./examples/thermal_runaway
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"offramps"
+	"offramps/internal/sim"
+	"offramps/internal/trojan"
+)
+
+func main() {
+	prog, err := offramps.TestPart()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tr := trojan.NewT7ThermalRunaway(trojan.T7Params{Delay: 90 * sim.Second})
+	tb, err := offramps.NewTestbed(
+		offramps.WithSeed(1),
+		offramps.WithTrojan(tr),
+		offramps.WithSettle(90*sim.Second), // watch the post-kill physics
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := tb.Run(prog, 3600*sim.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("firmware outcome: %v\n", res.HaltError)
+	fmt.Printf("hotend peak: %.1f °C (working spec: 260 °C) — exceeded: %v\n\n",
+		res.PeakHotendTemp, res.HotendExceededSafe)
+
+	// ASCII plot of the hotend history, one row per 10 simulated seconds.
+	history := tb.Plant.HotendHistory()
+	const (
+		cols    = 60
+		maxTemp = 400.0
+	)
+	fmt.Printf("%8s  %-*s\n", "time", cols, "hotend temperature (each column = 6.7 °C, '|' = 260 °C spec)")
+	specCol := int(260 / maxTemp * cols)
+	step := 10 * sim.Second
+	next := sim.Time(0)
+	for _, s := range history {
+		if s.At < next {
+			continue
+		}
+		next = s.At + step
+		n := int(s.Temp / maxTemp * float64(cols))
+		if n < 0 {
+			n = 0
+		}
+		if n > cols {
+			n = cols
+		}
+		bar := []byte(strings.Repeat("#", n) + strings.Repeat(" ", cols-n))
+		if specCol < len(bar) {
+			if bar[specCol] == ' ' {
+				bar[specCol] = '|'
+			} else {
+				bar[specCol] = '!'
+			}
+		}
+		fmt.Printf("%8s  %s %5.1f°C\n", s.At, bar, s.Temp)
+	}
+	fmt.Println("\nThe firmware killed its heater output at the MAXTEMP panic, but the")
+	fmt.Println("FPGA clamp holds the MOSFET on: 'bypassing all thermal control and")
+	fmt.Println("fail-safes from the firmware' (paper §IV-C, Trojan T7).")
+}

@@ -1,0 +1,75 @@
+// Trojan gallery: run the paper's full Table I attack suite (T1–T9)
+// against the same sliced part and measure each trojan's physical effect
+// on the printed object or the machine.
+//
+//	go run ./examples/trojan_gallery
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"offramps"
+	"offramps/internal/sim"
+	"offramps/internal/trojan"
+)
+
+func main() {
+	prog, err := offramps.TestPart()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Golden reference: FPGA in bypass (paper's T0).
+	goldenTB, err := offramps.NewTestbed(offramps.WithSeed(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	golden, err := goldenTB.Run(prog, 3600*sim.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("T0 golden: %s\n\n", golden.Quality)
+
+	for _, tr := range trojan.Suite(1) {
+		opts := []offramps.Option{offramps.WithSeed(1), offramps.WithTrojan(tr)}
+		if tr.ID() == "T7" {
+			// Destructive trojan: keep simulating after the firmware
+			// panics to watch the clamped heater run away.
+			opts = append(opts, offramps.WithSettle(60*sim.Second))
+		}
+		tb, err := offramps.NewTestbed(opts...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tb.Run(prog, 3600*sim.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("%s [%s] %s\n", tr.ID(), tr.Kind(), tr.Description())
+		diff := res.Part.Compare(golden.Part, 1.0)
+		switch {
+		case !res.Completed:
+			fmt.Printf("    print DIED: %v\n", res.HaltError)
+		default:
+			fmt.Printf("    part: %s\n", res.Quality)
+			fmt.Printf("    vs golden: %s\n", diff)
+		}
+		if res.HotendExceededSafe {
+			fmt.Printf("    DESTRUCTIVE: hotend peaked at %.0f °C (spec 260)\n", res.PeakHotendTemp)
+		}
+		if res.PeakFanDuty < golden.PeakFanDuty/2 {
+			fmt.Printf("    cooling sabotaged: peak fan duty %.2f (golden %.2f)\n",
+				res.PeakFanDuty, golden.PeakFanDuty)
+		}
+		lost := uint64(0)
+		for _, n := range res.StepsLost {
+			lost += n
+		}
+		if lost > 0 {
+			fmt.Printf("    %d commanded steps silently lost\n", lost)
+		}
+		fmt.Println()
+	}
+}

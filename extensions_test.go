@@ -1,0 +1,185 @@
+package offramps
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"offramps/internal/detect"
+	"offramps/internal/gcode"
+	"offramps/internal/reconstruct"
+	"offramps/internal/sim"
+)
+
+// These tests exercise the two §VI future-work extensions end-to-end on
+// real simulated captures: golden-free detection and toolpath
+// reconstruction.
+
+func TestGoldenFreePassesRealPrint(t *testing.T) {
+	prog := mustTestPart(t)
+	rec, err := captureRun(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := detect.CheckGoldenFree(rec, detect.DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrojanLikely {
+		t.Fatalf("healthy print violates golden-free rules:\n%s", rep.Format())
+	}
+}
+
+func TestGoldenFreeCatchesFilamentDump(t *testing.T) {
+	// A sabotage the golden-based detector would need a reference for,
+	// but physics rules catch outright: 6 mm of filament extruded in
+	// place mid-print (a blob that wrecks the surface).
+	prog := mustTestPart(t).Clone()
+	insertAt := -1
+	moves := 0
+	for i, c := range prog {
+		if c.Is("G1") && c.Has('E') && c.Has('X') {
+			moves++
+			if moves == 40 {
+				insertAt = i
+				break
+			}
+		}
+	}
+	if insertAt < 0 {
+		t.Fatal("no insertion point found")
+	}
+	st := gcode.NewState()
+	for _, c := range prog[:insertAt+1] {
+		st.Apply(c)
+	}
+	dump := gcode.Synthesize("G1", gcode.P('E', st.Pos.E+6), gcode.P('F', 300))
+	tampered := append(prog[:insertAt+1:insertAt+1], dump)
+	tampered = append(tampered, prog[insertAt+1:]...)
+
+	rec, err := captureRun(tampered, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := detect.CheckGoldenFree(rec, detect.DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TrojanLikely {
+		t.Fatal("filament dump not flagged by golden-free rules")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Rule == "stationary-extrude" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("wrong rule fired: %+v", rep.Violations)
+	}
+}
+
+func TestGoldenFreeCatchesCarriageCrash(t *testing.T) {
+	// Commanding the head far outside the build volume: the firmware
+	// obliges (Marlin without software endstops beyond max), the capture
+	// shows it, and the rule engine flags it without any golden model.
+	prog := mustTestPart(t).Clone()
+	for i, c := range prog {
+		if c.Is("G1") && c.Has('X') && c.Has('E') {
+			prog[i] = c.WithWord('X', 300) // beyond the 250 mm axis
+			break
+		}
+	}
+	rec, err := captureRun(prog, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := detect.CheckGoldenFree(rec, detect.DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if v.Rule == "build-volume" && strings.Contains(v.Detail, "X") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("carriage crash not flagged:\n%s", rep.Format())
+	}
+}
+
+func TestReconstructionStealsDesign(t *testing.T) {
+	prog := mustTestPart(t)
+	rec, err := captureRun(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	design, err := reconstruct.FromCapture(rec, reconstruct.DefaultCalibration(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The stolen design must match the sliced part: 8 layers of a 20 mm
+	// box (the reconstruction sees the perimeter centreline ≈19.55 mm,
+	// at window resolution).
+	realLayers := 0
+	for _, l := range design.Layers {
+		if l.Filament > 1 {
+			realLayers++
+		}
+	}
+	if realLayers < 7 || realLayers > 10 {
+		t.Errorf("reconstructed %d substantial layers, want ≈8", realLayers)
+	}
+	if math.Abs(design.FootprintW-19.55) > 1.5 {
+		t.Errorf("footprint width %v, want ≈19.55", design.FootprintW)
+	}
+	// Filament budget matches the slicer's (within capture resolution).
+	stats := gcode.ComputeStats(prog)
+	if math.Abs(design.TotalFilament-stats.NetFilament) > stats.NetFilament*0.05 {
+		t.Errorf("stolen filament budget %v vs sliced %v", design.TotalFilament, stats.NetFilament)
+	}
+	// A rendered layer shows a hollow-ish square: material present.
+	img, err := design.RenderLayer(len(design.Layers)-1, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(img, "#") < 10 {
+		t.Errorf("render too sparse:\n%s", img)
+	}
+}
+
+func TestReconstructionSeesTrojanDamage(t *testing.T) {
+	// Reverse-engineering also works as an offline forensic view: the
+	// T2-masked print reconstructs with half the filament.
+	prog := mustTestPart(t)
+	golden, err := captureRun(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gDesign, err := reconstruct.FromCapture(golden, reconstruct.DefaultCalibration(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = gDesign
+	_ = sim.Second
+	// Note: T2 masks pulses downstream of the tracker, so the capture
+	// of a T2 print matches the golden. The *firmware-level* analogue —
+	// Flaw3D reduction — is visible:
+	reduced, err := TestPartWithFlow(0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRec, err := captureRun(reduced, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rDesign, err := reconstruct.FromCapture(rRec, reconstruct.DefaultCalibration(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := rDesign.TotalFilament / gDesign.TotalFilament
+	if math.Abs(ratio-0.5) > 0.06 {
+		t.Errorf("reconstructed filament ratio %v, want ≈0.5", ratio)
+	}
+}

@@ -1,0 +1,284 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"offramps/internal/capture"
+)
+
+// rec builds a recording from X counts; other axes scale deterministically.
+func rec(xs ...int32) *capture.Recording {
+	r := &capture.Recording{}
+	for i, x := range xs {
+		r.Append(capture.Transaction{
+			Index: uint32(i), X: x, Y: x * 2, Z: 100, E: x / 2,
+		})
+	}
+	return r
+}
+
+func TestCompareIdentical(t *testing.T) {
+	g := rec(1000, 2000, 3000)
+	rep, err := Compare(g, rec(1000, 2000, 3000), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrojanLikely || rep.NumMismatches != 0 || rep.LargestPercent != 0 {
+		t.Errorf("identical captures flagged: %+v", rep)
+	}
+	if rep.NumCompared != 3 {
+		t.Errorf("NumCompared = %d", rep.NumCompared)
+	}
+}
+
+func TestCompareWithinMargin(t *testing.T) {
+	g := rec(1000, 2000, 3000)
+	// 4% off mid-print but identical at the end: inside the margin.
+	s := rec(1040, 2080, 3000)
+	rep, err := Compare(g, s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrojanLikely {
+		t.Errorf("4%% drift flagged: %s", rep.Format())
+	}
+	if rep.LargestPercent < 3.9 || rep.LargestPercent > 4.1 {
+		t.Errorf("LargestPercent = %v", rep.LargestPercent)
+	}
+}
+
+func TestCompareBeyondMargin(t *testing.T) {
+	g := rec(1000, 2000, 3000)
+	s := rec(1000, 2400, 3000) // +20% in window 1
+	rep, err := Compare(g, s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TrojanLikely {
+		t.Error("20% divergence not flagged")
+	}
+	// X +20%, Y +20%, E +20% at index 1 = 3 mismatches.
+	if rep.NumMismatches != 3 {
+		t.Errorf("NumMismatches = %d, want 3: %s", rep.NumMismatches, rep.Format())
+	}
+	if rep.Mismatches[0].Index != 1 || rep.Mismatches[0].Column != "X" {
+		t.Errorf("first mismatch = %+v", rep.Mismatches[0])
+	}
+}
+
+func TestCompareFinalZeroMarginCatchesStealthy(t *testing.T) {
+	// 2% reduction everywhere: inside the 5% margin per window, but the
+	// final counts differ — the paper's stealthiest case (Table II #4).
+	g := rec(1000, 2000, 3000)
+	s := rec(980, 1960, 2940)
+	rep, err := Compare(g, s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumMismatches != 0 {
+		t.Errorf("2%% drift produced window mismatches: %s", rep.Format())
+	}
+	if len(rep.Final) == 0 || !rep.TrojanLikely {
+		t.Errorf("final 0%%-margin check missed the stealthy trojan: %+v", rep)
+	}
+}
+
+func TestCompareMinAbsoluteGuard(t *testing.T) {
+	// Tiny counts right after capture start: 2 vs 4 steps is 100%
+	// relative but only 2 steps absolute.
+	g := rec(2, 1000, 2000)
+	s := rec(4, 1000, 2000)
+	cfg := DefaultConfig()
+	rep, err := Compare(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Final X differs (2000 vs 2000? no — final is index 2, X equal).
+	// Window 0 X differs by 2 ≤ MinAbsolute: guarded.
+	if rep.NumMismatches != 0 {
+		t.Errorf("sub-resolution diff flagged: %s", rep.Format())
+	}
+	// But LargestPercent still reports the raw divergence.
+	if rep.LargestPercent != 100 {
+		t.Errorf("LargestPercent = %v, want 100", rep.LargestPercent)
+	}
+
+	cfg.MinAbsolute = 0
+	rep, err = Compare(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumMismatches == 0 {
+		t.Error("MinAbsolute=0 should flag the 100% diff")
+	}
+}
+
+func TestCompareZeroGolden(t *testing.T) {
+	g := rec(0, 0)
+	s := rec(500, 0)
+	rep, err := Compare(g, s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TrojanLikely || rep.LargestPercent != 100 {
+		t.Errorf("zero-golden divergence: %+v", rep)
+	}
+}
+
+func TestCompareShorterSuspect(t *testing.T) {
+	g := rec(100, 200, 300, 400)
+	s := rec(100, 200)
+	rep, err := Compare(g, s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumCompared != 2 || rep.LengthDelta != -2 {
+		t.Errorf("compared=%d delta=%d", rep.NumCompared, rep.LengthDelta)
+	}
+	// Final counts: golden 400 vs suspect 200 — flagged.
+	if !rep.TrojanLikely || len(rep.Final) == 0 {
+		t.Errorf("truncated print not flagged: %+v", rep)
+	}
+}
+
+func TestCompareEmptySuspect(t *testing.T) {
+	g := rec(100)
+	rep, err := Compare(g, &capture.Recording{}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TrojanLikely {
+		t.Error("empty suspect capture not flagged")
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	g := rec(1)
+	if _, err := Compare(nil, g, DefaultConfig()); err == nil {
+		t.Error("nil golden accepted")
+	}
+	if _, err := Compare(g, nil, DefaultConfig()); err == nil {
+		t.Error("nil suspect accepted")
+	}
+	if _, err := Compare(&capture.Recording{}, g, DefaultConfig()); err == nil {
+		t.Error("empty golden accepted")
+	}
+	bad := DefaultConfig()
+	bad.Margin = 1.5
+	if _, err := Compare(g, g, bad); err == nil {
+		t.Error("margin 1.5 accepted")
+	}
+	bad = DefaultConfig()
+	bad.MinAbsolute = -1
+	if _, err := Compare(g, g, bad); err == nil {
+		t.Error("negative MinAbsolute accepted")
+	}
+	bad = DefaultConfig()
+	bad.MaxReported = -1
+	if _, err := Compare(g, g, bad); err == nil {
+		t.Error("negative MaxReported accepted")
+	}
+}
+
+func TestReportFormatMatchesFigure4(t *testing.T) {
+	g := rec(7218, 8166)
+	s := rec(6489, 7437)
+	rep, err := Compare(g, s, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := rep.Format()
+	for _, want := range []string{
+		"Index: 0, Column: X, Values: 7218, 6489",
+		"Largest percent difference found:",
+		"Number of transactions compared: 2",
+		"Number of mismatches:",
+		"Trojan likely!",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestReportFormatClean(t *testing.T) {
+	g := rec(100, 200)
+	rep, err := Compare(g, rec(100, 200), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep.Format(), "No Trojan suspected.") {
+		t.Errorf("clean verdict missing:\n%s", rep.Format())
+	}
+}
+
+func TestReportCapsDetailList(t *testing.T) {
+	g := rec(make([]int32, 200)...)
+	xs := make([]int32, 200)
+	for i := range xs {
+		xs[i] = 10_000 // everything diverges
+	}
+	s := rec(xs...)
+	cfg := DefaultConfig()
+	cfg.MaxReported = 10
+	rep, err := Compare(g, s, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mismatches) != 10 {
+		t.Errorf("detail list = %d, want capped 10", len(rep.Mismatches))
+	}
+	if rep.NumMismatches <= 10 {
+		t.Errorf("NumMismatches = %d, want full count", rep.NumMismatches)
+	}
+	if !strings.Contains(rep.Format(), "further mismatches") {
+		t.Error("Format() does not mention the cap")
+	}
+}
+
+// Property: Compare is symmetric in its verdict for identical inputs and
+// never reports a negative largest percent.
+func TestComparePercentNonNegativeProperty(t *testing.T) {
+	f := func(a, b []int16) bool {
+		if len(a) == 0 {
+			return true
+		}
+		ga := make([]int32, len(a))
+		for i, v := range a {
+			ga[i] = int32(v)
+		}
+		sb := make([]int32, 0, len(b))
+		for _, v := range b {
+			sb = append(sb, int32(v))
+		}
+		if len(sb) == 0 {
+			sb = []int32{0}
+		}
+		rep, err := Compare(rec(ga...), rec(sb...), DefaultConfig())
+		return err == nil && rep.LargestPercent >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentDiff(t *testing.T) {
+	cases := []struct {
+		g, s int32
+		want float64
+	}{
+		{100, 100, 0},
+		{100, 95, 5},
+		{100, 200, 100},
+		{0, 5, 100},
+		{0, 0, 0},
+		{-100, -95, 5},
+	}
+	for _, tc := range cases {
+		if got := percentDiff(tc.g, tc.s); got != tc.want {
+			t.Errorf("percentDiff(%d,%d) = %v, want %v", tc.g, tc.s, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,188 @@
+package detect
+
+import (
+	"fmt"
+	"strings"
+
+	"offramps/internal/capture"
+)
+
+// The paper's detection strategy needs a golden capture of the exact same
+// job. Its discussion proposes "new golden-free methods for detection"
+// (§VI) as future work: plausibility rules that need no reference print
+// because they encode what *any* healthy print looks like. This file
+// implements that extension as a rule engine over captures.
+//
+// Golden-free rules cannot catch a trojan that produces a *different but
+// physically plausible* part (that fundamentally needs a reference), but
+// they catch the large class of attacks that violate machine physics or
+// printing invariants: counts outside the build volume, impossible step
+// rates, filament regression beyond any sane retraction, and sustained
+// stationary extrusion (material dumped in place — the relocation
+// trojan's signature blob).
+
+// Limits describes the victim machine's physical envelope — knowable
+// without any golden print, straight from the printer's spec sheet.
+type Limits struct {
+	// Build volume in steps (MIN endstop = 0).
+	MaxXSteps, MaxYSteps, MaxZSteps int32
+	// MinSteps tolerates slight sub-zero counts from homing overshoot.
+	MinSteps int32
+	// MaxStepsPerWindow caps per-window axis movement: max feedrate ×
+	// window length × steps/mm.
+	MaxStepsPerWindow int32
+	// MaxRetractSteps bounds how far E may ever run backwards from its
+	// high-water mark (firmware retraction plus a safety factor).
+	MaxRetractSteps int32
+	// MaxStationaryExtrude bounds filament extruded (steps) across
+	// consecutive windows with no XY motion — un-retracts are short;
+	// sustained in-place extrusion is a blob.
+	MaxStationaryExtrude int32
+}
+
+// DefaultLimits matches the simulated Prusa-on-RAMPS (250×210×210 mm at
+// 80/80/400 steps-per-mm, 200 mm/s max, 0.1 s windows, 0.8 mm retract at
+// 96 steps/mm).
+func DefaultLimits() Limits {
+	return Limits{
+		MaxXSteps:            250 * 80,
+		MaxYSteps:            210 * 80,
+		MaxZSteps:            210 * 400,
+		MinSteps:             -80,  // 1 mm of homing slack
+		MaxStepsPerWindow:    1920, // 200 mm/s × 0.1 s × 80 st/mm × 1.2 headroom
+		MaxRetractSteps:      231,  // 3 × 0.8 mm retracts at 96 st/mm, stacked
+		MaxStationaryExtrude: 144,  // 1.5 mm of filament in place at 96 st/mm
+	}
+}
+
+// Validate reports the first invalid field, or nil.
+func (l Limits) Validate() error {
+	if l.MaxXSteps <= 0 || l.MaxYSteps <= 0 || l.MaxZSteps <= 0 {
+		return fmt.Errorf("detect: build volume limits must be positive")
+	}
+	if l.MaxStepsPerWindow <= 0 {
+		return fmt.Errorf("detect: MaxStepsPerWindow must be positive")
+	}
+	if l.MaxRetractSteps <= 0 || l.MaxStationaryExtrude <= 0 {
+		return fmt.Errorf("detect: extrusion limits must be positive")
+	}
+	return nil
+}
+
+// Violation is one golden-free rule hit.
+type Violation struct {
+	Index  uint32
+	Rule   string
+	Detail string
+}
+
+// String renders the violation for reports.
+func (v Violation) String() string {
+	return fmt.Sprintf("Index: %d, Rule: %s, %s", v.Index, v.Rule, v.Detail)
+}
+
+// GoldenFreeReport is the rule engine's verdict.
+type GoldenFreeReport struct {
+	Violations   []Violation
+	NumChecked   int
+	TrojanLikely bool
+}
+
+// Format renders the report in the same style as the golden-based tool.
+func (r GoldenFreeReport) Format() string {
+	var sb strings.Builder
+	for _, v := range r.Violations {
+		fmt.Fprintln(&sb, v.String())
+	}
+	fmt.Fprintf(&sb, "Number of transactions checked: %d\n", r.NumChecked)
+	fmt.Fprintf(&sb, "Number of violations: %d\n", len(r.Violations))
+	if r.TrojanLikely {
+		fmt.Fprintln(&sb, "Trojan likely!")
+	} else {
+		fmt.Fprintln(&sb, "No Trojan suspected.")
+	}
+	return sb.String()
+}
+
+// CheckGoldenFree runs the plausibility rules over a capture.
+func CheckGoldenFree(rec *capture.Recording, limits Limits) (GoldenFreeReport, error) {
+	var r GoldenFreeReport
+	if err := limits.Validate(); err != nil {
+		return r, err
+	}
+	if rec == nil || rec.Len() == 0 {
+		return r, fmt.Errorf("detect: empty capture")
+	}
+
+	add := func(idx uint32, rule, detail string) {
+		r.Violations = append(r.Violations, Violation{Index: idx, Rule: rule, Detail: detail})
+	}
+
+	var prev capture.Transaction
+	var eHighWater int32
+	var stationaryExtrude int32
+	for i, tx := range rec.Transactions {
+		r.NumChecked++
+
+		// Rule 1: counts inside the build volume.
+		for _, ax := range []struct {
+			name string
+			v    int32
+			max  int32
+		}{
+			{"X", tx.X, limits.MaxXSteps},
+			{"Y", tx.Y, limits.MaxYSteps},
+			{"Z", tx.Z, limits.MaxZSteps},
+		} {
+			if ax.v < limits.MinSteps || ax.v > ax.max {
+				add(tx.Index, "build-volume",
+					fmt.Sprintf("Column: %s, Value: %d outside [%d, %d]", ax.name, ax.v, limits.MinSteps, ax.max))
+			}
+		}
+
+		if tx.E > eHighWater {
+			eHighWater = tx.E
+		}
+		// Rule 2: filament regression bounded by retraction depth.
+		if eHighWater-tx.E > limits.MaxRetractSteps {
+			add(tx.Index, "retract-depth",
+				fmt.Sprintf("E regressed %d steps below high water", eHighWater-tx.E))
+		}
+
+		if i > 0 {
+			// Rule 3: per-window step rate within the machine envelope.
+			for _, ax := range []struct {
+				name     string
+				v, prevV int32
+			}{
+				{"X", tx.X, prev.X}, {"Y", tx.Y, prev.Y},
+			} {
+				delta := ax.v - ax.prevV
+				if delta < 0 {
+					delta = -delta
+				}
+				if delta > limits.MaxStepsPerWindow {
+					add(tx.Index, "step-rate",
+						fmt.Sprintf("Column: %s, %d steps in one window (max %d)", ax.name, delta, limits.MaxStepsPerWindow))
+				}
+			}
+
+			// Rule 4: sustained stationary extrusion (blob).
+			de := tx.E - prev.E
+			moved := tx.X != prev.X || tx.Y != prev.Y || tx.Z != prev.Z
+			if de > 0 && !moved {
+				stationaryExtrude += de
+				if stationaryExtrude > limits.MaxStationaryExtrude {
+					add(tx.Index, "stationary-extrude",
+						fmt.Sprintf("%d E steps with no motion (max %d)", stationaryExtrude, limits.MaxStationaryExtrude))
+					stationaryExtrude = 0 // report once per blob
+				}
+			} else if moved {
+				stationaryExtrude = 0
+			}
+		}
+		prev = tx
+	}
+	r.TrojanLikely = len(r.Violations) > 0
+	return r, nil
+}

@@ -1,0 +1,154 @@
+package detect
+
+import (
+	"strings"
+	"testing"
+
+	"offramps/internal/capture"
+)
+
+// healthyStream is a plausible print fragment: XY motion with steady
+// extrusion and one retraction/unretract cycle.
+func healthyStream() *capture.Recording {
+	r := &capture.Recording{}
+	txs := []capture.Transaction{
+		{Index: 0, X: 100, Y: 100, Z: 80, E: 0},
+		{Index: 1, X: 900, Y: 400, Z: 80, E: 50},
+		{Index: 2, X: 1700, Y: 700, Z: 80, E: 100},
+		{Index: 3, X: 1700, Y: 700, Z: 80, E: 23}, // retract 0.8 mm (77 steps)
+		{Index: 4, X: 2600, Y: 1400, Z: 80, E: 23},
+		{Index: 5, X: 2600, Y: 1400, Z: 80, E: 100}, // unretract
+		{Index: 6, X: 3400, Y: 1800, Z: 80, E: 160},
+	}
+	for _, tx := range txs {
+		r.Append(tx)
+	}
+	return r
+}
+
+func TestGoldenFreeHealthyPasses(t *testing.T) {
+	rep, err := CheckGoldenFree(healthyStream(), DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrojanLikely {
+		t.Fatalf("healthy stream flagged:\n%s", rep.Format())
+	}
+	if rep.NumChecked != 7 {
+		t.Errorf("NumChecked = %d", rep.NumChecked)
+	}
+	if !strings.Contains(rep.Format(), "No Trojan suspected.") {
+		t.Error("Format() verdict missing")
+	}
+}
+
+func TestGoldenFreeBuildVolume(t *testing.T) {
+	r := healthyStream()
+	r.Append(capture.Transaction{Index: 7, X: 30_000, Y: 1800, Z: 80, E: 160})
+	rep, err := CheckGoldenFree(r, DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TrojanLikely {
+		t.Fatal("out-of-volume X not flagged")
+	}
+	if rep.Violations[0].Rule != "build-volume" && !containsRule(rep, "build-volume") {
+		t.Errorf("violations: %+v", rep.Violations)
+	}
+	// Negative beyond homing slack too.
+	r2 := healthyStream()
+	r2.Append(capture.Transaction{Index: 7, X: -500, Y: 1800, Z: 80, E: 160})
+	rep2, _ := CheckGoldenFree(r2, DefaultLimits())
+	if !containsRule(rep2, "build-volume") {
+		t.Error("negative X not flagged")
+	}
+}
+
+func TestGoldenFreeStepRate(t *testing.T) {
+	r := healthyStream()
+	// 5000 steps in one 0.1 s window = 62 mm in 0.1 s = 620 mm/s.
+	r.Append(capture.Transaction{Index: 7, X: 3400 + 5000, Y: 1800, Z: 80, E: 160})
+	rep, err := CheckGoldenFree(r, DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsRule(rep, "step-rate") {
+		t.Fatalf("impossible step rate not flagged:\n%s", rep.Format())
+	}
+}
+
+func TestGoldenFreeRetractDepth(t *testing.T) {
+	r := healthyStream()
+	// E runs 500 steps (5.2 mm) backwards: no retraction is that deep.
+	r.Append(capture.Transaction{Index: 7, X: 3400, Y: 1900, Z: 80, E: -340})
+	rep, err := CheckGoldenFree(r, DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsRule(rep, "retract-depth") {
+		t.Fatalf("deep E regression not flagged:\n%s", rep.Format())
+	}
+}
+
+func TestGoldenFreeStationaryExtrude(t *testing.T) {
+	r := healthyStream()
+	// 3 windows of in-place extrusion: 3 mm of filament into a blob —
+	// the relocation trojan's signature.
+	r.Append(capture.Transaction{Index: 7, X: 3400, Y: 1800, Z: 80, E: 256})
+	r.Append(capture.Transaction{Index: 8, X: 3400, Y: 1800, Z: 80, E: 352})
+	r.Append(capture.Transaction{Index: 9, X: 3400, Y: 1800, Z: 80, E: 448})
+	rep, err := CheckGoldenFree(r, DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !containsRule(rep, "stationary-extrude") {
+		t.Fatalf("blob not flagged:\n%s", rep.Format())
+	}
+}
+
+func TestGoldenFreeUnretractNotFlagged(t *testing.T) {
+	// A single unretract (≤0.8 mm in place) must not look like a blob.
+	r := &capture.Recording{}
+	r.Append(capture.Transaction{Index: 0, X: 100, Y: 100, Z: 80, E: 100})
+	r.Append(capture.Transaction{Index: 1, X: 100, Y: 100, Z: 80, E: 177})
+	rep, err := CheckGoldenFree(r, DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrojanLikely {
+		t.Fatalf("unretract flagged:\n%s", rep.Format())
+	}
+}
+
+func TestGoldenFreeValidation(t *testing.T) {
+	if _, err := CheckGoldenFree(nil, DefaultLimits()); err == nil {
+		t.Error("nil capture accepted")
+	}
+	if _, err := CheckGoldenFree(&capture.Recording{}, DefaultLimits()); err == nil {
+		t.Error("empty capture accepted")
+	}
+	bad := DefaultLimits()
+	bad.MaxXSteps = 0
+	if _, err := CheckGoldenFree(healthyStream(), bad); err == nil {
+		t.Error("zero build volume accepted")
+	}
+	bad = DefaultLimits()
+	bad.MaxStepsPerWindow = 0
+	if _, err := CheckGoldenFree(healthyStream(), bad); err == nil {
+		t.Error("zero step rate accepted")
+	}
+	bad = DefaultLimits()
+	bad.MaxRetractSteps = 0
+	if _, err := CheckGoldenFree(healthyStream(), bad); err == nil {
+		t.Error("zero retract limit accepted")
+	}
+}
+
+func containsRule(rep GoldenFreeReport, rule string) bool {
+	for _, v := range rep.Violations {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}

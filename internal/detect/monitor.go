@@ -1,0 +1,112 @@
+package detect
+
+import (
+	"fmt"
+
+	"offramps/internal/capture"
+)
+
+// Monitor is the streaming form of the detector: transactions are checked
+// against the golden capture as they arrive, so a print can be halted the
+// moment interference is suspected — "enabling a user to halt a print as
+// soon as a Trojan is suspected" (paper §V-C). Large malicious divergences
+// are caught early, "sav[ing] machine time and material cost" (§V-A).
+type Monitor struct {
+	golden *capture.Recording
+	cfg    Config
+
+	next       int // next golden index expected
+	mismatches int
+	largest    float64
+	tripped    bool
+	tripInfo   *Mismatch
+}
+
+// NewMonitor builds a streaming detector against a golden capture.
+func NewMonitor(golden *capture.Recording, cfg Config) (*Monitor, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if golden == nil || golden.Len() == 0 {
+		return nil, fmt.Errorf("detect: monitor needs a non-empty golden capture")
+	}
+	return &Monitor{golden: golden, cfg: cfg}, nil
+}
+
+// Observe checks one live transaction. It returns true when the monitor
+// has tripped (on this transaction or earlier). Transactions must arrive
+// in index order, aligned with the golden capture's window clock.
+//
+// A live print that runs longer than the golden capture is itself
+// suspicious only at the final check, which the caller performs with
+// Finish; extra trailing windows are compared against the golden's final
+// transaction (the machine should be holding still by then).
+func (m *Monitor) Observe(tx capture.Transaction) (bool, error) {
+	if m.tripped {
+		return true, nil
+	}
+	want := m.next
+	if int(tx.Index) != want {
+		return false, fmt.Errorf("detect: monitor expected index %d, got %d", want, tx.Index)
+	}
+	m.next++
+
+	var ref capture.Transaction
+	if want < m.golden.Len() {
+		ref = m.golden.Transactions[want]
+	} else {
+		ref, _ = m.golden.Final()
+	}
+	for _, col := range capture.Columns {
+		gv, err := ref.Column(col)
+		if err != nil {
+			return false, err
+		}
+		sv, err := tx.Column(col)
+		if err != nil {
+			return false, err
+		}
+		pd := percentDiff(gv, sv)
+		if pd > m.largest {
+			m.largest = pd
+		}
+		absDiff := int64(gv) - int64(sv)
+		if absDiff < 0 {
+			absDiff = -absDiff
+		}
+		if pd > m.cfg.Margin*100 && absDiff > int64(m.cfg.MinAbsolute) {
+			m.mismatches++
+			if !m.tripped {
+				m.tripped = true
+				m.tripInfo = &Mismatch{Index: tx.Index, Column: col, Golden: gv, Suspect: sv}
+			}
+		}
+	}
+	return m.tripped, nil
+}
+
+// Tripped reports whether the monitor has flagged the print.
+func (m *Monitor) Tripped() bool { return m.tripped }
+
+// TripMismatch returns the first out-of-margin observation, or nil.
+func (m *Monitor) TripMismatch() *Mismatch { return m.tripInfo }
+
+// Observed reports how many transactions have been checked.
+func (m *Monitor) Observed() int { return m.next }
+
+// LargestPercent reports the worst divergence seen so far.
+func (m *Monitor) LargestPercent() float64 { return m.largest }
+
+// Finish performs the end-of-print 0 %-margin check against the golden
+// final counts and returns the overall verdict.
+func (m *Monitor) Finish(final capture.Transaction) (trojanLikely bool, finals []FinalMismatch) {
+	gFinal, _ := m.golden.Final()
+	for _, col := range capture.Columns {
+		gv, _ := gFinal.Column(col)
+		sv, _ := final.Column(col)
+		if gv != sv {
+			finals = append(finals, FinalMismatch{Column: col, Golden: gv, Suspect: sv})
+		}
+	}
+	return m.tripped || len(finals) > 0, finals
+}

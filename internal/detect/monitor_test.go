@@ -1,0 +1,148 @@
+package detect
+
+import (
+	"testing"
+
+	"offramps/internal/capture"
+)
+
+func TestMonitorCleanStream(t *testing.T) {
+	g := rec(1000, 2000, 3000)
+	m, err := NewMonitor(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tx := range g.Transactions {
+		tripped, err := m.Observe(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tripped {
+			t.Fatalf("clean stream tripped at %d", tx.Index)
+		}
+	}
+	likely, finals := m.Finish(g.Transactions[2])
+	if likely || len(finals) != 0 {
+		t.Errorf("clean finish: likely=%v finals=%v", likely, finals)
+	}
+	if m.Observed() != 3 {
+		t.Errorf("Observed = %d", m.Observed())
+	}
+}
+
+func TestMonitorTripsOnDivergence(t *testing.T) {
+	g := rec(1000, 2000, 3000, 4000)
+	m, err := NewMonitor(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rec(1000, 2000, 3600, 4000) // +20% at window 2
+	trippedAt := -1
+	for i, tx := range s.Transactions {
+		tripped, err := m.Observe(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tripped && trippedAt < 0 {
+			trippedAt = i
+		}
+	}
+	if trippedAt != 2 {
+		t.Fatalf("tripped at %d, want 2 (halt as soon as suspected)", trippedAt)
+	}
+	if !m.Tripped() || m.TripMismatch() == nil {
+		t.Fatal("trip state not recorded")
+	}
+	if m.TripMismatch().Index != 2 || m.TripMismatch().Column != "X" {
+		t.Errorf("TripMismatch = %+v", m.TripMismatch())
+	}
+}
+
+func TestMonitorStealthyCaughtAtFinish(t *testing.T) {
+	g := rec(1000, 2000, 3000)
+	m, err := NewMonitor(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rec(980, 1960, 2940) // 2%: under margin everywhere
+	for _, tx := range s.Transactions {
+		if tripped, err := m.Observe(tx); err != nil || tripped {
+			t.Fatalf("tripped=%v err=%v", tripped, err)
+		}
+	}
+	final, _ := s.Final()
+	likely, finals := m.Finish(final)
+	if !likely || len(finals) == 0 {
+		t.Error("stealthy reduction not caught at finish")
+	}
+}
+
+func TestMonitorExtraTrailingWindows(t *testing.T) {
+	g := rec(1000, 2000)
+	m, err := NewMonitor(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The live print holds at the golden final counts past the golden
+	// capture's end: not suspicious.
+	stream := rec(1000, 2000, 2000, 2000)
+	for _, tx := range stream.Transactions {
+		if tripped, err := m.Observe(tx); err != nil || tripped {
+			t.Fatalf("trailing hold tripped: %v %v", tripped, err)
+		}
+	}
+	// But moving past the end is.
+	m2, _ := NewMonitor(g, DefaultConfig())
+	stream2 := rec(1000, 2000, 2000, 9000)
+	var tripped bool
+	for _, tx := range stream2.Transactions {
+		var err error
+		tripped, err = m2.Observe(tx)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !tripped {
+		t.Error("post-end motion not flagged")
+	}
+}
+
+func TestMonitorIndexDiscipline(t *testing.T) {
+	g := rec(1000, 2000)
+	m, err := NewMonitor(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Observe(capture.Transaction{Index: 5}); err == nil {
+		t.Error("out-of-order index accepted")
+	}
+}
+
+func TestMonitorConstruction(t *testing.T) {
+	if _, err := NewMonitor(nil, DefaultConfig()); err == nil {
+		t.Error("nil golden accepted")
+	}
+	if _, err := NewMonitor(&capture.Recording{}, DefaultConfig()); err == nil {
+		t.Error("empty golden accepted")
+	}
+	bad := DefaultConfig()
+	bad.Margin = -1
+	if _, err := NewMonitor(rec(1), bad); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestMonitorLargestPercentTracksGuardedDiffs(t *testing.T) {
+	g := rec(2, 1000)
+	m, err := NewMonitor(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 vs 4: 100% relative, 2 steps absolute — guarded, but reported.
+	if tripped, err := m.Observe(capture.Transaction{Index: 0, X: 4, Y: 8, Z: 100, E: 2}); err != nil || tripped {
+		t.Fatalf("guarded diff tripped: %v %v", tripped, err)
+	}
+	if m.LargestPercent() < 99 {
+		t.Errorf("LargestPercent = %v", m.LargestPercent())
+	}
+}

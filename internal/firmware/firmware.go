@@ -1,0 +1,476 @@
+package firmware
+
+import (
+	"fmt"
+	"math"
+
+	"offramps/internal/gcode"
+	"offramps/internal/signal"
+	"offramps/internal/sim"
+)
+
+// Firmware executes a G-code program against the Arduino-side bus. Create
+// one with New, load a program with Load, then Start it and drive the
+// simulation engine until Done reports true.
+type Firmware struct {
+	cfg    Config
+	engine *sim.Engine
+	bus    *signal.Bus
+
+	prog gcode.Program
+	pc   int
+
+	modal  *gcode.State
+	steps  map[signal.Axis]int64   // believed machine position, microsteps
+	offset map[signal.Axis]float64 // machineMM − logicalMM per axis (G92)
+
+	hotend *heater
+	bed    *heater
+
+	fanDuty float64 // 0..1 commanded part-fan duty
+
+	rng *sim.Rand
+
+	motorsEnabled bool
+	started       bool
+	done          bool
+	killed        bool
+	err           error
+
+	executed  int
+	unknown   int
+	doneAt    sim.Time
+	statusLog []string
+
+	uart *uartTx
+
+	stopControl func()
+	stopFanPWM  func()
+}
+
+// New builds a firmware instance attached to the Arduino-side bus.
+func New(engine *sim.Engine, bus *signal.Bus, cfg Config) (*Firmware, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	fw := &Firmware{
+		cfg:    cfg,
+		engine: engine,
+		bus:    bus,
+		modal:  gcode.NewState(),
+		steps:  make(map[signal.Axis]int64, 4),
+		offset: make(map[signal.Axis]float64, 4),
+		rng:    sim.NewRand(cfg.Seed),
+		hotend: newHeater("hotend", bus.Line(signal.PinHotend), bus.ThermHotend, cfg.HotendMaxTemp, cfg.HotendPID, cfg),
+		bed:    newHeater("bed", bus.Line(signal.PinBed), bus.ThermBed, cfg.BedMaxTemp, cfg.BedPID, cfg),
+		uart:   newUARTTx(engine, bus.Line(signal.PinUARTTx), cfg.UARTBaud),
+	}
+	return fw, nil
+}
+
+// Load sets the program to execute. It must be called before Start.
+func (fw *Firmware) Load(prog gcode.Program) { fw.prog = prog }
+
+// Start begins execution: the temperature control loop, fan PWM, and the
+// command dispatcher. Calling Start twice is an error.
+func (fw *Firmware) Start() error {
+	if fw.started {
+		return fmt.Errorf("firmware: already started")
+	}
+	if len(fw.prog) == 0 {
+		return fmt.Errorf("firmware: no program loaded")
+	}
+	fw.started = true
+	fw.stopControl = fw.engine.Ticker(fw.cfg.ControlPeriod, fw.controlTick)
+	fw.stopFanPWM = fw.engine.Ticker(fw.cfg.FanPWMPeriod, fw.fanPWMTick)
+	fw.engine.After(fw.dispatchDelay(), fw.executeNext)
+	return nil
+}
+
+// Done reports whether the program finished or the machine was killed.
+func (fw *Firmware) Done() bool { return fw.done }
+
+// FinishedAt reports the simulation time at which the program completed or
+// the machine was killed (zero while still running).
+func (fw *Firmware) FinishedAt() sim.Time { return fw.doneAt }
+
+// Err returns the halt reason if the machine was killed, else nil.
+func (fw *Firmware) Err() error { return fw.err }
+
+// Executed reports the number of commands dispatched.
+func (fw *Firmware) Executed() int { return fw.executed }
+
+// UnknownCommands reports how many commands were ignored as unsupported.
+func (fw *Firmware) UnknownCommands() int { return fw.unknown }
+
+// StatusLog returns messages the firmware logged (M117, M105, errors).
+func (fw *Firmware) StatusLog() []string { return fw.statusLog }
+
+// HotendTarget returns the current hotend setpoint.
+func (fw *Firmware) HotendTarget() float64 { return fw.hotend.target }
+
+// BedTarget returns the current bed setpoint.
+func (fw *Firmware) BedTarget() float64 { return fw.bed.target }
+
+// HotendMeasured returns the last sampled hotend temperature.
+func (fw *Firmware) HotendMeasured() float64 { return fw.hotend.measured }
+
+// FanDuty returns the commanded part-fan duty in [0,1].
+func (fw *Firmware) FanDuty() float64 { return fw.fanDuty }
+
+// PositionSteps returns the believed machine position of an axis.
+func (fw *Firmware) PositionSteps(a signal.Axis) int64 { return fw.steps[a] }
+
+// MotorsEnabled reports whether the EN lines are asserted.
+func (fw *Firmware) MotorsEnabled() bool { return fw.motorsEnabled }
+
+// logStatus appends to the firmware's message log and mirrors it onto the
+// display UART.
+func (fw *Firmware) logStatus(msg string) {
+	fw.statusLog = append(fw.statusLog, msg)
+	fw.uart.sendString(msg + "\n")
+}
+
+// halt kills the machine: heaters off, motors off, execution stops. This
+// is Marlin's kill() — reached via thermal protection.
+func (fw *Firmware) halt(err error) {
+	if fw.killed {
+		return
+	}
+	fw.killed = true
+	fw.done = true
+	fw.doneAt = fw.engine.Now()
+	fw.err = err
+	fw.hotend.trip()
+	fw.bed.trip()
+	fw.setMotors(false)
+	if fw.stopControl != nil {
+		fw.stopControl()
+	}
+	if fw.stopFanPWM != nil {
+		fw.stopFanPWM()
+	}
+	fw.bus.Line(signal.PinFan).Set(signal.Low)
+	fw.logStatus("KILLED: " + err.Error())
+}
+
+// finish completes the program normally.
+func (fw *Firmware) finish() {
+	if fw.done {
+		return
+	}
+	fw.done = true
+	fw.doneAt = fw.engine.Now()
+	// Leave the control loops running: a real printer keeps regulating
+	// after a print; the session owner decides when to stop simulating.
+	fw.logStatus("print finished")
+}
+
+// dispatchDelay returns the inter-command latency including time noise.
+func (fw *Firmware) dispatchDelay() sim.Time {
+	d := fw.cfg.InterCommandDelay
+	if fw.cfg.TimeNoise > 0 {
+		d += sim.Time(fw.rng.Int63n(int64(fw.cfg.TimeNoise) + 1))
+	}
+	return d
+}
+
+// next schedules the following command after the standard dispatch delay.
+func (fw *Firmware) next() {
+	if fw.killed {
+		return
+	}
+	fw.engine.After(fw.dispatchDelay(), fw.executeNext)
+}
+
+// executeNext dispatches one command.
+func (fw *Firmware) executeNext() {
+	if fw.killed || fw.done {
+		return
+	}
+	// Skip blank/comment lines without consuming dispatch latency.
+	for fw.pc < len(fw.prog) && fw.prog[fw.pc].Empty() {
+		fw.pc++
+	}
+	if fw.pc >= len(fw.prog) {
+		fw.finish()
+		return
+	}
+	cmd := fw.prog[fw.pc]
+	fw.pc++
+	fw.executed++
+
+	switch cmd.Code {
+	case "G0", "G1":
+		fw.executeMove(cmd)
+	case "G4":
+		fw.executeDwell(cmd)
+	case "G28":
+		fw.executeHoming(cmd)
+	case "G90", "G91", "M82", "M83":
+		fw.modal.Apply(cmd)
+		fw.next()
+	case "G92":
+		fw.executeSetPosition(cmd)
+	case "M104":
+		fw.hotend.setTarget(cmd.FloatDefault('S', 0))
+		fw.next()
+	case "M140":
+		fw.bed.setTarget(cmd.FloatDefault('S', 0))
+		fw.next()
+	case "M109":
+		fw.hotend.setTarget(cmd.FloatDefault('S', 0))
+		fw.waitForHeater(fw.hotend)
+	case "M190":
+		fw.bed.setTarget(cmd.FloatDefault('S', 0))
+		fw.waitForHeater(fw.bed)
+	case "M106":
+		fw.fanDuty = clamp01(cmd.FloatDefault('S', 255) / 255)
+		fw.next()
+	case "M107":
+		fw.fanDuty = 0
+		fw.next()
+	case "M17":
+		fw.setMotors(true)
+		fw.next()
+	case "M18", "M84":
+		fw.setMotors(false)
+		fw.next()
+	case "M105":
+		fw.logStatus(fmt.Sprintf("ok T:%.1f /%.1f B:%.1f /%.1f",
+			fw.hotend.measured, fw.hotend.target, fw.bed.measured, fw.bed.target))
+		fw.next()
+	case "M117":
+		fw.logStatus(cmd.Comment)
+		fw.next()
+	default:
+		// Marlin echoes "Unknown command" and carries on; slicers emit
+		// plenty of metadata codes (M115, M73, M201...).
+		fw.unknown++
+		fw.next()
+	}
+}
+
+// machineMM returns the believed machine position of an axis in mm.
+func (fw *Firmware) machineMM(a signal.Axis) float64 {
+	return float64(fw.steps[a]) / fw.cfg.StepsPerMM[a]
+}
+
+// executeSetPosition handles G92: logical coordinates change, machine
+// position does not — the offset absorbs the difference.
+func (fw *Firmware) executeSetPosition(cmd gcode.Command) {
+	fw.modal.Apply(cmd)
+	for _, spec := range []struct {
+		letter byte
+		axis   signal.Axis
+		val    float64
+	}{
+		{'X', signal.AxisX, fw.modal.Pos.X},
+		{'Y', signal.AxisY, fw.modal.Pos.Y},
+		{'Z', signal.AxisZ, fw.modal.Pos.Z},
+		{'E', signal.AxisE, fw.modal.Pos.E},
+	} {
+		if cmd.Has(spec.letter) {
+			fw.offset[spec.axis] = fw.machineMM(spec.axis) - spec.val
+		}
+	}
+	fw.next()
+}
+
+// executeDwell handles G4 (P milliseconds or S seconds).
+func (fw *Firmware) executeDwell(cmd gcode.Command) {
+	var d sim.Time
+	if v, ok := cmd.Float('P'); ok {
+		d = sim.Time(v * float64(sim.Millisecond))
+	} else if v, ok := cmd.Float('S'); ok {
+		d = sim.Time(v * float64(sim.Second))
+	}
+	if d < 0 {
+		d = 0
+	}
+	fw.engine.After(d, fw.next)
+}
+
+// waitForHeater polls until the heater reaches its setpoint (M109/M190).
+func (fw *Firmware) waitForHeater(h *heater) {
+	var poll func()
+	poll = func() {
+		if fw.killed {
+			return
+		}
+		if h.reached(fw.cfg.ReachHysteresis) {
+			fw.next()
+			return
+		}
+		fw.engine.After(fw.cfg.ControlPeriod, poll)
+	}
+	fw.engine.After(fw.cfg.ControlPeriod, poll)
+}
+
+// setMotors drives all EN lines (A4988 enable is active-low).
+func (fw *Firmware) setMotors(on bool) {
+	fw.motorsEnabled = on
+	level := signal.High
+	if on {
+		level = signal.Low
+	}
+	for _, a := range signal.Axes {
+		fw.bus.Enable(a).Set(level)
+	}
+}
+
+// executeMove plans and schedules a G0/G1.
+func (fw *Firmware) executeMove(cmd gcode.Command) {
+	mv, ok := fw.modal.Apply(cmd)
+	if !ok {
+		fw.next() // feedrate-only or zero-length move
+		return
+	}
+	if !fw.motorsEnabled {
+		fw.setMotors(true)
+	}
+
+	// Resolve logical targets into machine steps.
+	var deltas [4]int
+	var targets = [4]float64{
+		mv.To.X + fw.offset[signal.AxisX],
+		mv.To.Y + fw.offset[signal.AxisY],
+		mv.To.Z + fw.offset[signal.AxisZ],
+		mv.To.E + fw.offset[signal.AxisE],
+	}
+	for i, a := range signal.Axes {
+		target := int64(math.Round(targets[i] * fw.cfg.StepsPerMM[a]))
+		deltas[i] = int(target - fw.steps[a])
+	}
+
+	// Feedrate resolution: F is mm/min; clamp per-axis.
+	feed := mv.Feedrate
+	if feed <= 0 {
+		feed = fw.cfg.DefaultFeedrate
+	}
+	speed := feed / 60 // mm/s
+	dist := mv.From.Distance(mv.To)
+	if dist < 1e-12 {
+		dist = math.Abs(mv.Extrusion())
+	}
+	if dist < 1e-12 {
+		fw.next()
+		return
+	}
+	axisDist := [4]float64{}
+	for i, a := range signal.Axes {
+		axisDist[i] = math.Abs(float64(deltas[i])) / fw.cfg.StepsPerMM[a]
+		if axisDist[i] < 1e-12 {
+			continue
+		}
+		axisSpeed := speed * axisDist[i] / dist
+		if limit := fw.cfg.MaxFeedrate[a]; axisSpeed > limit {
+			speed *= limit / axisSpeed
+		}
+	}
+
+	pm := planMove(deltas, dist, speed, fw.cfg.Acceleration, fw.cfg.MaxStepRate)
+
+	// Set DIR lines now; first step happens ≥ DirSetup later.
+	for i, a := range signal.Axes {
+		if pm.axes[i].steps == 0 {
+			continue
+		}
+		level := signal.Low
+		if pm.axes[i].negative {
+			level = signal.High
+		}
+		fw.bus.Dir(a).Set(level)
+	}
+
+	// Schedule every step pulse.
+	for i, a := range signal.Axes {
+		n := pm.axes[i].steps
+		if n == 0 {
+			continue
+		}
+		line := fw.bus.Step(a)
+		for k := 0; k < n; k++ {
+			at := fw.cfg.DirSetup + pm.stepTime(k, n)
+			fw.engine.After(at, func() {
+				if fw.killed {
+					return
+				}
+				line.Set(signal.High)
+			})
+			fw.engine.After(at+fw.cfg.StepPulseWidth, func() {
+				line.Set(signal.Low)
+			})
+		}
+		// Track believed position.
+		if pm.axes[i].negative {
+			fw.steps[a] -= int64(n)
+		} else {
+			fw.steps[a] += int64(n)
+		}
+	}
+
+	fw.engine.After(fw.cfg.DirSetup+pm.duration()+fw.cfg.StepPulseWidth, fw.next)
+}
+
+// controlTick runs both heater PID loops and their PWM windows.
+func (fw *Firmware) controlTick(now sim.Time) {
+	dt := fw.cfg.ControlPeriod.Seconds()
+	for _, h := range []*heater{fw.hotend, fw.bed} {
+		if err := h.control(now, dt); err != nil {
+			fw.halt(err)
+			return
+		}
+		fw.drivePWM(h)
+	}
+}
+
+// drivePWM emits one software-PWM window for a heater.
+func (fw *Firmware) drivePWM(h *heater) {
+	switch {
+	case h.duty <= 0.001:
+		h.pin.Set(signal.Low)
+	case h.duty >= 0.999:
+		h.pin.Set(signal.High)
+	default:
+		h.pin.Set(signal.High)
+		onTime := sim.Time(float64(fw.cfg.PWMPeriod) * h.duty)
+		pin := h.pin
+		fw.engine.After(onTime, func() {
+			// Only drop the gate if a newer window hasn't raised the duty
+			// to full; the next window re-raises it anyway.
+			if h.duty < 0.999 {
+				pin.Set(signal.Low)
+			}
+		})
+	}
+}
+
+// fanPWMTick emits one software-PWM window for the part fan.
+func (fw *Firmware) fanPWMTick(sim.Time) {
+	fan := fw.bus.Line(signal.PinFan)
+	switch {
+	case fw.fanDuty <= 0.001:
+		fan.Set(signal.Low)
+	case fw.fanDuty >= 0.999:
+		fan.Set(signal.High)
+	default:
+		fan.Set(signal.High)
+		onTime := sim.Time(float64(fw.cfg.FanPWMPeriod) * fw.fanDuty)
+		fw.engine.After(onTime, func() {
+			if fw.fanDuty < 0.999 {
+				fan.Set(signal.Low)
+			}
+		})
+	}
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

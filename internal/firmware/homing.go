@@ -1,0 +1,141 @@
+package firmware
+
+import (
+	"fmt"
+
+	"offramps/internal/gcode"
+	"offramps/internal/signal"
+	"offramps/internal/sim"
+)
+
+// executeHoming implements G28: for each requested axis, in the configured
+// order, drive toward the MIN endstop until it closes, back off, and
+// re-approach slowly — Marlin's double-tap homing. The endstop actuation
+// order this produces is exactly what the FPGA's Homing Detection Module
+// watches for (paper §IV-B).
+func (fw *Firmware) executeHoming(cmd gcode.Command) {
+	all := !cmd.Has('X') && !cmd.Has('Y') && !cmd.Has('Z')
+	var axes []signal.Axis
+	for _, a := range fw.cfg.HomingOrder {
+		var letter byte
+		switch a {
+		case signal.AxisX:
+			letter = 'X'
+		case signal.AxisY:
+			letter = 'Y'
+		case signal.AxisZ:
+			letter = 'Z'
+		default:
+			continue
+		}
+		if all || cmd.Has(letter) {
+			axes = append(axes, a)
+		}
+	}
+	if !fw.motorsEnabled {
+		fw.setMotors(true)
+	}
+
+	fw.homeNextAxis(axes, 0, func() {
+		// All axes homed: logical and machine frames coincide at zero.
+		fw.modal.Apply(cmd)
+		fw.next()
+	})
+}
+
+// homeNextAxis homes axes[i] then recurses; done runs after the last axis.
+func (fw *Firmware) homeNextAxis(axes []signal.Axis, i int, done func()) {
+	if fw.killed {
+		return
+	}
+	if i >= len(axes) {
+		done()
+		return
+	}
+	a := axes[i]
+	fast := fw.cfg.HomingFeedrate[a]
+	slow := fast / fw.cfg.HomingSlowDiv
+
+	// Phase 1: fast approach until the endstop closes.
+	fw.seekEndstop(a, fast, func() {
+		// Phase 2: back off the bump distance.
+		fw.bumpAway(a, slow, func() {
+			// Phase 3: slow re-approach for repeatability.
+			fw.seekEndstop(a, slow, func() {
+				fw.steps[a] = 0
+				fw.offset[a] = 0
+				fw.homeNextAxis(axes, i+1, done)
+			})
+		})
+	})
+}
+
+// seekEndstop steps axis a toward MIN at the given speed (mm/s) until its
+// endstop reads pressed. It aborts the whole machine if the axis travels
+// further than HomingMaxTravel without hitting the switch (crashed or
+// missing endstop — a real failure mode RAMPS clones are notorious for).
+func (fw *Firmware) seekEndstop(a signal.Axis, speed float64, done func()) {
+	stepsPerMM := fw.cfg.StepsPerMM[a]
+	period := sim.FromSeconds(1 / (speed * stepsPerMM))
+	if period <= fw.cfg.StepPulseWidth {
+		period = fw.cfg.StepPulseWidth * 2
+	}
+	limit := int(fw.cfg.HomingMaxTravel * stepsPerMM)
+	endstop := fw.bus.MinEndstop(a)
+	step := fw.bus.Step(a)
+
+	fw.bus.Dir(a).Set(signal.High) // toward MIN
+	taken := 0
+	var tick func()
+	tick = func() {
+		if fw.killed {
+			return
+		}
+		if endstop.Level() == signal.High {
+			done()
+			return
+		}
+		if taken >= limit {
+			fw.halt(fmt.Errorf("firmware: homing %v failed: no endstop after %.0f mm", a, fw.cfg.HomingMaxTravel))
+			return
+		}
+		taken++
+		fw.steps[a]--
+		step.Set(signal.High)
+		fw.engine.After(fw.cfg.StepPulseWidth, func() { step.Set(signal.Low) })
+		fw.engine.After(period, tick)
+	}
+	// Honour DIR setup before the first pulse.
+	fw.engine.After(fw.cfg.DirSetup, tick)
+}
+
+// bumpAway moves axis a positive by the homing bump distance at the given
+// speed, then calls done.
+func (fw *Firmware) bumpAway(a signal.Axis, speed float64, done func()) {
+	stepsPerMM := fw.cfg.StepsPerMM[a]
+	period := sim.FromSeconds(1 / (speed * stepsPerMM))
+	if period <= fw.cfg.StepPulseWidth {
+		period = fw.cfg.StepPulseWidth * 2
+	}
+	n := int(fw.cfg.HomingBumpDist * stepsPerMM)
+	step := fw.bus.Step(a)
+
+	fw.bus.Dir(a).Set(signal.Low) // away from MIN
+	taken := 0
+	var tick func()
+	tick = func() {
+		if fw.killed {
+			return
+		}
+		if taken >= n {
+			done()
+			return
+		}
+		taken++
+		fw.steps[a]++
+		step.Set(signal.High)
+		fw.engine.After(fw.cfg.StepPulseWidth, func() { step.Set(signal.Low) })
+		fw.engine.After(period, tick)
+	}
+	fw.engine.After(fw.cfg.DirSetup, tick)
+}

@@ -1,0 +1,177 @@
+// Package flaw3d recreates the Flaw3D bootloader trojans (Pearce et al.,
+// IEEE/ASME TMech 2022) as G-code transformations, the same way the paper
+// does: "We recreate these Trojans using a Python script which modifies
+// given g-code in the same way the malicious bootloader does" (§V-D).
+//
+// Two trojan families exist, forming the paper's Table II test matrix:
+//
+//   - Reduction: every positive extrusion is scaled by a factor
+//     (0.5 … 0.98), starving the part of material.
+//   - Relocation: every Nth printing move has its material deposited at a
+//     dump location instead of along the intended path, leaving a void.
+package flaw3d
+
+import (
+	"fmt"
+	"math"
+
+	"offramps/internal/gcode"
+)
+
+// TestCase is one row of the paper's Table II.
+type TestCase struct {
+	Num   int     // 1-based test case number
+	Type  string  // "Reduction" or "Relocation"
+	Value float64 // reduction factor, or moves between relocations
+}
+
+// TableII returns the paper's eight test cases.
+func TableII() []TestCase {
+	return []TestCase{
+		{1, "Reduction", 0.5},
+		{2, "Reduction", 0.85},
+		{3, "Reduction", 0.9},
+		{4, "Reduction", 0.98},
+		{5, "Relocation", 5},
+		{6, "Relocation", 10},
+		{7, "Relocation", 20},
+		{8, "Relocation", 100},
+	}
+}
+
+// Apply runs the test case's transformation on prog.
+func (tc TestCase) Apply(prog gcode.Program) (gcode.Program, error) {
+	switch tc.Type {
+	case "Reduction":
+		return Reduce(prog, tc.Value)
+	case "Relocation":
+		return Relocate(prog, int(tc.Value))
+	default:
+		return nil, fmt.Errorf("flaw3d: unknown test case type %q", tc.Type)
+	}
+}
+
+// String renders the test case like the Table II row.
+func (tc TestCase) String() string {
+	return fmt.Sprintf("case %d: %s %v", tc.Num, tc.Type, tc.Value)
+}
+
+// Reduce scales every positive extrusion delta by factor, leaving
+// retractions and their recoveries untouched — exactly Flaw3D's
+// "undermining the quantity of extruded material". Factor 0.98 removes
+// only 2 % of material, the paper's stealthiest case.
+func Reduce(prog gcode.Program, factor float64) (gcode.Program, error) {
+	if factor <= 0 || factor > 1 {
+		return nil, fmt.Errorf("flaw3d: reduction factor must be in (0,1], got %v", factor)
+	}
+	out := prog.Clone()
+	orig := gcode.NewState() // tracks the victim's intended coordinates
+	var adjusted float64     // rewritten logical E
+	// retractDepth tracks how much the victim has retracted so recovery
+	// moves restore exactly what was pulled (otherwise scaled recoveries
+	// desynchronize the nozzle state).
+	var retractDepth float64
+
+	for i, cmd := range out {
+		switch cmd.Code {
+		case "G0", "G1":
+			if !cmd.Has('E') {
+				orig.Apply(cmd)
+				continue
+			}
+			before := orig.Pos.E
+			orig.Apply(cmd)
+			delta := orig.Pos.E - before
+			var newDelta float64
+			switch {
+			case delta >= 0 && retractDepth > 0:
+				// Recovery: restore the retracted filament 1:1, scale
+				// only the surplus.
+				restore := math.Min(delta, retractDepth)
+				retractDepth -= restore
+				newDelta = restore + (delta-restore)*factor
+			case delta >= 0:
+				newDelta = delta * factor
+			default:
+				retractDepth += -delta
+				newDelta = delta
+			}
+			adjusted += newDelta
+			if orig.AbsoluteE {
+				out[i] = cmd.WithWord('E', round6(adjusted))
+			} else {
+				out[i] = cmd.WithWord('E', round6(newDelta))
+			}
+		case "G92":
+			orig.Apply(cmd)
+			if cmd.Has('E') {
+				adjusted = orig.Pos.E
+				retractDepth = 0
+			}
+		default:
+			orig.Apply(cmd)
+		}
+	}
+	return out, nil
+}
+
+// Relocate redirects every nth printing move's material: instead of
+// extruding along the commanded path, the nozzle travels to a dump point,
+// deposits the same filament there as a blob, then travels to the move's
+// intended destination without extruding. Geometry gains a void; total
+// filament is conserved, which is what makes the relocation family
+// stealthy against bulk material checks.
+func Relocate(prog gcode.Program, n int) (gcode.Program, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("flaw3d: relocation interval must be positive, got %d", n)
+	}
+	// Dump the material near the part's minimum corner, slightly outside.
+	stats := gcode.ComputeStats(prog)
+	if !stats.Bounds.Valid() {
+		return nil, fmt.Errorf("flaw3d: program has no printing moves to relocate")
+	}
+	dumpX := stats.Bounds.MinX - 6
+	dumpY := stats.Bounds.MinY - 6
+
+	var out gcode.Program
+	orig := gcode.NewState()
+	printing := 0
+	for _, cmd := range prog {
+		if !cmd.Is("G0") && !cmd.Is("G1") {
+			orig.Apply(cmd)
+			out = append(out, cmd)
+			continue
+		}
+		mv, ok := orig.Apply(cmd)
+		if !ok || !mv.IsPrinting() {
+			out = append(out, cmd)
+			continue
+		}
+		printing++
+		if printing%n != 0 {
+			out = append(out, cmd)
+			continue
+		}
+		// Victim move: deposit its filament at the dump point instead.
+		feed := mv.Feedrate
+		if feed <= 0 {
+			feed = 1800
+		}
+		travel := gcode.Synthesize("G0",
+			gcode.P('X', round6(dumpX)), gcode.P('Y', round6(dumpY)),
+			gcode.P('F', 7200))
+		var blob gcode.Command
+		if orig.AbsoluteE {
+			blob = gcode.Synthesize("G1", gcode.P('E', round6(mv.To.E)), gcode.P('F', feed))
+		} else {
+			blob = gcode.Synthesize("G1", gcode.P('E', round6(mv.Extrusion())), gcode.P('F', feed))
+		}
+		back := gcode.Synthesize("G0",
+			gcode.P('X', round6(mv.To.X)), gcode.P('Y', round6(mv.To.Y)),
+			gcode.P('F', 7200))
+		out = append(out, travel, blob, back)
+	}
+	return out, nil
+}
+
+func round6(v float64) float64 { return math.Round(v*1e6) / 1e6 }

@@ -1,0 +1,288 @@
+package flaw3d
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"offramps/internal/gcode"
+)
+
+// samplePrint is a two-layer miniature print with retraction and G92
+// resets, exercising the state the transforms must preserve.
+const samplePrint = `G28
+G90
+M82
+G92 E0
+G1 X10 Y10 F3000
+G1 X20 Y10 E0.5 F1200
+G1 X20 Y20 E1.0
+G1 E0.2 F1800
+G0 X40 Y40 F6000
+G1 E1.0 F1800
+G1 X50 Y40 E1.5 F1200
+G92 E0
+G1 X50 Y50 E0.5 F1200
+G1 X40 Y50 E1.0
+M84
+`
+
+func parse(t *testing.T, src string) gcode.Program {
+	t.Helper()
+	p, err := gcode.ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestReduceScalesNetFilament(t *testing.T) {
+	prog := parse(t, samplePrint)
+	for _, factor := range []float64{0.5, 0.85, 0.9, 0.98} {
+		out, err := Reduce(prog, factor)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Positive printing extrusion in the sample: layer 1 = 0.5+0.5,
+		// layer 2 = 0.5+0.5 → 2.0 total scaled; retract 0.8 and recovery
+		// 0.8 unscaled.
+		origNet := gcode.ComputeStats(prog).NetFilament
+		gotNet := gcode.ComputeStats(out).NetFilament
+		want := origNet * factor
+		if math.Abs(gotNet-want) > 1e-6 {
+			t.Errorf("factor %v: net %v, want %v", factor, gotNet, want)
+		}
+	}
+}
+
+func TestReducePreservesGeometry(t *testing.T) {
+	prog := parse(t, samplePrint)
+	out, err := Reduce(prog, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origMoves := gcode.ExtractMoves(prog)
+	newMoves := gcode.ExtractMoves(out)
+	if len(origMoves) != len(newMoves) {
+		t.Fatalf("move count changed: %d -> %d", len(origMoves), len(newMoves))
+	}
+	for i := range origMoves {
+		if origMoves[i].To.X != newMoves[i].To.X || origMoves[i].To.Y != newMoves[i].To.Y {
+			t.Errorf("move %d geometry changed", i)
+		}
+	}
+}
+
+func TestReducePreservesRetraction(t *testing.T) {
+	prog := parse(t, samplePrint)
+	out, err := Reduce(prog, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The retraction move G1 E0.2 (from E1.0) pulls 0.8 back; the
+	// recovery must restore exactly 0.8 before new scaled extrusion.
+	moves := gcode.ExtractMoves(out)
+	var retract, recover float64
+	for _, m := range moves {
+		e := m.Extrusion()
+		if e < 0 && retract == 0 {
+			retract = -e
+		}
+		if e > 0 && m.From.XYDistance(m.To) < 1e-9 && recover == 0 {
+			recover = e
+		}
+	}
+	if math.Abs(retract-0.8) > 1e-6 {
+		t.Errorf("retraction changed: %v", retract)
+	}
+	if math.Abs(recover-0.8) > 1e-6 {
+		t.Errorf("recovery changed: %v", recover)
+	}
+}
+
+func TestReduceRelativeE(t *testing.T) {
+	prog := parse(t, "M83\nG1 X10 E1.0 F1200\nG1 X20 E1.0\nG1 E-0.8\nG1 E0.8\n")
+	out, err := Reduce(prog, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := gcode.ExtractMoves(out)
+	if math.Abs(moves[0].Extrusion()-0.5) > 1e-9 {
+		t.Errorf("relative reduction: first ΔE = %v", moves[0].Extrusion())
+	}
+	if math.Abs(moves[2].Extrusion()+0.8) > 1e-9 {
+		t.Errorf("relative retraction scaled: %v", moves[2].Extrusion())
+	}
+	if math.Abs(moves[3].Extrusion()-0.8) > 1e-9 {
+		t.Errorf("relative recovery scaled: %v", moves[3].Extrusion())
+	}
+}
+
+func TestReduceBadFactor(t *testing.T) {
+	prog := parse(t, samplePrint)
+	for _, f := range []float64{0, -0.5, 1.01} {
+		if _, err := Reduce(prog, f); err == nil {
+			t.Errorf("factor %v accepted", f)
+		}
+	}
+}
+
+func TestReduceDoesNotMutateInput(t *testing.T) {
+	prog := parse(t, samplePrint)
+	before := prog.String()
+	if _, err := Reduce(prog, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if prog.String() != before {
+		t.Error("Reduce mutated its input")
+	}
+}
+
+// Property: reduction by factor f scales net filament by exactly f for
+// arbitrary extrusion sequences without retraction.
+func TestReduceScalingProperty(t *testing.T) {
+	f := func(deltas []uint8, factorRaw uint8) bool {
+		factor := 0.1 + float64(factorRaw%90)/100 // 0.10..0.99
+		prog := gcode.Program{gcode.Synthesize("M83")}
+		for i, d := range deltas {
+			prog = append(prog, gcode.Synthesize("G1",
+				gcode.P('X', float64(i)),
+				gcode.P('E', float64(d)/100)))
+		}
+		out, err := Reduce(prog, factor)
+		if err != nil {
+			return false
+		}
+		want := gcode.ComputeStats(prog).NetFilament * factor
+		got := gcode.ComputeStats(out).NetFilament
+		return math.Abs(got-want) < 1e-4
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRelocateEveryN(t *testing.T) {
+	prog := parse(t, samplePrint)
+	out, err := Relocate(prog, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 printing moves in the sample → 2 relocations, each inserting
+	// 3 commands for 1 (travel, blob, back): +4 commands... the original
+	// command is replaced, so net +2 per relocation.
+	origCmds := len(prog.Commands())
+	newCmds := len(out.Commands())
+	if newCmds != origCmds+4 {
+		t.Errorf("command count %d -> %d, want +4", origCmds, newCmds)
+	}
+}
+
+func TestRelocateConservesFilament(t *testing.T) {
+	prog := parse(t, samplePrint)
+	out, err := Relocate(prog, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origNet := gcode.ComputeStats(prog).NetFilament
+	newNet := gcode.ComputeStats(out).NetFilament
+	if math.Abs(origNet-newNet) > 1e-6 {
+		t.Errorf("relocation changed net filament: %v -> %v", origNet, newNet)
+	}
+}
+
+func TestRelocateCreatesVoid(t *testing.T) {
+	prog := parse(t, samplePrint)
+	out, err := Relocate(prog, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The victim moves now extrude at the dump point outside the part:
+	// some stationary extrusion must happen at (MinX−6, MinY−6).
+	orig := gcode.ComputeStats(prog).Bounds
+	dumpVisited := false
+	for _, m := range gcode.ExtractMoves(out) {
+		atDump := math.Abs(m.To.X-(orig.MinX-6)) < 1e-6 && math.Abs(m.To.Y-(orig.MinY-6)) < 1e-6
+		if atDump && m.Extrusion() > 0 {
+			dumpVisited = true
+			break
+		}
+	}
+	if !dumpVisited {
+		t.Error("no material deposited at the dump point")
+	}
+	// Printing distance inside the part drops (victim segments skipped).
+	if gcode.ComputeStats(out).PrintDistance >= gcode.ComputeStats(prog).PrintDistance {
+		// Distance includes the blob (zero XY length), so tampered
+		// should be strictly less.
+		t.Error("relocation did not remove printed path length")
+	}
+}
+
+func TestRelocateEndsAtIntendedDestination(t *testing.T) {
+	prog := parse(t, samplePrint)
+	out, err := Relocate(prog, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	origMoves := gcode.ExtractMoves(prog)
+	newMoves := gcode.ExtractMoves(out)
+	origEnd := origMoves[len(origMoves)-1].To
+	newEnd := newMoves[len(newMoves)-1].To
+	if origEnd.X != newEnd.X || origEnd.Y != newEnd.Y {
+		t.Errorf("final position changed: %+v vs %+v", newEnd, origEnd)
+	}
+	if math.Abs(origEnd.E-newEnd.E) > 1e-9 {
+		t.Errorf("final E changed: %v vs %v", newEnd.E, origEnd.E)
+	}
+}
+
+func TestRelocateErrors(t *testing.T) {
+	prog := parse(t, samplePrint)
+	if _, err := Relocate(prog, 0); err == nil {
+		t.Error("interval 0 accepted")
+	}
+	travelOnly := parse(t, "G28\nG0 X10\nG0 Y10\n")
+	if _, err := Relocate(travelOnly, 5); err == nil {
+		t.Error("program without printing moves accepted")
+	}
+}
+
+func TestTableIIMatrix(t *testing.T) {
+	cases := TableII()
+	if len(cases) != 8 {
+		t.Fatalf("Table II has %d cases, want 8", len(cases))
+	}
+	wantTypes := []string{
+		"Reduction", "Reduction", "Reduction", "Reduction",
+		"Relocation", "Relocation", "Relocation", "Relocation",
+	}
+	wantValues := []float64{0.5, 0.85, 0.9, 0.98, 5, 10, 20, 100}
+	for i, tc := range cases {
+		if tc.Num != i+1 || tc.Type != wantTypes[i] || tc.Value != wantValues[i] {
+			t.Errorf("case %d = %+v", i, tc)
+		}
+		if !strings.Contains(tc.String(), tc.Type) {
+			t.Errorf("String() = %q", tc.String())
+		}
+	}
+}
+
+func TestTestCaseApply(t *testing.T) {
+	prog := parse(t, samplePrint)
+	for _, tc := range TableII() {
+		out, err := tc.Apply(prog)
+		if err != nil {
+			t.Errorf("%s: %v", tc, err)
+			continue
+		}
+		if len(out) == 0 {
+			t.Errorf("%s produced empty program", tc)
+		}
+	}
+	bogus := TestCase{Num: 9, Type: "Nonsense", Value: 1}
+	if _, err := bogus.Apply(prog); err == nil {
+		t.Error("bogus test case type accepted")
+	}
+}

@@ -1,0 +1,268 @@
+// Package fpga implements the OFFRAMPS board itself: a machine-in-the-
+// middle between the Arduino-side and RAMPS-side buses (paper Section III).
+// Every control signal crosses the FPGA through a PinPath that can forward
+// (bypass), filter (mask), force (override), or inject — the four
+// primitives from which all nine trojans of Table I are built. Alongside
+// the trojan datapath, the board hosts the paper's monitoring modules
+// (Section IV-B, V-B): edge detection, pulse generation, homing detection,
+// axis tracking, and the UART capture exporter.
+package fpga
+
+import (
+	"fmt"
+
+	"offramps/internal/capture"
+	"offramps/internal/signal"
+	"offramps/internal/sim"
+)
+
+// Config holds the board's electrical and export parameters.
+type Config struct {
+	// PropagationDelay is the through-FPGA latency applied to every
+	// forwarded edge. The paper measured a worst case of 12.923 ns (on
+	// Y_DIR); the default rounds that up to 13 ns.
+	PropagationDelay sim.Time
+	// ExportPeriod is the capture window; the paper's UART control unit
+	// exports every 0.1 s.
+	ExportPeriod sim.Time
+}
+
+// DefaultConfig matches the paper's measured platform.
+func DefaultConfig() Config {
+	return Config{
+		PropagationDelay: 13 * sim.Nanosecond,
+		ExportPeriod:     100 * sim.Millisecond,
+	}
+}
+
+// Validate reports the first invalid field, or nil.
+func (c Config) Validate() error {
+	if c.PropagationDelay < 0 {
+		return fmt.Errorf("fpga: PropagationDelay must be non-negative")
+	}
+	if c.ExportPeriod <= 0 {
+		return fmt.Errorf("fpga: ExportPeriod must be positive")
+	}
+	return nil
+}
+
+// Trojan is a malicious payload deployable onto the board. Arm installs
+// its hooks; the payload decides its own trigger (typically homing
+// detection, matching the paper's "this is the first action taken at the
+// start of print and can determine when to activate Trojans").
+type Trojan interface {
+	// ID is a short unique identifier ("T1".."T9").
+	ID() string
+	// Description is a one-line summary for reports.
+	Description() string
+	// Arm installs the trojan onto the board.
+	Arm(b *Board) error
+}
+
+// Board is the OFFRAMPS MITM. Create it between two buses; with no
+// trojans installed it is the paper's 'bypass' configuration (golden
+// print T0): every signal forwarded verbatim, delayed only by the
+// propagation path.
+type Board struct {
+	engine  *sim.Engine
+	cfg     Config
+	arduino *signal.Bus
+	ramps   *signal.Bus
+
+	paths map[string]*PinPath
+
+	homing   *HomingDetector
+	tracker  *AxisTracker
+	exporter *Exporter
+
+	trojans map[string]Trojan
+	order   []string
+}
+
+// NewBoard wires the MITM between the two buses and starts the monitoring
+// modules.
+func NewBoard(engine *sim.Engine, arduino, ramps *signal.Bus, cfg Config) (*Board, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	b := &Board{
+		engine:  engine,
+		cfg:     cfg,
+		arduino: arduino,
+		ramps:   ramps,
+		paths:   make(map[string]*PinPath, len(signal.ControlPins)),
+		trojans: make(map[string]Trojan),
+	}
+
+	// Control direction (Arduino → RAMPS): interceptable paths.
+	for _, pin := range signal.ControlPins {
+		b.paths[pin] = newPinPath(b, arduino.Line(pin), ramps.Line(pin), cfg.PropagationDelay)
+	}
+	// Feedback direction (RAMPS → Arduino): forwarded transparently. The
+	// FPGA snoops these (homing detection) but the platform never needs
+	// to modify them for the Table I suite.
+	for _, pin := range signal.FeedbackPins {
+		ramps.Line(pin).Connect(arduino.Line(pin), cfg.PropagationDelay)
+	}
+	// Analog thermistor channels pass through the ADC/DAC path.
+	ramps.ThermHotend.Connect(arduino.ThermHotend)
+	ramps.ThermBed.Connect(arduino.ThermBed)
+
+	b.homing = NewHomingDetector(ramps)
+	b.tracker = NewAxisTracker(arduino)
+	b.homing.OnHomed(func(at sim.Time) { b.tracker.Reset(at) })
+	b.exporter = newExporter(b)
+	return b, nil
+}
+
+// Engine returns the simulation engine.
+func (b *Board) Engine() *sim.Engine { return b.engine }
+
+// Config returns the board configuration.
+func (b *Board) Config() Config { return b.cfg }
+
+// Path returns the interceptable path for a control pin. Unknown pins
+// panic — the pin vocabulary is closed.
+func (b *Board) Path(pin string) *PinPath {
+	p, ok := b.paths[pin]
+	if !ok {
+		panic(fmt.Sprintf("fpga: no MITM path for pin %q", pin))
+	}
+	return p
+}
+
+// Homing exposes the homing detection module.
+func (b *Board) Homing() *HomingDetector { return b.homing }
+
+// Tracker exposes the axis tracking module.
+func (b *Board) Tracker() *AxisTracker { return b.tracker }
+
+// Recording returns the capture accumulated so far.
+func (b *Board) Recording() *capture.Recording { return b.exporter.recording }
+
+// StopCapture halts the export ticker; the recording keeps its contents.
+func (b *Board) StopCapture() { b.exporter.Stop() }
+
+// OnHomed registers fn to run when the homing detector fires.
+func (b *Board) OnHomed(fn func(at sim.Time)) { b.homing.OnHomed(fn) }
+
+// InstallTrojan arms a trojan on the board. Installing two trojans with
+// the same ID is an error.
+func (b *Board) InstallTrojan(t Trojan) error {
+	if t == nil {
+		return fmt.Errorf("fpga: InstallTrojan(nil)")
+	}
+	if _, dup := b.trojans[t.ID()]; dup {
+		return fmt.Errorf("fpga: trojan %s already installed", t.ID())
+	}
+	if err := t.Arm(b); err != nil {
+		return fmt.Errorf("fpga: arming %s: %w", t.ID(), err)
+	}
+	b.trojans[t.ID()] = t
+	b.order = append(b.order, t.ID())
+	return nil
+}
+
+// Trojans lists installed trojans in installation order.
+func (b *Board) Trojans() []Trojan {
+	out := make([]Trojan, 0, len(b.order))
+	for _, id := range b.order {
+		out = append(out, b.trojans[id])
+	}
+	return out
+}
+
+// PinPath is one control signal's route through the FPGA fabric. Its
+// default behaviour is a pure forward with the propagation delay; trojans
+// compose three additional primitives:
+//
+//   - AddFilter: drop or pass individual source edges (T2/T3/T9 masking).
+//   - Force/Release: clamp the output to a level, ignoring the source
+//     (T6/T7/T8 overrides).
+//   - InjectPulse: synthesize pulses the source never sent (T1/T3/T4/T5).
+type PinPath struct {
+	board *Board
+	src   *signal.Line
+	dst   *signal.Line
+	delay sim.Time
+
+	filters []func(at sim.Time, level signal.Level) bool
+	forced  bool
+	level   signal.Level
+}
+
+func newPinPath(b *Board, src, dst *signal.Line, delay sim.Time) *PinPath {
+	p := &PinPath{board: b, src: src, dst: dst, delay: delay}
+	dst.Set(src.Level())
+	src.Watch(func(at sim.Time, level signal.Level) {
+		if p.forced {
+			return
+		}
+		for _, f := range p.filters {
+			if !f(at, level) {
+				return
+			}
+		}
+		p.dst.SetAfter(p.delay, level)
+	})
+	return p
+}
+
+// Name reports the pin name the path carries.
+func (p *PinPath) Name() string { return p.src.Name() }
+
+// Source returns the Arduino-side line (MITM input).
+func (p *PinPath) Source() *signal.Line { return p.src }
+
+// Output returns the RAMPS-side line (MITM output).
+func (p *PinPath) Output() *signal.Line { return p.dst }
+
+// AddFilter installs an edge filter. Filters run in installation order;
+// the first to return false suppresses the edge.
+func (p *PinPath) AddFilter(f func(at sim.Time, level signal.Level) bool) {
+	if f == nil {
+		panic("fpga: AddFilter(nil)")
+	}
+	p.filters = append(p.filters, f)
+}
+
+// Force clamps the output to level until Release. Source edges are
+// swallowed while forced.
+func (p *PinPath) Force(level signal.Level) {
+	p.forced = true
+	p.level = level
+	p.dst.SetAfter(p.delay, level)
+}
+
+// Forced reports whether the path is currently clamped.
+func (p *PinPath) Forced() bool { return p.forced }
+
+// Release removes a Force and resynchronizes the output to the source.
+func (p *PinPath) Release() {
+	if !p.forced {
+		return
+	}
+	p.forced = false
+	p.dst.SetAfter(p.delay, p.src.Level())
+}
+
+// InjectPulse synthesizes one High pulse of the given width on the output,
+// regardless of source activity. Injections while forced are dropped (the
+// clamp wins, like the hardware mux would).
+func (p *PinPath) InjectPulse(width sim.Time) {
+	if p.forced {
+		return
+	}
+	if width <= 0 {
+		panic(fmt.Sprintf("fpga: InjectPulse with non-positive width %v", width))
+	}
+	p.dst.SetAfter(p.delay, signal.High)
+	p.board.engine.After(p.delay+width, func() {
+		if p.forced {
+			return
+		}
+		// Restore to the source's current level so a concurrent real
+		// pulse is not cut short more than one injection width.
+		p.dst.Set(p.src.Level())
+	})
+}

@@ -1,0 +1,150 @@
+package fpga
+
+import (
+	"offramps/internal/capture"
+	"offramps/internal/signal"
+	"offramps/internal/sim"
+)
+
+// AxisTracker is the paper's Axis Tracking module (§V-B): a set of rising-
+// edge detectors and counters on the STEP/DIR pairs, incrementing on
+// positive-direction steps and decrementing on negative. After homing the
+// counters are absolute positions within the build volume (and cumulative
+// filament for E).
+//
+// The tracker taps the Arduino-side lines — the FPGA's *input* — so a
+// capture records what the firmware actually commanded. Trojans injected
+// downstream (by this same board) do not appear in its own capture, which
+// is why the paper evaluates detection against upstream (Flaw3D) trojans
+// rather than its own (§V-D "both the attacks and defense would be
+// co-located in the same FPGA").
+type AxisTracker struct {
+	counts  map[signal.Axis]int64
+	dirs    map[signal.Axis]*signal.Line
+	edges   map[signal.Axis]*EdgeDetector
+	resetAt sim.Time
+	// firstStep is the time of the first STEP edge after the last Reset;
+	// -1 when none seen yet. The exporter synchronizes on it.
+	firstStep   sim.Time
+	onFirstStep []func(at sim.Time)
+}
+
+// NewAxisTracker attaches counters to every axis of bus.
+func NewAxisTracker(bus *signal.Bus) *AxisTracker {
+	t := &AxisTracker{
+		counts:    make(map[signal.Axis]int64, 4),
+		dirs:      make(map[signal.Axis]*signal.Line, 4),
+		edges:     make(map[signal.Axis]*EdgeDetector, 4),
+		firstStep: -1,
+	}
+	for _, a := range signal.Axes {
+		a := a
+		t.dirs[a] = bus.Dir(a)
+		det := NewEdgeDetector(bus.Step(a))
+		det.OnRising(func(at sim.Time) { t.step(a, at) })
+		t.edges[a] = det
+	}
+	return t
+}
+
+func (t *AxisTracker) step(a signal.Axis, at sim.Time) {
+	if t.firstStep < 0 {
+		t.firstStep = at
+		for _, fn := range t.onFirstStep {
+			fn(at)
+		}
+	}
+	if t.dirs[a].Level() == signal.High {
+		t.counts[a]--
+	} else {
+		t.counts[a]++
+	}
+}
+
+// Reset zeroes all counters (homing detected) and re-arms the first-step
+// synchronization.
+func (t *AxisTracker) Reset(at sim.Time) {
+	for _, a := range signal.Axes {
+		t.counts[a] = 0
+	}
+	t.resetAt = at
+	t.firstStep = -1
+}
+
+// Count reports the current net step count of an axis.
+func (t *AxisTracker) Count(a signal.Axis) int64 { return t.counts[a] }
+
+// Snapshot captures all four counters as a transaction payload.
+func (t *AxisTracker) Snapshot(index uint32) capture.Transaction {
+	return capture.Transaction{
+		Index: index,
+		X:     int32(t.counts[signal.AxisX]),
+		Y:     int32(t.counts[signal.AxisY]),
+		Z:     int32(t.counts[signal.AxisZ]),
+		E:     int32(t.counts[signal.AxisE]),
+	}
+}
+
+// OnFirstStep registers fn to run at the first STEP edge after a Reset.
+// If a step has already been seen, fn runs immediately.
+func (t *AxisTracker) OnFirstStep(fn func(at sim.Time)) {
+	if fn == nil {
+		panic("fpga: OnFirstStep(nil)")
+	}
+	if t.firstStep >= 0 {
+		fn(t.firstStep)
+		return
+	}
+	t.onFirstStep = append(t.onFirstStep, fn)
+}
+
+// Exporter is the paper's UART control unit (§V-B): once the print head
+// has homed and the first STEP edge is found, it emits a 16-byte
+// transaction with all four step counts every ExportPeriod. "This
+// synchronization significantly increased accuracy over initial tests
+// which did not wait for the first step."
+type Exporter struct {
+	board     *Board
+	recording *capture.Recording
+	index     uint32
+	started   bool
+	stop      func()
+}
+
+func newExporter(b *Board) *Exporter {
+	e := &Exporter{
+		board:     b,
+		recording: &capture.Recording{Period: b.cfg.ExportPeriod},
+	}
+	b.homing.OnHomed(func(sim.Time) {
+		b.tracker.OnFirstStep(func(at sim.Time) { e.start(at) })
+	})
+	return e
+}
+
+func (e *Exporter) start(at sim.Time) {
+	if e.started {
+		return
+	}
+	e.started = true
+	e.recording.StartedAt = at
+	e.stop = e.board.engine.Ticker(e.board.cfg.ExportPeriod, func(sim.Time) {
+		tx := e.board.tracker.Snapshot(e.index)
+		e.index++
+		// Append cannot fail: indices are generated contiguously here.
+		if err := e.recording.Append(tx); err != nil {
+			panic("fpga: exporter generated non-contiguous index: " + err.Error())
+		}
+	})
+}
+
+// Started reports whether export has begun.
+func (e *Exporter) Started() bool { return e.started }
+
+// Stop halts the export ticker (end of session).
+func (e *Exporter) Stop() {
+	if e.stop != nil {
+		e.stop()
+		e.stop = nil
+	}
+}

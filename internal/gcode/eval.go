@@ -1,0 +1,271 @@
+package gcode
+
+import (
+	"fmt"
+	"math"
+)
+
+// Position is a logical machine position in millimetres. E is cumulative
+// filament length in the current logical frame (G92 E0 resets it, as
+// slicers do at every retraction block or layer).
+type Position struct {
+	X, Y, Z, E float64
+}
+
+// Sub returns p - q componentwise.
+func (p Position) Sub(q Position) Position {
+	return Position{p.X - q.X, p.Y - q.Y, p.Z - q.Z, p.E - q.E}
+}
+
+// XYDistance returns the Euclidean length of the XY projection of p-q.
+func (p Position) XYDistance(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Distance returns the Euclidean XYZ distance between p and q.
+func (p Position) Distance(q Position) float64 {
+	dx, dy, dz := p.X-q.X, p.Y-q.Y, p.Z-q.Z
+	return math.Sqrt(dx*dx + dy*dy + dz*dz)
+}
+
+// Move is one linear motion extracted from a program: the resolved source
+// and destination of a G0/G1 after modal-state tracking.
+type Move struct {
+	From, To Position
+	Feedrate float64 // mm/min
+	Rapid    bool    // true for G0
+	Line     int     // source line of the originating command
+}
+
+// Extrusion returns the filament length fed during the move (positive) or
+// retracted (negative).
+func (m Move) Extrusion() float64 { return m.To.E - m.From.E }
+
+// IsTravel reports whether the move extrudes nothing (|ΔE| < 1 nm of
+// filament — slicers emit exact zeros but floating error is cheap to
+// tolerate).
+func (m Move) IsTravel() bool { return math.Abs(m.Extrusion()) < 1e-6 }
+
+// IsPrinting reports whether the move deposits material while moving in XY.
+func (m Move) IsPrinting() bool {
+	return m.Extrusion() > 1e-6 && m.From.XYDistance(m.To) > 1e-6
+}
+
+// State is the modal interpreter state of a Marlin-class machine: current
+// logical position, positioning modes, and feedrate. The zero value is not
+// ready; use NewState, which matches Marlin's power-on defaults (absolute
+// XYZ and E, feedrate unset).
+type State struct {
+	Pos         Position
+	Feedrate    float64 // mm/min, last F word seen
+	AbsoluteXYZ bool    // G90 (default) vs G91
+	AbsoluteE   bool    // M82 (default) vs M83
+	Homed       bool    // set by G28
+}
+
+// NewState returns Marlin power-on modal defaults.
+func NewState() *State {
+	return &State{AbsoluteXYZ: true, AbsoluteE: true}
+}
+
+// Apply executes one command against the modal state. If the command
+// produces motion, the resolved Move and true are returned. Commands the
+// evaluator does not model (temperatures, fan, etc.) only update no state
+// and return false — the physical semantics live in the firmware twin; this
+// evaluator cares about geometry only.
+func (s *State) Apply(c Command) (Move, bool) {
+	switch c.Code {
+	case "G0", "G1":
+		from := s.Pos
+		to := from
+		if v, ok := c.Float('X'); ok {
+			if s.AbsoluteXYZ {
+				to.X = v
+			} else {
+				to.X += v
+			}
+		}
+		if v, ok := c.Float('Y'); ok {
+			if s.AbsoluteXYZ {
+				to.Y = v
+			} else {
+				to.Y += v
+			}
+		}
+		if v, ok := c.Float('Z'); ok {
+			if s.AbsoluteXYZ {
+				to.Z = v
+			} else {
+				to.Z += v
+			}
+		}
+		if v, ok := c.Float('E'); ok {
+			if s.AbsoluteE {
+				to.E = v
+			} else {
+				to.E += v
+			}
+		}
+		if v, ok := c.Float('F'); ok {
+			s.Feedrate = v
+		}
+		s.Pos = to
+		if to == from {
+			return Move{}, false // feedrate-only G1
+		}
+		return Move{From: from, To: to, Feedrate: s.Feedrate, Rapid: c.Is("G0"), Line: c.Line}, true
+	case "G28":
+		// Homing moves the named axes (or all axes) to their origin.
+		all := !c.Has('X') && !c.Has('Y') && !c.Has('Z')
+		if all || c.Has('X') {
+			s.Pos.X = 0
+		}
+		if all || c.Has('Y') {
+			s.Pos.Y = 0
+		}
+		if all || c.Has('Z') {
+			s.Pos.Z = 0
+		}
+		s.Homed = true
+	case "G90":
+		s.AbsoluteXYZ = true
+		s.AbsoluteE = true // Marlin: G90 also sets E absolute unless M83 follows
+	case "G91":
+		s.AbsoluteXYZ = false
+		s.AbsoluteE = false
+	case "G92":
+		if v, ok := c.Float('X'); ok {
+			s.Pos.X = v
+		}
+		if v, ok := c.Float('Y'); ok {
+			s.Pos.Y = v
+		}
+		if v, ok := c.Float('Z'); ok {
+			s.Pos.Z = v
+		}
+		if v, ok := c.Float('E'); ok {
+			s.Pos.E = v
+		}
+	case "M82":
+		s.AbsoluteE = true
+	case "M83":
+		s.AbsoluteE = false
+	}
+	return Move{}, false
+}
+
+// ExtractMoves runs the program through a fresh modal state and returns
+// every motion it produces, in order.
+func ExtractMoves(p Program) []Move {
+	st := NewState()
+	var moves []Move
+	for _, c := range p {
+		if m, ok := st.Apply(c); ok {
+			moves = append(moves, m)
+		}
+	}
+	return moves
+}
+
+// BoundingBox is an axis-aligned extent of printed (extruding) moves.
+type BoundingBox struct {
+	MinX, MinY, MinZ float64
+	MaxX, MaxY, MaxZ float64
+	set              bool
+}
+
+// Extend grows the box to include p.
+func (b *BoundingBox) Extend(p Position) {
+	if !b.set {
+		b.MinX, b.MaxX = p.X, p.X
+		b.MinY, b.MaxY = p.Y, p.Y
+		b.MinZ, b.MaxZ = p.Z, p.Z
+		b.set = true
+		return
+	}
+	b.MinX = math.Min(b.MinX, p.X)
+	b.MaxX = math.Max(b.MaxX, p.X)
+	b.MinY = math.Min(b.MinY, p.Y)
+	b.MaxY = math.Max(b.MaxY, p.Y)
+	b.MinZ = math.Min(b.MinZ, p.Z)
+	b.MaxZ = math.Max(b.MaxZ, p.Z)
+}
+
+// Valid reports whether the box has been extended at least once.
+func (b BoundingBox) Valid() bool { return b.set }
+
+// SizeX returns the X extent.
+func (b BoundingBox) SizeX() float64 { return b.MaxX - b.MinX }
+
+// SizeY returns the Y extent.
+func (b BoundingBox) SizeY() float64 { return b.MaxY - b.MinY }
+
+// SizeZ returns the Z extent.
+func (b BoundingBox) SizeZ() float64 { return b.MaxZ - b.MinZ }
+
+// Stats summarizes the geometric content of a program.
+type Stats struct {
+	Commands       int     // non-empty commands
+	Moves          int     // motion-producing G0/G1
+	PrintingMoves  int     // moves that extrude while travelling in XY
+	TravelMoves    int     // non-extruding moves
+	Retractions    int     // moves with negative extrusion
+	PrintDistance  float64 // mm of extruding XY travel
+	TravelDistance float64 // mm of non-extruding travel
+	Filament       float64 // mm of filament fed (positive extrusion only)
+	NetFilament    float64 // mm of filament net of retractions — material deposited
+	Layers         int     // distinct printing Z levels
+	Bounds         BoundingBox
+	TimeEstimate   float64 // seconds at commanded feedrates
+}
+
+// String renders a one-line summary.
+func (s Stats) String() string {
+	return fmt.Sprintf("%d cmds, %d moves (%d printing, %d travel), %.1f mm filament, %d layers, %.0f s",
+		s.Commands, s.Moves, s.PrintingMoves, s.TravelMoves, s.Filament, s.Layers, s.TimeEstimate)
+}
+
+// ComputeStats evaluates the program and summarizes it.
+func ComputeStats(p Program) Stats {
+	var st Stats
+	layers := make(map[float64]struct{})
+	for _, c := range p {
+		if !c.Empty() {
+			st.Commands++
+		}
+	}
+	for _, m := range ExtractMoves(p) {
+		st.Moves++
+		d := m.From.Distance(m.To)
+		e := m.Extrusion()
+		switch {
+		case m.IsPrinting():
+			st.PrintingMoves++
+			st.PrintDistance += m.From.XYDistance(m.To)
+			layers[m.To.Z] = struct{}{}
+		case e < -1e-6:
+			st.Retractions++
+		default:
+			st.TravelMoves++
+			st.TravelDistance += d
+		}
+		if e > 0 {
+			st.Filament += e
+		}
+		st.NetFilament += e
+		if m.IsPrinting() {
+			st.Bounds.Extend(m.From)
+			st.Bounds.Extend(m.To)
+		}
+		if m.Feedrate > 0 {
+			dist := d
+			if dist == 0 {
+				dist = math.Abs(e)
+			}
+			st.TimeEstimate += dist / (m.Feedrate / 60)
+		}
+	}
+	st.Layers = len(layers)
+	return st
+}

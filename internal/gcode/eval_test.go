@@ -1,0 +1,253 @@
+package gcode
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestStateAbsoluteMoves(t *testing.T) {
+	st := NewState()
+	m, ok := st.Apply(mustParseLine(t, "G1 X10 Y20 F3000"))
+	if !ok {
+		t.Fatal("move not produced")
+	}
+	if m.From != (Position{}) || m.To != (Position{X: 10, Y: 20}) {
+		t.Errorf("move = %+v", m)
+	}
+	if m.Feedrate != 3000 {
+		t.Errorf("feedrate = %v", m.Feedrate)
+	}
+	m, ok = st.Apply(mustParseLine(t, "G1 X15 E0.8"))
+	if !ok || m.From.X != 10 || m.To.X != 15 || m.To.E != 0.8 {
+		t.Errorf("second move = %+v ok=%v", m, ok)
+	}
+	if m.Feedrate != 3000 {
+		t.Error("modal feedrate not carried")
+	}
+}
+
+func TestStateRelativeMoves(t *testing.T) {
+	st := NewState()
+	st.Apply(mustParseLine(t, "G91"))
+	st.Apply(mustParseLine(t, "G1 X5"))
+	st.Apply(mustParseLine(t, "G1 X5 E1"))
+	if st.Pos.X != 10 || st.Pos.E != 1 {
+		t.Errorf("pos after relative = %+v", st.Pos)
+	}
+	st.Apply(mustParseLine(t, "G1 E1"))
+	if st.Pos.E != 2 {
+		t.Errorf("relative E = %v", st.Pos.E)
+	}
+}
+
+func TestStateM83RelativeExtrusionOnly(t *testing.T) {
+	st := NewState()
+	st.Apply(mustParseLine(t, "M83"))
+	st.Apply(mustParseLine(t, "G1 X10 E1"))
+	st.Apply(mustParseLine(t, "G1 X20 E1"))
+	if st.Pos.E != 2 {
+		t.Errorf("E = %v, want 2 (relative)", st.Pos.E)
+	}
+	if st.Pos.X != 20 {
+		t.Errorf("X = %v, want 20 (absolute)", st.Pos.X)
+	}
+	st.Apply(mustParseLine(t, "M82"))
+	st.Apply(mustParseLine(t, "G1 X30 E5"))
+	if st.Pos.E != 5 {
+		t.Errorf("E after M82 = %v, want 5", st.Pos.E)
+	}
+}
+
+func TestStateG92(t *testing.T) {
+	st := NewState()
+	st.Apply(mustParseLine(t, "G1 X10 E3"))
+	st.Apply(mustParseLine(t, "G92 E0"))
+	if st.Pos.E != 0 || st.Pos.X != 10 {
+		t.Errorf("after G92 E0: %+v", st.Pos)
+	}
+	m, ok := st.Apply(mustParseLine(t, "G1 X20 E1"))
+	if !ok || math.Abs(m.Extrusion()-1) > 1e-12 {
+		t.Errorf("extrusion after G92 = %v", m.Extrusion())
+	}
+}
+
+func TestStateG28(t *testing.T) {
+	st := NewState()
+	st.Apply(mustParseLine(t, "G1 X10 Y10 Z5"))
+	st.Apply(mustParseLine(t, "G28 X"))
+	if st.Pos.X != 0 || st.Pos.Y != 10 || st.Pos.Z != 5 {
+		t.Errorf("partial home: %+v", st.Pos)
+	}
+	if !st.Homed {
+		t.Error("Homed not set")
+	}
+	st.Apply(mustParseLine(t, "G28"))
+	if st.Pos != (Position{}) {
+		t.Errorf("full home: %+v", st.Pos)
+	}
+}
+
+func TestFeedrateOnlyG1ProducesNoMove(t *testing.T) {
+	st := NewState()
+	if _, ok := st.Apply(mustParseLine(t, "G1 F4800")); ok {
+		t.Error("feedrate-only G1 produced a move")
+	}
+	if st.Feedrate != 4800 {
+		t.Errorf("feedrate = %v", st.Feedrate)
+	}
+}
+
+func TestMovePredicates(t *testing.T) {
+	travel := Move{From: Position{}, To: Position{X: 10}}
+	if !travel.IsTravel() || travel.IsPrinting() {
+		t.Error("travel move misclassified")
+	}
+	printing := Move{From: Position{}, To: Position{X: 10, E: 0.5}}
+	if printing.IsTravel() || !printing.IsPrinting() {
+		t.Error("printing move misclassified")
+	}
+	retract := Move{From: Position{E: 1}, To: Position{E: 0.2}}
+	if retract.Extrusion() > 0 || retract.IsPrinting() {
+		t.Error("retraction misclassified")
+	}
+	zhop := Move{From: Position{}, To: Position{Z: 0.4, E: 0.1}}
+	if zhop.IsPrinting() {
+		t.Error("pure-Z extrusion counted as printing")
+	}
+}
+
+func TestExtractMoves(t *testing.T) {
+	p, err := ParseString(`G28
+G1 X10 Y0 F3000
+G1 X10 Y10 E0.5
+G92 E0
+G1 X0 Y10 E0.5
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moves := ExtractMoves(p)
+	if len(moves) != 3 {
+		t.Fatalf("got %d moves, want 3", len(moves))
+	}
+	if !moves[0].IsTravel() || !moves[1].IsPrinting() || !moves[2].IsPrinting() {
+		t.Errorf("classification: %+v", moves)
+	}
+	if e := moves[2].Extrusion(); math.Abs(e-0.5) > 1e-12 {
+		t.Errorf("post-G92 extrusion = %v", e)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	p, err := ParseString(`; header
+G28
+G90
+G1 Z0.2 F1200
+G1 X0 Y0 F3000
+G1 X10 Y0 E0.4
+G1 X10 Y10 E0.8
+G1 E0.3 F1800
+G1 X0 Y10 F4800
+G1 Z0.4
+G1 X0 Y0 E1.2 F1200
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ComputeStats(p)
+	// "G1 X0 Y0 F3000" from the origin is a no-op and produces no move.
+	if s.Moves != 7 {
+		t.Errorf("Moves = %d, want 7", s.Moves)
+	}
+	if s.PrintingMoves != 3 {
+		t.Errorf("PrintingMoves = %d, want 3", s.PrintingMoves)
+	}
+	if s.Retractions != 1 {
+		t.Errorf("Retractions = %d, want 1", s.Retractions)
+	}
+	if s.Layers != 2 {
+		t.Errorf("Layers = %d, want 2", s.Layers)
+	}
+	if math.Abs(s.PrintDistance-30) > 1e-9 {
+		t.Errorf("PrintDistance = %v, want 30", s.PrintDistance)
+	}
+	// Filament: 0.4 + 0.4 + (1.2-0.3) = 1.7.
+	if math.Abs(s.Filament-1.7) > 1e-9 {
+		t.Errorf("Filament = %v, want 1.7", s.Filament)
+	}
+	if !s.Bounds.Valid() || s.Bounds.SizeX() != 10 || s.Bounds.SizeY() != 10 {
+		t.Errorf("Bounds = %+v", s.Bounds)
+	}
+	if s.TimeEstimate <= 0 {
+		t.Errorf("TimeEstimate = %v", s.TimeEstimate)
+	}
+	if !strings.Contains(s.String(), "filament") {
+		t.Errorf("Stats.String() = %q", s.String())
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	var b BoundingBox
+	if b.Valid() {
+		t.Error("zero box valid")
+	}
+	b.Extend(Position{X: 1, Y: 2, Z: 3})
+	b.Extend(Position{X: -1, Y: 5, Z: 3})
+	if b.MinX != -1 || b.MaxX != 1 || b.SizeY() != 3 || b.SizeZ() != 0 {
+		t.Errorf("box = %+v", b)
+	}
+}
+
+// Property: applying a program in absolute mode leaves the state at the
+// last commanded coordinates regardless of intermediate moves.
+func TestAbsoluteConvergenceProperty(t *testing.T) {
+	f := func(coords []uint16) bool {
+		st := NewState()
+		var lastX float64
+		for _, c := range coords {
+			lastX = float64(c % 200)
+			st.Apply(Synthesize("G1", P('X', lastX)))
+		}
+		return len(coords) == 0 || st.Pos.X == lastX
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: for relative E mode, total E equals the sum of the increments.
+func TestRelativeESumProperty(t *testing.T) {
+	f := func(incs []int8) bool {
+		st := NewState()
+		st.Apply(mustParseLine(nil2(t), "M83"))
+		var sum float64
+		for _, inc := range incs {
+			v := float64(inc) / 10
+			sum += v
+			st.Apply(Synthesize("G1", P('E', v)))
+		}
+		return math.Abs(st.Pos.E-sum) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// nil2 lets the property test reuse mustParseLine's helper signature.
+func nil2(t *testing.T) *testing.T { return t }
+
+func TestPositionMath(t *testing.T) {
+	p := Position{X: 3, Y: 4, Z: 12, E: 1}
+	q := Position{}
+	if d := p.XYDistance(q); d != 5 {
+		t.Errorf("XYDistance = %v, want 5", d)
+	}
+	if d := p.Distance(q); d != 13 {
+		t.Errorf("Distance = %v, want 13", d)
+	}
+	if diff := p.Sub(q); diff != p {
+		t.Errorf("Sub = %+v", diff)
+	}
+}

@@ -1,0 +1,146 @@
+package gcode
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// ParseError describes a malformed G-code line. Parsing is strict: a
+// security platform must not silently paper over bytes it does not
+// understand, because "bytes the tool ignored" is exactly where a trojan
+// hides.
+type ParseError struct {
+	Line int    // 1-based line number
+	Text string // offending source text
+	Msg  string // human-readable description
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("gcode: line %d: %s: %q", e.Line, e.Msg, e.Text)
+}
+
+// Parse reads an entire G-code program. Blank and comment-only lines are
+// preserved (they carry layer markers like ";LAYER:12" that the analysis
+// tooling uses).
+func Parse(r io.Reader) (Program, error) {
+	var prog Program
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		cmd, err := ParseLine(sc.Text(), line)
+		if err != nil {
+			return nil, err
+		}
+		prog = append(prog, cmd)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("gcode: read: %w", err)
+	}
+	return prog, nil
+}
+
+// ParseString parses a program held in a string.
+func ParseString(s string) (Program, error) {
+	return Parse(strings.NewReader(s))
+}
+
+// ParseLine parses one line of G-code. lineNo is recorded in the returned
+// command for error reporting.
+func ParseLine(text string, lineNo int) (Command, error) {
+	cmd := Command{Line: lineNo}
+
+	// Split off the comment. Marlin also supports parenthesized comments,
+	// but no slicer in the paper's toolchain emits them; we accept only
+	// the ';' form and reject '(' as malformed.
+	body := text
+	if i := strings.IndexByte(text, ';'); i >= 0 {
+		cmd.Comment = strings.TrimRight(text[i+1:], " \t\r")
+		body = text[:i]
+	}
+	body = strings.TrimSpace(strings.TrimSuffix(body, "\r"))
+	if body == "" {
+		return cmd, nil
+	}
+
+	fields, err := splitWords(body)
+	if err != nil {
+		return Command{}, &ParseError{Line: lineNo, Text: text, Msg: err.Error()}
+	}
+
+	// Optional line number word (N...) and checksum (*...) per RepRap
+	// protocol; Repetier Host adds them on serial streams.
+	if len(fields) > 0 && fields[0].Letter == 'N' {
+		fields = fields[1:]
+	}
+	for len(fields) > 0 && fields[len(fields)-1].Letter == '*' {
+		fields = fields[:len(fields)-1]
+	}
+	if len(fields) == 0 {
+		return cmd, nil
+	}
+
+	head := fields[0]
+	if head.Letter != 'G' && head.Letter != 'M' && head.Letter != 'T' {
+		return Command{}, &ParseError{Line: lineNo, Text: text,
+			Msg: fmt.Sprintf("command must start with G, M, or T, got %q", string(head.Letter))}
+	}
+	if head.Bare {
+		return Command{}, &ParseError{Line: lineNo, Text: text, Msg: "command letter without number"}
+	}
+	if head.Value != float64(int64(head.Value)) || head.Value < 0 {
+		return Command{}, &ParseError{Line: lineNo, Text: text,
+			Msg: fmt.Sprintf("command number must be a non-negative integer, got %v", head.Value)}
+	}
+	cmd.Code = fmt.Sprintf("%c%d", head.Letter, int64(head.Value))
+	cmd.Words = fields[1:]
+	if len(cmd.Words) == 0 {
+		cmd.Words = nil
+	}
+	return cmd, nil
+}
+
+// splitWords tokenizes a comment-free G-code body into words. Words may be
+// space-separated ("G1 X10 Y5") or packed ("G1X10Y5") — both appear in the
+// wild.
+func splitWords(body string) ([]Word, error) {
+	var words []Word
+	i := 0
+	for i < len(body) {
+		ch := body[i]
+		switch {
+		case ch == ' ' || ch == '\t':
+			i++
+		case ch >= 'a' && ch <= 'z', ch >= 'A' && ch <= 'Z', ch == '*':
+			letter := ch
+			if letter >= 'a' && letter <= 'z' {
+				letter -= 'a' - 'A'
+			}
+			i++
+			start := i
+			for i < len(body) && isNumberByte(body[i]) {
+				i++
+			}
+			if start == i {
+				words = append(words, Word{Letter: letter, Bare: true})
+				continue
+			}
+			v, err := strconv.ParseFloat(body[start:i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad number %q after %q", body[start:i], string(letter))
+			}
+			words = append(words, Word{Letter: letter, Value: v})
+		default:
+			return nil, fmt.Errorf("unexpected character %q", string(ch))
+		}
+	}
+	return words, nil
+}
+
+func isNumberByte(b byte) bool {
+	return (b >= '0' && b <= '9') || b == '.' || b == '-' || b == '+'
+}

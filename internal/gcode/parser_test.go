@@ -1,0 +1,274 @@
+package gcode
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParseLine(t *testing.T, s string) Command {
+	t.Helper()
+	c, err := ParseLine(s, 1)
+	if err != nil {
+		t.Fatalf("ParseLine(%q): %v", s, err)
+	}
+	return c
+}
+
+func TestParseLineBasic(t *testing.T) {
+	c := mustParseLine(t, "G1 X10.5 Y-3 E0.042 F1800")
+	if !c.Is("G1") {
+		t.Fatalf("Code = %q", c.Code)
+	}
+	cases := []struct {
+		letter byte
+		want   float64
+	}{{'X', 10.5}, {'Y', -3}, {'E', 0.042}, {'F', 1800}}
+	for _, tc := range cases {
+		v, ok := c.Float(tc.letter)
+		if !ok || v != tc.want {
+			t.Errorf("Float(%c) = %v,%v want %v", tc.letter, v, ok, tc.want)
+		}
+	}
+}
+
+func TestParseLinePackedWords(t *testing.T) {
+	c := mustParseLine(t, "G1X10Y20E1.5")
+	if !c.Is("G1") || len(c.Words) != 3 {
+		t.Fatalf("packed parse = %+v", c)
+	}
+	if v, _ := c.Float('Y'); v != 20 {
+		t.Errorf("Y = %v", v)
+	}
+}
+
+func TestParseLineLowerCase(t *testing.T) {
+	c := mustParseLine(t, "g28 x y")
+	if !c.Is("G28") {
+		t.Fatalf("Code = %q", c.Code)
+	}
+	if !c.Has('X') || !c.Has('Y') || c.Has('Z') {
+		t.Errorf("bare axis words = %+v", c.Words)
+	}
+	if _, ok := c.Float('X'); ok {
+		t.Error("bare X reported a value")
+	}
+}
+
+func TestParseLineComments(t *testing.T) {
+	c := mustParseLine(t, "M104 S210 ; set hotend")
+	if !c.Is("M104") || c.Comment != " set hotend" {
+		t.Errorf("parse = %+v", c)
+	}
+	c = mustParseLine(t, ";LAYER:3")
+	if !c.Empty() || c.Comment != "LAYER:3" {
+		t.Errorf("comment-only = %+v", c)
+	}
+	c = mustParseLine(t, "")
+	if !c.Empty() || c.Comment != "" {
+		t.Errorf("blank = %+v", c)
+	}
+	c = mustParseLine(t, "   \t  ")
+	if !c.Empty() {
+		t.Errorf("whitespace-only = %+v", c)
+	}
+}
+
+func TestParseLineLineNumberAndChecksum(t *testing.T) {
+	c := mustParseLine(t, "N42 G1 X5 *107")
+	if !c.Is("G1") || len(c.Words) != 1 {
+		t.Errorf("N/checksum stripped parse = %+v", c)
+	}
+}
+
+func TestParseLineCRLF(t *testing.T) {
+	c := mustParseLine(t, "G28\r")
+	if !c.Is("G28") {
+		t.Errorf("CRLF parse = %+v", c)
+	}
+}
+
+func TestParseLineToolChange(t *testing.T) {
+	c := mustParseLine(t, "T0")
+	if !c.Is("T0") {
+		t.Errorf("tool change parse = %+v", c)
+	}
+}
+
+func TestParseLineErrors(t *testing.T) {
+	cases := []string{
+		"X10 Y20",      // no command letter
+		"G X10",        // bare command
+		"G1.5 X10",     // non-integer command number
+		"G-1",          // negative command number
+		"G1 X10 #5",    // junk character
+		"G1 X1.2.3",    // malformed number
+		"(old school)", // parenthesized comment unsupported
+	}
+	for _, src := range cases {
+		_, err := ParseLine(src, 7)
+		if err == nil {
+			t.Errorf("ParseLine(%q) succeeded, want error", src)
+			continue
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) {
+			t.Errorf("ParseLine(%q) error type %T", src, err)
+			continue
+		}
+		if pe.Line != 7 {
+			t.Errorf("ParseLine(%q) line = %d, want 7", src, pe.Line)
+		}
+		if !strings.Contains(pe.Error(), "line 7") {
+			t.Errorf("error text %q missing line", pe.Error())
+		}
+	}
+}
+
+func TestParseProgram(t *testing.T) {
+	src := `; test part
+G28
+G90
+M104 S210
+G1 X10 Y10 F3000
+G1 X20 E1.0
+`
+	p, err := ParseString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p) != 6 {
+		t.Fatalf("parsed %d lines, want 6", len(p))
+	}
+	if got := len(p.Commands()); got != 5 {
+		t.Errorf("Commands() = %d, want 5", got)
+	}
+	if p.Count("G1") != 2 {
+		t.Errorf("Count(G1) = %d, want 2", p.Count("G1"))
+	}
+}
+
+func TestParseProgramPropagatesError(t *testing.T) {
+	_, err := ParseString("G28\nBOGUS LINE\n")
+	if err == nil {
+		t.Fatal("want parse error")
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) || pe.Line != 2 {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// Property: String() of a parsed command reparses to the same command
+// (round-trip stability), for synthesized numeric commands.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(x, y, e int16, f16 uint16) bool {
+		orig := Synthesize("G1",
+			P('X', float64(x)/100),
+			P('Y', float64(y)/100),
+			P('E', float64(e)/1000),
+			P('F', float64(f16%10000)),
+		)
+		re, err := ParseLine(orig.String(), 1)
+		if err != nil {
+			return false
+		}
+		if re.Code != orig.Code || len(re.Words) != len(orig.Words) {
+			return false
+		}
+		for i := range re.Words {
+			if re.Words[i].Letter != orig.Words[i].Letter {
+				return false
+			}
+			diff := re.Words[i].Value - orig.Words[i].Value
+			if diff > 1e-9 || diff < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCommandStringForms(t *testing.T) {
+	cases := []struct {
+		in   Command
+		want string
+	}{
+		{Synthesize("G28"), "G28"},
+		{Synthesize("G1", P('X', 10), P('E', 0.5)), "G1 X10 E0.5"},
+		{Comment("hello"), ";hello"},
+		{Command{Code: "M107", Comment: "fan off"}, "M107 ;fan off"},
+		{Command{Code: "G28", Words: []Word{{Letter: 'X', Bare: true}}}, "G28 X"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestFormatNumberTrimming(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want string
+	}{
+		{10, "10"}, {10.5, "10.5"}, {0.042, "0.042"}, {-3, "-3"},
+		{0.100004, "0.1"}, {1e15, "1000000000000000"},
+	}
+	for _, tc := range cases {
+		if got := formatNumber(tc.in); got != tc.want {
+			t.Errorf("formatNumber(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWithWordAndWithoutWord(t *testing.T) {
+	orig := Synthesize("G1", P('X', 10), P('E', 2))
+	mod := orig.WithWord('E', 1)
+	if v, _ := mod.Float('E'); v != 1 {
+		t.Errorf("WithWord replace: E = %v", v)
+	}
+	if v, _ := orig.Float('E'); v != 2 {
+		t.Error("WithWord mutated the receiver")
+	}
+	mod2 := orig.WithWord('F', 1800)
+	if v, _ := mod2.Float('F'); v != 1800 {
+		t.Errorf("WithWord append: F = %v", v)
+	}
+	if len(orig.Words) != 2 {
+		t.Error("WithWord append mutated receiver length")
+	}
+	del := orig.WithoutWord('E')
+	if del.Has('E') || !del.Has('X') {
+		t.Errorf("WithoutWord = %+v", del.Words)
+	}
+	if !orig.Has('E') {
+		t.Error("WithoutWord mutated the receiver")
+	}
+}
+
+func TestProgramClone(t *testing.T) {
+	p, err := ParseString("G1 X1 E1\nG1 X2 E2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := p.Clone()
+	c[0].Words[0].Value = 99
+	if p[0].Words[0].Value != 1 {
+		t.Error("Clone shares word storage with original")
+	}
+}
+
+func TestFloatDefault(t *testing.T) {
+	c := Synthesize("M106", P('S', 128))
+	if got := c.FloatDefault('S', 255); got != 128 {
+		t.Errorf("FloatDefault present = %v", got)
+	}
+	if got := c.FloatDefault('P', 7); got != 7 {
+		t.Errorf("FloatDefault absent = %v", got)
+	}
+}

@@ -1,0 +1,113 @@
+// Package printer models the physical plant of the paper's test machine —
+// a Prusa i3 MK3S+ driven by RAMPS: carriage kinematics from driver
+// microsteps, lumped-capacitance thermodynamics for the hotend and heated
+// bed, part-fan cooling, and a filament-deposition ledger from which the
+// printed part is reconstructed and judged.
+//
+// Table I evaluates each trojan by its *physical* outcome (layer shifts,
+// under-extrusion, delamination, overheating). This package is what makes
+// those outcomes measurable in simulation.
+package printer
+
+import (
+	"fmt"
+
+	"offramps/internal/sim"
+)
+
+// ThermalConfig parameterizes a first-order lumped thermal model:
+//
+//	C·dT/dt = P·u − k·(T−T_amb) − k_fan·duty·(T−T_amb)
+//
+// where u ∈ {0,1} is the heater MOSFET state. First-order dynamics fit
+// measured hotend/bed step responses to within a few °C, which is all the
+// thermal trojans (T6/T7) need: what matters is that full duty drives the
+// element far past its working range within tens of seconds, and that
+// losing power drops it below target on a time constant of minutes.
+type ThermalConfig struct {
+	Power       float64 // heater power, W
+	Capacity    float64 // heat capacity, J/K
+	LossCoeff   float64 // passive loss, W/K
+	FanLoss     float64 // extra loss at 100% part-fan duty, W/K
+	MaxSafe     float64 // working-specification ceiling, °C
+	InitialTemp float64 // starting temperature, °C
+}
+
+// HotendThermalDefaults returns an E3D-V6-class hotend: 40 W cartridge,
+// reaches 210 °C from ambient in ≈70 s, unbounded equilibrium ≈390 °C —
+// which is why trojan T7 (forced 100 % duty) is destructive.
+func HotendThermalDefaults() ThermalConfig {
+	return ThermalConfig{
+		Power:       40,
+		Capacity:    9,
+		LossCoeff:   0.11,
+		FanLoss:     0.02,
+		MaxSafe:     260,
+		InitialTemp: 25,
+	}
+}
+
+// BedThermalDefaults returns a 24 V MK52-class bed: 220 W, reaches 60 °C
+// in ≈60 s.
+func BedThermalDefaults() ThermalConfig {
+	return ThermalConfig{
+		Power:       220,
+		Capacity:    310,
+		LossCoeff:   1.9,
+		FanLoss:     0,
+		MaxSafe:     120,
+		InitialTemp: 25,
+	}
+}
+
+// Validate reports the first invalid parameter, or nil.
+func (c ThermalConfig) Validate() error {
+	switch {
+	case c.Power <= 0:
+		return fmt.Errorf("printer: thermal Power must be positive, got %v", c.Power)
+	case c.Capacity <= 0:
+		return fmt.Errorf("printer: thermal Capacity must be positive, got %v", c.Capacity)
+	case c.LossCoeff <= 0:
+		return fmt.Errorf("printer: thermal LossCoeff must be positive, got %v", c.LossCoeff)
+	case c.FanLoss < 0:
+		return fmt.Errorf("printer: thermal FanLoss must be non-negative, got %v", c.FanLoss)
+	}
+	return nil
+}
+
+// TempSample is one point of a recorded temperature history.
+type TempSample struct {
+	At   sim.Time
+	Temp float64
+}
+
+// thermalBody integrates one ThermalConfig element.
+type thermalBody struct {
+	cfg     ThermalConfig
+	ambient float64
+	temp    float64
+	peak    float64
+	history []TempSample
+}
+
+func newThermalBody(cfg ThermalConfig, ambient float64) *thermalBody {
+	return &thermalBody{cfg: cfg, ambient: ambient, temp: cfg.InitialTemp, peak: cfg.InitialTemp}
+}
+
+// step advances the model by dt with average heater duty u in [0,1] and
+// fan duty fanDuty.
+func (b *thermalBody) step(at sim.Time, dt float64, u, fanDuty float64) {
+	loss := b.cfg.LossCoeff + b.cfg.FanLoss*fanDuty
+	dTdt := (b.cfg.Power*u - loss*(b.temp-b.ambient)) / b.cfg.Capacity
+	b.temp += dTdt * dt
+	if b.temp < b.ambient && dTdt < 0 {
+		b.temp = b.ambient // cannot cool below ambient passively
+	}
+	if b.temp > b.peak {
+		b.peak = b.temp
+	}
+	b.history = append(b.history, TempSample{At: at, Temp: b.temp})
+}
+
+// exceededSafe reports whether the element ever passed its working spec.
+func (b *thermalBody) exceededSafe() bool { return b.peak > b.cfg.MaxSafe }

@@ -1,0 +1,56 @@
+package ramps
+
+import (
+	"math"
+)
+
+// Thermistor models the 100 kΩ NTC (EPCOS B57560G104F-class, the RepRap
+// standard "thermistor table 1") in the divider circuit RAMPS uses: the
+// NTC pulls the analog pin toward ground as temperature rises, against a
+// 4.7 kΩ pull-up to 5 V.
+//
+// The Beta-parameter model is accurate to a couple of °C over the FFF
+// range, which is tighter than Marlin's own table interpolation.
+type Thermistor struct {
+	R25   float64 // resistance at 25 °C, ohms
+	Beta  float64 // beta coefficient, kelvin
+	RPull float64 // divider pull-up, ohms
+	VRef  float64 // divider supply, volts
+}
+
+// StandardThermistor returns the RepRap table-1 part in the RAMPS divider.
+func StandardThermistor() Thermistor {
+	return Thermistor{R25: 100_000, Beta: 4092, RPull: 4700, VRef: 5.0}
+}
+
+const kelvinAt25 = 298.15
+
+// Resistance returns the NTC resistance at temperature tempC.
+func (t Thermistor) Resistance(tempC float64) float64 {
+	tk := tempC + 273.15
+	return t.R25 * math.Exp(t.Beta*(1/tk-1/kelvinAt25))
+}
+
+// Voltage returns the divider output voltage at temperature tempC. This is
+// what the plant drives onto the THERM analog channel.
+func (t Thermistor) Voltage(tempC float64) float64 {
+	r := t.Resistance(tempC)
+	return t.VRef * r / (r + t.RPull)
+}
+
+// Temperature inverts Voltage: given a measured divider voltage, return
+// the temperature. This is what the firmware's ADC path computes. Voltages
+// at or beyond the rails return the corresponding extreme temperature and
+// are how a real Marlin detects a shorted/open thermistor (MINTEMP /
+// MAXTEMP errors).
+func (t Thermistor) Temperature(v float64) float64 {
+	if v >= t.VRef {
+		return -273.15 // open thermistor: reads as absurdly cold
+	}
+	if v <= 0 {
+		return 1000 // shorted: absurdly hot
+	}
+	r := t.RPull * v / (t.VRef - v)
+	invT := 1/kelvinAt25 + math.Log(r/t.R25)/t.Beta
+	return 1/invT - 273.15
+}

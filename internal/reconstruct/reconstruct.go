@@ -1,0 +1,260 @@
+// Package reconstruct rebuilds a printed part's toolpath from an OFFRAMPS
+// pulse-profile capture — the "reverse-engineering printed parts from
+// their control signals" direction the paper's discussion proposes (§VI:
+// "expansion of both the kinds of attacks ... as well as new golden-free
+// methods for detection and even reverse-engineering printed parts from
+// their control signals").
+//
+// Because the capture is lossless (unlike the acoustic/power side channels
+// of prior work, §II-B), reconstruction is near-exact at the transaction
+// resolution: each 0.1 s window gives the absolute position of every axis
+// in steps, so the toolpath polyline, the layer structure, the part's
+// footprint, and the filament budget all fall out directly. This is both
+// an IP-theft demonstration (an attacker with MITM access steals the
+// design) and the basis for golden-free plausibility checks.
+package reconstruct
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"offramps/internal/capture"
+)
+
+// Calibration converts step counts back to millimetres. It must match the
+// victim machine's configuration — the paper's threat model grants the
+// attacker exactly this knowledge ("the attackers have prior information
+// about the type of motors", §II-A).
+type Calibration struct {
+	XStepsPerMM float64
+	YStepsPerMM float64
+	ZStepsPerMM float64
+	EStepsPerMM float64
+}
+
+// DefaultCalibration matches the simulated Prusa-on-RAMPS.
+func DefaultCalibration() Calibration {
+	return Calibration{XStepsPerMM: 80, YStepsPerMM: 80, ZStepsPerMM: 400, EStepsPerMM: 96}
+}
+
+// Validate reports the first invalid field, or nil.
+func (c Calibration) Validate() error {
+	if c.XStepsPerMM <= 0 || c.YStepsPerMM <= 0 || c.ZStepsPerMM <= 0 || c.EStepsPerMM <= 0 {
+		return fmt.Errorf("reconstruct: steps-per-mm must all be positive: %+v", c)
+	}
+	return nil
+}
+
+// Waypoint is one reconstructed toolhead sample: the machine state at a
+// capture-window boundary.
+type Waypoint struct {
+	T          float64 // seconds since capture start
+	X, Y, Z    float64 // mm
+	E          float64 // cumulative filament, mm
+	Extruding  bool    // filament advanced during the window
+	TravelOnly bool    // XY motion without extrusion
+}
+
+// Layer is one reconstructed layer of the stolen design.
+type Layer struct {
+	Z                      float64 // mm
+	Waypoints              int     // samples in the layer
+	Filament               float64 // mm of filament used in the layer
+	MinX, MaxX, MinY, MaxY float64
+}
+
+// Width returns the layer's X extent.
+func (l Layer) Width() float64 { return l.MaxX - l.MinX }
+
+// Depth returns the layer's Y extent.
+func (l Layer) Depth() float64 { return l.MaxY - l.MinY }
+
+// Design is a part reconstructed from a capture.
+type Design struct {
+	Waypoints []Waypoint
+	Layers    []Layer
+	// TotalFilament is the filament consumed over the capture, mm.
+	TotalFilament float64
+	// PrintSeconds is the capture duration.
+	PrintSeconds float64
+	// Footprint of the densest layer, mm.
+	FootprintW, FootprintD float64
+}
+
+// Summary renders a one-line description of the stolen design.
+func (d *Design) Summary() string {
+	return fmt.Sprintf("%d layers, footprint %.1f×%.1f mm, %.1f mm filament, %.0f s print",
+		len(d.Layers), d.FootprintW, d.FootprintD, d.TotalFilament, d.PrintSeconds)
+}
+
+// FromCapture reconstructs the design from a recording. windowSeconds is
+// the capture export period in seconds (0.1 on the paper's hardware); it
+// only affects the waypoint timestamps.
+func FromCapture(rec *capture.Recording, cal Calibration, windowSeconds float64) (*Design, error) {
+	if err := cal.Validate(); err != nil {
+		return nil, err
+	}
+	if rec == nil || rec.Len() == 0 {
+		return nil, fmt.Errorf("reconstruct: empty capture")
+	}
+	if windowSeconds <= 0 {
+		return nil, fmt.Errorf("reconstruct: windowSeconds must be positive, got %v", windowSeconds)
+	}
+
+	d := &Design{Waypoints: make([]Waypoint, 0, rec.Len())}
+	var prev capture.Transaction
+	for i, tx := range rec.Transactions {
+		wp := Waypoint{
+			T: float64(tx.Index) * windowSeconds,
+			X: float64(tx.X) / cal.XStepsPerMM,
+			Y: float64(tx.Y) / cal.YStepsPerMM,
+			Z: float64(tx.Z) / cal.ZStepsPerMM,
+			E: float64(tx.E) / cal.EStepsPerMM,
+		}
+		if i > 0 {
+			de := tx.E - prev.E
+			moved := tx.X != prev.X || tx.Y != prev.Y
+			wp.Extruding = de > 0
+			wp.TravelOnly = moved && de <= 0
+		}
+		d.Waypoints = append(d.Waypoints, wp)
+		prev = tx
+	}
+	d.PrintSeconds = float64(rec.Len()) * windowSeconds
+
+	final := d.Waypoints[len(d.Waypoints)-1]
+	first := d.Waypoints[0]
+	d.TotalFilament = final.E - first.E
+
+	d.Layers = reconstructLayers(d.Waypoints)
+	// Footprint from the topmost substantial layer: prime lines and
+	// purge moves live only at first-layer height, so the top of the
+	// stack bounds the actual part.
+	var maxFil float64
+	for _, l := range d.Layers {
+		if l.Filament > maxFil {
+			maxFil = l.Filament
+		}
+	}
+	for i := len(d.Layers) - 1; i >= 0; i-- {
+		if d.Layers[i].Filament >= maxFil/2 {
+			d.FootprintW = d.Layers[i].Width()
+			d.FootprintD = d.Layers[i].Depth()
+			break
+		}
+	}
+	return d, nil
+}
+
+// reconstructLayers groups extruding waypoints by Z.
+func reconstructLayers(wps []Waypoint) []Layer {
+	type acc struct {
+		n          int
+		fil        float64
+		minX, maxX float64
+		minY, maxY float64
+	}
+	buckets := make(map[int64]*acc)
+	const quantum = 0.05 // mm: finer than any layer height
+	var prevE float64
+	var havePrev bool
+	for _, wp := range wps {
+		if havePrev && wp.Extruding {
+			key := int64(math.Round(wp.Z / quantum))
+			a, ok := buckets[key]
+			if !ok {
+				a = &acc{minX: wp.X, maxX: wp.X, minY: wp.Y, maxY: wp.Y}
+				buckets[key] = a
+			}
+			a.n++
+			a.fil += wp.E - prevE
+			a.minX = math.Min(a.minX, wp.X)
+			a.maxX = math.Max(a.maxX, wp.X)
+			a.minY = math.Min(a.minY, wp.Y)
+			a.maxY = math.Max(a.maxY, wp.Y)
+		}
+		prevE = wp.E
+		havePrev = true
+	}
+	keys := make([]int64, 0, len(buckets))
+	for k := range buckets {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	layers := make([]Layer, 0, len(keys))
+	for _, k := range keys {
+		a := buckets[k]
+		layers = append(layers, Layer{
+			Z:         float64(k) * quantum,
+			Waypoints: a.n,
+			Filament:  a.fil,
+			MinX:      a.minX, MaxX: a.maxX,
+			MinY: a.minY, MaxY: a.maxY,
+		})
+	}
+	return layers
+}
+
+// RenderLayer rasterizes one reconstructed layer's waypoints into an ASCII
+// grid of the given width — a terminal-friendly visual of the stolen
+// geometry, one '#' per visited cell.
+func (d *Design) RenderLayer(index, cols int) (string, error) {
+	if index < 0 || index >= len(d.Layers) {
+		return "", fmt.Errorf("reconstruct: layer %d of %d", index, len(d.Layers))
+	}
+	if cols < 8 {
+		cols = 8
+	}
+	l := d.Layers[index]
+	w := l.Width()
+	dep := l.Depth()
+	if w <= 0 || dep <= 0 {
+		return "", fmt.Errorf("reconstruct: layer %d has no extent", index)
+	}
+	rows := int(float64(cols) * dep / w / 2) // terminal cells are ~2:1
+	if rows < 4 {
+		rows = 4
+	}
+	grid := make([][]byte, rows)
+	for i := range grid {
+		grid[i] = make([]byte, cols)
+		for j := range grid[i] {
+			grid[i][j] = '.'
+		}
+	}
+	// Rasterize the toolpath between consecutive extruding samples: the
+	// head moved in (near-)straight lines between window boundaries, so
+	// segments recover the path the point samples alone would scatter.
+	zKey := l.Z
+	plot := func(x, y float64) {
+		cx := int((x - l.MinX) / w * float64(cols-1))
+		cy := int((y - l.MinY) / dep * float64(rows-1))
+		if cx < 0 || cx >= cols || cy < 0 || cy >= rows {
+			return
+		}
+		grid[rows-1-cy][cx] = '#'
+	}
+	var prev *Waypoint
+	for i := range d.Waypoints {
+		wp := &d.Waypoints[i]
+		if math.Abs(wp.Z-zKey) > 0.051 {
+			prev = nil
+			continue
+		}
+		if wp.Extruding && prev != nil {
+			steps := int(math.Hypot(wp.X-prev.X, wp.Y-prev.Y)/w*float64(cols)) + 1
+			for s := 0; s <= steps; s++ {
+				t := float64(s) / float64(steps)
+				plot(prev.X+t*(wp.X-prev.X), prev.Y+t*(wp.Y-prev.Y))
+			}
+		}
+		prev = wp
+	}
+	out := make([]byte, 0, rows*(cols+1))
+	for _, row := range grid {
+		out = append(out, row...)
+		out = append(out, '\n')
+	}
+	return string(out), nil
+}

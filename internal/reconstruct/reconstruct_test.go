@@ -1,0 +1,154 @@
+package reconstruct
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"offramps/internal/capture"
+)
+
+// syntheticCapture draws a square perimeter at two layers: Z=0.2 and 0.4,
+// plus initial travel, at capture-window resolution.
+func syntheticCapture() *capture.Recording {
+	r := &capture.Recording{}
+	idx := uint32(0)
+	add := func(xMM, yMM, zMM, eMM float64) {
+		r.Append(capture.Transaction{
+			Index: idx,
+			X:     int32(xMM * 80), Y: int32(yMM * 80),
+			Z: int32(zMM * 400), E: int32(eMM * 96),
+		})
+		idx++
+	}
+	e := 0.0
+	add(0, 0, 0, e) // at home
+	for layer := 0; layer < 2; layer++ {
+		z := 0.2 * float64(layer+1)
+		add(100, 100, z, e) // travel to part
+		// Square 100..120 on both axes; 1 mm filament per edge.
+		corners := [][2]float64{{120, 100}, {120, 120}, {100, 120}, {100, 100}}
+		for _, c := range corners {
+			e += 1.0
+			add(c[0], c[1], z, e)
+		}
+	}
+	return r
+}
+
+func TestFromCaptureBasics(t *testing.T) {
+	d, err := FromCapture(syntheticCapture(), DefaultCalibration(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Layers) != 2 {
+		t.Fatalf("reconstructed %d layers, want 2", len(d.Layers))
+	}
+	if math.Abs(d.TotalFilament-8) > 0.05 {
+		t.Errorf("TotalFilament = %v, want 8", d.TotalFilament)
+	}
+	for i, l := range d.Layers {
+		if math.Abs(l.Width()-20) > 0.1 || math.Abs(l.Depth()-20) > 0.1 {
+			t.Errorf("layer %d extent %vx%v, want 20x20", i, l.Width(), l.Depth())
+		}
+		if math.Abs(l.Filament-4) > 0.05 {
+			t.Errorf("layer %d filament %v, want 4", i, l.Filament)
+		}
+	}
+	if math.Abs(d.FootprintW-20) > 0.1 {
+		t.Errorf("FootprintW = %v", d.FootprintW)
+	}
+	if !strings.Contains(d.Summary(), "2 layers") {
+		t.Errorf("Summary = %q", d.Summary())
+	}
+	if d.PrintSeconds != float64(syntheticCapture().Len())*0.1 {
+		t.Errorf("PrintSeconds = %v", d.PrintSeconds)
+	}
+}
+
+func TestFromCaptureWaypointClassification(t *testing.T) {
+	d, err := FromCapture(syntheticCapture(), DefaultCalibration(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Waypoint 1 (travel to part): moved, no extrusion.
+	if !d.Waypoints[1].TravelOnly || d.Waypoints[1].Extruding {
+		t.Errorf("waypoint 1 = %+v, want travel", d.Waypoints[1])
+	}
+	// Waypoint 2 (first edge): extruding.
+	if !d.Waypoints[2].Extruding {
+		t.Errorf("waypoint 2 = %+v, want extruding", d.Waypoints[2])
+	}
+}
+
+func TestFromCaptureErrors(t *testing.T) {
+	if _, err := FromCapture(nil, DefaultCalibration(), 0.1); err == nil {
+		t.Error("nil capture accepted")
+	}
+	if _, err := FromCapture(&capture.Recording{}, DefaultCalibration(), 0.1); err == nil {
+		t.Error("empty capture accepted")
+	}
+	if _, err := FromCapture(syntheticCapture(), Calibration{}, 0.1); err == nil {
+		t.Error("zero calibration accepted")
+	}
+	if _, err := FromCapture(syntheticCapture(), DefaultCalibration(), 0); err == nil {
+		t.Error("zero window accepted")
+	}
+}
+
+func TestRenderLayer(t *testing.T) {
+	d, err := FromCapture(syntheticCapture(), DefaultCalibration(), 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := d.RenderLayer(0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(img, "#") {
+		t.Errorf("render has no material:\n%s", img)
+	}
+	lines := strings.Split(strings.TrimRight(img, "\n"), "\n")
+	if len(lines) < 4 {
+		t.Errorf("render too short: %d rows", len(lines))
+	}
+	if _, err := d.RenderLayer(99, 20); err == nil {
+		t.Error("out-of-range layer accepted")
+	}
+}
+
+// Property: reconstruction inverts the calibration exactly — converting a
+// waypoint back to steps reproduces the transaction.
+func TestFromCaptureInversionProperty(t *testing.T) {
+	cal := DefaultCalibration()
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		rec := &capture.Recording{}
+		for i, v := range raw {
+			rec.Append(capture.Transaction{
+				Index: uint32(i),
+				X:     int32(v), Y: int32(v) * 2, Z: int32(v % 1000), E: int32(i),
+			})
+		}
+		d, err := FromCapture(rec, cal, 0.1)
+		if err != nil {
+			return false
+		}
+		for i, wp := range d.Waypoints {
+			tx := rec.Transactions[i]
+			if int32(math.Round(wp.X*cal.XStepsPerMM)) != tx.X {
+				return false
+			}
+			if int32(math.Round(wp.E*cal.EStepsPerMM)) != tx.E {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,98 @@
+package signal
+
+import (
+	"math"
+
+	"offramps/internal/sim"
+)
+
+// Analog is a continuous-valued channel, used for the thermistor voltage
+// dividers that the OFFRAMPS routes through the Artix-7's on-chip ADC and
+// an off-chip DAC (paper Section III-C1). Values are in volts.
+type Analog struct {
+	name      string
+	engine    *sim.Engine
+	value     float64
+	listeners []func(at sim.Time, v float64)
+}
+
+// NewAnalog creates an analog channel at 0 V.
+func NewAnalog(engine *sim.Engine, name string) *Analog {
+	if engine == nil {
+		panic("signal: NewAnalog with nil engine")
+	}
+	return &Analog{name: name, engine: engine}
+}
+
+// Name reports the channel name (e.g. "THERM0").
+func (a *Analog) Name() string { return a.name }
+
+// Value reports the current voltage.
+func (a *Analog) Value() float64 { return a.value }
+
+// Watch registers fn to run on every value change.
+func (a *Analog) Watch(fn func(at sim.Time, v float64)) {
+	if fn == nil {
+		panic("signal: Watch with nil listener")
+	}
+	a.listeners = append(a.listeners, fn)
+}
+
+// Set drives the channel to v at the current simulation time.
+func (a *Analog) Set(v float64) {
+	if v == a.value {
+		return
+	}
+	a.value = v
+	now := a.engine.Now()
+	for _, fn := range a.listeners {
+		fn(now, v)
+	}
+}
+
+// Connect forwards every change of a onto dst (zero delay — the analog
+// buffer path is not on the critical timing path).
+func (a *Analog) Connect(dst *Analog) {
+	dst.Set(a.value)
+	a.Watch(func(_ sim.Time, v float64) { dst.Set(v) })
+}
+
+// ADC models an n-bit analog-to-digital converter sampling an Analog
+// channel against a reference voltage, like the Artix-7 XADC (12-bit,
+// 1.0 V reference after the divider) or the ATmega2560's 10-bit ADC
+// against 5 V.
+type ADC struct {
+	Bits int     // resolution in bits, e.g. 10 or 12
+	VRef float64 // full-scale reference voltage
+}
+
+// Convert quantizes v to an ADC code, clamping to the valid range.
+func (c ADC) Convert(v float64) int {
+	if c.Bits <= 0 || c.VRef <= 0 {
+		panic("signal: ADC with non-positive Bits or VRef")
+	}
+	full := (1 << c.Bits) - 1
+	code := int(math.Round(v / c.VRef * float64(full)))
+	if code < 0 {
+		return 0
+	}
+	if code > full {
+		return full
+	}
+	return code
+}
+
+// Voltage converts an ADC code back to volts (DAC direction).
+func (c ADC) Voltage(code int) float64 {
+	if c.Bits <= 0 || c.VRef <= 0 {
+		panic("signal: ADC with non-positive Bits or VRef")
+	}
+	full := (1 << c.Bits) - 1
+	if code < 0 {
+		code = 0
+	}
+	if code > full {
+		code = full
+	}
+	return float64(code) / float64(full) * c.VRef
+}

@@ -1,0 +1,142 @@
+package signal
+
+import (
+	"strings"
+	"testing"
+
+	"offramps/internal/sim"
+)
+
+func TestBusHasAllPins(t *testing.T) {
+	e := sim.NewEngine()
+	b := NewBus(e)
+	for _, name := range ControlPins {
+		if b.Line(name) == nil {
+			t.Errorf("missing control pin %s", name)
+		}
+	}
+	for _, name := range FeedbackPins {
+		if b.Line(name) == nil {
+			t.Errorf("missing feedback pin %s", name)
+		}
+	}
+	if got, want := len(b.Names()), len(ControlPins)+len(FeedbackPins); got != want {
+		t.Errorf("Names() has %d pins, want %d", got, want)
+	}
+}
+
+func TestBusUnknownPinPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown pin did not panic")
+		}
+	}()
+	NewBus(sim.NewEngine()).Line("NOPE")
+}
+
+func TestAxisPinHelpers(t *testing.T) {
+	cases := []struct {
+		axis              Axis
+		step, dir, enable string
+	}{
+		{AxisX, PinXStep, PinXDir, PinXEn},
+		{AxisY, PinYStep, PinYDir, PinYEn},
+		{AxisZ, PinZStep, PinZDir, PinZEn},
+		{AxisE, PinEStep, PinEDir, PinEEn},
+	}
+	for _, tc := range cases {
+		if tc.axis.StepPin() != tc.step {
+			t.Errorf("%v.StepPin() = %s", tc.axis, tc.axis.StepPin())
+		}
+		if tc.axis.DirPin() != tc.dir {
+			t.Errorf("%v.DirPin() = %s", tc.axis, tc.axis.DirPin())
+		}
+		if tc.axis.EnablePin() != tc.enable {
+			t.Errorf("%v.EnablePin() = %s", tc.axis, tc.axis.EnablePin())
+		}
+	}
+}
+
+func TestAxisEndstopPins(t *testing.T) {
+	if AxisX.MinEndstopPin() != PinXMin || AxisY.MinEndstopPin() != PinYMin || AxisZ.MinEndstopPin() != PinZMin {
+		t.Error("endstop pin names wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AxisE.MinEndstopPin() did not panic")
+		}
+	}()
+	AxisE.MinEndstopPin()
+}
+
+func TestAxisString(t *testing.T) {
+	want := map[Axis]string{AxisX: "X", AxisY: "Y", AxisZ: "Z", AxisE: "E"}
+	for a, s := range want {
+		if a.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(a), a.String(), s)
+		}
+	}
+	if got := Axis(0).String(); !strings.Contains(got, "0") {
+		t.Errorf("invalid axis String() = %q", got)
+	}
+}
+
+func TestBusAccessorsMatchPins(t *testing.T) {
+	e := sim.NewEngine()
+	b := NewBus(e)
+	for _, a := range Axes {
+		if b.Step(a).Name() != a.StepPin() {
+			t.Errorf("Step(%v) wrong line", a)
+		}
+		if b.Dir(a).Name() != a.DirPin() {
+			t.Errorf("Dir(%v) wrong line", a)
+		}
+		if b.Enable(a).Name() != a.EnablePin() {
+			t.Errorf("Enable(%v) wrong line", a)
+		}
+	}
+	if b.MinEndstop(AxisX).Name() != PinXMin {
+		t.Error("MinEndstop(X) wrong line")
+	}
+}
+
+func TestConnectAllForwardAndFeedback(t *testing.T) {
+	e := sim.NewEngine()
+	arduino := NewBus(e)
+	ramps := NewBus(e)
+	const delay = 13 * sim.Nanosecond
+	arduino.ConnectAll(ramps, delay)
+
+	// Control direction: arduino -> ramps.
+	arduino.Step(AxisX).Set(High)
+	if err := e.Run(delay); err != nil {
+		t.Fatal(err)
+	}
+	if ramps.Step(AxisX).Level() != High {
+		t.Error("control pin did not propagate to RAMPS side")
+	}
+
+	// Feedback direction: ramps -> arduino.
+	ramps.MinEndstop(AxisY).Set(High)
+	if err := e.Run(2 * delay); err != nil {
+		t.Fatal(err)
+	}
+	if arduino.MinEndstop(AxisY).Level() != High {
+		t.Error("feedback pin did not propagate to Arduino side")
+	}
+
+	// Analog feedback.
+	ramps.ThermHotend.Set(2.2)
+	if arduino.ThermHotend.Value() != 2.2 {
+		t.Error("thermistor value did not propagate")
+	}
+
+	// No reverse propagation of control pins.
+	ramps.Step(AxisY).Set(High)
+	if err := e.Run(3 * delay); err != nil {
+		t.Fatal(err)
+	}
+	if arduino.Step(AxisY).Level() != Low {
+		t.Error("control pin propagated backwards")
+	}
+}

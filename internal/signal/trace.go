@@ -1,0 +1,192 @@
+package signal
+
+import (
+	"fmt"
+	"sort"
+
+	"offramps/internal/sim"
+)
+
+// Edge is one recorded transition on a digital line.
+type Edge struct {
+	At    sim.Time
+	Level Level // level after the transition
+}
+
+// Trace records every transition of one line, making the FPGA usable as the
+// "rudimentary digital logic analyzer" of paper Section V. Traces feed the
+// overhead experiment (signal frequency and pulse-width statistics,
+// Section V-B) and the VCD exporter.
+type Trace struct {
+	name  string
+	start Level
+	edges []Edge
+}
+
+// NewTrace attaches a recorder to line and returns it. Recording starts
+// immediately and captures the line's current level as the initial state.
+func NewTrace(line *Line) *Trace {
+	t := &Trace{name: line.Name(), start: line.Level()}
+	line.Watch(func(at sim.Time, level Level) {
+		t.edges = append(t.edges, Edge{At: at, Level: level})
+	})
+	return t
+}
+
+// Name reports the traced line's name.
+func (t *Trace) Name() string { return t.name }
+
+// InitialLevel reports the level when recording began.
+func (t *Trace) InitialLevel() Level { return t.start }
+
+// Edges returns the recorded transitions in time order. The returned slice
+// is the trace's backing store; callers must not modify it.
+func (t *Trace) Edges() []Edge { return t.edges }
+
+// Len reports the number of recorded transitions.
+func (t *Trace) Len() int { return len(t.edges) }
+
+// RisingEdges counts Low→High transitions, i.e. pulses for a STEP-style
+// signal.
+func (t *Trace) RisingEdges() int {
+	n := 0
+	for _, e := range t.edges {
+		if e.Level == High {
+			n++
+		}
+	}
+	return n
+}
+
+// LevelAt reports the line level at time at, reconstructed from the trace.
+func (t *Trace) LevelAt(at sim.Time) Level {
+	// Binary search for the last edge at or before `at`.
+	i := sort.Search(len(t.edges), func(i int) bool { return t.edges[i].At > at })
+	if i == 0 {
+		return t.start
+	}
+	return t.edges[i-1].Level
+}
+
+// Stats summarizes pulse timing on a traced line. All durations are zero
+// when the trace holds too few edges to measure them.
+type Stats struct {
+	Line          string
+	Edges         int
+	RisingEdges   int
+	MinPulseWidth sim.Time // shortest High interval
+	MaxPulseWidth sim.Time // longest High interval
+	MinPeriod     sim.Time // shortest rising-to-rising interval
+	MaxFrequency  float64  // 1/MinPeriod in Hz
+}
+
+// String formats the statistics in one line for experiment reports.
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: %d edges, %d pulses, min width %v, max freq %.1f Hz",
+		s.Line, s.Edges, s.RisingEdges, s.MinPulseWidth, s.MaxFrequency)
+}
+
+// ComputeStats derives pulse statistics from the trace. The paper measured
+// "maximum frequencies less than 20 kHz with a minimum pulse width of 1 µs"
+// for the ordinary Arduino↔RAMPS signals; the overhead experiment
+// reproduces that measurement with this function.
+func (t *Trace) ComputeStats() Stats {
+	s := Stats{Line: t.name, Edges: len(t.edges), RisingEdges: t.RisingEdges()}
+	var lastRise sim.Time = -1
+	var prevRise sim.Time = -1
+	level := t.start
+	var levelSince sim.Time
+	for _, e := range t.edges {
+		if e.Level == level {
+			continue // defensive: traces never record non-transitions
+		}
+		if e.Level == High {
+			if prevRise >= 0 {
+				period := e.At - prevRise
+				if s.MinPeriod == 0 || period < s.MinPeriod {
+					s.MinPeriod = period
+				}
+			}
+			prevRise = e.At
+			lastRise = e.At
+		} else if lastRise >= 0 {
+			width := e.At - lastRise
+			if s.MinPulseWidth == 0 || width < s.MinPulseWidth {
+				s.MinPulseWidth = width
+			}
+			if width > s.MaxPulseWidth {
+				s.MaxPulseWidth = width
+			}
+		}
+		level = e.Level
+		levelSince = e.At
+	}
+	_ = levelSince
+	if s.MinPeriod > 0 {
+		s.MaxFrequency = float64(sim.Second) / float64(s.MinPeriod)
+	}
+	return s
+}
+
+// DutyCycle reports the fraction of [from, to) the line spent High. It is
+// how the experiments measure PWM duty on the heater and fan outputs.
+func (t *Trace) DutyCycle(from, to sim.Time) float64 {
+	if to <= from {
+		return 0
+	}
+	var high sim.Time
+	level := t.LevelAt(from)
+	cursor := from
+	i := sort.Search(len(t.edges), func(i int) bool { return t.edges[i].At > from })
+	for ; i < len(t.edges) && t.edges[i].At < to; i++ {
+		e := t.edges[i]
+		if level == High {
+			high += e.At - cursor
+		}
+		cursor = e.At
+		level = e.Level
+	}
+	if level == High {
+		high += to - cursor
+	}
+	return float64(high) / float64(to-from)
+}
+
+// Recorder traces a set of lines on a bus. It is the capture-mode front end
+// of the FPGA (paper Figure 3c).
+type Recorder struct {
+	traces map[string]*Trace
+	order  []string
+}
+
+// NewRecorder starts tracing each named pin of bus. With no names given it
+// records every control pin.
+func NewRecorder(bus *Bus, pins ...string) *Recorder {
+	if len(pins) == 0 {
+		pins = ControlPins
+	}
+	r := &Recorder{traces: make(map[string]*Trace, len(pins))}
+	for _, name := range pins {
+		if _, dup := r.traces[name]; dup {
+			continue
+		}
+		r.traces[name] = NewTrace(bus.Line(name))
+		r.order = append(r.order, name)
+	}
+	return r
+}
+
+// Trace returns the trace for the named pin, or nil if it is not recorded.
+func (r *Recorder) Trace(name string) *Trace { return r.traces[name] }
+
+// Pins returns the recorded pin names in registration order.
+func (r *Recorder) Pins() []string { return r.order }
+
+// AllStats computes Stats for every recorded pin, in registration order.
+func (r *Recorder) AllStats() []Stats {
+	out := make([]Stats, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.traces[name].ComputeStats())
+	}
+	return out
+}

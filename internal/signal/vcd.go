@@ -1,0 +1,84 @@
+package signal
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"offramps/internal/sim"
+)
+
+// WriteVCD serializes a set of traces as a Value Change Dump file, the
+// interchange format of every logic analyzer and waveform viewer. This lets
+// a user inspect a simulated print in GTKWave exactly as they would inspect
+// a capture from the physical OFFRAMPS.
+//
+// Traces are emitted in the given order; the timescale is 1 ns to match the
+// simulation resolution.
+func WriteVCD(w io.Writer, traces []*Trace) error {
+	if len(traces) == 0 {
+		return fmt.Errorf("signal: WriteVCD with no traces")
+	}
+	if len(traces) > 94 {
+		// VCD identifiers here are single printable characters (! through ~).
+		return fmt.Errorf("signal: WriteVCD supports at most 94 traces, got %d", len(traces))
+	}
+	bw := bufio.NewWriter(w)
+
+	ids := make([]byte, len(traces))
+	for i := range traces {
+		ids[i] = byte('!' + i)
+	}
+
+	fmt.Fprintln(bw, "$date simulated $end")
+	fmt.Fprintln(bw, "$version OFFRAMPS-sim $end")
+	fmt.Fprintln(bw, "$timescale 1ns $end")
+	fmt.Fprintln(bw, "$scope module offramps $end")
+	for i, t := range traces {
+		fmt.Fprintf(bw, "$var wire 1 %c %s $end\n", ids[i], t.Name())
+	}
+	fmt.Fprintln(bw, "$upscope $end")
+	fmt.Fprintln(bw, "$enddefinitions $end")
+
+	// Initial values.
+	fmt.Fprintln(bw, "#0")
+	fmt.Fprintln(bw, "$dumpvars")
+	for i, t := range traces {
+		fmt.Fprintf(bw, "%s%c\n", t.InitialLevel(), ids[i])
+	}
+	fmt.Fprintln(bw, "$end")
+
+	// Merge all edges into one time-ordered stream.
+	type stamped struct {
+		at    sim.Time
+		seq   int
+		trace int
+		level Level
+	}
+	var all []stamped
+	for i, t := range traces {
+		for j, e := range t.Edges() {
+			all = append(all, stamped{at: e.At, seq: j, trace: i, level: e.Level})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].at != all[j].at {
+			return all[i].at < all[j].at
+		}
+		if all[i].trace != all[j].trace {
+			return all[i].trace < all[j].trace
+		}
+		return all[i].seq < all[j].seq
+	})
+
+	last := sim.Time(-1)
+	for _, s := range all {
+		if s.at != last {
+			fmt.Fprintf(bw, "#%d\n", int64(s.at))
+			last = s.at
+		}
+		fmt.Fprintf(bw, "%s%c\n", s.level, ids[s.trace])
+	}
+	return bw.Flush()
+}

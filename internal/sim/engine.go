@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// before reaching its target time.
+var ErrStopped = errors.New("sim: engine stopped")
+
+// event is a scheduled callback. seq breaks ties between events scheduled
+// for the same instant so execution order is deterministic (FIFO within an
+// instant).
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a deterministic discrete-event simulator. The zero value is
+// ready to use.
+type Engine struct {
+	queue   eventHeap
+	now     Time
+	seq     uint64
+	stopped bool
+	// executed counts events run since creation; useful for progress
+	// reporting and for benchmarks that want simulated-events/op.
+	executed uint64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now reports the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed reports the number of events processed so far.
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending reports the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule enqueues fn to run at absolute time at. Scheduling in the past
+// (before Now) is a programming error and panics: silently reordering
+// events would destroy the determinism every experiment relies on.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if fn == nil {
+		panic("sim: Schedule with nil func")
+	}
+	if at < e.now {
+		panic(fmt.Sprintf("sim: Schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+}
+
+// After enqueues fn to run d nanoseconds after the current time.
+func (e *Engine) After(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: After with negative delay %v", d))
+	}
+	e.Schedule(e.now+d, fn)
+}
+
+// Stop halts the run loop after the currently executing event returns.
+// Pending events remain queued; a subsequent Run resumes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events in order until the queue is empty or the next event
+// lies beyond until. The clock is left at min(until, time of last event).
+// It returns ErrStopped if Stop was called during execution.
+func (e *Engine) Run(until Time) error {
+	e.stopped = false
+	for len(e.queue) > 0 {
+		next := e.queue[0]
+		if next.at > until {
+			e.now = until
+			return nil
+		}
+		heap.Pop(&e.queue)
+		e.now = next.at
+		e.executed++
+		next.fn()
+		if e.stopped {
+			return ErrStopped
+		}
+	}
+	if until > e.now {
+		e.now = until
+	}
+	return nil
+}
+
+// RunUntilIdle executes every pending event (including events scheduled by
+// other events) with no time bound. It returns ErrStopped if Stop was
+// called. Use with care: a periodic task keeps the queue permanently non-empty; prefer
+// Run with an explicit horizon for full-system simulations.
+func (e *Engine) RunUntilIdle() error {
+	e.stopped = false
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*event)
+		e.now = next.at
+		e.executed++
+		next.fn()
+		if e.stopped {
+			return ErrStopped
+		}
+	}
+	return nil
+}
+
+// Ticker invokes fn every period, starting at Now+period, until the
+// returned cancel function is called. fn receives the tick time. Periodic
+// work (PID loops, UART export windows, thermal integration) is built on
+// Ticker.
+func (e *Engine) Ticker(period Time, fn func(Time)) (cancel func()) {
+	if period <= 0 {
+		panic(fmt.Sprintf("sim: Ticker with non-positive period %v", period))
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn(e.now)
+		if stopped { // fn may cancel its own ticker
+			return
+		}
+		e.After(period, tick)
+	}
+	e.After(period, tick)
+	return func() { stopped = true }
+}

@@ -1,0 +1,58 @@
+package sim
+
+// Rand is a small, fast, deterministic pseudo-random generator (splitmix64)
+// used to model "time noise" — the asynchronous execution-time variation of
+// a real printer (paper Section V-C, citing Liang et al. ICDCS'21). The
+// standard library's math/rand would also work, but a self-contained
+// generator keeps the jitter stream stable across Go releases, which
+// matters because golden captures are committed as test fixtures.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded with seed. Distinct seeds produce
+// independent-looking streams; the zero seed is valid.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Jitter returns a value in [-magnitude, +magnitude], used to perturb event
+// scheduling to emulate asynchronous hardware timing.
+func (r *Rand) Jitter(magnitude Time) Time {
+	if magnitude <= 0 {
+		return 0
+	}
+	span := int64(2*magnitude + 1)
+	return Time(r.Int63n(span)) - magnitude
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }

@@ -1,0 +1,110 @@
+package slicer
+
+import (
+	"math"
+	"sort"
+)
+
+// Segment is a straight infill stroke between two points.
+type Segment struct {
+	A, B Point
+}
+
+// Length returns the segment length.
+func (s Segment) Length() float64 { return s.A.Distance(s.B) }
+
+// rectilinearInfill fills the polygon with horizontal scan lines spaced
+// `spacing` apart, alternating direction (zig-zag) so the print head does
+// not travel back across the part between lines. The polygon may be
+// non-convex; intersections are paired even-odd, exactly like a polygon
+// rasterizer.
+//
+// angleEven selects between horizontal lines on even layers and vertical
+// lines on odd layers — the classic crosshatch real slicers use, which the
+// per-layer axis-tracking captures clearly show as alternating X- and
+// Y-dominated step activity.
+func rectilinearInfill(pg Polygon, spacing float64, vertical bool) []Segment {
+	if len(pg) < 3 || spacing <= 0 {
+		return nil
+	}
+	if vertical {
+		rot := make(Polygon, len(pg))
+		for i, p := range pg {
+			rot[i] = Point{p.Y, p.X} // reflect across y=x
+		}
+		segs := rectilinearInfill(rot, spacing, false)
+		for i := range segs {
+			segs[i].A = Point{segs[i].A.Y, segs[i].A.X}
+			segs[i].B = Point{segs[i].B.Y, segs[i].B.X}
+		}
+		return segs
+	}
+
+	_, minY, _, maxY := pg.Bounds()
+	var out []Segment
+	leftToRight := true
+	// Offset the first line half a spacing in so lines don't coincide with
+	// the boundary.
+	for y := minY + spacing/2; y < maxY; y += spacing {
+		xs := scanlineCrossings(pg, y)
+		if len(xs) < 2 {
+			continue
+		}
+		// Pair crossings even-odd: [x0,x1], [x2,x3], ...
+		for i := 0; i+1 < len(xs); i += 2 {
+			a := Point{xs[i], y}
+			b := Point{xs[i+1], y}
+			if b.X-a.X < 1e-9 {
+				continue // degenerate sliver
+			}
+			if leftToRight {
+				out = append(out, Segment{a, b})
+			} else {
+				out = append(out, Segment{b, a})
+			}
+		}
+		leftToRight = !leftToRight
+	}
+	return out
+}
+
+// scanlineCrossings returns the sorted X coordinates where the horizontal
+// line at height y crosses the polygon boundary. The half-open edge rule
+// (count a vertex only for the edge whose lower endpoint it is) guarantees
+// an even number of crossings for any simple polygon.
+func scanlineCrossings(pg Polygon, y float64) []float64 {
+	var xs []float64
+	n := len(pg)
+	for i := 0; i < n; i++ {
+		p1, p2 := pg[i], pg[(i+1)%n]
+		if (p1.Y <= y && p2.Y > y) || (p2.Y <= y && p1.Y > y) {
+			t := (y - p1.Y) / (p2.Y - p1.Y)
+			xs = append(xs, p1.X+t*(p2.X-p1.X))
+		}
+	}
+	sort.Float64s(xs)
+	return xs
+}
+
+// totalLength sums the lengths of the segments.
+func totalLength(segs []Segment) float64 {
+	sum := 0.0
+	for _, s := range segs {
+		sum += s.Length()
+	}
+	return sum
+}
+
+// polygonArea returns the unsigned area of the polygon (shoelace formula).
+func polygonArea(pg Polygon) float64 {
+	n := len(pg)
+	if n < 3 {
+		return 0
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		sum += pg[i].X*pg[j].Y - pg[j].X*pg[i].Y
+	}
+	return math.Abs(sum) / 2
+}

@@ -1,0 +1,210 @@
+// Package slicer generates layered Marlin G-code for simple solid shapes.
+// It stands in for Ultimaker Cura in the paper's toolchain: the experiments
+// need *representative* sliced parts (the paper prints a small calibration
+// object shown on quarter-inch graph paper), not arbitrary STL handling.
+// The output exercises the same command vocabulary, retraction behaviour,
+// and layer structure a real slicer produces.
+package slicer
+
+import (
+	"fmt"
+	"math"
+)
+
+// Point is a 2-D coordinate on the build plate, in millimetres.
+type Point struct {
+	X, Y float64
+}
+
+// Sub returns p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Add returns p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Distance returns the Euclidean distance to q.
+func (p Point) Distance(q Point) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// Polygon is a closed loop of vertices in counter-clockwise order. The
+// closing edge from the last vertex back to the first is implicit.
+type Polygon []Point
+
+// Perimeter returns the total edge length including the closing edge.
+func (pg Polygon) Perimeter() float64 {
+	if len(pg) < 2 {
+		return 0
+	}
+	total := 0.0
+	for i := range pg {
+		total += pg[i].Distance(pg[(i+1)%len(pg)])
+	}
+	return total
+}
+
+// Bounds returns the axis-aligned bounding box (minX, minY, maxX, maxY).
+func (pg Polygon) Bounds() (minX, minY, maxX, maxY float64) {
+	if len(pg) == 0 {
+		return 0, 0, 0, 0
+	}
+	minX, maxX = pg[0].X, pg[0].X
+	minY, maxY = pg[0].Y, pg[0].Y
+	for _, p := range pg[1:] {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		minY = math.Min(minY, p.Y)
+		maxY = math.Max(maxY, p.Y)
+	}
+	return minX, minY, maxX, maxY
+}
+
+// Shape is a solid to slice. Shapes return their own inset outlines so the
+// slicer does not need a general polygon-offset engine; each shape knows
+// how to shrink itself for perimeter nesting.
+type Shape interface {
+	// Name identifies the shape in G-code headers and reports.
+	Name() string
+	// Height is the total height of the solid in mm.
+	Height() float64
+	// Outline returns the closed outline at the given inset from the
+	// surface (inset 0 = outer wall). It returns nil when the inset
+	// consumes the whole cross-section. Shapes in this package are
+	// extrusions — constant cross-section — so the outline does not
+	// depend on z; the slicer handles the height bound.
+	Outline(inset float64) Polygon
+}
+
+// Box is a rectangular prism centred on the origin.
+type Box struct {
+	W, D, H float64 // width (X), depth (Y), height (Z), mm
+}
+
+// NewBox returns a box shape; all dimensions must be positive.
+func NewBox(w, d, h float64) (Box, error) {
+	if w <= 0 || d <= 0 || h <= 0 {
+		return Box{}, fmt.Errorf("slicer: box dimensions must be positive, got %v×%v×%v", w, d, h)
+	}
+	return Box{W: w, D: d, H: h}, nil
+}
+
+// Name implements Shape.
+func (b Box) Name() string { return fmt.Sprintf("box_%gx%gx%g", b.W, b.D, b.H) }
+
+// Height implements Shape.
+func (b Box) Height() float64 { return b.H }
+
+// Outline implements Shape.
+func (b Box) Outline(inset float64) Polygon {
+	hw, hd := b.W/2-inset, b.D/2-inset
+	if hw <= 0 || hd <= 0 {
+		return nil
+	}
+	return Polygon{
+		{-hw, -hd}, {hw, -hd}, {hw, hd}, {-hw, hd},
+	}
+}
+
+// Cylinder is a vertical cylinder centred on the origin, approximated by a
+// regular polygon with Segments sides (the way slicers see STL facets).
+type Cylinder struct {
+	R, H     float64
+	Segments int
+}
+
+// NewCylinder returns a cylinder shape. Segments below 8 are raised to 8.
+func NewCylinder(r, h float64, segments int) (Cylinder, error) {
+	if r <= 0 || h <= 0 {
+		return Cylinder{}, fmt.Errorf("slicer: cylinder dimensions must be positive, got r=%v h=%v", r, h)
+	}
+	if segments < 8 {
+		segments = 8
+	}
+	return Cylinder{R: r, H: h, Segments: segments}, nil
+}
+
+// Name implements Shape.
+func (c Cylinder) Name() string { return fmt.Sprintf("cylinder_r%g_h%g", c.R, c.H) }
+
+// Height implements Shape.
+func (c Cylinder) Height() float64 { return c.H }
+
+// Outline implements Shape.
+func (c Cylinder) Outline(inset float64) Polygon {
+	r := c.R - inset
+	if r <= 0 {
+		return nil
+	}
+	pg := make(Polygon, c.Segments)
+	for i := 0; i < c.Segments; i++ {
+		a := 2 * math.Pi * float64(i) / float64(c.Segments)
+		pg[i] = Point{r * math.Cos(a), r * math.Sin(a)}
+	}
+	return pg
+}
+
+// TensileBar is a flat dog-bone test coupon: two wide grip ends joined by a
+// narrow gauge section. It is the canonical "structural integrity" specimen
+// — the dr0wned and Flaw3D papers evaluate sabotage by breaking exactly
+// this kind of part. The waist makes the cross-section non-convex, which
+// exercises the scanline infill's even-odd filling.
+type TensileBar struct {
+	Length     float64 // total X length
+	GripWidth  float64 // Y width of the grip ends
+	GaugeWidth float64 // Y width of the narrow middle
+	GripLen    float64 // X length of each grip end
+	H          float64 // height
+}
+
+// NewTensileBar returns an ASTM-proportioned coupon scaled to length l.
+func NewTensileBar(l, h float64) (TensileBar, error) {
+	if l <= 0 || h <= 0 {
+		return TensileBar{}, fmt.Errorf("slicer: tensile bar dimensions must be positive, got l=%v h=%v", l, h)
+	}
+	return TensileBar{
+		Length:     l,
+		GripWidth:  l * 0.3,
+		GaugeWidth: l * 0.12,
+		GripLen:    l * 0.25,
+		H:          h,
+	}, nil
+}
+
+// Name implements Shape.
+func (t TensileBar) Name() string { return fmt.Sprintf("tensile_bar_l%g", t.Length) }
+
+// Height implements Shape.
+func (t TensileBar) Height() float64 { return t.H }
+
+// Outline implements Shape.
+func (t TensileBar) Outline(inset float64) Polygon {
+	hl := t.Length/2 - inset
+	hg := t.GripWidth/2 - inset
+	hw := t.GaugeWidth/2 - inset
+	gl := t.GripLen - inset // inner edge of the grip shoulder
+	if hl <= 0 || hg <= 0 || hw <= 0 || gl <= 0 || hl-gl <= 0 {
+		// Inset consumed the waist: fall back to the gauge rectangle or
+		// nothing at all.
+		if hl > 0 && hw > 0 {
+			return Polygon{{-hl, -hw}, {hl, -hw}, {hl, hw}, {-hl, hw}}
+		}
+		return nil
+	}
+	innerX := hl - gl
+	// Counter-clockwise, starting at the bottom-left grip corner.
+	return Polygon{
+		{-hl, -hg},     // bottom-left corner
+		{-innerX, -hg}, // bottom of left grip, inner edge
+		{-innerX, -hw}, // step in to the gauge
+		{innerX, -hw},  // along the gauge bottom
+		{innerX, -hg},  // step out to the right grip
+		{hl, -hg},      // bottom-right corner
+		{hl, hg},       // up the right end
+		{innerX, hg},   // top of right grip, inner edge
+		{innerX, hw},   // step in
+		{-innerX, hw},  // along the gauge top
+		{-innerX, hg},  // step out
+		{-hl, hg},      // top-left corner
+	}
+}

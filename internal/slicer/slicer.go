@@ -1,0 +1,325 @@
+package slicer
+
+import (
+	"fmt"
+	"math"
+
+	"offramps/internal/gcode"
+)
+
+// Config holds the slicing parameters. DefaultConfig matches the profile
+// used for the paper's test prints (0.4 mm nozzle Prusa i3 MK3S+, 0.2 mm
+// layers, PLA temperatures, Cura-style two perimeters with sparse
+// rectilinear infill).
+type Config struct {
+	LayerHeight      float64 // mm
+	FirstLayerHeight float64 // mm
+	NozzleDiameter   float64 // mm
+	FilamentDiameter float64 // mm
+	ExtrusionWidth   float64 // mm
+	// FlowMultiplier scales all extrusion; 1.0 is nominal. Trojan T2
+	// emulates a slicer "flow" error — this is the legitimate knob it
+	// impersonates.
+	FlowMultiplier float64
+	Perimeters     int     // number of concentric walls
+	InfillSpacing  float64 // mm between infill lines (0 disables infill)
+	// SolidLayers prints the first and last N layers with dense infill
+	// (line spacing = ExtrusionWidth), like a real slicer's top/bottom
+	// shells. 0 keeps the sparse pattern everywhere.
+	SolidLayers int
+	// SkirtLoops draws N outline loops around the part on layer 1 to
+	// prime the nozzle near the part (Cura's default behaviour).
+	SkirtLoops int
+	// SkirtGap is the clearance between the part and the skirt, mm.
+	SkirtGap float64
+
+	PrintSpeed         float64 // mm/s for extruding moves
+	FirstLayerSpeed    float64 // mm/s on layer 1
+	TravelSpeed        float64 // mm/s for non-extruding moves
+	RetractSpeed       float64 // mm/s for retract/unretract
+	RetractLength      float64 // mm of filament pulled on travel
+	MinTravelNoRetract float64 // travels shorter than this skip retraction
+
+	HotendTemp float64 // °C
+	BedTemp    float64 // °C
+	FanSpeed   int     // 0-255 PWM applied after layer 1
+
+	CenterX, CenterY float64 // part placement on the bed, mm
+}
+
+// DefaultConfig returns the profile described above.
+func DefaultConfig() Config {
+	return Config{
+		LayerHeight:        0.2,
+		FirstLayerHeight:   0.2,
+		NozzleDiameter:     0.4,
+		FilamentDiameter:   1.75,
+		ExtrusionWidth:     0.45,
+		FlowMultiplier:     1.0,
+		Perimeters:         2,
+		InfillSpacing:      2.0,
+		PrintSpeed:         40,
+		FirstLayerSpeed:    20,
+		TravelSpeed:        120,
+		RetractSpeed:       35,
+		RetractLength:      0.8,
+		MinTravelNoRetract: 2.0,
+		HotendTemp:         210,
+		BedTemp:            60,
+		FanSpeed:           255,
+		CenterX:            110,
+		CenterY:            110,
+	}
+}
+
+// Validate reports the first invalid field, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.LayerHeight <= 0:
+		return fmt.Errorf("slicer: LayerHeight must be positive, got %v", c.LayerHeight)
+	case c.FirstLayerHeight <= 0:
+		return fmt.Errorf("slicer: FirstLayerHeight must be positive, got %v", c.FirstLayerHeight)
+	case c.FilamentDiameter <= 0:
+		return fmt.Errorf("slicer: FilamentDiameter must be positive, got %v", c.FilamentDiameter)
+	case c.ExtrusionWidth < c.NozzleDiameter*0.5:
+		return fmt.Errorf("slicer: ExtrusionWidth %v too small for nozzle %v", c.ExtrusionWidth, c.NozzleDiameter)
+	case c.FlowMultiplier <= 0:
+		return fmt.Errorf("slicer: FlowMultiplier must be positive, got %v", c.FlowMultiplier)
+	case c.Perimeters < 1:
+		return fmt.Errorf("slicer: need at least 1 perimeter, got %d", c.Perimeters)
+	case c.PrintSpeed <= 0 || c.TravelSpeed <= 0 || c.FirstLayerSpeed <= 0:
+		return fmt.Errorf("slicer: speeds must be positive")
+	case c.FanSpeed < 0 || c.FanSpeed > 255:
+		return fmt.Errorf("slicer: FanSpeed must be 0..255, got %d", c.FanSpeed)
+	case c.SolidLayers < 0:
+		return fmt.Errorf("slicer: SolidLayers must be non-negative, got %d", c.SolidLayers)
+	case c.SkirtLoops < 0:
+		return fmt.Errorf("slicer: SkirtLoops must be non-negative, got %d", c.SkirtLoops)
+	case c.SkirtLoops > 0 && c.SkirtGap <= 0:
+		return fmt.Errorf("slicer: SkirtGap must be positive when skirt is enabled")
+	}
+	return nil
+}
+
+// extrusionPerMM returns millimetres of filament fed per millimetre of
+// extruding XY travel: the cross-sectional area of the deposited bead
+// divided by the filament cross-section.
+func (c Config) extrusionPerMM(layerHeight float64) float64 {
+	bead := c.ExtrusionWidth * layerHeight
+	filament := math.Pi / 4 * c.FilamentDiameter * c.FilamentDiameter
+	return bead / filament * c.FlowMultiplier
+}
+
+// emitter accumulates the program while tracking cumulative E and the
+// current XY position.
+type emitter struct {
+	prog      gcode.Program
+	cfg       Config
+	e         float64 // cumulative filament since last G92 E0
+	x, y      float64 // current position (bed frame)
+	haveXY    bool
+	retracted bool
+}
+
+func (em *emitter) cmd(c gcode.Command) { em.prog = append(em.prog, c) }
+
+func (em *emitter) comment(text string) { em.cmd(gcode.Comment(text)) }
+
+// travel moves to p without extruding, retracting first when the hop is
+// long enough to ooze.
+func (em *emitter) travel(p Point, z float64) {
+	dist := 0.0
+	if em.haveXY {
+		dist = p.Distance(Point{em.x, em.y})
+	}
+	if dist < 1e-9 && em.haveXY {
+		return
+	}
+	if em.cfg.RetractLength > 0 && dist >= em.cfg.MinTravelNoRetract && !em.retracted {
+		em.e -= em.cfg.RetractLength
+		em.cmd(gcode.Synthesize("G1",
+			gcode.P('E', round5(em.e)),
+			gcode.P('F', em.cfg.RetractSpeed*60)))
+		em.retracted = true
+	}
+	words := []gcode.Param{
+		gcode.P('X', round5(p.X)),
+		gcode.P('Y', round5(p.Y)),
+		gcode.P('F', em.cfg.TravelSpeed*60),
+	}
+	_ = z
+	em.cmd(gcode.Synthesize("G0", words...))
+	em.x, em.y, em.haveXY = p.X, p.Y, true
+}
+
+// unretract restores the filament after a retracted travel.
+func (em *emitter) unretract() {
+	if !em.retracted {
+		return
+	}
+	em.e += em.cfg.RetractLength
+	em.cmd(gcode.Synthesize("G1",
+		gcode.P('E', round5(em.e)),
+		gcode.P('F', em.cfg.RetractSpeed*60)))
+	em.retracted = false
+}
+
+// extrude prints a line to p at the given speed and layer height.
+func (em *emitter) extrude(p Point, layerHeight, speed float64) {
+	em.unretract()
+	dist := p.Distance(Point{em.x, em.y})
+	if dist < 1e-9 {
+		return
+	}
+	em.e += dist * em.cfg.extrusionPerMM(layerHeight)
+	em.cmd(gcode.Synthesize("G1",
+		gcode.P('X', round5(p.X)),
+		gcode.P('Y', round5(p.Y)),
+		gcode.P('E', round5(em.e)),
+		gcode.P('F', speed*60)))
+	em.x, em.y = p.X, p.Y
+}
+
+func round5(v float64) float64 { return math.Round(v*1e5) / 1e5 }
+
+// Slice produces a complete print program for the shape: heat-up preamble,
+// homing, prime line, all layers (perimeters then infill, alternating
+// infill direction per layer), and shutdown postamble.
+func Slice(shape Shape, cfg Config) (gcode.Program, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if shape == nil {
+		return nil, fmt.Errorf("slicer: nil shape")
+	}
+	if shape.Outline(0) == nil {
+		return nil, fmt.Errorf("slicer: shape %s has an empty cross-section", shape.Name())
+	}
+
+	em := &emitter{cfg: cfg}
+	center := Point{cfg.CenterX, cfg.CenterY}
+
+	// --- Preamble (Cura-style start code) ---
+	em.comment(fmt.Sprintf("Sliced by offramps-slicer: %s", shape.Name()))
+	em.comment(fmt.Sprintf("layer_height=%g flow=%g perimeters=%d", cfg.LayerHeight, cfg.FlowMultiplier, cfg.Perimeters))
+	em.cmd(gcode.Synthesize("M140", gcode.P('S', cfg.BedTemp)))    // start bed heating
+	em.cmd(gcode.Synthesize("M104", gcode.P('S', cfg.HotendTemp))) // start hotend heating
+	em.cmd(gcode.Synthesize("M190", gcode.P('S', cfg.BedTemp)))    // wait for bed
+	em.cmd(gcode.Synthesize("M109", gcode.P('S', cfg.HotendTemp))) // wait for hotend
+	em.cmd(gcode.Synthesize("G90"))                                // absolute positioning
+	em.cmd(gcode.Synthesize("M82"))                                // absolute E
+	em.cmd(gcode.Synthesize("G28"))                                // home all
+	em.cmd(gcode.Synthesize("G92", gcode.P('E', 0)))
+	em.cmd(gcode.Synthesize("M107")) // fan off for first layer
+
+	// Prime line along the front edge of the bed.
+	em.cmd(gcode.Synthesize("G1", gcode.P('Z', round5(cfg.FirstLayerHeight)), gcode.P('F', 1200)))
+	em.travel(Point{10, 5}, cfg.FirstLayerHeight)
+	em.extrude(Point{100, 5}, cfg.FirstLayerHeight, cfg.FirstLayerSpeed)
+	em.cmd(gcode.Synthesize("G92", gcode.P('E', 0)))
+	em.e = 0
+
+	// --- Layers ---
+	layerCount := int(math.Ceil((shape.Height() - cfg.FirstLayerHeight) / cfg.LayerHeight))
+	if layerCount < 0 {
+		layerCount = 0
+	}
+	totalLayers := layerCount + 1
+
+	z := 0.0
+	for layer := 0; layer < totalLayers; layer++ {
+		lh := cfg.LayerHeight
+		if layer == 0 {
+			lh = cfg.FirstLayerHeight
+		}
+		z += lh
+		speed := cfg.PrintSpeed
+		if layer == 0 {
+			speed = cfg.FirstLayerSpeed
+		}
+
+		em.comment(fmt.Sprintf("LAYER:%d", layer))
+		em.cmd(gcode.Synthesize("G1", gcode.P('Z', round5(z)), gcode.P('F', 1200)))
+		if layer == 1 && cfg.FanSpeed > 0 {
+			em.cmd(gcode.Synthesize("M106", gcode.P('S', float64(cfg.FanSpeed))))
+		}
+
+		// Skirt: outline loops offset outward from the part, layer 1 only.
+		if layer == 0 && cfg.SkirtLoops > 0 {
+			for si := 0; si < cfg.SkirtLoops; si++ {
+				inset := -(cfg.SkirtGap + float64(si+1)*cfg.ExtrusionWidth)
+				outline := shape.Outline(inset)
+				if len(outline) < 3 {
+					continue
+				}
+				loop := translate(outline, center)
+				em.travel(loop[0], z)
+				for _, p := range loop[1:] {
+					em.extrude(p, lh, speed)
+				}
+				em.extrude(loop[0], lh, speed)
+			}
+		}
+
+		// Perimeters, outermost first.
+		for pi := 0; pi < cfg.Perimeters; pi++ {
+			inset := (float64(pi) + 0.5) * cfg.ExtrusionWidth
+			outline := shape.Outline(inset)
+			if len(outline) < 3 {
+				break
+			}
+			loop := translate(outline, center)
+			em.travel(loop[0], z)
+			for _, p := range loop[1:] {
+				em.extrude(p, lh, speed)
+			}
+			em.extrude(loop[0], lh, speed) // close the loop
+		}
+
+		// Infill inside the innermost perimeter. Solid shells use dense
+		// line spacing on the bottom and top SolidLayers layers.
+		spacing := cfg.InfillSpacing
+		if cfg.SolidLayers > 0 && (layer < cfg.SolidLayers || layer >= totalLayers-cfg.SolidLayers) {
+			spacing = cfg.ExtrusionWidth
+		}
+		if spacing > 0 {
+			innerInset := (float64(cfg.Perimeters) + 0.5) * cfg.ExtrusionWidth
+			region := shape.Outline(innerInset)
+			if len(region) >= 3 {
+				segs := rectilinearInfill(region, spacing, layer%2 == 1)
+				for _, s := range segs {
+					a := s.A.Add(center)
+					b := s.B.Add(center)
+					em.travel(a, z)
+					em.extrude(b, lh, speed)
+				}
+			}
+		}
+
+		// Reset E periodically like real slicer output so absolute E
+		// numbers stay small.
+		em.cmd(gcode.Synthesize("G92", gcode.P('E', 0)))
+		em.e = 0
+		em.retracted = false
+	}
+
+	// --- Postamble ---
+	em.comment("end of print")
+	em.cmd(gcode.Synthesize("M107"))                                              // fan off
+	em.cmd(gcode.Synthesize("M104", gcode.P('S', 0)))                             // hotend off
+	em.cmd(gcode.Synthesize("M140", gcode.P('S', 0)))                             // bed off
+	em.cmd(gcode.Synthesize("G1", gcode.P('Z', round5(z+5)), gcode.P('F', 1200))) // lift
+	em.cmd(gcode.Synthesize("G28", gcode.P('X', 0)))                              // park X
+	em.cmd(gcode.Synthesize("M84"))                                               // motors off
+
+	return em.prog, nil
+}
+
+// translate shifts a polygon by the offset point.
+func translate(pg Polygon, off Point) Polygon {
+	out := make(Polygon, len(pg))
+	for i, p := range pg {
+		out[i] = p.Add(off)
+	}
+	return out
+}

@@ -1,0 +1,436 @@
+package slicer
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"offramps/internal/gcode"
+)
+
+func mustBox(t *testing.T, w, d, h float64) Box {
+	t.Helper()
+	b, err := NewBox(w, d, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func sliceBox(t *testing.T, w, d, h float64) gcode.Program {
+	t.Helper()
+	prog, err := Slice(mustBox(t, w, d, h), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestSliceBoxStructure(t *testing.T) {
+	prog := sliceBox(t, 20, 20, 2)
+	for _, code := range []string{"M104", "M109", "M140", "M190", "G28", "M106", "M107", "M84", "G92"} {
+		if prog.Count(code) == 0 {
+			t.Errorf("program missing %s", code)
+		}
+	}
+	stats := gcode.ComputeStats(prog)
+	// 2 mm at 0.2 mm per layer = 10 layers... plus the prime line at
+	// first-layer height which shares layer 0's Z.
+	if stats.Layers != 10 {
+		t.Errorf("Layers = %d, want 10", stats.Layers)
+	}
+	if stats.Filament <= 0 {
+		t.Error("no filament extruded")
+	}
+	if stats.PrintingMoves < 100 {
+		t.Errorf("suspiciously few printing moves: %d", stats.PrintingMoves)
+	}
+}
+
+func TestSliceBoxDimensions(t *testing.T) {
+	prog := sliceBox(t, 20, 30, 2)
+	stats := gcode.ComputeStats(prog)
+	cfg := DefaultConfig()
+	// The outer perimeter centreline is inset half an extrusion width, so
+	// the printed extent of the walls is W - ExtrusionWidth. The prime
+	// line extends the X bounds, so check Y only (prime line is at Y=5,
+	// far from the part at CenterY=110).
+	wantY := 30 - cfg.ExtrusionWidth
+	// Bounds include the prime line: restrict expectation to max side.
+	gotMaxY := stats.Bounds.MaxY - cfg.CenterY
+	if math.Abs(gotMaxY-wantY/2) > 0.01 {
+		t.Errorf("max Y offset = %v, want %v", gotMaxY, wantY/2)
+	}
+}
+
+func TestSliceExtrusionVolume(t *testing.T) {
+	// The filament used must roughly equal deposited volume / filament
+	// cross-section. Deposited volume ≈ covered area × height; for a
+	// dense-ish box with 2 mm infill spacing coverage is partial, so just
+	// check the filament is within a sane factor of the fully solid
+	// volume.
+	prog := sliceBox(t, 20, 20, 2)
+	stats := gcode.ComputeStats(prog)
+	cfg := DefaultConfig()
+	filamentArea := math.Pi / 4 * cfg.FilamentDiameter * cfg.FilamentDiameter
+	solidVolume := 20.0 * 20 * 2
+	solidFilament := solidVolume / filamentArea
+	if stats.Filament > solidFilament {
+		t.Errorf("filament %v exceeds fully-solid equivalent %v", stats.Filament, solidFilament)
+	}
+	if stats.Filament < solidFilament/20 {
+		t.Errorf("filament %v implausibly small vs solid %v", stats.Filament, solidFilament)
+	}
+}
+
+func TestSliceFlowMultiplierScalesFilament(t *testing.T) {
+	cfg := DefaultConfig()
+	box := mustBox(t, 15, 15, 1)
+	base, err := Slice(box, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FlowMultiplier = 0.5
+	half, err := Slice(box, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// NetFilament excludes retract/unretract churn, which does not scale
+	// with flow.
+	fb := gcode.ComputeStats(base).NetFilament
+	fh := gcode.ComputeStats(half).NetFilament
+	ratio := fh / fb
+	if math.Abs(ratio-0.5) > 0.02 {
+		t.Errorf("flow 0.5 gave filament ratio %v, want ~0.5", ratio)
+	}
+}
+
+func TestSliceRetractionsOnTravel(t *testing.T) {
+	prog := sliceBox(t, 20, 20, 1)
+	stats := gcode.ComputeStats(prog)
+	if stats.Retractions == 0 {
+		t.Error("no retractions emitted")
+	}
+}
+
+func TestSliceCylinderAndTensileBar(t *testing.T) {
+	cyl, err := NewCylinder(8, 1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Slice(cyl, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gcode.ComputeStats(prog).PrintingMoves == 0 {
+		t.Error("cylinder produced no printing moves")
+	}
+
+	bar, err := NewTensileBar(60, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err = Slice(bar, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := gcode.ComputeStats(prog)
+	if st.PrintingMoves == 0 {
+		t.Error("tensile bar produced no printing moves")
+	}
+	// The dog-bone is longer than wide.
+	if st.Bounds.SizeX() <= st.Bounds.SizeY() {
+		t.Errorf("tensile bar bounds %vx%v not elongated", st.Bounds.SizeX(), st.Bounds.SizeY())
+	}
+}
+
+func TestSliceProgramReparses(t *testing.T) {
+	prog := sliceBox(t, 10, 10, 0.6)
+	re, err := gcode.ParseString(prog.String())
+	if err != nil {
+		t.Fatalf("slicer output failed to reparse: %v", err)
+	}
+	if len(re.Commands()) != len(prog.Commands()) {
+		t.Errorf("reparse command count %d != %d", len(re.Commands()), len(prog.Commands()))
+	}
+}
+
+func TestSliceLayerComments(t *testing.T) {
+	prog := sliceBox(t, 10, 10, 1)
+	text := prog.String()
+	if !strings.Contains(text, ";LAYER:0") || !strings.Contains(text, ";LAYER:4") {
+		t.Error("missing LAYER comments")
+	}
+}
+
+func TestSliceValidation(t *testing.T) {
+	box := mustBox(t, 10, 10, 1)
+	bad := DefaultConfig()
+	bad.LayerHeight = 0
+	if _, err := Slice(box, bad); err == nil {
+		t.Error("zero layer height accepted")
+	}
+	bad = DefaultConfig()
+	bad.Perimeters = 0
+	if _, err := Slice(box, bad); err == nil {
+		t.Error("zero perimeters accepted")
+	}
+	bad = DefaultConfig()
+	bad.FanSpeed = 300
+	if _, err := Slice(box, bad); err == nil {
+		t.Error("fan speed 300 accepted")
+	}
+	if _, err := Slice(nil, DefaultConfig()); err == nil {
+		t.Error("nil shape accepted")
+	}
+}
+
+func TestSliceSkirt(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkirtLoops = 2
+	cfg.SkirtGap = 3
+	box := mustBox(t, 15, 15, 0.4)
+	withSkirt, err := Slice(box, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Slice(box, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := gcode.ComputeStats(withSkirt)
+	ps := gcode.ComputeStats(plain)
+	if ws.PrintingMoves <= ps.PrintingMoves {
+		t.Error("skirt added no printing moves")
+	}
+	// The skirt extends the printed bounds beyond the part by the gap.
+	if ws.Bounds.SizeX() <= ps.Bounds.SizeX() {
+		t.Errorf("skirt bounds %v not larger than part bounds %v", ws.Bounds.SizeX(), ps.Bounds.SizeX())
+	}
+}
+
+func TestSliceSolidLayers(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SolidLayers = 1
+	box := mustBox(t, 15, 15, 1.0)
+	solid, err := Slice(box, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := Slice(box, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := gcode.ComputeStats(solid).NetFilament
+	fp := gcode.ComputeStats(sparse).NetFilament
+	if fs <= fp*1.2 {
+		t.Errorf("solid shells used %.1f mm vs sparse %.1f mm — not denser", fs, fp)
+	}
+}
+
+func TestSliceSkirtValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.SkirtLoops = 1
+	cfg.SkirtGap = 0
+	if _, err := Slice(mustBox(t, 10, 10, 1), cfg); err == nil {
+		t.Error("skirt without gap accepted")
+	}
+	cfg = DefaultConfig()
+	cfg.SolidLayers = -1
+	if _, err := Slice(mustBox(t, 10, 10, 1), cfg); err == nil {
+		t.Error("negative solid layers accepted")
+	}
+}
+
+func TestShapeConstructorsReject(t *testing.T) {
+	if _, err := NewBox(0, 1, 1); err == nil {
+		t.Error("NewBox(0,...) accepted")
+	}
+	if _, err := NewCylinder(-1, 1, 16); err == nil {
+		t.Error("NewCylinder(-1,...) accepted")
+	}
+	if _, err := NewTensileBar(0, 1); err == nil {
+		t.Error("NewTensileBar(0,...) accepted")
+	}
+}
+
+func TestCylinderSegmentsFloor(t *testing.T) {
+	c, err := NewCylinder(5, 5, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Segments != 8 {
+		t.Errorf("Segments = %d, want raised to 8", c.Segments)
+	}
+}
+
+func TestBoxOutlineInset(t *testing.T) {
+	b := mustBox(t, 10, 20, 5)
+	outer := b.Outline(0)
+	if len(outer) != 4 {
+		t.Fatalf("outline has %d points", len(outer))
+	}
+	minX, minY, maxX, maxY := outer.Bounds()
+	if maxX-minX != 10 || maxY-minY != 20 {
+		t.Errorf("outer bounds %v,%v", maxX-minX, maxY-minY)
+	}
+	inner := b.Outline(1)
+	iMinX, _, iMaxX, _ := inner.Bounds()
+	if iMaxX-iMinX != 8 {
+		t.Errorf("inset bounds X = %v, want 8", iMaxX-iMinX)
+	}
+	if b.Outline(5) != nil {
+		t.Error("over-inset box returned a polygon")
+	}
+}
+
+func TestCylinderOutlineRadius(t *testing.T) {
+	c, _ := NewCylinder(10, 5, 64)
+	pg := c.Outline(2)
+	for _, p := range pg {
+		r := math.Hypot(p.X, p.Y)
+		if math.Abs(r-8) > 1e-9 {
+			t.Fatalf("inset cylinder vertex radius %v, want 8", r)
+		}
+	}
+	if c.Outline(10) != nil {
+		t.Error("over-inset cylinder returned a polygon")
+	}
+}
+
+func TestTensileBarOutlineNonConvex(t *testing.T) {
+	bar, _ := NewTensileBar(60, 2)
+	pg := bar.Outline(0)
+	if len(pg) != 12 {
+		t.Fatalf("dog-bone outline has %d points, want 12", len(pg))
+	}
+	// The waist must be narrower than the grips.
+	_, minY, _, maxY := pg.Bounds()
+	if maxY-minY != bar.GripWidth {
+		t.Errorf("outline height %v != grip width %v", maxY-minY, bar.GripWidth)
+	}
+	// Scanline through the middle (y=0) must cross the gauge only: 2
+	// crossings.
+	xs := scanlineCrossings(pg, 0)
+	if len(xs) != 2 {
+		t.Errorf("mid scanline crossings = %d, want 2", len(xs))
+	}
+	// Scanline near the top crosses both grips: 4 crossings.
+	xs = scanlineCrossings(pg, bar.GripWidth/2-0.5)
+	if len(xs) != 4 {
+		t.Errorf("grip scanline crossings = %d, want 4", len(xs))
+	}
+}
+
+func TestScanlineCrossingsEvenProperty(t *testing.T) {
+	bar, _ := NewTensileBar(60, 2)
+	pg := bar.Outline(0)
+	f := func(raw uint16) bool {
+		y := (float64(raw)/65535 - 0.5) * 2 * bar.GripWidth
+		return len(scanlineCrossings(pg, y))%2 == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRectilinearInfillCoversBox(t *testing.T) {
+	pg := Polygon{{-5, -5}, {5, -5}, {5, 5}, {-5, 5}}
+	segs := rectilinearInfill(pg, 1, false)
+	if len(segs) != 10 {
+		t.Fatalf("got %d infill lines, want 10", len(segs))
+	}
+	for _, s := range segs {
+		if math.Abs(s.Length()-10) > 1e-9 {
+			t.Errorf("infill line length %v, want 10", s.Length())
+		}
+		if s.A.Y != s.B.Y {
+			t.Error("horizontal infill line is not horizontal")
+		}
+	}
+	// Zig-zag: consecutive lines alternate direction.
+	for i := 1; i < len(segs); i++ {
+		prevDir := segs[i-1].B.X > segs[i-1].A.X
+		dir := segs[i].B.X > segs[i].A.X
+		if prevDir == dir {
+			t.Fatal("infill does not alternate direction")
+		}
+	}
+}
+
+func TestRectilinearInfillVertical(t *testing.T) {
+	pg := Polygon{{-5, -5}, {5, -5}, {5, 5}, {-5, 5}}
+	segs := rectilinearInfill(pg, 1, true)
+	if len(segs) != 10 {
+		t.Fatalf("got %d vertical lines, want 10", len(segs))
+	}
+	for _, s := range segs {
+		if s.A.X != s.B.X {
+			t.Error("vertical infill line is not vertical")
+		}
+	}
+}
+
+func TestRectilinearInfillSkipsWaist(t *testing.T) {
+	bar, _ := NewTensileBar(60, 2)
+	pg := bar.Outline(0)
+	segs := rectilinearInfill(pg, 1, false)
+	// Lines through the grip band must be split into two segments (one
+	// per grip); count segments shorter than the bar length.
+	sawSplit := false
+	for _, s := range segs {
+		if s.Length() < bar.Length/2 {
+			sawSplit = true
+			break
+		}
+	}
+	if !sawSplit {
+		t.Error("non-convex infill never split a scanline")
+	}
+}
+
+func TestRectilinearInfillDegenerate(t *testing.T) {
+	if segs := rectilinearInfill(nil, 1, false); segs != nil {
+		t.Error("nil polygon produced infill")
+	}
+	if segs := rectilinearInfill(Polygon{{0, 0}, {1, 1}}, 1, false); segs != nil {
+		t.Error("2-point polygon produced infill")
+	}
+	pg := Polygon{{-5, -5}, {5, -5}, {5, 5}, {-5, 5}}
+	if segs := rectilinearInfill(pg, 0, false); segs != nil {
+		t.Error("zero spacing produced infill")
+	}
+}
+
+func TestPolygonArea(t *testing.T) {
+	sq := Polygon{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
+	if a := polygonArea(sq); a != 16 {
+		t.Errorf("square area %v, want 16", a)
+	}
+	if a := polygonArea(Polygon{{0, 0}, {1, 1}}); a != 0 {
+		t.Errorf("degenerate area %v, want 0", a)
+	}
+	// Clockwise winding still positive.
+	cw := Polygon{{0, 4}, {4, 4}, {4, 0}, {0, 0}}
+	if a := polygonArea(cw); a != 16 {
+		t.Errorf("cw area %v, want 16", a)
+	}
+}
+
+func TestPolygonPerimeter(t *testing.T) {
+	sq := Polygon{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
+	if p := sq.Perimeter(); p != 16 {
+		t.Errorf("perimeter %v, want 16", p)
+	}
+	if p := (Polygon{{1, 1}}).Perimeter(); p != 0 {
+		t.Errorf("single point perimeter %v", p)
+	}
+}
+
+func TestTotalLength(t *testing.T) {
+	segs := []Segment{{Point{0, 0}, Point{3, 4}}, {Point{0, 0}, Point{1, 0}}}
+	if l := totalLength(segs); l != 6 {
+		t.Errorf("totalLength = %v, want 6", l)
+	}
+}

@@ -1,0 +1,434 @@
+package trojan
+
+import (
+	"fmt"
+
+	"offramps/internal/fpga"
+	"offramps/internal/signal"
+	"offramps/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// T1 — arbitrary X/Y shift ("Loose Belt")
+
+// T1Params configures the T1 axis-shift trojan.
+type T1Params struct {
+	Period sim.Time // interval between injections (paper: every ten seconds)
+	Steps  int      // extra steps injected per event
+	Seed   uint64   // axis selection randomness
+}
+
+// T1AxisShift implements Table I T1: "Randomly changes steps from X or Y
+// axis during print" by injecting stepper pulses between the original
+// control pulses, causing longer travel motions without extra print time.
+type T1AxisShift struct {
+	p   T1Params
+	rng *sim.Rand
+
+	genX, genY *fpga.PulseGenerator
+	stop       func()
+}
+
+// NewT1AxisShift builds the trojan.
+func NewT1AxisShift(p T1Params) *T1AxisShift {
+	return &T1AxisShift{p: p, rng: sim.NewRand(p.Seed)}
+}
+
+// ID implements fpga.Trojan.
+func (t *T1AxisShift) ID() string { return "T1" }
+
+// Description implements fpga.Trojan.
+func (t *T1AxisShift) Description() string {
+	return fmt.Sprintf("randomly shifts X or Y by %d steps every %v (loose belt)", t.p.Steps, t.p.Period)
+}
+
+// Kind implements Info.
+func (t *T1AxisShift) Kind() Kind { return PartModification }
+
+// Scenario implements Info.
+func (t *T1AxisShift) Scenario() string { return "Loose Belt" }
+
+// Arm implements fpga.Trojan: after homing, every Period, burst extra
+// pulses on a randomly chosen axis.
+func (t *T1AxisShift) Arm(b *fpga.Board) error {
+	if t.p.Period <= 0 || t.p.Steps <= 0 {
+		return fmt.Errorf("trojan T1: Period and Steps must be positive")
+	}
+	var err error
+	t.genX, err = fpga.NewPulseGenerator(b.Path(signal.PinXStep), injectionFrequency, injectionPulseWidth)
+	if err != nil {
+		return err
+	}
+	t.genY, err = fpga.NewPulseGenerator(b.Path(signal.PinYStep), injectionFrequency, injectionPulseWidth)
+	if err != nil {
+		return err
+	}
+	b.OnHomed(func(sim.Time) {
+		t.stop = b.Engine().Ticker(t.p.Period, func(sim.Time) {
+			gen := t.genX
+			if t.rng.Bool(0.5) {
+				gen = t.genY
+			}
+			// Skip a beat if the previous burst is still draining.
+			_ = gen.Burst(t.p.Steps, nil)
+		})
+	})
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// T2 — constant over/under extrusion ("Incorrect Slicing")
+
+// T2Params configures the T2 extrusion-reduction trojan.
+type T2Params struct {
+	// KeepRatio is the fraction of forward extruder steps allowed
+	// through. 0.5 reproduces the paper's "masking half of extruder
+	// stepper motor pulses... reducing the flow and amount of material
+	// extruded by 50%. This implements reduction Trojans from Flaw3D."
+	KeepRatio float64
+}
+
+// T2ExtrusionReduction implements Table I T2.
+type T2ExtrusionReduction struct {
+	p   T2Params
+	acc float64
+	// debt counts retraction steps not yet recovered. Recovery pulses
+	// pass 1:1 — masking them would accumulate unbounded retraction and
+	// starve the nozzle entirely instead of halving the flow.
+	debt    int64
+	dropped uint64
+}
+
+// NewT2ExtrusionReduction builds the trojan.
+func NewT2ExtrusionReduction(p T2Params) *T2ExtrusionReduction {
+	return &T2ExtrusionReduction{p: p}
+}
+
+// ID implements fpga.Trojan.
+func (t *T2ExtrusionReduction) ID() string { return "T2" }
+
+// Description implements fpga.Trojan.
+func (t *T2ExtrusionReduction) Description() string {
+	return fmt.Sprintf("masks extruder steps to %.0f%% flow (Flaw3D-style reduction)", t.p.KeepRatio*100)
+}
+
+// Kind implements Info.
+func (t *T2ExtrusionReduction) Kind() Kind { return PartModification }
+
+// Scenario implements Info.
+func (t *T2ExtrusionReduction) Scenario() string { return "Incorrect Slicing" }
+
+// Dropped reports how many extruder pulses were masked.
+func (t *T2ExtrusionReduction) Dropped() uint64 { return t.dropped }
+
+// Arm implements fpga.Trojan: an edge filter on E_STEP that passes
+// KeepRatio of forward pulses. Retraction pulses (DIR negative) pass
+// untouched so travel behaviour stays plausible.
+func (t *T2ExtrusionReduction) Arm(b *fpga.Board) error {
+	if t.p.KeepRatio <= 0 || t.p.KeepRatio > 1 {
+		return fmt.Errorf("trojan T2: KeepRatio must be in (0,1], got %v", t.p.KeepRatio)
+	}
+	dir := b.Path(signal.PinEDir).Source()
+	b.Path(signal.PinEStep).AddFilter(func(_ sim.Time, level signal.Level) bool {
+		if level != signal.High {
+			return true // falling edges always pass (idempotent at dst)
+		}
+		if dir.Level() == signal.High {
+			t.debt++
+			return true // retraction untouched
+		}
+		if t.debt > 0 {
+			t.debt--
+			return true // recovery untouched
+		}
+		t.acc += t.p.KeepRatio
+		if t.acc >= 1 {
+			t.acc--
+			return true
+		}
+		t.dropped++
+		return false
+	})
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// T3 — retraction tamper during Y motion ("Incorrect Slicing")
+
+// T3Mode selects over- or under-extrusion behaviour.
+type T3Mode int
+
+// T3 modes: inject extra extruder pulses (over) or mask real ones (under).
+const (
+	OverExtrude T3Mode = iota + 1
+	UnderExtrude
+)
+
+// T3Params configures the T3 retraction-tamper trojan.
+type T3Params struct {
+	Mode T3Mode
+	// EveryNYSteps fires one E-step modification per N Y-axis steps.
+	EveryNYSteps int
+}
+
+// T3RetractionTamper implements Table I T3: "Increases or decreases
+// filament retraction during Y steps", mimicking improper slicer
+// retraction settings.
+type T3RetractionTamper struct {
+	p        T3Params
+	yCount   int
+	pending  int // under-extrude: E pulses still to mask
+	gen      *fpga.PulseGenerator
+	injected uint64
+	masked   uint64
+}
+
+// NewT3RetractionTamper builds the trojan.
+func NewT3RetractionTamper(p T3Params) *T3RetractionTamper {
+	return &T3RetractionTamper{p: p}
+}
+
+// ID implements fpga.Trojan.
+func (t *T3RetractionTamper) ID() string { return "T3" }
+
+// Description implements fpga.Trojan.
+func (t *T3RetractionTamper) Description() string {
+	mode := "over"
+	if t.p.Mode == UnderExtrude {
+		mode = "under"
+	}
+	return fmt.Sprintf("%s-extrudes during Y motion (1 E-step per %d Y-steps)", mode, t.p.EveryNYSteps)
+}
+
+// Kind implements Info.
+func (t *T3RetractionTamper) Kind() Kind { return PartModification }
+
+// Scenario implements Info.
+func (t *T3RetractionTamper) Scenario() string { return "Incorrect Slicing" }
+
+// Injected reports extra E pulses injected (over mode).
+func (t *T3RetractionTamper) Injected() uint64 { return t.injected }
+
+// Masked reports E pulses masked (under mode).
+func (t *T3RetractionTamper) Masked() uint64 { return t.masked }
+
+// Arm implements fpga.Trojan.
+func (t *T3RetractionTamper) Arm(b *fpga.Board) error {
+	if t.p.EveryNYSteps <= 0 {
+		return fmt.Errorf("trojan T3: EveryNYSteps must be positive")
+	}
+	if t.p.Mode != OverExtrude && t.p.Mode != UnderExtrude {
+		return fmt.Errorf("trojan T3: invalid mode %d", t.p.Mode)
+	}
+	var err error
+	t.gen, err = fpga.NewPulseGenerator(b.Path(signal.PinEStep), injectionFrequency, injectionPulseWidth)
+	if err != nil {
+		return err
+	}
+	yDet := fpga.NewEdgeDetector(b.Path(signal.PinYStep).Source())
+	yDet.OnRising(func(at sim.Time) {
+		t.yCount++
+		if t.yCount < t.p.EveryNYSteps {
+			return
+		}
+		t.yCount = 0
+		switch t.p.Mode {
+		case OverExtrude:
+			if !t.gen.Running() {
+				t.injected++
+				_ = t.gen.Burst(1, nil)
+			}
+		case UnderExtrude:
+			t.pending++
+		}
+	})
+	if t.p.Mode == UnderExtrude {
+		eDir := b.Path(signal.PinEDir).Source()
+		b.Path(signal.PinEStep).AddFilter(func(_ sim.Time, level signal.Level) bool {
+			if level != signal.High || t.pending == 0 || eDir.Level() == signal.High {
+				return true
+			}
+			t.pending--
+			t.masked++
+			return false
+		})
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// T4 — Z-wobble ("Z-Wobble")
+
+// T4Params configures the T4 Z-wobble trojan.
+type T4Params struct {
+	// A shift fires after a random number of layers uniform in
+	// [LayerPeriodMin, LayerPeriodMax].
+	LayerPeriodMin, LayerPeriodMax int
+	Steps                          int // X/Y steps injected per event
+	Seed                           uint64
+}
+
+// T4ZWobble implements Table I T4: "Small shift along X and Y axis on
+// random Z layer increments", emulating a non-rigid Z frame.
+type T4ZWobble struct {
+	p   T4Params
+	rng *sim.Rand
+
+	zSteps         int
+	zStepsPerLayer int
+	layersSeen     int
+	nextTrigger    int
+	genX, genY     *fpga.PulseGenerator
+	events         uint64
+}
+
+// NewT4ZWobble builds the trojan.
+func NewT4ZWobble(p T4Params) *T4ZWobble {
+	return &T4ZWobble{p: p, rng: sim.NewRand(p.Seed)}
+}
+
+// ID implements fpga.Trojan.
+func (t *T4ZWobble) ID() string { return "T4" }
+
+// Description implements fpga.Trojan.
+func (t *T4ZWobble) Description() string {
+	return fmt.Sprintf("injects %d-step X/Y wobble on random layer increments", t.p.Steps)
+}
+
+// Kind implements Info.
+func (t *T4ZWobble) Kind() Kind { return PartModification }
+
+// Scenario implements Info.
+func (t *T4ZWobble) Scenario() string { return "Z-Wobble" }
+
+// Events reports how many wobble bursts fired.
+func (t *T4ZWobble) Events() uint64 { return t.events }
+
+// Arm implements fpga.Trojan. Layer boundaries are inferred from Z_STEP
+// activity: a standard 0.2 mm layer at 400 steps/mm is 80 Z steps.
+func (t *T4ZWobble) Arm(b *fpga.Board) error {
+	if t.p.Steps <= 0 || t.p.LayerPeriodMin <= 0 || t.p.LayerPeriodMax < t.p.LayerPeriodMin {
+		return fmt.Errorf("trojan T4: invalid params %+v", t.p)
+	}
+	t.zStepsPerLayer = 80
+	t.nextTrigger = t.drawPeriod()
+	var err error
+	t.genX, err = fpga.NewPulseGenerator(b.Path(signal.PinXStep), injectionFrequency, injectionPulseWidth)
+	if err != nil {
+		return err
+	}
+	t.genY, err = fpga.NewPulseGenerator(b.Path(signal.PinYStep), injectionFrequency, injectionPulseWidth)
+	if err != nil {
+		return err
+	}
+	zDir := b.Path(signal.PinZDir).Source()
+	zDet := fpga.NewEdgeDetector(b.Path(signal.PinZStep).Source())
+	zDet.OnRising(func(sim.Time) {
+		if !b.Homing().Homed() || zDir.Level() == signal.High {
+			return // ignore pre-homing and downward motion
+		}
+		t.zSteps++
+		if t.zSteps < t.zStepsPerLayer {
+			return
+		}
+		t.zSteps = 0
+		t.layersSeen++
+		if t.layersSeen < t.nextTrigger {
+			return
+		}
+		t.layersSeen = 0
+		t.nextTrigger = t.drawPeriod()
+		t.events++
+		_ = t.genX.Burst(t.p.Steps, nil)
+		_ = t.genY.Burst(t.p.Steps, nil)
+	})
+	return nil
+}
+
+func (t *T4ZWobble) drawPeriod() int {
+	span := t.p.LayerPeriodMax - t.p.LayerPeriodMin + 1
+	return t.p.LayerPeriodMin + t.rng.Intn(span)
+}
+
+// ---------------------------------------------------------------------------
+// T5 — Z-shift / layer delamination ("Incorrect Slicing")
+
+// T5Params configures the T5 Z-shift trojan.
+type T5Params struct {
+	TriggerLayer int // fire after this many layer boundaries (0 = at homing)
+	ExtraSteps   int // Z steps injected (positive = lift = weak adhesion)
+}
+
+// T5ZShift implements Table I T5: "Layer delamination via Z-layer shift" —
+// an arbitrarily-sized Z shift causing poor layer adhesion, or build-plate
+// adhesion failure when fired at the start of the print.
+type T5ZShift struct {
+	p      T5Params
+	zSteps int
+	layers int
+	fired  bool
+	gen    *fpga.PulseGenerator
+}
+
+// NewT5ZShift builds the trojan.
+func NewT5ZShift(p T5Params) *T5ZShift {
+	return &T5ZShift{p: p}
+}
+
+// ID implements fpga.Trojan.
+func (t *T5ZShift) ID() string { return "T5" }
+
+// Description implements fpga.Trojan.
+func (t *T5ZShift) Description() string {
+	return fmt.Sprintf("injects %d Z steps at layer %d (delamination)", t.p.ExtraSteps, t.p.TriggerLayer)
+}
+
+// Kind implements Info.
+func (t *T5ZShift) Kind() Kind { return PartModification }
+
+// Scenario implements Info.
+func (t *T5ZShift) Scenario() string { return "Incorrect Slicing" }
+
+// Fired reports whether the shift has been injected.
+func (t *T5ZShift) Fired() bool { return t.fired }
+
+// Arm implements fpga.Trojan.
+func (t *T5ZShift) Arm(b *fpga.Board) error {
+	if t.p.ExtraSteps <= 0 {
+		return fmt.Errorf("trojan T5: ExtraSteps must be positive")
+	}
+	var err error
+	t.gen, err = fpga.NewPulseGenerator(b.Path(signal.PinZStep), injectionFrequency, injectionPulseWidth)
+	if err != nil {
+		return err
+	}
+	fire := func() {
+		if t.fired {
+			return
+		}
+		t.fired = true
+		_ = t.gen.Burst(t.p.ExtraSteps, nil)
+	}
+	if t.p.TriggerLayer <= 0 {
+		b.OnHomed(func(sim.Time) { fire() })
+		return nil
+	}
+	zDir := b.Path(signal.PinZDir).Source()
+	zDet := fpga.NewEdgeDetector(b.Path(signal.PinZStep).Source())
+	const zStepsPerLayer = 80
+	zDet.OnRising(func(sim.Time) {
+		if t.fired || !b.Homing().Homed() || zDir.Level() == signal.High {
+			return
+		}
+		t.zSteps++
+		if t.zSteps < zStepsPerLayer {
+			return
+		}
+		t.zSteps = 0
+		t.layers++
+		if t.layers >= t.p.TriggerLayer {
+			fire()
+		}
+	})
+	return nil
+}

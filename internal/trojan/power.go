@@ -1,0 +1,268 @@
+package trojan
+
+import (
+	"fmt"
+
+	"offramps/internal/fpga"
+	"offramps/internal/signal"
+	"offramps/internal/sim"
+)
+
+// ---------------------------------------------------------------------------
+// T6 — heater denial of service ("Hardware Failure")
+
+// T6Params configures the T6 heater-DoS trojan.
+type T6Params struct {
+	Delay  sim.Time // time after arming before the heaters are cut
+	Hotend bool     // cut D10
+	Bed    bool     // cut D8
+}
+
+// T6HeaterDoS implements Table I T6: "Denial of service via disabling
+// D8/D10 heating element power". With the MOSFET gates clamped low the
+// elements can never reach temperature; Marlin's thermal watch trips and
+// the firmware "enters an error state and ends the print prematurely".
+type T6HeaterDoS struct {
+	p     T6Params
+	fired bool
+}
+
+// NewT6HeaterDoS builds the trojan.
+func NewT6HeaterDoS(p T6Params) *T6HeaterDoS {
+	return &T6HeaterDoS{p: p}
+}
+
+// ID implements fpga.Trojan.
+func (t *T6HeaterDoS) ID() string { return "T6" }
+
+// Description implements fpga.Trojan.
+func (t *T6HeaterDoS) Description() string {
+	return fmt.Sprintf("cuts heater power (hotend=%v bed=%v) after %v", t.p.Hotend, t.p.Bed, t.p.Delay)
+}
+
+// Kind implements Info.
+func (t *T6HeaterDoS) Kind() Kind { return DenialOfService }
+
+// Scenario implements Info.
+func (t *T6HeaterDoS) Scenario() string { return "Hardware Failure" }
+
+// Fired reports whether the cut has engaged.
+func (t *T6HeaterDoS) Fired() bool { return t.fired }
+
+// Arm implements fpga.Trojan.
+func (t *T6HeaterDoS) Arm(b *fpga.Board) error {
+	if !t.p.Hotend && !t.p.Bed {
+		return fmt.Errorf("trojan T6: at least one heater must be targeted")
+	}
+	if t.p.Delay < 0 {
+		return fmt.Errorf("trojan T6: Delay must be non-negative")
+	}
+	b.Engine().After(t.p.Delay, func() {
+		t.fired = true
+		if t.p.Hotend {
+			b.Path(signal.PinHotend).Force(signal.Low)
+		}
+		if t.p.Bed {
+			b.Path(signal.PinBed).Force(signal.Low)
+		}
+	})
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// T7 — forced thermal runaway ("Hardware Failure", destructive)
+
+// T7Params configures the T7 thermal-runaway trojan.
+type T7Params struct {
+	Delay sim.Time // time after arming before the gate is clamped high
+}
+
+// T7ThermalRunaway implements Table I T7: the inverse of T6 — the hotend
+// MOSFET gate is clamped high at 100 % duty, "bypassing all thermal
+// control and fail-safes from the firmware, heating the element past the
+// working specification". The firmware's MAXTEMP panic fires but its kill
+// only drops the Arduino-side pin; the clamp on the RAMPS side keeps
+// conducting — the paper's purely destructive attack.
+type T7ThermalRunaway struct {
+	p     T7Params
+	fired bool
+}
+
+// NewT7ThermalRunaway builds the trojan.
+func NewT7ThermalRunaway(p T7Params) *T7ThermalRunaway {
+	return &T7ThermalRunaway{p: p}
+}
+
+// ID implements fpga.Trojan.
+func (t *T7ThermalRunaway) ID() string { return "T7" }
+
+// Description implements fpga.Trojan.
+func (t *T7ThermalRunaway) Description() string {
+	return fmt.Sprintf("clamps hotend MOSFET at 100%% duty after %v, ignoring firmware failsafes", t.p.Delay)
+}
+
+// Kind implements Info.
+func (t *T7ThermalRunaway) Kind() Kind { return Destructive }
+
+// Scenario implements Info.
+func (t *T7ThermalRunaway) Scenario() string { return "Hardware Failure" }
+
+// Fired reports whether the clamp has engaged.
+func (t *T7ThermalRunaway) Fired() bool { return t.fired }
+
+// Arm implements fpga.Trojan.
+func (t *T7ThermalRunaway) Arm(b *fpga.Board) error {
+	if t.p.Delay < 0 {
+		return fmt.Errorf("trojan T7: Delay must be non-negative")
+	}
+	b.Engine().After(t.p.Delay, func() {
+		t.fired = true
+		b.Path(signal.PinHotend).Force(signal.High)
+	})
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// T8 — stepper driver dropout ("Hardware Failure")
+
+// T8Params configures the T8 stepper-DoS trojan.
+type T8Params struct {
+	Delay   sim.Time      // first dropout after arming
+	OnTime  sim.Time      // how long the drivers stay disabled
+	OffTime sim.Time      // gap between dropouts
+	Axes    []signal.Axis // targets; nil = all motion axes + extruder
+}
+
+// T8StepperDoS implements Table I T8: "Arbitrarily deactivating stepper
+// motors via EN signals". While EN is forced high the A4988 freewheels;
+// commanded steps are silently lost and the print fails.
+type T8StepperDoS struct {
+	p        T8Params
+	dropouts uint64
+}
+
+// NewT8StepperDoS builds the trojan.
+func NewT8StepperDoS(p T8Params) *T8StepperDoS {
+	return &T8StepperDoS{p: p}
+}
+
+// ID implements fpga.Trojan.
+func (t *T8StepperDoS) ID() string { return "T8" }
+
+// Description implements fpga.Trojan.
+func (t *T8StepperDoS) Description() string {
+	return fmt.Sprintf("disables stepper EN for %v every %v", t.p.OnTime, t.p.OnTime+t.p.OffTime)
+}
+
+// Kind implements Info.
+func (t *T8StepperDoS) Kind() Kind { return DenialOfService }
+
+// Scenario implements Info.
+func (t *T8StepperDoS) Scenario() string { return "Hardware Failure" }
+
+// Dropouts reports how many disable windows have fired.
+func (t *T8StepperDoS) Dropouts() uint64 { return t.dropouts }
+
+// Arm implements fpga.Trojan.
+func (t *T8StepperDoS) Arm(b *fpga.Board) error {
+	if t.p.OnTime <= 0 || t.p.OffTime <= 0 || t.p.Delay < 0 {
+		return fmt.Errorf("trojan T8: Delay/OnTime/OffTime must be positive")
+	}
+	axes := t.p.Axes
+	if len(axes) == 0 {
+		axes = signal.Axes
+	}
+	var cycle func()
+	cycle = func() {
+		t.dropouts++
+		for _, a := range axes {
+			b.Path(a.EnablePin()).Force(signal.High) // A4988: high = disabled
+		}
+		b.Engine().After(t.p.OnTime, func() {
+			for _, a := range axes {
+				b.Path(a.EnablePin()).Release()
+			}
+			b.Engine().After(t.p.OffTime, cycle)
+		})
+	}
+	b.OnHomed(func(sim.Time) {
+		b.Engine().After(t.p.Delay, cycle)
+	})
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// T9 — part-fan tamper ("Hardware Failure")
+
+// T9Params configures the T9 fan trojan.
+type T9Params struct {
+	Delay sim.Time // engage after this much time past homing
+	// ForceOff clamps the fan off entirely; otherwise every other PWM
+	// on-window is masked, roughly halving the delivered duty.
+	ForceOff bool
+}
+
+// T9FanTamper implements Table I T9: "Arbitrarily reducing part fan speed
+// mid-print", causing under-cooling and degraded part quality.
+type T9FanTamper struct {
+	p         T9Params
+	fired     bool
+	dropPhase bool
+	masked    uint64
+}
+
+// NewT9FanTamper builds the trojan.
+func NewT9FanTamper(p T9Params) *T9FanTamper {
+	return &T9FanTamper{p: p}
+}
+
+// ID implements fpga.Trojan.
+func (t *T9FanTamper) ID() string { return "T9" }
+
+// Description implements fpga.Trojan.
+func (t *T9FanTamper) Description() string {
+	if t.p.ForceOff {
+		return fmt.Sprintf("forces part fan off %v after homing", t.p.Delay)
+	}
+	return fmt.Sprintf("halves part fan duty %v after homing", t.p.Delay)
+}
+
+// Kind implements Info.
+func (t *T9FanTamper) Kind() Kind { return PartModification }
+
+// Scenario implements Info.
+func (t *T9FanTamper) Scenario() string { return "Hardware Failure" }
+
+// Fired reports whether the tamper engaged.
+func (t *T9FanTamper) Fired() bool { return t.fired }
+
+// Arm implements fpga.Trojan.
+func (t *T9FanTamper) Arm(b *fpga.Board) error {
+	if t.p.Delay < 0 {
+		return fmt.Errorf("trojan T9: Delay must be non-negative")
+	}
+	path := b.Path(signal.PinFan)
+	if !t.p.ForceOff {
+		// Masking filter, inert until fired: drops alternate on-windows.
+		path.AddFilter(func(_ sim.Time, level signal.Level) bool {
+			if !t.fired || level != signal.High {
+				return true
+			}
+			t.dropPhase = !t.dropPhase
+			if t.dropPhase {
+				t.masked++
+				return false
+			}
+			return true
+		})
+	}
+	b.OnHomed(func(sim.Time) {
+		b.Engine().After(t.p.Delay, func() {
+			t.fired = true
+			if t.p.ForceOff {
+				path.Force(signal.Low)
+			}
+		})
+	})
+	return nil
+}

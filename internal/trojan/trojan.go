@@ -1,0 +1,73 @@
+// Package trojan implements the nine-attack suite of the paper's Table I
+// as pluggable payloads for the OFFRAMPS FPGA. Each trojan composes the
+// board's datapath primitives (filter, force, inject) exactly as the
+// paper's VHDL Trojan Control Module multiplexes modified signals over
+// the originals (§IV-B).
+//
+// Classification follows Table I: PM (part modification), DoS (denial of
+// service), D (destructive).
+package trojan
+
+import (
+	"fmt"
+
+	"offramps/internal/fpga"
+	"offramps/internal/sim"
+)
+
+// Kind classifies a trojan per Table I.
+type Kind int
+
+// Table I trojan classes.
+const (
+	PartModification Kind = iota + 1
+	DenialOfService
+	Destructive
+)
+
+// String returns the Table I abbreviation.
+func (k Kind) String() string {
+	switch k {
+	case PartModification:
+		return "PM"
+	case DenialOfService:
+		return "DoS"
+	case Destructive:
+		return "D"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Info extends the fpga.Trojan interface with Table I metadata.
+type Info interface {
+	fpga.Trojan
+	Kind() Kind
+	Scenario() string // the benign failure the trojan impersonates
+}
+
+// Suite returns all nine trojans with the parameters used for the Table I
+// experiment, in order T1..T9. seed feeds the trojans that make random
+// choices (T1's axis selection, T4's layer selection).
+func Suite(seed uint64) []Info {
+	return []Info{
+		NewT1AxisShift(T1Params{Period: 10 * sim.Second, Steps: 40, Seed: seed}),
+		NewT2ExtrusionReduction(T2Params{KeepRatio: 0.5}),
+		NewT3RetractionTamper(T3Params{Mode: OverExtrude, EveryNYSteps: 12}),
+		NewT4ZWobble(T4Params{LayerPeriodMin: 1, LayerPeriodMax: 3, Steps: 24, Seed: seed}),
+		NewT5ZShift(T5Params{TriggerLayer: 3, ExtraSteps: 240}),
+		NewT6HeaterDoS(T6Params{Delay: 30 * sim.Second, Bed: true, Hotend: true}),
+		NewT7ThermalRunaway(T7Params{Delay: 30 * sim.Second}),
+		NewT8StepperDoS(T8Params{Delay: 5 * sim.Second, OnTime: 2 * sim.Second, OffTime: 8 * sim.Second}),
+		NewT9FanTamper(T9Params{Delay: 5 * sim.Second, ForceOff: true}),
+	}
+}
+
+// injectionPulseWidth matches the firmware's own step pulse width so the
+// A4988 model registers injected pulses identically to real ones.
+const injectionPulseWidth = 2 * sim.Microsecond
+
+// injectionFrequency is the rate at which trojan bursts inject extra step
+// pulses. 4 kHz sits inside the envelope of real step traffic, "in
+// between the original control pulses" (§IV-C T1).
+const injectionFrequency = 4000.0

@@ -1,0 +1,458 @@
+package trojan
+
+import (
+	"testing"
+
+	"offramps/internal/fpga"
+	"offramps/internal/signal"
+	"offramps/internal/sim"
+)
+
+// rig builds two buses joined by an OFFRAMPS board.
+func rig(t *testing.T) (*sim.Engine, *signal.Bus, *signal.Bus, *fpga.Board) {
+	t.Helper()
+	e := sim.NewEngine()
+	arduino := signal.NewBus(e)
+	ramps := signal.NewBus(e)
+	b, err := fpga.NewBoard(e, arduino, ramps, fpga.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, arduino, ramps, b
+}
+
+// fakeHoming drives a full double-tap homing pattern so trojans gated on
+// homing detection arm themselves.
+func fakeHoming(e *sim.Engine, ramps *signal.Bus) {
+	at := 10 * sim.Millisecond
+	for _, a := range []signal.Axis{signal.AxisX, signal.AxisY, signal.AxisZ} {
+		line := ramps.MinEndstop(a)
+		for i := 0; i < 2; i++ {
+			func(at sim.Time) {
+				e.Schedule(at, func() { line.Set(signal.High) })
+				e.Schedule(at+5*sim.Millisecond, func() { line.Set(signal.Low) })
+			}(at)
+			at += 20 * sim.Millisecond
+		}
+	}
+}
+
+// pulseSource drives n pulses on an Arduino-side line.
+func pulseSource(e *sim.Engine, line *signal.Line, start, period sim.Time, n int) {
+	for i := 0; i < n; i++ {
+		at := start + sim.Time(i)*period
+		e.Schedule(at, func() { line.Set(signal.High) })
+		e.Schedule(at+2*sim.Microsecond, func() { line.Set(signal.Low) })
+	}
+}
+
+func TestT1InjectsShiftsAfterHoming(t *testing.T) {
+	e, _, ramps, b := rig(t)
+	tr := NewT1AxisShift(T1Params{Period: 10 * sim.Second, Steps: 40, Seed: 3})
+	if err := b.InstallTrojan(tr); err != nil {
+		t.Fatal(err)
+	}
+	xTrace := signal.NewTrace(ramps.Step(signal.AxisX))
+	yTrace := signal.NewTrace(ramps.Step(signal.AxisY))
+	fakeHoming(e, ramps)
+	if err := e.Run(25 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Two periods elapsed → two bursts of 40 steps, each on X or Y.
+	total := xTrace.RisingEdges() + yTrace.RisingEdges()
+	if total != 80 {
+		t.Errorf("injected %d steps, want 80", total)
+	}
+}
+
+func TestT1IdleBeforeHoming(t *testing.T) {
+	e, _, ramps, b := rig(t)
+	if err := b.InstallTrojan(NewT1AxisShift(T1Params{Period: sim.Second, Steps: 10, Seed: 1})); err != nil {
+		t.Fatal(err)
+	}
+	xTrace := signal.NewTrace(ramps.Step(signal.AxisX))
+	yTrace := signal.NewTrace(ramps.Step(signal.AxisY))
+	if err := e.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if xTrace.Len()+yTrace.Len() != 0 {
+		t.Error("T1 injected before homing")
+	}
+}
+
+func TestT1Validation(t *testing.T) {
+	_, _, _, b := rig(t)
+	if err := b.InstallTrojan(NewT1AxisShift(T1Params{Period: 0, Steps: 10})); err == nil {
+		t.Error("zero period accepted")
+	}
+}
+
+func TestT2MasksHalfOfForwardSteps(t *testing.T) {
+	e, arduino, ramps, b := rig(t)
+	tr := NewT2ExtrusionReduction(T2Params{KeepRatio: 0.5})
+	if err := b.InstallTrojan(tr); err != nil {
+		t.Fatal(err)
+	}
+	out := signal.NewTrace(ramps.Step(signal.AxisE))
+	arduino.Dir(signal.AxisE).Set(signal.Low) // forward
+	pulseSource(e, arduino.Step(signal.AxisE), sim.Millisecond, 100*sim.Microsecond, 100)
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.RisingEdges(); got != 50 {
+		t.Errorf("passed %d of 100 steps, want 50", got)
+	}
+	if tr.Dropped() != 50 {
+		t.Errorf("Dropped() = %d", tr.Dropped())
+	}
+}
+
+func TestT2PassesRetractionAndRecovery(t *testing.T) {
+	e, arduino, ramps, b := rig(t)
+	if err := b.InstallTrojan(NewT2ExtrusionReduction(T2Params{KeepRatio: 0.5})); err != nil {
+		t.Fatal(err)
+	}
+	out := signal.NewTrace(ramps.Step(signal.AxisE))
+	// Retract 20 steps.
+	arduino.Dir(signal.AxisE).Set(signal.High)
+	pulseSource(e, arduino.Step(signal.AxisE), sim.Millisecond, 100*sim.Microsecond, 20)
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	// Recover 20 steps forward: all must pass (debt).
+	arduino.Dir(signal.AxisE).Set(signal.Low)
+	pulseSource(e, arduino.Step(signal.AxisE), e.Now()+sim.Millisecond, 100*sim.Microsecond, 20)
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.RisingEdges(); got != 40 {
+		t.Errorf("retract+recover passed %d steps, want all 40", got)
+	}
+}
+
+func TestT2Validation(t *testing.T) {
+	_, _, _, b := rig(t)
+	if err := b.InstallTrojan(NewT2ExtrusionReduction(T2Params{KeepRatio: 0})); err == nil {
+		t.Error("KeepRatio 0 accepted")
+	}
+	_, _, _, b2 := rig(t)
+	if err := b2.InstallTrojan(NewT2ExtrusionReduction(T2Params{KeepRatio: 1.5})); err == nil {
+		t.Error("KeepRatio 1.5 accepted")
+	}
+}
+
+func TestT3OverExtrudeInjectsDuringYMotion(t *testing.T) {
+	e, arduino, ramps, b := rig(t)
+	tr := NewT3RetractionTamper(T3Params{Mode: OverExtrude, EveryNYSteps: 10})
+	if err := b.InstallTrojan(tr); err != nil {
+		t.Fatal(err)
+	}
+	eTrace := signal.NewTrace(ramps.Step(signal.AxisE))
+	pulseSource(e, arduino.Step(signal.AxisY), sim.Millisecond, 200*sim.Microsecond, 100)
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eTrace.RisingEdges(); got != 10 {
+		t.Errorf("injected %d E pulses for 100 Y steps, want 10", got)
+	}
+	if tr.Injected() != 10 {
+		t.Errorf("Injected() = %d", tr.Injected())
+	}
+}
+
+func TestT3UnderExtrudeMasksAfterYSteps(t *testing.T) {
+	e, arduino, ramps, b := rig(t)
+	tr := NewT3RetractionTamper(T3Params{Mode: UnderExtrude, EveryNYSteps: 5})
+	if err := b.InstallTrojan(tr); err != nil {
+		t.Fatal(err)
+	}
+	eTrace := signal.NewTrace(ramps.Step(signal.AxisE))
+	arduino.Dir(signal.AxisE).Set(signal.Low)
+	// Interleave: 25 Y steps (5 mask credits), then 20 E steps.
+	pulseSource(e, arduino.Step(signal.AxisY), sim.Millisecond, 100*sim.Microsecond, 25)
+	pulseSource(e, arduino.Step(signal.AxisE), 10*sim.Millisecond, 100*sim.Microsecond, 20)
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := eTrace.RisingEdges(); got != 15 {
+		t.Errorf("passed %d of 20 E steps, want 15 (5 masked)", got)
+	}
+	if tr.Masked() != 5 {
+		t.Errorf("Masked() = %d", tr.Masked())
+	}
+}
+
+func TestT3Validation(t *testing.T) {
+	_, _, _, b := rig(t)
+	if err := b.InstallTrojan(NewT3RetractionTamper(T3Params{Mode: OverExtrude, EveryNYSteps: 0})); err == nil {
+		t.Error("zero interval accepted")
+	}
+	_, _, _, b2 := rig(t)
+	if err := b2.InstallTrojan(NewT3RetractionTamper(T3Params{Mode: 0, EveryNYSteps: 5})); err == nil {
+		t.Error("invalid mode accepted")
+	}
+}
+
+// driveZLayers emits layers×80 upward Z steps after homing.
+func driveZLayers(e *sim.Engine, arduino *signal.Bus, start sim.Time, layers int) {
+	arduino.Dir(signal.AxisZ).Set(signal.Low)
+	pulseSource(e, arduino.Step(signal.AxisZ), start, 500*sim.Microsecond, layers*80)
+}
+
+func TestT4FiresOnLayerBoundaries(t *testing.T) {
+	e, arduino, ramps, b := rig(t)
+	tr := NewT4ZWobble(T4Params{LayerPeriodMin: 2, LayerPeriodMax: 2, Steps: 24, Seed: 5})
+	if err := b.InstallTrojan(tr); err != nil {
+		t.Fatal(err)
+	}
+	xTrace := signal.NewTrace(ramps.Step(signal.AxisX))
+	fakeHoming(e, ramps)
+	driveZLayers(e, arduino, sim.Second, 6) // 6 layers, period 2 → 3 events
+	// Bounded run: the board's capture exporter ticks forever once it has
+	// seen homing plus a step edge, so RunUntilIdle would never return.
+	if err := e.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != 3 {
+		t.Errorf("Events() = %d, want 3", tr.Events())
+	}
+	if got := xTrace.RisingEdges(); got != 3*24 {
+		t.Errorf("X injections = %d, want 72", got)
+	}
+}
+
+func TestT4IgnoresPreHomingZ(t *testing.T) {
+	e, arduino, _, b := rig(t)
+	tr := NewT4ZWobble(T4Params{LayerPeriodMin: 1, LayerPeriodMax: 1, Steps: 8, Seed: 5})
+	if err := b.InstallTrojan(tr); err != nil {
+		t.Fatal(err)
+	}
+	driveZLayers(e, arduino, sim.Millisecond, 4)
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Events() != 0 {
+		t.Error("T4 fired before homing")
+	}
+}
+
+func TestT4Validation(t *testing.T) {
+	_, _, _, b := rig(t)
+	if err := b.InstallTrojan(NewT4ZWobble(T4Params{LayerPeriodMin: 3, LayerPeriodMax: 1, Steps: 8})); err == nil {
+		t.Error("inverted layer period accepted")
+	}
+}
+
+func TestT5FiresAtTriggerLayer(t *testing.T) {
+	e, arduino, ramps, b := rig(t)
+	tr := NewT5ZShift(T5Params{TriggerLayer: 2, ExtraSteps: 100})
+	if err := b.InstallTrojan(tr); err != nil {
+		t.Fatal(err)
+	}
+	zOut := signal.NewTrace(ramps.Step(signal.AxisZ))
+	fakeHoming(e, ramps)
+	driveZLayers(e, arduino, sim.Second, 3)
+	// Bounded run: see TestT4FiresOnLayerBoundaries.
+	if err := e.Run(10 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Fired() {
+		t.Fatal("T5 did not fire")
+	}
+	// Output = 240 forwarded source steps + 100 injected.
+	if got := zOut.RisingEdges(); got != 240+100 {
+		t.Errorf("Z output pulses = %d, want 340", got)
+	}
+}
+
+func TestT5AtHomingWhenTriggerZero(t *testing.T) {
+	e, _, ramps, b := rig(t)
+	tr := NewT5ZShift(T5Params{TriggerLayer: 0, ExtraSteps: 50})
+	if err := b.InstallTrojan(tr); err != nil {
+		t.Fatal(err)
+	}
+	zOut := signal.NewTrace(ramps.Step(signal.AxisZ))
+	fakeHoming(e, ramps)
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Fired() || zOut.RisingEdges() != 50 {
+		t.Errorf("fired=%v pulses=%d", tr.Fired(), zOut.RisingEdges())
+	}
+}
+
+func TestT6ForcesHeatersLow(t *testing.T) {
+	e, arduino, ramps, b := rig(t)
+	tr := NewT6HeaterDoS(T6Params{Delay: sim.Second, Hotend: true, Bed: true})
+	if err := b.InstallTrojan(tr); err != nil {
+		t.Fatal(err)
+	}
+	arduino.Line(signal.PinHotend).Set(signal.High)
+	arduino.Line(signal.PinBed).Set(signal.High)
+	if err := e.Run(500 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ramps.Line(signal.PinHotend).Level() != signal.High {
+		t.Fatal("heater not forwarded before trigger")
+	}
+	if err := e.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Fired() {
+		t.Fatal("T6 did not fire")
+	}
+	if ramps.Line(signal.PinHotend).Level() != signal.Low || ramps.Line(signal.PinBed).Level() != signal.Low {
+		t.Error("heater outputs not clamped low")
+	}
+	// Firmware keeps trying: edges must be swallowed.
+	arduino.Line(signal.PinHotend).Set(signal.Low)
+	arduino.Line(signal.PinHotend).Set(signal.High)
+	if err := e.Run(e.Now() + sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ramps.Line(signal.PinHotend).Level() != signal.Low {
+		t.Error("clamp leaked a firmware edge")
+	}
+}
+
+func TestT6Validation(t *testing.T) {
+	_, _, _, b := rig(t)
+	if err := b.InstallTrojan(NewT6HeaterDoS(T6Params{Delay: sim.Second})); err == nil {
+		t.Error("no-target T6 accepted")
+	}
+}
+
+func TestT7ForcesHotendHighDespiteFirmware(t *testing.T) {
+	e, arduino, ramps, b := rig(t)
+	tr := NewT7ThermalRunaway(T7Params{Delay: sim.Second})
+	if err := b.InstallTrojan(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Fired() {
+		t.Fatal("T7 did not fire")
+	}
+	if ramps.Line(signal.PinHotend).Level() != signal.High {
+		t.Fatal("hotend not clamped high")
+	}
+	// The firmware's kill drives its pin low — the clamp must hold.
+	arduino.Line(signal.PinHotend).Set(signal.Low)
+	if err := e.Run(e.Now() + sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ramps.Line(signal.PinHotend).Level() != signal.High {
+		t.Error("firmware kill defeated the clamp (paper says it must not)")
+	}
+}
+
+func TestT8CyclesEnableLines(t *testing.T) {
+	e, arduino, ramps, b := rig(t)
+	tr := NewT8StepperDoS(T8Params{
+		Delay: sim.Second, OnTime: sim.Second, OffTime: 2 * sim.Second,
+		Axes: []signal.Axis{signal.AxisX},
+	})
+	if err := b.InstallTrojan(tr); err != nil {
+		t.Fatal(err)
+	}
+	arduino.Enable(signal.AxisX).Set(signal.Low) // firmware enables motors
+	fakeHoming(e, ramps)
+
+	// Homing completes ≈ 0.3 s; first dropout at ≈1.3 s, lasting 1 s.
+	if err := e.Run(2 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ramps.Enable(signal.AxisX).Level() != signal.High {
+		t.Error("EN not forced high during dropout window")
+	}
+	if err := e.Run(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if ramps.Enable(signal.AxisX).Level() != signal.Low {
+		t.Error("EN not released after dropout window")
+	}
+	if tr.Dropouts() == 0 {
+		t.Error("no dropouts recorded")
+	}
+}
+
+func TestT8Validation(t *testing.T) {
+	_, _, _, b := rig(t)
+	if err := b.InstallTrojan(NewT8StepperDoS(T8Params{OnTime: 0, OffTime: sim.Second})); err == nil {
+		t.Error("zero OnTime accepted")
+	}
+}
+
+func TestT9ForceOff(t *testing.T) {
+	e, arduino, ramps, b := rig(t)
+	tr := NewT9FanTamper(T9Params{Delay: sim.Second, ForceOff: true})
+	if err := b.InstallTrojan(tr); err != nil {
+		t.Fatal(err)
+	}
+	arduino.Line(signal.PinFan).Set(signal.High)
+	fakeHoming(e, ramps)
+	if err := e.Run(300 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ramps.Line(signal.PinFan).Level() != signal.High {
+		t.Fatal("fan not forwarded before trigger")
+	}
+	if err := e.Run(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Fired() || ramps.Line(signal.PinFan).Level() != signal.Low {
+		t.Error("fan not forced off")
+	}
+}
+
+func TestT9DutyScaling(t *testing.T) {
+	e, arduino, ramps, b := rig(t)
+	tr := NewT9FanTamper(T9Params{Delay: 0, ForceOff: false})
+	if err := b.InstallTrojan(tr); err != nil {
+		t.Fatal(err)
+	}
+	out := signal.NewTrace(ramps.Line(signal.PinFan))
+	fakeHoming(e, ramps)
+	// 20 PWM on-windows after the trojan fires.
+	pulseSource(e, arduino.Line(signal.PinFan), 2*sim.Second, 20*sim.Millisecond, 20)
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if got := out.RisingEdges(); got != 10 {
+		t.Errorf("fan on-windows passed = %d, want 10 (half masked)", got)
+	}
+}
+
+func TestSuiteCompleteness(t *testing.T) {
+	suite := Suite(1)
+	if len(suite) != 9 {
+		t.Fatalf("Suite has %d trojans, want 9", len(suite))
+	}
+	seen := make(map[string]bool)
+	for i, tr := range suite {
+		want := "T" + string(rune('1'+i))
+		if tr.ID() != want {
+			t.Errorf("suite[%d].ID() = %s, want %s", i, tr.ID(), want)
+		}
+		if seen[tr.ID()] {
+			t.Errorf("duplicate ID %s", tr.ID())
+		}
+		seen[tr.ID()] = true
+		if tr.Description() == "" || tr.Scenario() == "" {
+			t.Errorf("%s missing metadata", tr.ID())
+		}
+		if tr.Kind().String() == "" {
+			t.Errorf("%s missing kind", tr.ID())
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if PartModification.String() != "PM" || DenialOfService.String() != "DoS" || Destructive.String() != "D" {
+		t.Error("Kind strings wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Error("unknown kind empty")
+	}
+}

@@ -1,0 +1,124 @@
+package offramps
+
+import (
+	"fmt"
+
+	"offramps/internal/capture"
+	"offramps/internal/detect"
+	"offramps/internal/gcode"
+	"offramps/internal/signal"
+	"offramps/internal/sim"
+)
+
+// MonitoredResult extends Result with the live detector's outcome.
+type MonitoredResult struct {
+	Result
+	// Aborted is true when the monitor tripped and the session halted the
+	// print early ("enabling a user to halt a print as soon as a Trojan
+	// is suspected", paper §V-C).
+	Aborted bool
+	// AbortedAt is the simulation time of the abort (zero otherwise).
+	AbortedAt sim.Time
+	// Trip is the first out-of-margin observation (nil if never tripped).
+	Trip *detect.Mismatch
+	// TrojanLikely is the overall verdict after the final-count check
+	// (or immediately upon abort).
+	TrojanLikely bool
+}
+
+// RunMonitored executes the program while feeding the OFFRAMPS capture
+// into a streaming detector in real time. When the detector trips, the
+// simulation stops immediately — the print is aborted mid-job, saving the
+// machine time and material the paper's continuous-monitoring deployment
+// aims to save (§V-A).
+//
+// The testbed must have its MITM path enabled (captures come from the
+// board). golden is the known-good capture of the same job.
+func (tb *Testbed) RunMonitored(prog gcode.Program, limit sim.Time, golden *capture.Recording, cfg detect.Config) (*MonitoredResult, error) {
+	if tb.Board == nil {
+		return nil, fmt.Errorf("offramps: RunMonitored requires the MITM path")
+	}
+	if limit <= 0 {
+		return nil, fmt.Errorf("offramps: RunMonitored limit must be positive")
+	}
+	monitor, err := detect.NewMonitor(golden, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("offramps: %w", err)
+	}
+
+	tb.Firmware.Load(prog)
+	if err := tb.Firmware.Start(); err != nil {
+		return nil, fmt.Errorf("offramps: %w", err)
+	}
+
+	out := &MonitoredResult{}
+	deadline := tb.Engine.Now() + limit
+	fed := 0
+	// Step the simulation in capture-window increments so the monitor
+	// sees each transaction about when the hardware would emit it.
+	step := tb.Board.Config().ExportPeriod
+	for !tb.Firmware.Done() && !out.Aborted {
+		if tb.Engine.Now() >= deadline {
+			return nil, &ErrTimeout{Limit: limit}
+		}
+		if err := tb.Engine.Run(tb.Engine.Now() + step); err != nil {
+			return nil, fmt.Errorf("offramps: simulation: %w", err)
+		}
+		rec := tb.Board.Recording()
+		for ; fed < rec.Len(); fed++ {
+			tripped, err := monitor.Observe(rec.Transactions[fed])
+			if err != nil {
+				return nil, fmt.Errorf("offramps: monitor: %w", err)
+			}
+			if tripped {
+				out.Aborted = true
+				out.AbortedAt = tb.Engine.Now()
+				out.Trip = monitor.TripMismatch()
+				out.TrojanLikely = true
+				break
+			}
+		}
+	}
+
+	if !out.Aborted {
+		// Normal completion: settle, then run the final-count check.
+		if err := tb.Engine.Run(tb.Engine.Now() + tb.opts.settle); err != nil {
+			return nil, fmt.Errorf("offramps: settling: %w", err)
+		}
+		rec := tb.Board.Recording()
+		for ; fed < rec.Len(); fed++ {
+			tripped, err := monitor.Observe(rec.Transactions[fed])
+			if err != nil {
+				return nil, fmt.Errorf("offramps: monitor: %w", err)
+			}
+			if tripped {
+				out.Aborted = false // too late to abort; just flag
+				out.Trip = monitor.TripMismatch()
+			}
+		}
+		if final, ok := rec.Final(); ok {
+			likely, _ := monitor.Finish(final)
+			out.TrojanLikely = likely
+		}
+	}
+	tb.Board.StopCapture()
+
+	out.Result = Result{
+		Completed:          !out.Aborted && tb.Firmware.Err() == nil,
+		HaltError:          tb.Firmware.Err(),
+		Duration:           tb.Engine.Now(),
+		Recording:          tb.Board.Recording(),
+		Quality:            tb.Plant.Part().AssessQuality(1.0),
+		Part:               tb.Plant.Part(),
+		PeakHotendTemp:     tb.Plant.PeakHotendTemp(),
+		PeakBedTemp:        tb.Plant.PeakBedTemp(),
+		HotendExceededSafe: tb.Plant.HotendExceededSafe(),
+		FanDutyAtEnd:       tb.Plant.FanDuty(),
+		PeakFanDuty:        tb.Plant.PeakFanDuty(),
+		StepsLost:          make(map[signal.Axis]uint64, 4),
+	}
+	for _, a := range signal.Axes {
+		out.Result.StepsLost[a] = tb.Plant.Driver(a).StepsLost()
+	}
+	return out, nil
+}

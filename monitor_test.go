@@ -1,0 +1,108 @@
+package offramps
+
+import (
+	"testing"
+
+	"offramps/internal/detect"
+	"offramps/internal/flaw3d"
+	"offramps/internal/sim"
+)
+
+func TestRunMonitoredAbortsTrojanEarly(t *testing.T) {
+	prog := mustTestPart(t)
+	golden, err := captureRun(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A blatant relocation trojan: the monitor must abort mid-print.
+	tampered, err := flaw3d.Relocate(prog, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTestbed(WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.RunMonitored(tampered, 3600*sim.Second, golden, detect.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted || !res.TrojanLikely {
+		t.Fatalf("trojan print not aborted: %+v", res)
+	}
+	if res.Trip == nil {
+		t.Fatal("no trip mismatch recorded")
+	}
+	// The abort saved machine time: the job stopped well before the
+	// golden print's full duration.
+	goldenDuration := sim.Time(golden.Len()) * 100 * sim.Millisecond
+	if res.AbortedAt >= goldenDuration {
+		t.Errorf("aborted at %v, golden print runs %v — nothing saved", res.AbortedAt, goldenDuration)
+	}
+}
+
+func TestRunMonitoredCleanPrintCompletes(t *testing.T) {
+	prog := mustTestPart(t)
+	golden, err := captureRun(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTestbed(WithSeed(3)) // different seed: real re-print
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.RunMonitored(prog, 3600*sim.Second, golden, detect.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted {
+		t.Fatalf("clean print aborted at %v: %+v", res.AbortedAt, res.Trip)
+	}
+	if res.TrojanLikely {
+		t.Error("clean print flagged at finish")
+	}
+	if !res.Completed {
+		t.Errorf("clean print incomplete: %v", res.HaltError)
+	}
+}
+
+func TestRunMonitoredStealthyFlaggedAtFinish(t *testing.T) {
+	prog := mustTestPart(t)
+	golden, err := captureRun(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2% reduction: survives the windowed margin, caught by the final
+	// 0%-margin check.
+	tampered, err := flaw3d.Reduce(prog, 0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTestbed(WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.RunMonitored(tampered, 3600*sim.Second, golden, detect.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.TrojanLikely {
+		t.Error("stealthy reduction not flagged")
+	}
+}
+
+func TestRunMonitoredRequiresMITM(t *testing.T) {
+	prog := mustTestPart(t)
+	golden, err := captureRun(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTestbed(WithoutMITM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.RunMonitored(prog, sim.Second, golden, detect.DefaultConfig()); err == nil {
+		t.Error("monitored run without MITM accepted")
+	}
+}

@@ -1,0 +1,293 @@
+// Package offramps is a full-system software reproduction of "OFFRAMPS:
+// An FPGA-based Intermediary for Analysis and Modification of Additive
+// Manufacturing Control Systems" (DSN 2024).
+//
+// The physical OFFRAMPS is a PCB that places an FPGA as a machine-in-the-
+// middle between an Arduino Mega running Marlin and a RAMPS 1.4 printer
+// control board. This package assembles the simulated equivalent:
+//
+//	slicer ─► G-code ─► firmware twin ─► Arduino-side bus
+//	                                         │
+//	                                   OFFRAMPS board (FPGA MITM)
+//	                                   · bypass / trojan / capture
+//	                                         │
+//	                                   RAMPS-side bus ─► drivers,
+//	                                   heaters, endstops ─► printer plant
+//	                                   (kinematics + thermodynamics +
+//	                                    deposited part)
+//
+// A Testbed wires all of it together; Run executes a print end-to-end and
+// returns the capture, the printed part's quality metrics, and the
+// machine's thermal outcome. The experiment entry points (TableI, TableII,
+// Figure4, Overhead, Drift) regenerate every table and figure in the
+// paper's evaluation.
+package offramps
+
+import (
+	"fmt"
+
+	"offramps/internal/capture"
+	"offramps/internal/firmware"
+	"offramps/internal/fpga"
+	"offramps/internal/gcode"
+	"offramps/internal/printer"
+	"offramps/internal/signal"
+	"offramps/internal/sim"
+	"offramps/internal/slicer"
+)
+
+// Testbed is one complete simulated rig: firmware on the Arduino-side
+// bus, the OFFRAMPS board in the middle (unless disabled), and the
+// physical plant on the RAMPS-side bus.
+type Testbed struct {
+	Engine   *sim.Engine
+	Arduino  *signal.Bus
+	RAMPS    *signal.Bus
+	Board    *fpga.Board // nil when the MITM is bypassed with jumpers
+	Plant    *printer.Plant
+	Firmware *firmware.Firmware
+
+	opts options
+}
+
+// options collects testbed construction parameters.
+type options struct {
+	seed        uint64
+	timeNoise   sim.Time
+	mitm        bool
+	propDelay   sim.Time
+	exportEvery sim.Time
+	settle      sim.Time
+	trojans     []fpga.Trojan
+	startPos    map[signal.Axis]float64
+	firmwareMod func(*firmware.Config)
+	plantMod    func(*printer.Config)
+}
+
+func defaultOptions() options {
+	return options{
+		seed:        1,
+		timeNoise:   200 * sim.Microsecond,
+		mitm:        true,
+		propDelay:   13 * sim.Nanosecond,
+		exportEvery: 100 * sim.Millisecond,
+		settle:      2 * sim.Second,
+	}
+}
+
+// Option configures a Testbed.
+type Option func(*options)
+
+// WithSeed sets the time-noise seed. Two testbeds with the same seed and
+// program produce bit-identical captures; different seeds model separate
+// physical print runs.
+func WithSeed(seed uint64) Option { return func(o *options) { o.seed = seed } }
+
+// WithTimeNoise sets the execution-time jitter magnitude (0 disables).
+func WithTimeNoise(d sim.Time) Option { return func(o *options) { o.timeNoise = d } }
+
+// WithoutMITM wires the Arduino bus directly to the RAMPS bus — the
+// paper's Figure 3a jumper configuration. No capture or trojans.
+func WithoutMITM() Option { return func(o *options) { o.mitm = false } }
+
+// WithPropagationDelay overrides the FPGA through-path delay (the paper
+// measured ≤ 12.923 ns; the overhead experiment sweeps this).
+func WithPropagationDelay(d sim.Time) Option { return func(o *options) { o.propDelay = d } }
+
+// WithExportPeriod overrides the capture window (paper: 0.1 s).
+func WithExportPeriod(d sim.Time) Option { return func(o *options) { o.exportEvery = d } }
+
+// WithSettle sets how long the simulation keeps running after the
+// firmware finishes or halts — needed to observe post-kill physics such
+// as trojan T7's runaway heating.
+func WithSettle(d sim.Time) Option { return func(o *options) { o.settle = d } }
+
+// WithTrojan installs a trojan on the OFFRAMPS board.
+func WithTrojan(t fpga.Trojan) Option { return func(o *options) { o.trojans = append(o.trojans, t) } }
+
+// WithStartPosition sets the carriage's arbitrary power-on position.
+func WithStartPosition(x, y, z float64) Option {
+	return func(o *options) {
+		o.startPos = map[signal.Axis]float64{
+			signal.AxisX: x, signal.AxisY: y, signal.AxisZ: z,
+		}
+	}
+}
+
+// WithFirmwareConfig applies mod to the firmware configuration.
+func WithFirmwareConfig(mod func(*firmware.Config)) Option {
+	return func(o *options) { o.firmwareMod = mod }
+}
+
+// WithPlantConfig applies mod to the plant configuration.
+func WithPlantConfig(mod func(*printer.Config)) Option {
+	return func(o *options) { o.plantMod = mod }
+}
+
+// NewTestbed assembles a rig.
+func NewTestbed(opts ...Option) (*Testbed, error) {
+	o := defaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	engine := sim.NewEngine()
+	arduino := signal.NewBus(engine)
+	ramps := signal.NewBus(engine)
+
+	tb := &Testbed{Engine: engine, Arduino: arduino, RAMPS: ramps, opts: o}
+
+	if o.mitm {
+		bcfg := fpga.DefaultConfig()
+		bcfg.PropagationDelay = o.propDelay
+		bcfg.ExportPeriod = o.exportEvery
+		board, err := fpga.NewBoard(engine, arduino, ramps, bcfg)
+		if err != nil {
+			return nil, fmt.Errorf("offramps: building board: %w", err)
+		}
+		for _, t := range o.trojans {
+			if err := board.InstallTrojan(t); err != nil {
+				return nil, fmt.Errorf("offramps: %w", err)
+			}
+		}
+		tb.Board = board
+	} else {
+		if len(o.trojans) > 0 {
+			return nil, fmt.Errorf("offramps: trojans require the MITM path (remove WithoutMITM)")
+		}
+		arduino.ConnectAll(ramps, 0)
+	}
+
+	pcfg := printer.DefaultConfig()
+	if o.startPos != nil {
+		pcfg.StartPos = o.startPos
+	}
+	if o.plantMod != nil {
+		o.plantMod(&pcfg)
+	}
+	plant, err := printer.NewPlant(engine, ramps, pcfg)
+	if err != nil {
+		return nil, fmt.Errorf("offramps: building plant: %w", err)
+	}
+	tb.Plant = plant
+
+	fcfg := firmware.DefaultConfig()
+	fcfg.Seed = o.seed
+	fcfg.TimeNoise = o.timeNoise
+	if o.firmwareMod != nil {
+		o.firmwareMod(&fcfg)
+	}
+	fw, err := firmware.New(engine, arduino, fcfg)
+	if err != nil {
+		return nil, fmt.Errorf("offramps: building firmware: %w", err)
+	}
+	tb.Firmware = fw
+	return tb, nil
+}
+
+// Result summarizes one simulated print.
+type Result struct {
+	// Completed is true when the whole program executed; false when the
+	// firmware killed itself (thermal protection) or the run timed out.
+	Completed bool
+	// HaltError is the firmware's kill reason, if any.
+	HaltError error
+	// Duration is the simulated wall-clock length of the print.
+	Duration sim.Time
+	// Recording is the OFFRAMPS capture (nil without the MITM).
+	Recording *capture.Recording
+	// Quality summarizes the deposited part.
+	Quality printer.Quality
+	// PartDiffAvailable data: the raw part for deeper comparisons.
+	Part *printer.Part
+	// Thermal outcome.
+	PeakHotendTemp     float64
+	PeakBedTemp        float64
+	HotendExceededSafe bool
+	// FanDutyAtEnd is the plant-side smoothed fan duty when the run ended.
+	FanDutyAtEnd float64
+	// PeakFanDuty is the best cooling the part ever received — near 1.0
+	// on a healthy print, near 0 under trojan T9.
+	PeakFanDuty float64
+	// StepsLost counts driver steps discarded while EN was deasserted
+	// (trojan T8's signature), per axis.
+	StepsLost map[signal.Axis]uint64
+}
+
+// ErrTimeout reports that a run exceeded its simulation-time budget.
+type ErrTimeout struct {
+	Limit sim.Time
+}
+
+func (e *ErrTimeout) Error() string {
+	return fmt.Sprintf("offramps: print did not finish within %v of simulated time", e.Limit)
+}
+
+// Run executes the program to completion (or kill), lets the simulation
+// settle, and collects the result. limit bounds *simulated* time.
+func (tb *Testbed) Run(prog gcode.Program, limit sim.Time) (*Result, error) {
+	if limit <= 0 {
+		return nil, fmt.Errorf("offramps: Run limit must be positive")
+	}
+	tb.Firmware.Load(prog)
+	if err := tb.Firmware.Start(); err != nil {
+		return nil, fmt.Errorf("offramps: %w", err)
+	}
+	deadline := tb.Engine.Now() + limit
+	for !tb.Firmware.Done() {
+		if tb.Engine.Now() >= deadline {
+			return nil, &ErrTimeout{Limit: limit}
+		}
+		if err := tb.Engine.Run(tb.Engine.Now() + sim.Second); err != nil {
+			return nil, fmt.Errorf("offramps: simulation: %w", err)
+		}
+	}
+	finished := tb.Firmware.FinishedAt()
+	if err := tb.Engine.Run(tb.Engine.Now() + tb.opts.settle); err != nil {
+		return nil, fmt.Errorf("offramps: settling: %w", err)
+	}
+	if tb.Board != nil {
+		tb.Board.StopCapture()
+	}
+
+	res := &Result{
+		Completed:          tb.Firmware.Err() == nil,
+		HaltError:          tb.Firmware.Err(),
+		Duration:           finished,
+		Quality:            tb.Plant.Part().AssessQuality(1.0),
+		Part:               tb.Plant.Part(),
+		PeakHotendTemp:     tb.Plant.PeakHotendTemp(),
+		PeakBedTemp:        tb.Plant.PeakBedTemp(),
+		HotendExceededSafe: tb.Plant.HotendExceededSafe(),
+		FanDutyAtEnd:       tb.Plant.FanDuty(),
+		PeakFanDuty:        tb.Plant.PeakFanDuty(),
+		StepsLost:          make(map[signal.Axis]uint64, 4),
+	}
+	for _, a := range signal.Axes {
+		res.StepsLost[a] = tb.Plant.Driver(a).StepsLost()
+	}
+	if tb.Board != nil {
+		res.Recording = tb.Board.Recording()
+	}
+	return res, nil
+}
+
+// TestPart returns the sliced G-code of the standard experiment workload:
+// a small calibration box, the simulated equivalent of the paper's test
+// prints photographed on quarter-inch graph paper. The box is sized so a
+// print comfortably exceeds 100 printing moves — Table II's stealthiest
+// relocation trojan fires only once per hundred moves.
+func TestPart() (gcode.Program, error) {
+	return TestPartWithFlow(1.0)
+}
+
+// TestPartWithFlow slices the standard box with a modified flow
+// multiplier (used by the ablation benches).
+func TestPartWithFlow(flow float64) (gcode.Program, error) {
+	box, err := slicer.NewBox(20, 20, 1.6)
+	if err != nil {
+		return nil, err
+	}
+	cfg := slicer.DefaultConfig()
+	cfg.FlowMultiplier = flow
+	return slicer.Slice(box, cfg)
+}
