@@ -1,10 +1,12 @@
 package offramps
 
 import (
+	"context"
 	"testing"
 
 	"offramps/internal/detect"
 	"offramps/internal/flaw3d"
+	"offramps/internal/fpga"
 	"offramps/internal/reconstruct"
 	"offramps/internal/sim"
 	"offramps/internal/trojan"
@@ -116,7 +118,7 @@ func BenchmarkGoldenPrint(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		res, err := tb.Run(prog, runBudget)
+		res, err := tb.Run(context.Background(), prog)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,6 +128,71 @@ func BenchmarkGoldenPrint(b *testing.B) {
 		b.ReportMetric(res.Duration.Seconds(), "sim-s/op")
 		b.ReportMetric(float64(tb.Engine.Executed()), "events/op")
 	}
+}
+
+// BenchmarkCampaign measures the concurrent campaign runner end to end:
+// a small (clean × trojan × seed) grid fanned across the default worker
+// pool, the hot path under every re-platformed experiment.
+func BenchmarkCampaign(b *testing.B) {
+	prog, err := TestPart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	scens := []Scenario{
+		{Name: "clean-1", Program: prog, Seed: 1},
+		{Name: "clean-2", Program: prog, Seed: 2},
+		{Name: "t2", Program: prog, Seed: 3, Trojan: func(seed uint64) fpga.Trojan {
+			return trojan.NewT2ExtrusionReduction(trojan.T2Params{KeepRatio: 0.5})
+		}},
+		{Name: "golden-free", Program: prog, Seed: 4,
+			Detector: func() (detect.Detector, error) { return detect.NewRuleEngine(detect.DefaultLimits()) },
+			Policy:   FlagOnly},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := Campaign{}.Run(context.Background(), scens)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := firstScenarioErr(results); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(results)), "scenarios/op")
+	}
+}
+
+// BenchmarkMonitorObserve measures the live detector's per-transaction
+// hot path — it must be far faster than the 0.1 s window period for the
+// monitor to keep up with the board in real time.
+func BenchmarkMonitorObserve(b *testing.B) {
+	prog, err := TestPart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	golden, err := captureRun(prog, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream := golden.Transactions
+	b.ReportAllocs()
+	b.ResetTimer()
+	observed := 0
+	for i := 0; i < b.N; i++ {
+		m, err := detect.NewMonitor(golden, detect.DefaultConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tx := range stream {
+			if v := m.Observe(tx); v.Err != nil || v.Tripped {
+				b.Fatalf("clean stream tripped: %v %v", v.Tripped, v.Err)
+			}
+		}
+		observed += len(stream)
+		if m.Finalize().TrojanLikely {
+			b.Fatal("clean stream flagged")
+		}
+	}
+	b.ReportMetric(float64(observed)/float64(b.N), "tx/op")
 }
 
 // BenchmarkDetectorThroughput measures the pure detection algorithm on a
@@ -180,7 +247,7 @@ func BenchmarkAblationExportPeriod(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					res, err := tb.Run(prog, runBudget)
+					res, err := tb.Run(context.Background(), prog)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -215,7 +282,7 @@ func BenchmarkAblationTimeNoise(b *testing.B) {
 					if err != nil {
 						b.Fatal(err)
 					}
-					res, err := tb.Run(prog, runBudget)
+					res, err := tb.Run(context.Background(), prog)
 					if err != nil {
 						b.Fatal(err)
 					}
@@ -295,7 +362,7 @@ func BenchmarkTrojanOverhead(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := tb.Run(prog, runBudget); err != nil {
+			if _, err := tb.Run(context.Background(), prog); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -307,7 +374,7 @@ func BenchmarkTrojanOverhead(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			if _, err := tb.Run(prog, runBudget); err != nil {
+			if _, err := tb.Run(context.Background(), prog); err != nil {
 				b.Fatal(err)
 			}
 		}

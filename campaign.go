@@ -1,0 +1,198 @@
+package offramps
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"offramps/internal/capture"
+	"offramps/internal/detect"
+	"offramps/internal/fpga"
+	"offramps/internal/gcode"
+	"offramps/internal/sim"
+)
+
+// Scenario is one cell of a campaign's (program × trojan × seed ×
+// detector) grid: a complete, self-contained description of one simulated
+// print. Mutable collaborators (trojans, detectors) are specified as
+// factories so a scenario can be run any number of times — and on any
+// worker — with identical results.
+type Scenario struct {
+	// Name labels the scenario in results ("T3", "drift-2", ...).
+	Name string
+	// Program is the G-code to print.
+	Program gcode.Program
+	// Seed is the time-noise seed, used verbatim — unless the campaign
+	// sets a non-zero BaseSeed, in which case a zero Seed is derived
+	// deterministically from BaseSeed and the scenario's position.
+	Seed uint64
+	// Trojan, when non-nil, builds a fresh trojan for the run; it receives
+	// the scenario's effective seed so randomized trojans stay
+	// reproducible.
+	Trojan func(seed uint64) fpga.Trojan
+	// Detector, when non-nil, builds a fresh live detector attached to the
+	// run under Policy.
+	Detector func() (detect.Detector, error)
+	// Policy applies to the Detector (FlagOnly or AbortOnTrip).
+	Policy TripPolicy
+	// Options are extra testbed construction options (settle time, plant
+	// config, ...), applied after the campaign's own seed/trojan options.
+	Options []Option
+	// RunOptions are extra run options, applied after the campaign's own
+	// limit/detector options.
+	RunOptions []RunOption
+	// Prepare, when non-nil, instruments the freshly built testbed before
+	// the run starts (signal probes, recorders, ...).
+	Prepare func(*Testbed) error
+}
+
+// ScenarioResult pairs one scenario with its outcome.
+type ScenarioResult struct {
+	// Name and Seed echo the scenario (Seed is the effective seed).
+	Name string
+	Seed uint64
+	// Result is the run's outcome (nil when Err is set).
+	Result *Result
+	// Err is the scenario's failure, if any. One scenario failing does not
+	// stop the rest of the campaign.
+	Err error
+}
+
+// Campaign fans scenarios across a worker pool. Each scenario gets its
+// own testbed, deterministic seeding, and an independently constructed
+// trojan and detector, so results are bit-identical regardless of worker
+// count or scheduling order — the concurrency is free speedup, not a
+// source of nondeterminism.
+type Campaign struct {
+	// Workers is the pool size; ≤ 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// Budget is the per-scenario simulated-time limit; 0 means
+	// DefaultRunBudget.
+	Budget sim.Time
+	// BaseSeed, when non-zero, seeds scenarios whose own Seed is zero:
+	// scenario i gets BaseSeed + i·31 + 1. When BaseSeed is zero, every
+	// scenario's Seed is used verbatim (including zero), so experiment
+	// suites that pair same-seed runs stay paired for any caller seed.
+	BaseSeed uint64
+}
+
+// Run executes every scenario and returns the results in scenario order.
+// Per-scenario failures land in the corresponding ScenarioResult.Err; Run
+// itself errors only when the context is cancelled (already-finished
+// results are still returned).
+func (c Campaign) Run(ctx context.Context, scenarios []Scenario) ([]ScenarioResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := c.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+
+	results := make([]ScenarioResult, len(scenarios))
+	indices := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range indices {
+				results[i] = c.runScenario(ctx, i, scenarios[i])
+			}
+		}()
+	}
+feed:
+	for i := range scenarios {
+		select {
+		case indices <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(indices)
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return results, fmt.Errorf("offramps: campaign cancelled: %w", err)
+	}
+	return results, nil
+}
+
+// runScenario builds and runs one scenario end to end.
+func (c Campaign) runScenario(ctx context.Context, i int, s Scenario) ScenarioResult {
+	seed := s.Seed
+	if seed == 0 && c.BaseSeed != 0 {
+		seed = c.BaseSeed + uint64(i)*31 + 1
+	}
+	out := ScenarioResult{Name: s.Name, Seed: seed}
+
+	opts := []Option{WithSeed(seed)}
+	if s.Trojan != nil {
+		tr := s.Trojan(seed)
+		if tr == nil {
+			out.Err = fmt.Errorf("offramps: scenario %q: trojan factory returned nil", s.Name)
+			return out
+		}
+		opts = append(opts, WithTrojan(tr))
+	}
+	opts = append(opts, s.Options...)
+	tb, err := NewTestbed(opts...)
+	if err != nil {
+		out.Err = fmt.Errorf("offramps: scenario %q: %w", s.Name, err)
+		return out
+	}
+	if s.Prepare != nil {
+		if err := s.Prepare(tb); err != nil {
+			out.Err = fmt.Errorf("offramps: scenario %q: prepare: %w", s.Name, err)
+			return out
+		}
+	}
+
+	budget := c.Budget
+	if budget == 0 {
+		budget = DefaultRunBudget
+	}
+	ropts := []RunOption{WithLimit(budget)}
+	if s.Detector != nil {
+		d, err := s.Detector()
+		if err != nil {
+			out.Err = fmt.Errorf("offramps: scenario %q: detector: %w", s.Name, err)
+			return out
+		}
+		ropts = append(ropts, WithDetector(d, s.Policy))
+	}
+	ropts = append(ropts, s.RunOptions...)
+
+	res, err := tb.Run(ctx, s.Program, ropts...)
+	if err != nil {
+		out.Err = fmt.Errorf("offramps: scenario %q: %w", s.Name, err)
+		return out
+	}
+	out.Result = res
+	return out
+}
+
+// firstScenarioErr returns the first per-scenario failure, or nil.
+func firstScenarioErr(results []ScenarioResult) error {
+	for _, r := range results {
+		if r.Err != nil {
+			return r.Err
+		}
+	}
+	return nil
+}
+
+// scenarioCapture extracts a scenario's non-empty recording or explains
+// why it cannot.
+func scenarioCapture(r ScenarioResult) (*capture.Recording, error) {
+	if r.Err != nil {
+		return nil, r.Err
+	}
+	if r.Result == nil || r.Result.Recording == nil || r.Result.Recording.Len() == 0 {
+		return nil, fmt.Errorf("offramps: scenario %q produced no capture", r.Name)
+	}
+	return r.Result.Recording, nil
+}

@@ -1,16 +1,20 @@
-// Command detect compares a captured pulse profile against a golden
-// reference and prints the paper's Figure 4c report — the Go port of the
-// paper's Python detection script (§V-C).
+// Command detect replays a captured pulse profile through the detection
+// stack and prints the paper's Figure 4c report — the Go port of the
+// paper's Python detection script (§V-C), rebuilt on the pluggable
+// detect.Detector interface.
 //
 // Usage:
 //
 //	detect -golden golden.csv -capture print.csv
 //	detect -golden golden.csv -capture print.csv -margin 0.03
 //	detect -golden-free -capture print.csv          # physics rules only
+//	detect -golden golden.csv -golden-free -capture print.csv -vote any
 //
 // The -golden-free mode needs no reference capture: it checks the
 // machine-physics plausibility rules (build volume, step rate, retraction
-// depth, stationary extrusion) from the §VI future-work extension.
+// depth, stationary extrusion) from the §VI future-work extension. Giving
+// both -golden and -golden-free runs them as an ensemble combined under
+// -vote (any = either flags, all = both must flag).
 //
 // Exit status: 0 = no trojan suspected, 2 = trojan likely, 1 = error.
 package main
@@ -40,7 +44,8 @@ func run(args []string) (int, error) {
 		printPath  = fs.String("capture", "", "suspect capture CSV (required)")
 		margin     = fs.Float64("margin", 0.05, "per-window margin of error (paper: 0.05)")
 		maxShown   = fs.Int("max-shown", 64, "cap on mismatch lines printed")
-		goldenFree = fs.Bool("golden-free", false, "use machine-physics rules instead of a golden capture")
+		goldenFree = fs.Bool("golden-free", false, "use the machine-physics rule engine")
+		vote       = fs.String("vote", "any", "ensemble rule when combining detectors: any | all")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 1, err
@@ -48,38 +53,60 @@ func run(args []string) (int, error) {
 	if *printPath == "" {
 		return 1, fmt.Errorf("-capture is required")
 	}
-	if *goldenFree {
-		suspect, err := readCapture(*printPath)
+	if *goldenPath == "" && !*goldenFree {
+		return 1, fmt.Errorf("-golden is required (or use -golden-free)")
+	}
+	rule := detect.VoteAny
+	switch *vote {
+	case "any":
+	case "all":
+		rule = detect.VoteAll
+	default:
+		return 1, fmt.Errorf("-vote must be any or all, got %q", *vote)
+	}
+
+	var detectors []detect.Detector
+	if *goldenPath != "" {
+		golden, err := readCapture(*goldenPath)
 		if err != nil {
-			return 1, fmt.Errorf("capture: %w", err)
+			return 1, fmt.Errorf("golden: %w", err)
 		}
-		report, err := detect.CheckGoldenFree(suspect, detect.DefaultLimits())
+		cfg := detect.DefaultConfig()
+		cfg.Margin = *margin
+		cfg.MaxReported = *maxShown
+		comparator, err := detect.NewComparator(golden, cfg)
 		if err != nil {
 			return 1, err
 		}
-		fmt.Print(report.Format())
-		if report.TrojanLikely {
-			return 2, nil
-		}
-		return 0, nil
+		detectors = append(detectors, comparator)
 	}
-	if *goldenPath == "" {
-		return 1, fmt.Errorf("-golden is required (or use -golden-free)")
+	if *goldenFree {
+		engine, err := detect.NewRuleEngine(detect.DefaultLimits())
+		if err != nil {
+			return 1, err
+		}
+		detectors = append(detectors, engine)
 	}
 
-	golden, err := readCapture(*goldenPath)
-	if err != nil {
-		return 1, fmt.Errorf("golden: %w", err)
+	d := detectors[0]
+	if len(detectors) > 1 {
+		var err error
+		if d, err = detect.NewEnsemble(rule, detectors...); err != nil {
+			return 1, err
+		}
 	}
+
 	suspect, err := readCapture(*printPath)
 	if err != nil {
 		return 1, fmt.Errorf("capture: %w", err)
 	}
-
-	cfg := detect.DefaultConfig()
-	cfg.Margin = *margin
-	cfg.MaxReported = *maxShown
-	report, err := detect.Compare(golden, suspect, cfg)
+	if suspect.Len() == 0 && *goldenPath == "" {
+		// The rule engine has nothing to judge an empty stream against; a
+		// golden detector treats one as a divergence in itself, so with a
+		// reference present the verdict (exit 2) is the right answer.
+		return 1, fmt.Errorf("capture: %s contains no transactions", *printPath)
+	}
+	report, err := detect.Replay(suspect, d)
 	if err != nil {
 		return 1, err
 	}

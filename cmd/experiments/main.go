@@ -1,12 +1,14 @@
 // Command experiments regenerates every table and figure in the paper's
-// evaluation section (see DESIGN.md §3 and EXPERIMENTS.md for the mapping
-// and the recorded results).
+// evaluation section (see DESIGN.md §3 for the experiment index). Every
+// experiment fans its prints across a campaign worker pool; -workers
+// bounds the pool.
 //
 // Usage:
 //
 //	experiments -all
 //	experiments -table1 -figure4
 //	experiments -drift -runs 6
+//	experiments -all -workers 4
 package main
 
 import (
@@ -34,6 +36,7 @@ func run(args []string) error {
 		drift    = fs.Bool("drift", false, "§V-C: time-noise drift bound")
 		seed     = fs.Uint64("seed", 1, "base time-noise seed")
 		runs     = fs.Int("runs", 4, "number of prints for the drift experiment")
+		workers  = fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -52,11 +55,11 @@ func run(args []string) error {
 		run     func() (interface{ Format() string }, error)
 	}
 	list := []experiment{
-		{*table1, "Table I", func() (interface{ Format() string }, error) { return offrampsTableI(*seed) }},
-		{*table2, "Table II", func() (interface{ Format() string }, error) { return offrampsTableII(*seed) }},
-		{*figure4, "Figure 4", func() (interface{ Format() string }, error) { return offrampsFigure4(*seed) }},
-		{*overhead, "Overhead (§V-B)", func() (interface{ Format() string }, error) { return offrampsOverhead(*seed) }},
-		{*drift, "Drift (§V-C)", func() (interface{ Format() string }, error) { return offrampsDrift(*seed, *runs) }},
+		{*table1, "Table I", func() (interface{ Format() string }, error) { return offrampsTableI(*seed, *workers) }},
+		{*table2, "Table II", func() (interface{ Format() string }, error) { return offrampsTableII(*seed, *workers) }},
+		{*figure4, "Figure 4", func() (interface{ Format() string }, error) { return offrampsFigure4(*seed, *workers) }},
+		{*overhead, "Overhead (§V-B)", func() (interface{ Format() string }, error) { return offrampsOverhead(*seed, *workers) }},
+		{*drift, "Drift (§V-C)", func() (interface{ Format() string }, error) { return offrampsDrift(*seed, *runs, *workers) }},
 	}
 	for _, ex := range list {
 		if !ex.enabled {

@@ -3,24 +3,32 @@ package main
 import "offramps"
 
 // Thin adapters giving each experiment the common Format() interface the
-// runner loop consumes.
+// runner loop consumes and translating the -workers flag into campaign
+// options.
 
-func offrampsTableI(seed uint64) (interface{ Format() string }, error) {
-	return offramps.TableI(seed)
+func campaignOpts(workers int) []offramps.ExperimentOption {
+	if workers <= 0 {
+		return nil
+	}
+	return []offramps.ExperimentOption{offramps.WithWorkers(workers)}
 }
 
-func offrampsTableII(seed uint64) (interface{ Format() string }, error) {
-	return offramps.TableII(seed)
+func offrampsTableI(seed uint64, workers int) (interface{ Format() string }, error) {
+	return offramps.TableI(seed, campaignOpts(workers)...)
 }
 
-func offrampsFigure4(seed uint64) (interface{ Format() string }, error) {
-	return offramps.Figure4(seed)
+func offrampsTableII(seed uint64, workers int) (interface{ Format() string }, error) {
+	return offramps.TableII(seed, campaignOpts(workers)...)
 }
 
-func offrampsOverhead(seed uint64) (interface{ Format() string }, error) {
-	return offramps.Overhead(seed)
+func offrampsFigure4(seed uint64, workers int) (interface{ Format() string }, error) {
+	return offramps.Figure4(seed, campaignOpts(workers)...)
 }
 
-func offrampsDrift(seed uint64, runs int) (interface{ Format() string }, error) {
-	return offramps.Drift(seed, runs)
+func offrampsOverhead(seed uint64, workers int) (interface{ Format() string }, error) {
+	return offramps.Overhead(seed, campaignOpts(workers)...)
+}
+
+func offrampsDrift(seed uint64, runs, workers int) (interface{ Format() string }, error) {
+	return offramps.Drift(seed, runs, campaignOpts(workers)...)
 }

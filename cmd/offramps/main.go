@@ -1,7 +1,9 @@
 // Command offramps runs one simulated print on the full OFFRAMPS testbed:
 // Marlin-twin firmware → FPGA MITM → RAMPS drivers → printer plant. It can
-// arm any of the paper's Table I trojans, export the monitoring capture as
-// CSV, and dump the control signals as a VCD waveform for GTKWave.
+// arm any of the paper's Table I trojans, attach live detectors that halt
+// the print the moment a trojan is suspected, export the monitoring
+// capture as CSV, and dump the control signals as a VCD waveform for
+// GTKWave.
 //
 // Usage:
 //
@@ -10,15 +12,20 @@
 //	offramps -trojan T7 -settle 60s  # thermal-runaway attack, watch physics
 //	offramps -capture out.csv        # save the pulse-profile capture
 //	offramps -vcd steps.vcd          # save STEP/DIR waveforms
+//	offramps -monitor golden.csv     # live golden monitor, abort on trip
+//	offramps -golden-free            # live physics rules, abort on trip
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"offramps"
+	"offramps/internal/capture"
+	"offramps/internal/detect"
 	"offramps/internal/gcode"
 	"offramps/internal/signal"
 	"offramps/internal/sim"
@@ -35,14 +42,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("offramps", flag.ContinueOnError)
 	var (
-		gcodePath = fs.String("gcode", "", "G-code file to print (default: built-in 20 mm test box)")
-		trojanID  = fs.String("trojan", "", "arm a Table I trojan: T1..T9")
-		seed      = fs.Uint64("seed", 1, "time-noise seed (a different seed is a different physical run)")
-		settle    = fs.Duration("settle", 2*time.Second, "simulated time to keep running after the print ends")
-		capPath   = fs.String("capture", "", "write the pulse-profile capture CSV here")
-		vcdPath   = fs.String("vcd", "", "write STEP/DIR/heater waveforms as VCD here")
-		noMITM    = fs.Bool("direct", false, "bypass the FPGA with jumpers (Figure 3a)")
-		budget    = fs.Duration("budget", time.Hour, "simulated-time budget")
+		gcodePath  = fs.String("gcode", "", "G-code file to print (default: built-in 20 mm test box)")
+		trojanID   = fs.String("trojan", "", "arm a Table I trojan: T1..T9")
+		seed       = fs.Uint64("seed", 1, "time-noise seed (a different seed is a different physical run)")
+		settle     = fs.Duration("settle", 2*time.Second, "simulated time to keep running after the print ends")
+		capPath    = fs.String("capture", "", "write the pulse-profile capture CSV here")
+		vcdPath    = fs.String("vcd", "", "write STEP/DIR/heater waveforms as VCD here")
+		noMITM     = fs.Bool("direct", false, "bypass the FPGA with jumpers (Figure 3a)")
+		budget     = fs.Duration("budget", time.Hour, "simulated-time budget")
+		monitorCSV = fs.String("monitor", "", "golden capture CSV: attach a live monitor that aborts on trip")
+		goldenFree = fs.Bool("golden-free", false, "attach the live golden-free rule engine (aborts on trip)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +83,26 @@ func run(args []string) error {
 		return err
 	}
 
+	ropts := []offramps.RunOption{offramps.WithLimit(sim.FromDuration(*budget))}
+	if *monitorCSV != "" {
+		golden, err := readCapture(*monitorCSV)
+		if err != nil {
+			return fmt.Errorf("golden capture: %w", err)
+		}
+		m, err := detect.NewMonitor(golden, detect.DefaultConfig())
+		if err != nil {
+			return err
+		}
+		ropts = append(ropts, offramps.WithDetector(m, offramps.AbortOnTrip))
+	}
+	if *goldenFree {
+		e, err := detect.NewRuleEngine(detect.DefaultLimits())
+		if err != nil {
+			return err
+		}
+		ropts = append(ropts, offramps.WithDetector(e, offramps.AbortOnTrip))
+	}
+
 	var traces []*signal.Trace
 	if *vcdPath != "" {
 		for _, pin := range []string{
@@ -84,7 +113,7 @@ func run(args []string) error {
 		}
 	}
 
-	res, err := tb.Run(prog, sim.FromDuration(*budget))
+	res, err := tb.Run(context.Background(), prog, ropts...)
 	if err != nil {
 		return err
 	}
@@ -127,6 +156,15 @@ func loadProgram(path string) (gcode.Program, error) {
 	return gcode.Parse(f)
 }
 
+func readCapture(path string) (*capture.Recording, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return capture.ReadCSV(f)
+}
+
 func findTrojan(id string, seed uint64) (trojan.Info, error) {
 	for _, tr := range trojan.Suite(seed) {
 		if tr.ID() == id {
@@ -138,7 +176,9 @@ func findTrojan(id string, seed uint64) (trojan.Info, error) {
 
 func printSummary(res *offramps.Result) {
 	status := "completed"
-	if !res.Completed {
+	if res.Aborted {
+		status = fmt.Sprintf("ABORTED by detector at %v — %s", res.AbortedAt, res.TripReason)
+	} else if !res.Completed {
 		status = fmt.Sprintf("HALTED: %v", res.HaltError)
 	}
 	fmt.Printf("print %s in %v simulated\n", status, res.Duration)
@@ -152,5 +192,12 @@ func printSummary(res *offramps.Result) {
 	}
 	if lost > 0 {
 		fmt.Printf("steps lost to disabled drivers: %d\n", lost)
+	}
+	for _, rep := range res.Detections {
+		verdict := "no trojan suspected"
+		if rep.TrojanLikely {
+			verdict = "TROJAN LIKELY"
+		}
+		fmt.Printf("detector %s: %s\n", rep.Detector, verdict)
 	}
 }

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -13,7 +14,6 @@ import (
 	"offramps/internal/detect"
 	"offramps/internal/flaw3d"
 	"offramps/internal/gcode"
-	"offramps/internal/sim"
 )
 
 func capturePrint(prog gcode.Program, seed uint64) *offramps.Result {
@@ -21,7 +21,7 @@ func capturePrint(prog gcode.Program, seed uint64) *offramps.Result {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := tb.Run(prog, 3600*sim.Second)
+	res, err := tb.Run(context.Background(), prog)
 	if err != nil {
 		log.Fatal(err)
 	}

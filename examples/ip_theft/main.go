@@ -9,12 +9,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"offramps"
 	"offramps/internal/reconstruct"
-	"offramps/internal/sim"
 )
 
 func main() {
@@ -27,7 +27,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := tb.Run(prog, 3600*sim.Second)
+	res, err := tb.Run(context.Background(), prog)
 	if err != nil {
 		log.Fatal(err)
 	}

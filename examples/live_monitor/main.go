@@ -3,14 +3,18 @@
 // enabling a user to halt a print as soon as a Trojan is suspected"
 // (§V-C) — saving machine time and material (§V-A).
 //
-// The example prints the same job three times against a golden capture:
-// clean (runs to completion), blatant relocation trojan (aborted within
-// seconds), and stealthy 2 % reduction (flagged at the final count check).
+// The example prints the same job three times with a live golden monitor
+// attached via WithDetector(..., AbortOnTrip): clean (runs to
+// completion), blatant relocation trojan (aborted within seconds), and
+// stealthy 2 % reduction (flagged at the final count check). A fourth run
+// pairs the monitor with the golden-free rule engine in an ensemble —
+// the same Run entry point drives every configuration.
 //
 //	go run ./examples/live_monitor
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -18,10 +22,10 @@ import (
 	"offramps/internal/detect"
 	"offramps/internal/flaw3d"
 	"offramps/internal/gcode"
-	"offramps/internal/sim"
 )
 
 func main() {
+	ctx := context.Background()
 	prog, err := offramps.TestPart()
 	if err != nil {
 		log.Fatal(err)
@@ -32,19 +36,23 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	golden, err := goldenTB.Run(prog, 3600*sim.Second)
+	golden, err := goldenTB.Run(ctx, prog)
 	if err != nil {
 		log.Fatal(err)
 	}
 	goldenTime := golden.Duration
 	fmt.Printf("golden print: %v, %d transactions\n\n", goldenTime, golden.Recording.Len())
 
-	monitored := func(name string, job gcode.Program, seed uint64) {
+	monitored := func(name string, job gcode.Program, seed uint64, build func() (detect.Detector, error)) {
 		tb, err := offramps.NewTestbed(offramps.WithSeed(seed))
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := tb.RunMonitored(job, 3600*sim.Second, golden.Recording, detect.DefaultConfig())
+		d, err := build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := tb.Run(ctx, job, offramps.WithDetector(d, offramps.AbortOnTrip))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -52,7 +60,7 @@ func main() {
 		switch {
 		case res.Aborted:
 			saved := goldenTime - res.AbortedAt
-			fmt.Printf("    ABORTED at %v — %s\n", res.AbortedAt, res.Trip)
+			fmt.Printf("    ABORTED at %v — %s\n", res.AbortedAt, res.TripReason)
 			fmt.Printf("    saved ≈%v of machine time and the filament with it\n", saved)
 		case res.TrojanLikely:
 			fmt.Printf("    completed, but flagged at the final 0%%-margin check\n")
@@ -62,17 +70,35 @@ func main() {
 		fmt.Println()
 	}
 
-	monitored("clean re-print (different seed)", prog, 7)
+	goldenMonitor := func() (detect.Detector, error) {
+		return detect.NewMonitor(golden.Recording, detect.DefaultConfig())
+	}
+
+	monitored("clean re-print (different seed)", prog, 7, goldenMonitor)
 
 	relocated, err := flaw3d.Relocate(prog, 5)
 	if err != nil {
 		log.Fatal(err)
 	}
-	monitored("relocation trojan (every 5 moves)", relocated, 8)
+	monitored("relocation trojan (every 5 moves)", relocated, 8, goldenMonitor)
 
 	reduced, err := flaw3d.Reduce(prog, 0.98)
 	if err != nil {
 		log.Fatal(err)
 	}
-	monitored("stealthy 2% reduction trojan", reduced, 9)
+	monitored("stealthy 2% reduction trojan", reduced, 9, goldenMonitor)
+
+	// The same trojan hunted by an ensemble: golden monitor + golden-free
+	// physics rules, tripping if either does.
+	monitored("relocation trojan vs ensemble(any)", relocated, 10, func() (detect.Detector, error) {
+		m, err := detect.NewMonitor(golden.Recording, detect.DefaultConfig())
+		if err != nil {
+			return nil, err
+		}
+		e, err := detect.NewRuleEngine(detect.DefaultLimits())
+		if err != nil {
+			return nil, err
+		}
+		return detect.NewEnsemble(detect.VoteAny, m, e)
+	})
 }

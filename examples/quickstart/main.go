@@ -5,11 +5,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
 	"offramps"
-	"offramps/internal/sim"
 )
 
 func main() {
@@ -31,7 +31,7 @@ func main() {
 
 	// 3. Print it. The limit bounds *simulated* time, not wall time; a
 	//    full print simulates in well under a second of wall clock.
-	res, err := tb.Run(prog, 3600*sim.Second)
+	res, err := tb.Run(context.Background(), prog)
 	if err != nil {
 		log.Fatal(err)
 	}

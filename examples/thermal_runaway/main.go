@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -34,7 +35,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := tb.Run(prog, 3600*sim.Second)
+	res, err := tb.Run(context.Background(), prog)
 	if err != nil {
 		log.Fatal(err)
 	}

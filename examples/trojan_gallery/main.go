@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +26,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	golden, err := goldenTB.Run(prog, 3600*sim.Second)
+	golden, err := goldenTB.Run(context.Background(), prog)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +43,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := tb.Run(prog, 3600*sim.Second)
+		res, err := tb.Run(context.Background(), prog)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,12 +1,14 @@
 package offramps
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"offramps/internal/capture"
 	"offramps/internal/detect"
 	"offramps/internal/flaw3d"
+	"offramps/internal/fpga"
 	"offramps/internal/gcode"
 	"offramps/internal/printer"
 	"offramps/internal/signal"
@@ -14,10 +16,23 @@ import (
 	"offramps/internal/trojan"
 )
 
-// runBudget bounds the simulated time of one experiment print. The
-// standard test part takes ≈2 simulated minutes; an hour of headroom
-// catches hangs without false positives.
-const runBudget = 3600 * sim.Second
+// ExperimentOption tunes how the experiment entry points run their
+// campaigns.
+type ExperimentOption func(*Campaign)
+
+// WithWorkers sets the campaign worker-pool size (default: GOMAXPROCS).
+func WithWorkers(n int) ExperimentOption {
+	return func(c *Campaign) { c.Workers = n }
+}
+
+// newCampaign builds the experiment suite's standard campaign.
+func newCampaign(opts []ExperimentOption) Campaign {
+	c := Campaign{Budget: DefaultRunBudget}
+	for _, opt := range opts {
+		opt(&c)
+	}
+	return c
+}
 
 // ---------------------------------------------------------------------------
 // Table I — the nine-trojan suite
@@ -69,43 +84,55 @@ var paperEffects = map[string]string{
 	"T9": "Arbitrarily reducing part fan speed mid-print",
 }
 
+// tableITrojan returns a factory building a fresh Table I trojan per run,
+// so campaign workers never share trojan state.
+func tableITrojan(id string) func(seed uint64) fpga.Trojan {
+	return func(seed uint64) fpga.Trojan {
+		for _, tr := range trojan.Suite(seed) {
+			if tr.ID() == id {
+				return tr
+			}
+		}
+		return nil
+	}
+}
+
 // TableI reproduces the paper's Table I: print the test part once clean
-// (T0, FPGA in bypass) and once under each trojan, and verify each
-// trojan's physical effect on the part or machine.
-func TableI(seed uint64) (*TableIReport, error) {
+// (T0, FPGA in bypass) and once under each trojan — all fanned across the
+// campaign worker pool — and verify each trojan's physical effect on the
+// part or machine.
+func TableI(seed uint64, opts ...ExperimentOption) (*TableIReport, error) {
 	prog, err := TestPart()
 	if err != nil {
 		return nil, err
 	}
 
-	goldenTB, err := NewTestbed(WithSeed(seed))
+	suite := trojan.Suite(seed)
+	scens := []Scenario{{Name: "T0", Program: prog, Seed: seed}}
+	for _, tr := range suite {
+		s := Scenario{Name: tr.ID(), Program: prog, Seed: seed, Trojan: tableITrojan(tr.ID())}
+		if tr.ID() == "T7" {
+			// Observe the post-kill physics: the clamp keeps heating
+			// after the firmware panics.
+			s.Options = []Option{WithSettle(60 * sim.Second)}
+		}
+		scens = append(scens, s)
+	}
+	results, err := newCampaign(opts).Run(context.Background(), scens)
 	if err != nil {
 		return nil, err
 	}
-	golden, err := goldenTB.Run(prog, runBudget)
-	if err != nil {
-		return nil, fmt.Errorf("offramps: golden print: %w", err)
+	if err := firstScenarioErr(results); err != nil {
+		return nil, err
 	}
+	golden := results[0].Result
 	if !golden.Completed {
 		return nil, fmt.Errorf("offramps: golden print halted: %w", golden.HaltError)
 	}
 
 	report := &TableIReport{Golden: golden}
-	for _, tr := range trojan.Suite(seed) {
-		opts := []Option{WithSeed(seed), WithTrojan(tr)}
-		if tr.ID() == "T7" {
-			// Observe the post-kill physics: the clamp keeps heating
-			// after the firmware panics.
-			opts = append(opts, WithSettle(60*sim.Second))
-		}
-		tb, err := NewTestbed(opts...)
-		if err != nil {
-			return nil, err
-		}
-		res, err := tb.Run(prog, runBudget)
-		if err != nil {
-			return nil, fmt.Errorf("offramps: %s print: %w", tr.ID(), err)
-		}
+	for i, tr := range suite {
+		res := results[i+1].Result
 		row := TableIRow{
 			ID:       tr.ID(),
 			Kind:     tr.Kind().String(),
@@ -201,13 +228,14 @@ func (r *TableIIReport) Format() string {
 	return sb.String()
 }
 
-// captureRun prints prog on a fresh testbed and returns its capture.
+// captureRun prints prog on a fresh testbed and returns its capture — the
+// single-print convenience used by benches and extension tests.
 func captureRun(prog gcode.Program, seed uint64) (*capture.Recording, error) {
 	tb, err := NewTestbed(WithSeed(seed))
 	if err != nil {
 		return nil, err
 	}
-	res, err := tb.Run(prog, runBudget)
+	res, err := tb.Run(context.Background(), prog)
 	if err != nil {
 		return nil, err
 	}
@@ -219,27 +247,42 @@ func captureRun(prog gcode.Program, seed uint64) (*capture.Recording, error) {
 
 // TableII reproduces the paper's Table II: emulate the eight Flaw3D
 // trojans by tampering the G-code (as the paper's Python script does),
-// print each on the OFFRAMPS testbed, capture the pulse profiles, and run
-// the detector against the known-good capture. The golden and suspect
-// prints use different time-noise seeds, modelling physically separate
-// runs of the same job.
-func TableII(seed uint64) (*TableIIReport, error) {
+// print each on the OFFRAMPS testbed in parallel, capture the pulse
+// profiles, and replay each through the golden detector. The golden and
+// suspect prints use different time-noise seeds, modelling physically
+// separate runs of the same job.
+func TableII(seed uint64, opts ...ExperimentOption) (*TableIIReport, error) {
 	prog, err := TestPart()
 	if err != nil {
 		return nil, err
 	}
-	golden, err := captureRun(prog, seed)
+	cases := flaw3d.TableII()
+	scens := []Scenario{{Name: "golden", Program: prog, Seed: seed}}
+	for i, tc := range cases {
+		tampered, err := tc.Apply(prog)
+		if err != nil {
+			return nil, fmt.Errorf("offramps: %s: %w", tc, err)
+		}
+		scens = append(scens, Scenario{
+			Name:    fmt.Sprintf("flaw3d-%d", tc.Num),
+			Program: tampered,
+			Seed:    seed + uint64(i) + 100,
+		})
+	}
+	scens = append(scens, Scenario{Name: "clean-control", Program: prog, Seed: seed + 999})
+
+	results, err := newCampaign(opts).Run(context.Background(), scens)
+	if err != nil {
+		return nil, err
+	}
+	golden, err := scenarioCapture(results[0])
 	if err != nil {
 		return nil, fmt.Errorf("offramps: golden capture: %w", err)
 	}
 
 	report := &TableIIReport{}
-	for i, tc := range flaw3d.TableII() {
-		tampered, err := tc.Apply(prog)
-		if err != nil {
-			return nil, fmt.Errorf("offramps: %s: %w", tc, err)
-		}
-		suspect, err := captureRun(tampered, seed+uint64(i)+100)
+	for i, tc := range cases {
+		suspect, err := scenarioCapture(results[i+1])
 		if err != nil {
 			return nil, fmt.Errorf("offramps: %s print: %w", tc, err)
 		}
@@ -251,7 +294,7 @@ func TableII(seed uint64) (*TableIIReport, error) {
 	}
 
 	// Clean control: same G-code, different seed — must pass.
-	clean, err := captureRun(prog, seed+999)
+	clean, err := scenarioCapture(results[len(results)-1])
 	if err != nil {
 		return nil, fmt.Errorf("offramps: clean control: %w", err)
 	}
@@ -298,12 +341,8 @@ func (r *Figure4Report) Format() string {
 // Figure4 reproduces the paper's Figure 4 using the same trojan the paper
 // shows: a Flaw3D relocation trojan. (The caption says "relocates material
 // every 20 movements", i.e. Table II test case 7.)
-func Figure4(seed uint64) (*Figure4Report, error) {
+func Figure4(seed uint64, opts ...ExperimentOption) (*Figure4Report, error) {
 	prog, err := TestPart()
-	if err != nil {
-		return nil, err
-	}
-	golden, err := captureRun(prog, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +351,18 @@ func Figure4(seed uint64) (*Figure4Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	suspect, err := captureRun(tampered, seed+107)
+	results, err := newCampaign(opts).Run(context.Background(), []Scenario{
+		{Name: "golden", Program: prog, Seed: seed},
+		{Name: "relocation", Program: tampered, Seed: seed + 107},
+	})
+	if err != nil {
+		return nil, err
+	}
+	golden, err := scenarioCapture(results[0])
+	if err != nil {
+		return nil, err
+	}
+	suspect, err := scenarioCapture(results[1])
 	if err != nil {
 		return nil, err
 	}
@@ -381,47 +431,55 @@ func (r *OverheadReport) Format() string {
 // Overhead reproduces §V-B: measure the MITM's propagation delay and the
 // control-signal envelope during a real print, and show the detection
 // hardware has no effect on print quality by printing the same part with
-// and without the MITM inline.
-func Overhead(seed uint64) (*OverheadReport, error) {
+// and without the MITM inline — the two rigs run as parallel campaign
+// scenarios.
+func Overhead(seed uint64, opts ...ExperimentOption) (*OverheadReport, error) {
 	prog, err := TestPart()
 	if err != nil {
 		return nil, err
 	}
 
-	// --- MITM run with instrumentation ---
-	tb, err := NewTestbed(WithSeed(seed))
-	if err != nil {
-		return nil, err
-	}
-	stepPins := []string{signal.PinXStep, signal.PinYStep, signal.PinZStep, signal.PinEStep}
-	recorder := signal.NewRecorder(tb.Arduino, stepPins...)
-
-	// Latency probes: timestamp each Arduino-side edge, match it to the
-	// next RAMPS-side edge on the same pin.
+	// Instrumentation owned by the MITM scenario: a step-line recorder
+	// plus latency probes that timestamp each Arduino-side edge and match
+	// it to the next RAMPS-side edge on the same pin.
 	report := &OverheadReport{}
-	for _, pin := range signal.ControlPins {
-		pin := pin
-		var pendingAt sim.Time = -1
-		tb.Arduino.Line(pin).Watch(func(at sim.Time, _ signal.Level) {
-			pendingAt = at
-		})
-		tb.RAMPS.Line(pin).Watch(func(at sim.Time, _ signal.Level) {
-			if pendingAt < 0 {
-				return
-			}
-			delay := at - pendingAt
-			pendingAt = -1
-			if delay > report.MaxPropagation {
-				report.MaxPropagation = delay
-				report.SlowestPin = pin
-			}
-		})
+	var recorder *signal.Recorder
+	instrument := func(tb *Testbed) error {
+		stepPins := []string{signal.PinXStep, signal.PinYStep, signal.PinZStep, signal.PinEStep}
+		recorder = signal.NewRecorder(tb.Arduino, stepPins...)
+		for _, pin := range signal.ControlPins {
+			pin := pin
+			var pendingAt sim.Time = -1
+			tb.Arduino.Line(pin).Watch(func(at sim.Time, _ signal.Level) {
+				pendingAt = at
+			})
+			tb.RAMPS.Line(pin).Watch(func(at sim.Time, _ signal.Level) {
+				if pendingAt < 0 {
+					return
+				}
+				delay := at - pendingAt
+				pendingAt = -1
+				if delay > report.MaxPropagation {
+					report.MaxPropagation = delay
+					report.SlowestPin = pin
+				}
+			})
+		}
+		return nil
 	}
 
-	resMITM, err := tb.Run(prog, runBudget)
+	results, err := newCampaign(opts).Run(context.Background(), []Scenario{
+		{Name: "mitm", Program: prog, Seed: seed, Prepare: instrument},
+		{Name: "direct", Program: prog, Seed: seed, Options: []Option{WithoutMITM()}},
+	})
 	if err != nil {
 		return nil, err
 	}
+	if err := firstScenarioErr(results); err != nil {
+		return nil, err
+	}
+	resMITM, resDirect := results[0].Result, results[1].Result
+
 	report.QualityMITM = resMITM.Quality
 	report.LineStats = recorder.AllStats()
 	for _, s := range report.LineStats {
@@ -431,16 +489,6 @@ func Overhead(seed uint64) (*OverheadReport, error) {
 		if s.MinPulseWidth > 0 && (report.MinPulseWidth == 0 || s.MinPulseWidth < report.MinPulseWidth) {
 			report.MinPulseWidth = s.MinPulseWidth
 		}
-	}
-
-	// --- Direct (jumpers bypass the FPGA socket entirely) ---
-	direct, err := NewTestbed(WithSeed(seed), WithoutMITM())
-	if err != nil {
-		return nil, err
-	}
-	resDirect, err := direct.Run(prog, runBudget)
-	if err != nil {
-		return nil, err
 	}
 	report.QualityDirect = resDirect.Quality
 	if resDirect.Quality.TotalFilament > 0 {
@@ -480,11 +528,11 @@ func (r *DriftReport) Format() string {
 	return sb.String()
 }
 
-// Drift runs the same job `runs` times with different time-noise seeds
-// and measures the worst per-window divergence — the quantity the paper
-// bounds at 5 % ("This drift was, however, always less than a 5 %
-// difference in our testing").
-func Drift(seed uint64, runs int) (*DriftReport, error) {
+// Drift runs the same job `runs` times with different time-noise seeds —
+// one campaign scenario per print — and measures the worst per-window
+// divergence, the quantity the paper bounds at 5 % ("This drift was,
+// however, always less than a 5 % difference in our testing").
+func Drift(seed uint64, runs int, opts ...ExperimentOption) (*DriftReport, error) {
 	if runs < 2 {
 		return nil, fmt.Errorf("offramps: drift needs at least 2 runs, got %d", runs)
 	}
@@ -492,9 +540,17 @@ func Drift(seed uint64, runs int) (*DriftReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	scens := make([]Scenario, runs)
+	for i := range scens {
+		scens[i] = Scenario{Name: fmt.Sprintf("drift-%d", i), Program: prog, Seed: seed + uint64(i)*31}
+	}
+	results, err := newCampaign(opts).Run(context.Background(), scens)
+	if err != nil {
+		return nil, err
+	}
 	recs := make([]*capture.Recording, runs)
-	for i := range recs {
-		recs[i], err = captureRun(prog, seed+uint64(i)*31)
+	for i, r := range results {
+		recs[i], err = scenarioCapture(r)
 		if err != nil {
 			return nil, fmt.Errorf("offramps: drift run %d: %w", i, err)
 		}

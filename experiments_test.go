@@ -1,6 +1,7 @@
 package offramps
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -209,7 +210,7 @@ func TestCaptureCSVRoundTripThroughRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tb.Run(prog, runBudget)
+	res, err := tb.Run(context.Background(), prog)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,3 @@
+module offramps
+
+go 1.24

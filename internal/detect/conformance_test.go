@@ -1,0 +1,235 @@
+package detect
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"offramps/internal/capture"
+)
+
+// The Detector conformance suite: every implementation — batch
+// comparator, live monitor, golden-free rule engine, and both ensemble
+// rules — consumes the same transaction streams and must produce the
+// expected trip points and final verdicts, plus the interface-wide
+// invariants (latching verdicts, idempotent Finalize, Name stamped on
+// the report).
+
+// conformanceExpect is one detector's expected behaviour on one stream.
+type conformanceExpect struct {
+	tripAt int // stream position of the first tripping verdict; -1 = never
+	likely bool
+}
+
+// detectorFactories builds every Detector implementation against the
+// same golden capture and machine limits.
+func detectorFactories(t *testing.T, golden *capture.Recording) map[string]func() Detector {
+	t.Helper()
+	limits := DefaultLimits()
+	mk := func(build func() (Detector, error)) func() Detector {
+		return func() Detector {
+			d, err := build()
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		}
+	}
+	return map[string]func() Detector{
+		"golden-comparator": mk(func() (Detector, error) { return NewComparator(golden, DefaultConfig()) }),
+		"golden-monitor":    mk(func() (Detector, error) { return NewMonitor(golden, DefaultConfig()) }),
+		"golden-free":       mk(func() (Detector, error) { return NewRuleEngine(limits) }),
+		"ensemble(any)": mk(func() (Detector, error) {
+			m, err := NewMonitor(golden, DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			e, err := NewRuleEngine(limits)
+			if err != nil {
+				return nil, err
+			}
+			return NewEnsemble(VoteAny, m, e)
+		}),
+		"ensemble(all)": mk(func() (Detector, error) {
+			m, err := NewMonitor(golden, DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			e, err := NewRuleEngine(limits)
+			if err != nil {
+				return nil, err
+			}
+			return NewEnsemble(VoteAll, m, e)
+		}),
+	}
+}
+
+func TestDetectorConformance(t *testing.T) {
+	golden := rec(100, 200, 300, 400)
+	cases := []struct {
+		name   string
+		stream *capture.Recording
+		expect map[string]conformanceExpect
+	}{
+		{
+			name:   "clean",
+			stream: rec(100, 200, 300, 400),
+			expect: map[string]conformanceExpect{
+				"golden-comparator": {tripAt: -1, likely: false},
+				"golden-monitor":    {tripAt: -1, likely: false},
+				"golden-free":       {tripAt: -1, likely: false},
+				"ensemble(any)":     {tripAt: -1, likely: false},
+				"ensemble(all)":     {tripAt: -1, likely: false},
+			},
+		},
+		{
+			// +20 % on X at window 2: a physically plausible divergence —
+			// only the golden reference can see it. The monitor halts at
+			// the offending window; the comparator flags it at the end.
+			name:   "blatant-divergence",
+			stream: rec(100, 200, 360, 400),
+			expect: map[string]conformanceExpect{
+				"golden-comparator": {tripAt: -1, likely: true},
+				"golden-monitor":    {tripAt: 2, likely: true},
+				"golden-free":       {tripAt: -1, likely: false},
+				"ensemble(any)":     {tripAt: 2, likely: true},
+				"ensemble(all)":     {tripAt: -1, likely: false},
+			},
+		},
+		{
+			// Uniform 2 % reduction: inside the windowed margin, caught
+			// only by the 0 %-margin final-count check.
+			name:   "stealthy-reduction",
+			stream: rec(98, 196, 294, 392),
+			expect: map[string]conformanceExpect{
+				"golden-comparator": {tripAt: -1, likely: true},
+				"golden-monitor":    {tripAt: -1, likely: true},
+				"golden-free":       {tripAt: -1, likely: false},
+				"ensemble(any)":     {tripAt: -1, likely: true},
+				"ensemble(all)":     {tripAt: -1, likely: false},
+			},
+		},
+		{
+			// X teleports outside the build volume at window 2: both the
+			// golden reference and machine physics see it, so even the
+			// ensemble(all) verdict fires.
+			name:   "out-of-volume",
+			stream: rec(100, 200, 99000, 400),
+			expect: map[string]conformanceExpect{
+				"golden-comparator": {tripAt: -1, likely: true},
+				"golden-monitor":    {tripAt: 2, likely: true},
+				"golden-free":       {tripAt: 2, likely: true},
+				"ensemble(any)":     {tripAt: 2, likely: true},
+				"ensemble(all)":     {tripAt: 2, likely: true},
+			},
+		},
+	}
+
+	factories := detectorFactories(t, golden)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for name, build := range factories {
+				want, ok := tc.expect[name]
+				if !ok {
+					t.Fatalf("case %s has no expectation for %s", tc.name, name)
+				}
+				t.Run(name, func(t *testing.T) {
+					d := build()
+					if d.Name() != name {
+						t.Errorf("Name() = %q, want %q", d.Name(), name)
+					}
+					tripAt := -1
+					for i, tx := range tc.stream.Transactions {
+						v := d.Observe(tx)
+						if v.Err != nil {
+							t.Fatalf("stream error at %d: %v", i, v.Err)
+						}
+						if v.Tripped && tripAt < 0 {
+							tripAt = i
+							if v.Reason() == "" {
+								t.Error("tripped verdict has no Reason")
+							}
+						}
+						if !v.Tripped && tripAt >= 0 {
+							t.Errorf("verdict un-latched at %d", i)
+						}
+					}
+					if tripAt != want.tripAt {
+						t.Errorf("tripped at %d, want %d", tripAt, want.tripAt)
+					}
+					rep := d.Finalize()
+					if rep.TrojanLikely != want.likely {
+						t.Errorf("TrojanLikely = %v, want %v\n%s", rep.TrojanLikely, want.likely, rep.Format())
+					}
+					if rep.Detector != name {
+						t.Errorf("report Detector = %q, want %q", rep.Detector, name)
+					}
+					if rep.Tripped != (want.tripAt >= 0) {
+						t.Errorf("report Tripped = %v, want %v", rep.Tripped, want.tripAt >= 0)
+					}
+					// Finalize must be idempotent.
+					if again := d.Finalize(); !reflect.DeepEqual(rep, again) {
+						t.Error("second Finalize differs from the first")
+					}
+					// A fresh detector replaying the same stream agrees.
+					replayed, err := Replay(tc.stream, build())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if replayed.TrojanLikely != rep.TrojanLikely || replayed.Tripped != rep.Tripped {
+						t.Errorf("Replay verdict diverges: %+v vs %+v", replayed, rep)
+					}
+				})
+			}
+		})
+	}
+}
+
+func TestEnsembleConstruction(t *testing.T) {
+	if _, err := NewEnsemble(VoteAny); err == nil {
+		t.Error("empty ensemble accepted")
+	}
+	if _, err := NewEnsemble(Vote(42), &RuleEngine{limits: DefaultLimits()}); err == nil {
+		t.Error("unknown vote rule accepted")
+	}
+}
+
+func TestEnsemblePropagatesStreamErrors(t *testing.T) {
+	m, err := NewMonitor(rec(1000, 2000), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEnsemble(VoteAny, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := e.Observe(capture.Transaction{Index: 7}); v.Err == nil {
+		t.Error("member stream error swallowed")
+	}
+}
+
+func TestEnsembleReportCarriesMembers(t *testing.T) {
+	golden := rec(1000, 2000)
+	m, _ := NewMonitor(golden, DefaultConfig())
+	re, _ := NewRuleEngine(DefaultLimits())
+	e, err := NewEnsemble(VoteAny, m, re)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Replay(rec(1000, 2600), e) // +30% on the final window
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Sub) != 2 {
+		t.Fatalf("Sub = %d reports, want 2", len(rep.Sub))
+	}
+	if !rep.TrojanLikely {
+		t.Error("any-vote ensemble missed the member verdict")
+	}
+	out := rep.Format()
+	for _, want := range []string{"golden-monitor", "golden-free", "Trojan likely!"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ensemble Format() missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -76,13 +76,17 @@ type FinalMismatch struct {
 	Suspect int32
 }
 
-// Report is the detector's verdict plus the metadata the paper's tool
+// Report is a detector's verdict plus the metadata the paper's tool
 // prints: total mismatches, the largest percentage difference, and the
-// number of transactions compared.
+// number of transactions compared. All Detector implementations finalize
+// into this one type; fields a strategy does not produce are left zero
+// (a golden-free report has no Mismatches, a golden report no
+// Violations).
 type Report struct {
+	Detector       string     // which detector produced the report
 	Mismatches     []Mismatch // detail list, capped at Config.MaxReported
 	NumMismatches  int        // total mismatches found
-	NumCompared    int        // transactions compared
+	NumCompared    int        // transactions compared / checked
 	LargestPercent float64    // largest percent difference found
 	// LargestSubstantial is the largest percent difference among windows
 	// whose golden count is at least SubstantialCount steps. The paper's
@@ -93,18 +97,34 @@ type Report struct {
 	// absolute guard) already tolerates.
 	LargestSubstantial float64
 	Final              []FinalMismatch
-	LengthDelta        int  // suspect length − golden length
-	TrojanLikely       bool // the verdict
+	LengthDelta        int // suspect length − golden length
+	// Violations holds the golden-free rule engine's hits.
+	Violations []Violation
+	// Tripped and Trip record a live detector's mid-stream halt decision.
+	Tripped bool
+	Trip    *Mismatch
+	// Sub holds the member reports of an Ensemble, in member order.
+	Sub          []*Report
+	TrojanLikely bool // the verdict
 }
 
 // Format renders the report in the style of the paper's Figure 4c.
 func (r Report) Format() string {
 	var sb strings.Builder
+	for _, sub := range r.Sub {
+		fmt.Fprintf(&sb, "--- %s ---\n", sub.Detector)
+		sb.WriteString(sub.Format())
+	}
 	for _, m := range r.Mismatches {
 		fmt.Fprintln(&sb, m.String())
 	}
-	if len(r.Mismatches) < r.NumMismatches {
+	if len(r.Sub) == 0 && len(r.Mismatches) < r.NumMismatches {
+		// An ensemble's aggregate count is itemized in the Sub sections
+		// above; the cap note applies only to a flat report's own list.
 		fmt.Fprintf(&sb, "... (%d further mismatches)\n", r.NumMismatches-len(r.Mismatches))
+	}
+	for _, v := range r.Violations {
+		fmt.Fprintln(&sb, v.String())
 	}
 	for _, f := range r.Final {
 		fmt.Fprintf(&sb, "Final count mismatch, Column: %s, Values: %d, %d\n", f.Column, f.Golden, f.Suspect)
@@ -112,9 +132,22 @@ func (r Report) Format() string {
 	if r.LengthDelta != 0 {
 		fmt.Fprintf(&sb, "Capture length differs by %d transactions\n", r.LengthDelta)
 	}
-	fmt.Fprintf(&sb, "Largest percent difference found: %.2f%%\n", r.LargestPercent)
-	fmt.Fprintf(&sb, "Number of transactions compared: %d\n", r.NumCompared)
-	fmt.Fprintf(&sb, "Number of mismatches: %d\n", r.NumMismatches)
+	if len(r.Sub) > 0 {
+		fmt.Fprintf(&sb, "--- %s verdict ---\n", r.Detector)
+	}
+	if r.Detector == goldenFreeName {
+		// A golden-free report has no reference to diverge from; its
+		// summary speaks in violations, matching the legacy tool output.
+		fmt.Fprintf(&sb, "Number of transactions checked: %d\n", r.NumCompared)
+		fmt.Fprintf(&sb, "Number of violations: %d\n", len(r.Violations))
+	} else {
+		fmt.Fprintf(&sb, "Largest percent difference found: %.2f%%\n", r.LargestPercent)
+		fmt.Fprintf(&sb, "Number of transactions compared: %d\n", r.NumCompared)
+		fmt.Fprintf(&sb, "Number of mismatches: %d\n", r.NumMismatches)
+		if len(r.Violations) > 0 {
+			fmt.Fprintf(&sb, "Number of violations: %d\n", len(r.Violations))
+		}
+	}
 	if r.TrojanLikely {
 		fmt.Fprintln(&sb, "Trojan likely!")
 	} else {
@@ -140,77 +173,21 @@ func percentDiff(g, s int32) float64 {
 	return math.Abs(float64(g)-float64(s)) / math.Abs(float64(g)) * 100
 }
 
-// Compare runs the detection algorithm: per-window margin comparison over
-// the overlapping prefix, then the exact final-count check.
+// Compare runs the detection algorithm — per-window margin comparison
+// over the overlapping prefix, then the exact final-count check — by
+// replaying the suspect recording through a batch golden Detector. It is
+// a thin adapter kept for the paper's original two-capture workflow.
 func Compare(golden, suspect *capture.Recording, cfg Config) (Report, error) {
-	var r Report
-	if err := cfg.Validate(); err != nil {
-		return r, err
-	}
 	if golden == nil || suspect == nil {
-		return r, fmt.Errorf("detect: nil recording")
+		return Report{}, fmt.Errorf("detect: nil recording")
 	}
-	if golden.Len() == 0 {
-		return r, fmt.Errorf("detect: golden recording is empty")
+	d, err := NewComparator(golden, cfg)
+	if err != nil {
+		return Report{}, err
 	}
-
-	n := golden.Len()
-	if suspect.Len() < n {
-		n = suspect.Len()
+	rep, err := Replay(suspect, d)
+	if err != nil {
+		return Report{}, err
 	}
-	r.LengthDelta = suspect.Len() - golden.Len()
-
-	for i := 0; i < n; i++ {
-		g := golden.Transactions[i]
-		s := suspect.Transactions[i]
-		r.NumCompared++
-		for _, col := range capture.Columns {
-			gv, err := g.Column(col)
-			if err != nil {
-				return r, err
-			}
-			sv, err := s.Column(col)
-			if err != nil {
-				return r, err
-			}
-			pd := percentDiff(gv, sv)
-			if pd > r.LargestPercent {
-				r.LargestPercent = pd
-			}
-			if (gv >= SubstantialCount || gv <= -SubstantialCount) && pd > r.LargestSubstantial {
-				r.LargestSubstantial = pd
-			}
-			absDiff := int64(gv) - int64(sv)
-			if absDiff < 0 {
-				absDiff = -absDiff
-			}
-			if pd > cfg.Margin*100 && absDiff > int64(cfg.MinAbsolute) {
-				r.NumMismatches++
-				if len(r.Mismatches) < cfg.MaxReported {
-					r.Mismatches = append(r.Mismatches, Mismatch{
-						Index: g.Index, Column: col, Golden: gv, Suspect: sv,
-					})
-				}
-			}
-		}
-	}
-
-	// Final check with 0% margin: "ensuring that the correct number of
-	// steps was counted on each axis at the conclusion of the print."
-	gFinal, _ := golden.Final()
-	sFinal, ok := suspect.Final()
-	if !ok {
-		r.TrojanLikely = true
-		return r, nil
-	}
-	for _, col := range capture.Columns {
-		gv, _ := gFinal.Column(col)
-		sv, _ := sFinal.Column(col)
-		if gv != sv {
-			r.Final = append(r.Final, FinalMismatch{Column: col, Golden: gv, Suspect: sv})
-		}
-	}
-
-	r.TrojanLikely = r.NumMismatches > 0 || len(r.Final) > 0
-	return r, nil
+	return *rep, nil
 }

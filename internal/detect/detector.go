@@ -1,0 +1,72 @@
+package detect
+
+import (
+	"fmt"
+
+	"offramps/internal/capture"
+)
+
+// Detector is the streaming detection abstraction every strategy in this
+// package implements: the golden comparator, the live monitor, the
+// golden-free rule engine, and the Ensemble combinator. A detector
+// consumes one capture transaction at a time via Observe and delivers its
+// full report via Finalize, so the same implementation serves batch
+// (replayed recordings), live (fed from the board mid-print), golden, and
+// golden-free detection without forking the run loop.
+type Detector interface {
+	// Name identifies the strategy in reports ("golden-comparator",
+	// "golden-monitor", "golden-free", "ensemble(any)", ...).
+	Name() string
+	// Observe consumes the next transaction in stream order and returns
+	// the detector's standing verdict. Verdicts latch: once Tripped is
+	// true it stays true for the rest of the stream.
+	Observe(tx capture.Transaction) Verdict
+	// Finalize runs the end-of-stream checks (e.g. the paper's 0 %-margin
+	// final-count comparison) and returns the complete report. It does
+	// not mutate detector state, so it may be called more than once.
+	Finalize() *Report
+}
+
+// Verdict is a detector's standing judgement after one observation.
+type Verdict struct {
+	// Tripped latches true once the detector suspects a trojan strongly
+	// enough to justify halting the print.
+	Tripped bool
+	// Trip is the first out-of-margin window (golden-based detectors).
+	Trip *Mismatch
+	// Violation is the first plausibility-rule hit (golden-free).
+	Violation *Violation
+	// Err reports a stream-protocol failure such as an out-of-order
+	// index; the detector's verdicts are unreliable after a stream error.
+	Err error
+}
+
+// Reason renders what tripped the detector, or "" when nothing has.
+func (v Verdict) Reason() string {
+	switch {
+	case v.Trip != nil:
+		return v.Trip.String()
+	case v.Violation != nil:
+		return v.Violation.String()
+	case v.Tripped:
+		return "tripped"
+	default:
+		return ""
+	}
+}
+
+// Replay feeds a recorded capture through any detector in stream order
+// and finalizes it — the batch form of detection. The golden-based
+// Compare and the golden-free CheckGoldenFree are both thin wrappers over
+// Replay.
+func Replay(rec *capture.Recording, d Detector) (*Report, error) {
+	if rec == nil {
+		return nil, fmt.Errorf("detect: nil recording")
+	}
+	for _, tx := range rec.Transactions {
+		if v := d.Observe(tx); v.Err != nil {
+			return nil, fmt.Errorf("detect: replay through %s: %w", d.Name(), v.Err)
+		}
+	}
+	return d.Finalize(), nil
+}

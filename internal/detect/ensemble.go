@@ -1,0 +1,134 @@
+package detect
+
+import (
+	"errors"
+	"fmt"
+
+	"offramps/internal/capture"
+)
+
+// Vote is an Ensemble's combination rule.
+type Vote int
+
+const (
+	// VoteAny trips (and flags) when ANY member does — highest recall,
+	// the union of every member's coverage.
+	VoteAny Vote = iota
+	// VoteAll trips (and flags) only when ALL members do — highest
+	// precision, used to suppress single-detector false positives.
+	VoteAll
+)
+
+// String names the rule.
+func (v Vote) String() string {
+	switch v {
+	case VoteAny:
+		return "any"
+	case VoteAll:
+		return "all"
+	default:
+		return fmt.Sprintf("Vote(%d)", int(v))
+	}
+}
+
+// Ensemble combines several detectors into one: every observation is fed
+// to every member and the verdicts are merged under the voting rule. It
+// lets a run pair the golden monitor's reference-based precision with the
+// rule engine's reference-free physics coverage behind a single Detector.
+type Ensemble struct {
+	vote    Vote
+	members []Detector
+
+	tripped   bool
+	trip      *Mismatch
+	violation *Violation
+}
+
+// NewEnsemble builds an ensemble over one or more member detectors.
+func NewEnsemble(vote Vote, members ...Detector) (*Ensemble, error) {
+	if vote != VoteAny && vote != VoteAll {
+		return nil, fmt.Errorf("detect: unknown vote rule %v", vote)
+	}
+	if len(members) == 0 {
+		return nil, errors.New("detect: ensemble needs at least one member")
+	}
+	return &Ensemble{vote: vote, members: members}, nil
+}
+
+// Name identifies the ensemble and its rule in reports.
+func (e *Ensemble) Name() string { return fmt.Sprintf("ensemble(%s)", e.vote) }
+
+// Observe feeds the transaction to every member and merges the verdicts.
+// Member verdicts latch individually, so a VoteAll ensemble trips once
+// every member has tripped at some point in the stream.
+func (e *Ensemble) Observe(tx capture.Transaction) Verdict {
+	trippedMembers := 0
+	var streamErr error
+	for _, d := range e.members {
+		v := d.Observe(tx)
+		if v.Err != nil && streamErr == nil {
+			streamErr = fmt.Errorf("%s: %w", d.Name(), v.Err)
+		}
+		if v.Tripped {
+			trippedMembers++
+			if e.trip == nil {
+				e.trip = v.Trip
+			}
+			if e.violation == nil {
+				e.violation = v.Violation
+			}
+		}
+	}
+	switch e.vote {
+	case VoteAll:
+		if trippedMembers == len(e.members) {
+			e.tripped = true
+		}
+	default:
+		if trippedMembers > 0 {
+			e.tripped = true
+		}
+	}
+	v := Verdict{Err: streamErr}
+	if e.tripped {
+		v.Tripped = true
+		v.Trip = e.trip
+		v.Violation = e.violation
+	}
+	return v
+}
+
+// Finalize finalizes every member and merges the reports: the member
+// reports ride along under Sub, the verdict follows the voting rule, and
+// the scalar fields aggregate across members for at-a-glance summaries.
+func (e *Ensemble) Finalize() *Report {
+	r := &Report{Detector: e.Name(), Tripped: e.tripped}
+	if e.tripped {
+		r.Trip = e.trip
+	}
+	likely := 0
+	for _, d := range e.members {
+		sub := d.Finalize()
+		r.Sub = append(r.Sub, sub)
+		if sub.TrojanLikely {
+			likely++
+		}
+		r.NumMismatches += sub.NumMismatches
+		if sub.NumCompared > r.NumCompared {
+			r.NumCompared = sub.NumCompared
+		}
+		if sub.LargestPercent > r.LargestPercent {
+			r.LargestPercent = sub.LargestPercent
+		}
+		if sub.LargestSubstantial > r.LargestSubstantial {
+			r.LargestSubstantial = sub.LargestSubstantial
+		}
+	}
+	switch e.vote {
+	case VoteAll:
+		r.TrojanLikely = likely == len(e.members)
+	default:
+		r.TrojanLikely = likely > 0
+	}
+	return r
+}

@@ -104,85 +104,145 @@ func (r GoldenFreeReport) Format() string {
 	return sb.String()
 }
 
-// CheckGoldenFree runs the plausibility rules over a capture.
+// RuleEngine is the streaming golden-free detector: each observed
+// transaction is checked against the machine-physics plausibility rules,
+// and the first violation trips the engine so a live run can be halted.
+type RuleEngine struct {
+	limits Limits
+
+	n                 int
+	prev              capture.Transaction
+	eHighWater        int32
+	stationaryExtrude int32
+	violations        []Violation
+	tripped           bool
+	trip              *Violation
+}
+
+// NewRuleEngine builds a golden-free detector over the machine envelope.
+func NewRuleEngine(limits Limits) (*RuleEngine, error) {
+	if err := limits.Validate(); err != nil {
+		return nil, err
+	}
+	return &RuleEngine{limits: limits}, nil
+}
+
+// Name identifies the strategy in reports.
+func (e *RuleEngine) Name() string { return goldenFreeName }
+
+// goldenFreeName is the rule engine's report identity; Report.Format keys
+// its summary vocabulary (violations vs mismatches) on it.
+const goldenFreeName = "golden-free"
+
+// Observe checks one transaction against the plausibility rules.
+func (e *RuleEngine) Observe(tx capture.Transaction) Verdict {
+	add := func(rule, detail string) {
+		v := Violation{Index: tx.Index, Rule: rule, Detail: detail}
+		e.violations = append(e.violations, v)
+		if !e.tripped {
+			e.tripped = true
+			e.trip = &v
+		}
+	}
+	limits := e.limits
+
+	// Rule 1: counts inside the build volume.
+	for _, ax := range []struct {
+		name string
+		v    int32
+		max  int32
+	}{
+		{"X", tx.X, limits.MaxXSteps},
+		{"Y", tx.Y, limits.MaxYSteps},
+		{"Z", tx.Z, limits.MaxZSteps},
+	} {
+		if ax.v < limits.MinSteps || ax.v > ax.max {
+			add("build-volume",
+				fmt.Sprintf("Column: %s, Value: %d outside [%d, %d]", ax.name, ax.v, limits.MinSteps, ax.max))
+		}
+	}
+
+	if tx.E > e.eHighWater {
+		e.eHighWater = tx.E
+	}
+	// Rule 2: filament regression bounded by retraction depth.
+	if e.eHighWater-tx.E > limits.MaxRetractSteps {
+		add("retract-depth",
+			fmt.Sprintf("E regressed %d steps below high water", e.eHighWater-tx.E))
+	}
+
+	if e.n > 0 {
+		// Rule 3: per-window step rate within the machine envelope.
+		for _, ax := range []struct {
+			name     string
+			v, prevV int32
+		}{
+			{"X", tx.X, e.prev.X}, {"Y", tx.Y, e.prev.Y},
+		} {
+			delta := ax.v - ax.prevV
+			if delta < 0 {
+				delta = -delta
+			}
+			if delta > limits.MaxStepsPerWindow {
+				add("step-rate",
+					fmt.Sprintf("Column: %s, %d steps in one window (max %d)", ax.name, delta, limits.MaxStepsPerWindow))
+			}
+		}
+
+		// Rule 4: sustained stationary extrusion (blob).
+		de := tx.E - e.prev.E
+		moved := tx.X != e.prev.X || tx.Y != e.prev.Y || tx.Z != e.prev.Z
+		if de > 0 && !moved {
+			e.stationaryExtrude += de
+			if e.stationaryExtrude > limits.MaxStationaryExtrude {
+				add("stationary-extrude",
+					fmt.Sprintf("%d E steps with no motion (max %d)", e.stationaryExtrude, limits.MaxStationaryExtrude))
+				e.stationaryExtrude = 0 // report once per blob
+			}
+		} else if moved {
+			e.stationaryExtrude = 0
+		}
+	}
+	e.n++
+	e.prev = tx
+	return Verdict{Tripped: e.tripped, Violation: e.trip}
+}
+
+// Tripped reports whether any rule has fired.
+func (e *RuleEngine) Tripped() bool { return e.tripped }
+
+// Finalize assembles the rule engine's report. Golden-free detection has
+// no end-of-stream check; the report is the accumulated violations.
+func (e *RuleEngine) Finalize() *Report {
+	return &Report{
+		Detector:     e.Name(),
+		NumCompared:  e.n,
+		Violations:   append([]Violation(nil), e.violations...),
+		Tripped:      e.tripped,
+		TrojanLikely: len(e.violations) > 0,
+	}
+}
+
+// CheckGoldenFree runs the plausibility rules over a capture — a thin
+// replay adapter over the streaming RuleEngine.
 func CheckGoldenFree(rec *capture.Recording, limits Limits) (GoldenFreeReport, error) {
 	var r GoldenFreeReport
-	if err := limits.Validate(); err != nil {
-		return r, err
-	}
 	if rec == nil || rec.Len() == 0 {
+		if err := limits.Validate(); err != nil {
+			return r, err
+		}
 		return r, fmt.Errorf("detect: empty capture")
 	}
-
-	add := func(idx uint32, rule, detail string) {
-		r.Violations = append(r.Violations, Violation{Index: idx, Rule: rule, Detail: detail})
+	engine, err := NewRuleEngine(limits)
+	if err != nil {
+		return r, err
 	}
-
-	var prev capture.Transaction
-	var eHighWater int32
-	var stationaryExtrude int32
-	for i, tx := range rec.Transactions {
-		r.NumChecked++
-
-		// Rule 1: counts inside the build volume.
-		for _, ax := range []struct {
-			name string
-			v    int32
-			max  int32
-		}{
-			{"X", tx.X, limits.MaxXSteps},
-			{"Y", tx.Y, limits.MaxYSteps},
-			{"Z", tx.Z, limits.MaxZSteps},
-		} {
-			if ax.v < limits.MinSteps || ax.v > ax.max {
-				add(tx.Index, "build-volume",
-					fmt.Sprintf("Column: %s, Value: %d outside [%d, %d]", ax.name, ax.v, limits.MinSteps, ax.max))
-			}
-		}
-
-		if tx.E > eHighWater {
-			eHighWater = tx.E
-		}
-		// Rule 2: filament regression bounded by retraction depth.
-		if eHighWater-tx.E > limits.MaxRetractSteps {
-			add(tx.Index, "retract-depth",
-				fmt.Sprintf("E regressed %d steps below high water", eHighWater-tx.E))
-		}
-
-		if i > 0 {
-			// Rule 3: per-window step rate within the machine envelope.
-			for _, ax := range []struct {
-				name     string
-				v, prevV int32
-			}{
-				{"X", tx.X, prev.X}, {"Y", tx.Y, prev.Y},
-			} {
-				delta := ax.v - ax.prevV
-				if delta < 0 {
-					delta = -delta
-				}
-				if delta > limits.MaxStepsPerWindow {
-					add(tx.Index, "step-rate",
-						fmt.Sprintf("Column: %s, %d steps in one window (max %d)", ax.name, delta, limits.MaxStepsPerWindow))
-				}
-			}
-
-			// Rule 4: sustained stationary extrusion (blob).
-			de := tx.E - prev.E
-			moved := tx.X != prev.X || tx.Y != prev.Y || tx.Z != prev.Z
-			if de > 0 && !moved {
-				stationaryExtrude += de
-				if stationaryExtrude > limits.MaxStationaryExtrude {
-					add(tx.Index, "stationary-extrude",
-						fmt.Sprintf("%d E steps with no motion (max %d)", stationaryExtrude, limits.MaxStationaryExtrude))
-					stationaryExtrude = 0 // report once per blob
-				}
-			} else if moved {
-				stationaryExtrude = 0
-			}
-		}
-		prev = tx
+	rep, err := Replay(rec, engine)
+	if err != nil {
+		return r, err
 	}
-	r.TrojanLikely = len(r.Violations) > 0
+	r.Violations = rep.Violations
+	r.NumChecked = rep.NumCompared
+	r.TrojanLikely = rep.TrojanLikely
 	return r, nil
 }

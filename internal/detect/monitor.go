@@ -6,107 +6,176 @@ import (
 	"offramps/internal/capture"
 )
 
-// Monitor is the streaming form of the detector: transactions are checked
-// against the golden capture as they arrive, so a print can be halted the
-// moment interference is suspected — "enabling a user to halt a print as
-// soon as a Trojan is suspected" (paper §V-C). Large malicious divergences
-// are caught early, "sav[ing] machine time and material cost" (§V-A).
-type Monitor struct {
+// Golden is the golden-capture detector: the shared streaming core behind
+// both the batch comparator and the live monitor. Transactions are checked
+// window by window against a known-good capture of the same job; the
+// end-of-stream Finalize runs the paper's 0 %-margin final-count check.
+//
+// The two constructors differ only in stream semantics:
+//
+//   - NewComparator builds the batch form used by Compare: it never trips
+//     mid-stream, aligns positionally, and judges windows beyond the
+//     golden capture's end via the final check and the length delta.
+//   - NewMonitor builds the live form: it trips on the first out-of-margin
+//     window — "enabling a user to halt a print as soon as a Trojan is
+//     suspected" (paper §V-C) — enforces index discipline, and compares
+//     trailing windows against the golden final counts (the machine
+//     should be holding still by then).
+type Golden struct {
 	golden *capture.Recording
 	cfg    Config
+	live   bool
 
-	next       int // next golden index expected
-	mismatches int
-	largest    float64
-	tripped    bool
-	tripInfo   *Mismatch
+	pos                int // next stream position expected
+	compared           int // windows actually compared against a reference
+	mismatches         []Mismatch
+	numMismatches      int
+	largest            float64
+	largestSubstantial float64
+	tripped            bool
+	trip               *Mismatch
+	last               capture.Transaction
+	seen               bool
 }
 
-// NewMonitor builds a streaming detector against a golden capture.
-func NewMonitor(golden *capture.Recording, cfg Config) (*Monitor, error) {
+func newGolden(golden *capture.Recording, cfg Config, live bool) (*Golden, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	if golden == nil || golden.Len() == 0 {
-		return nil, fmt.Errorf("detect: monitor needs a non-empty golden capture")
+		return nil, fmt.Errorf("detect: golden detector needs a non-empty golden capture")
 	}
-	return &Monitor{golden: golden, cfg: cfg}, nil
+	return &Golden{golden: golden, cfg: cfg, live: live}, nil
 }
 
-// Observe checks one live transaction. It returns true when the monitor
-// has tripped (on this transaction or earlier). Transactions must arrive
-// in index order, aligned with the golden capture's window clock.
-//
-// A live print that runs longer than the golden capture is itself
-// suspicious only at the final check, which the caller performs with
-// Finish; extra trailing windows are compared against the golden's final
-// transaction (the machine should be holding still by then).
-func (m *Monitor) Observe(tx capture.Transaction) (bool, error) {
-	if m.tripped {
-		return true, nil
+// NewComparator builds the batch golden detector.
+func NewComparator(golden *capture.Recording, cfg Config) (*Golden, error) {
+	return newGolden(golden, cfg, false)
+}
+
+// NewMonitor builds the live golden detector.
+func NewMonitor(golden *capture.Recording, cfg Config) (*Golden, error) {
+	return newGolden(golden, cfg, true)
+}
+
+// Name identifies the detector form in reports.
+func (g *Golden) Name() string {
+	if g.live {
+		return "golden-monitor"
 	}
-	want := m.next
-	if int(tx.Index) != want {
-		return false, fmt.Errorf("detect: monitor expected index %d, got %d", want, tx.Index)
+	return "golden-comparator"
+}
+
+// Observe checks one transaction against the golden capture. In live mode
+// transactions must arrive in index order, aligned with the golden
+// capture's window clock. The verdict latches after a trip, but the
+// detector keeps consuming the stream so a FlagOnly run's Finalize still
+// sees the true final counts and the full mismatch tally.
+func (g *Golden) Observe(tx capture.Transaction) Verdict {
+	if g.live && int(tx.Index) != g.pos {
+		v := g.verdict()
+		v.Err = fmt.Errorf("detect: monitor expected index %d, got %d", g.pos, tx.Index)
+		return v
 	}
-	m.next++
+	pos := g.pos
+	g.pos++
+	g.last, g.seen = tx, true
 
 	var ref capture.Transaction
-	if want < m.golden.Len() {
-		ref = m.golden.Transactions[want]
-	} else {
-		ref, _ = m.golden.Final()
+	switch {
+	case pos < g.golden.Len():
+		ref = g.golden.Transactions[pos]
+	case g.live:
+		// Past the golden capture's end the machine should hold still at
+		// the golden final counts; motion out there is itself suspicious.
+		ref, _ = g.golden.Final()
+	default:
+		// Batch semantics: trailing windows are judged by the final-count
+		// check and the length delta, not per-window.
+		return g.verdict()
+	}
+	g.compared++
+
+	idx := ref.Index
+	if g.live {
+		idx = tx.Index
 	}
 	for _, col := range capture.Columns {
-		gv, err := ref.Column(col)
-		if err != nil {
-			return false, err
-		}
-		sv, err := tx.Column(col)
-		if err != nil {
-			return false, err
-		}
+		gv, _ := ref.Column(col)
+		sv, _ := tx.Column(col)
 		pd := percentDiff(gv, sv)
-		if pd > m.largest {
-			m.largest = pd
+		if pd > g.largest {
+			g.largest = pd
+		}
+		if (gv >= SubstantialCount || gv <= -SubstantialCount) && pd > g.largestSubstantial {
+			g.largestSubstantial = pd
 		}
 		absDiff := int64(gv) - int64(sv)
 		if absDiff < 0 {
 			absDiff = -absDiff
 		}
-		if pd > m.cfg.Margin*100 && absDiff > int64(m.cfg.MinAbsolute) {
-			m.mismatches++
-			if !m.tripped {
-				m.tripped = true
-				m.tripInfo = &Mismatch{Index: tx.Index, Column: col, Golden: gv, Suspect: sv}
+		if pd > g.cfg.Margin*100 && absDiff > int64(g.cfg.MinAbsolute) {
+			g.numMismatches++
+			m := Mismatch{Index: idx, Column: col, Golden: gv, Suspect: sv}
+			if len(g.mismatches) < g.cfg.MaxReported {
+				g.mismatches = append(g.mismatches, m)
+			}
+			if g.live && !g.tripped {
+				g.tripped = true
+				g.trip = &m
 			}
 		}
 	}
-	return m.tripped, nil
+	return g.verdict()
 }
 
-// Tripped reports whether the monitor has flagged the print.
-func (m *Monitor) Tripped() bool { return m.tripped }
+func (g *Golden) verdict() Verdict {
+	return Verdict{Tripped: g.tripped, Trip: g.trip}
+}
+
+// Tripped reports whether the live detector has flagged the print.
+func (g *Golden) Tripped() bool { return g.tripped }
 
 // TripMismatch returns the first out-of-margin observation, or nil.
-func (m *Monitor) TripMismatch() *Mismatch { return m.tripInfo }
+func (g *Golden) TripMismatch() *Mismatch { return g.trip }
 
-// Observed reports how many transactions have been checked.
-func (m *Monitor) Observed() int { return m.next }
+// Observed reports how many transactions have been consumed.
+func (g *Golden) Observed() int { return g.pos }
 
-// LargestPercent reports the worst divergence seen so far.
-func (m *Monitor) LargestPercent() float64 { return m.largest }
+// LargestPercent reports the worst divergence seen so far, including
+// differences below the MinAbsolute guard.
+func (g *Golden) LargestPercent() float64 { return g.largest }
 
-// Finish performs the end-of-print 0 %-margin check against the golden
-// final counts and returns the overall verdict.
-func (m *Monitor) Finish(final capture.Transaction) (trojanLikely bool, finals []FinalMismatch) {
-	gFinal, _ := m.golden.Final()
+// Finalize runs the end-of-print 0 %-margin check — "ensuring that the
+// correct number of steps was counted on each axis at the conclusion of
+// the print" — against the last observed transaction and assembles the
+// report.
+func (g *Golden) Finalize() *Report {
+	r := &Report{
+		Detector:           g.Name(),
+		Mismatches:         append([]Mismatch(nil), g.mismatches...),
+		NumMismatches:      g.numMismatches,
+		NumCompared:        g.compared,
+		LargestPercent:     g.largest,
+		LargestSubstantial: g.largestSubstantial,
+		LengthDelta:        g.pos - g.golden.Len(),
+		Tripped:            g.tripped,
+		Trip:               g.trip,
+	}
+	if !g.seen {
+		// Nothing arrived at all: an empty suspect stream is a divergence
+		// in itself.
+		r.TrojanLikely = true
+		return r
+	}
+	gFinal, _ := g.golden.Final()
 	for _, col := range capture.Columns {
 		gv, _ := gFinal.Column(col)
-		sv, _ := final.Column(col)
+		sv, _ := g.last.Column(col)
 		if gv != sv {
-			finals = append(finals, FinalMismatch{Column: col, Golden: gv, Suspect: sv})
+			r.Final = append(r.Final, FinalMismatch{Column: col, Golden: gv, Suspect: sv})
 		}
 	}
-	return m.tripped || len(finals) > 0, finals
+	r.TrojanLikely = g.tripped || r.NumMismatches > 0 || len(r.Final) > 0
+	return r
 }

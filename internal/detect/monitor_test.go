@@ -13,17 +13,17 @@ func TestMonitorCleanStream(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, tx := range g.Transactions {
-		tripped, err := m.Observe(tx)
-		if err != nil {
-			t.Fatal(err)
+		v := m.Observe(tx)
+		if v.Err != nil {
+			t.Fatal(v.Err)
 		}
-		if tripped {
+		if v.Tripped {
 			t.Fatalf("clean stream tripped at %d", tx.Index)
 		}
 	}
-	likely, finals := m.Finish(g.Transactions[2])
-	if likely || len(finals) != 0 {
-		t.Errorf("clean finish: likely=%v finals=%v", likely, finals)
+	rep := m.Finalize()
+	if rep.TrojanLikely || len(rep.Final) != 0 {
+		t.Errorf("clean finish: likely=%v finals=%v", rep.TrojanLikely, rep.Final)
 	}
 	if m.Observed() != 3 {
 		t.Errorf("Observed = %d", m.Observed())
@@ -39,11 +39,11 @@ func TestMonitorTripsOnDivergence(t *testing.T) {
 	s := rec(1000, 2000, 3600, 4000) // +20% at window 2
 	trippedAt := -1
 	for i, tx := range s.Transactions {
-		tripped, err := m.Observe(tx)
-		if err != nil {
-			t.Fatal(err)
+		v := m.Observe(tx)
+		if v.Err != nil {
+			t.Fatal(v.Err)
 		}
-		if tripped && trippedAt < 0 {
+		if v.Tripped && trippedAt < 0 {
 			trippedAt = i
 		}
 	}
@@ -56,6 +56,10 @@ func TestMonitorTripsOnDivergence(t *testing.T) {
 	if m.TripMismatch().Index != 2 || m.TripMismatch().Column != "X" {
 		t.Errorf("TripMismatch = %+v", m.TripMismatch())
 	}
+	rep := m.Finalize()
+	if !rep.Tripped || rep.Trip == nil || !rep.TrojanLikely {
+		t.Errorf("Finalize lost the trip: %+v", rep)
+	}
 }
 
 func TestMonitorStealthyCaughtAtFinish(t *testing.T) {
@@ -66,13 +70,12 @@ func TestMonitorStealthyCaughtAtFinish(t *testing.T) {
 	}
 	s := rec(980, 1960, 2940) // 2%: under margin everywhere
 	for _, tx := range s.Transactions {
-		if tripped, err := m.Observe(tx); err != nil || tripped {
-			t.Fatalf("tripped=%v err=%v", tripped, err)
+		if v := m.Observe(tx); v.Err != nil || v.Tripped {
+			t.Fatalf("tripped=%v err=%v", v.Tripped, v.Err)
 		}
 	}
-	final, _ := s.Final()
-	likely, finals := m.Finish(final)
-	if !likely || len(finals) == 0 {
+	rep := m.Finalize()
+	if !rep.TrojanLikely || len(rep.Final) == 0 {
 		t.Error("stealthy reduction not caught at finish")
 	}
 }
@@ -87,8 +90,8 @@ func TestMonitorExtraTrailingWindows(t *testing.T) {
 	// capture's end: not suspicious.
 	stream := rec(1000, 2000, 2000, 2000)
 	for _, tx := range stream.Transactions {
-		if tripped, err := m.Observe(tx); err != nil || tripped {
-			t.Fatalf("trailing hold tripped: %v %v", tripped, err)
+		if v := m.Observe(tx); v.Err != nil || v.Tripped {
+			t.Fatalf("trailing hold tripped: %v %v", v.Tripped, v.Err)
 		}
 	}
 	// But moving past the end is.
@@ -96,14 +99,46 @@ func TestMonitorExtraTrailingWindows(t *testing.T) {
 	stream2 := rec(1000, 2000, 2000, 9000)
 	var tripped bool
 	for _, tx := range stream2.Transactions {
-		var err error
-		tripped, err = m2.Observe(tx)
-		if err != nil {
-			t.Fatal(err)
+		v := m2.Observe(tx)
+		if v.Err != nil {
+			t.Fatal(v.Err)
 		}
+		tripped = v.Tripped
 	}
 	if !tripped {
 		t.Error("post-end motion not flagged")
+	}
+}
+
+func TestMonitorKeepsObservingAfterTrip(t *testing.T) {
+	// FlagOnly semantics: the verdict latches at the trip, but the
+	// detector keeps consuming the stream so Finalize reports the true
+	// final counts and the full tally, not a snapshot frozen at the trip.
+	g := rec(1000, 2000, 3000, 4000)
+	m, err := NewMonitor(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := rec(1000, 2600, 3000, 4000) // +30% at window 1, clean afterwards
+	for _, tx := range s.Transactions {
+		if v := m.Observe(tx); v.Err != nil {
+			t.Fatal(v.Err)
+		}
+	}
+	rep := m.Finalize()
+	if !rep.Tripped || rep.Trip == nil || rep.Trip.Index != 1 {
+		t.Fatalf("trip not latched at window 1: %+v", rep)
+	}
+	if rep.NumCompared != 4 {
+		t.Errorf("NumCompared = %d, want 4 (stream fully consumed)", rep.NumCompared)
+	}
+	if rep.LengthDelta != 0 {
+		t.Errorf("LengthDelta = %d, want 0", rep.LengthDelta)
+	}
+	// The final counts match the golden, so no Final mismatches — the
+	// 0%-margin check must run against the true last transaction.
+	if len(rep.Final) != 0 {
+		t.Errorf("Final = %v, want none", rep.Final)
 	}
 }
 
@@ -113,7 +148,7 @@ func TestMonitorIndexDiscipline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Observe(capture.Transaction{Index: 5}); err == nil {
+	if v := m.Observe(capture.Transaction{Index: 5}); v.Err == nil {
 		t.Error("out-of-order index accepted")
 	}
 }
@@ -139,8 +174,8 @@ func TestMonitorLargestPercentTracksGuardedDiffs(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 2 vs 4: 100% relative, 2 steps absolute — guarded, but reported.
-	if tripped, err := m.Observe(capture.Transaction{Index: 0, X: 4, Y: 8, Z: 100, E: 2}); err != nil || tripped {
-		t.Fatalf("guarded diff tripped: %v %v", tripped, err)
+	if v := m.Observe(capture.Transaction{Index: 0, X: 4, Y: 8, Z: 100, E: 2}); v.Err != nil || v.Tripped {
+		t.Fatalf("guarded diff tripped: %v %v", v.Tripped, v.Err)
 	}
 	if m.LargestPercent() < 99 {
 		t.Errorf("LargestPercent = %v", m.LargestPercent())

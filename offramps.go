@@ -18,15 +18,20 @@
 //
 // A Testbed wires all of it together; Run executes a print end-to-end and
 // returns the capture, the printed part's quality metrics, and the
-// machine's thermal outcome. The experiment entry points (TableI, TableII,
-// Figure4, Overhead, Drift) regenerate every table and figure in the
-// paper's evaluation.
+// machine's thermal outcome. Run optionally attaches live streaming
+// detectors (WithDetector) that can abort the print the moment a trojan
+// is suspected. Campaign fans many (program × trojan × seed × detector)
+// scenarios across a worker pool with deterministic per-scenario seeding;
+// the experiment entry points (TableI, TableII, Figure4, Overhead, Drift)
+// all run through it to regenerate every table and figure in the paper's
+// evaluation. See DESIGN.md for the architecture.
 package offramps
 
 import (
 	"fmt"
 
 	"offramps/internal/capture"
+	"offramps/internal/detect"
 	"offramps/internal/firmware"
 	"offramps/internal/fpga"
 	"offramps/internal/gcode"
@@ -187,7 +192,8 @@ func NewTestbed(opts ...Option) (*Testbed, error) {
 // Result summarizes one simulated print.
 type Result struct {
 	// Completed is true when the whole program executed; false when the
-	// firmware killed itself (thermal protection) or the run timed out.
+	// firmware killed itself (thermal protection) or a live detector
+	// aborted the run.
 	Completed bool
 	// HaltError is the firmware's kill reason, if any.
 	HaltError error
@@ -197,11 +203,15 @@ type Result struct {
 	Recording *capture.Recording
 	// Quality summarizes the deposited part.
 	Quality printer.Quality
-	// PartDiffAvailable data: the raw part for deeper comparisons.
+	// Part is the raw deposited part, kept for deeper comparisons than
+	// the Quality summary (e.g. layer-by-layer diffs against a golden).
 	Part *printer.Part
-	// Thermal outcome.
-	PeakHotendTemp     float64
-	PeakBedTemp        float64
+	// PeakHotendTemp is the hotend's thermal high-water mark, °C.
+	PeakHotendTemp float64
+	// PeakBedTemp is the heated bed's thermal high-water mark, °C.
+	PeakBedTemp float64
+	// HotendExceededSafe is true when the hotend passed its safe working
+	// limit at any point (trojan T7's destructive signature).
 	HotendExceededSafe bool
 	// FanDutyAtEnd is the plant-side smoothed fan duty when the run ended.
 	FanDutyAtEnd float64
@@ -211,6 +221,21 @@ type Result struct {
 	// StepsLost counts driver steps discarded while EN was deasserted
 	// (trojan T8's signature), per axis.
 	StepsLost map[signal.Axis]uint64
+
+	// Aborted is true when a live detector attached with AbortOnTrip
+	// tripped and the session halted the print early ("enabling a user to
+	// halt a print as soon as a Trojan is suspected", paper §V-C).
+	Aborted bool
+	// AbortedAt is the simulation time of the abort (zero otherwise).
+	AbortedAt sim.Time
+	// TripReason describes the observation that tripped the aborting
+	// detector ("" when no abort occurred).
+	TripReason string
+	// Detections holds one finalized report per detector attached with
+	// WithDetector, in attachment order (empty when none were attached).
+	Detections []*detect.Report
+	// TrojanLikely is the OR of the attached detectors' verdicts.
+	TrojanLikely bool
 }
 
 // ErrTimeout reports that a run exceeded its simulation-time budget.
@@ -220,55 +245,6 @@ type ErrTimeout struct {
 
 func (e *ErrTimeout) Error() string {
 	return fmt.Sprintf("offramps: print did not finish within %v of simulated time", e.Limit)
-}
-
-// Run executes the program to completion (or kill), lets the simulation
-// settle, and collects the result. limit bounds *simulated* time.
-func (tb *Testbed) Run(prog gcode.Program, limit sim.Time) (*Result, error) {
-	if limit <= 0 {
-		return nil, fmt.Errorf("offramps: Run limit must be positive")
-	}
-	tb.Firmware.Load(prog)
-	if err := tb.Firmware.Start(); err != nil {
-		return nil, fmt.Errorf("offramps: %w", err)
-	}
-	deadline := tb.Engine.Now() + limit
-	for !tb.Firmware.Done() {
-		if tb.Engine.Now() >= deadline {
-			return nil, &ErrTimeout{Limit: limit}
-		}
-		if err := tb.Engine.Run(tb.Engine.Now() + sim.Second); err != nil {
-			return nil, fmt.Errorf("offramps: simulation: %w", err)
-		}
-	}
-	finished := tb.Firmware.FinishedAt()
-	if err := tb.Engine.Run(tb.Engine.Now() + tb.opts.settle); err != nil {
-		return nil, fmt.Errorf("offramps: settling: %w", err)
-	}
-	if tb.Board != nil {
-		tb.Board.StopCapture()
-	}
-
-	res := &Result{
-		Completed:          tb.Firmware.Err() == nil,
-		HaltError:          tb.Firmware.Err(),
-		Duration:           finished,
-		Quality:            tb.Plant.Part().AssessQuality(1.0),
-		Part:               tb.Plant.Part(),
-		PeakHotendTemp:     tb.Plant.PeakHotendTemp(),
-		PeakBedTemp:        tb.Plant.PeakBedTemp(),
-		HotendExceededSafe: tb.Plant.HotendExceededSafe(),
-		FanDutyAtEnd:       tb.Plant.FanDuty(),
-		PeakFanDuty:        tb.Plant.PeakFanDuty(),
-		StepsLost:          make(map[signal.Axis]uint64, 4),
-	}
-	for _, a := range signal.Axes {
-		res.StepsLost[a] = tb.Plant.Driver(a).StepsLost()
-	}
-	if tb.Board != nil {
-		res.Recording = tb.Board.Recording()
-	}
-	return res, nil
 }
 
 // TestPart returns the sliced G-code of the standard experiment workload:

@@ -1,0 +1,233 @@
+package offramps
+
+import (
+	"context"
+	"fmt"
+
+	"offramps/internal/detect"
+	"offramps/internal/gcode"
+	"offramps/internal/signal"
+	"offramps/internal/sim"
+)
+
+// DefaultRunBudget bounds a run's *simulated* time when WithLimit is not
+// given. The standard test part takes ≈2 simulated minutes; an hour of
+// headroom catches hangs without false positives.
+const DefaultRunBudget = 3600 * sim.Second
+
+// TripPolicy says what a live detector's trip does to the run.
+type TripPolicy int
+
+const (
+	// FlagOnly keeps printing; the verdict lands in Result.Detections at
+	// the end of the run.
+	FlagOnly TripPolicy = iota
+	// AbortOnTrip halts the print the moment the detector trips —
+	// "enabling a user to halt a print as soon as a Trojan is suspected"
+	// (paper §V-C), saving machine time and material cost (§V-A).
+	AbortOnTrip
+)
+
+// RunProgress is a snapshot delivered to the WithProgress callback after
+// each simulation step.
+type RunProgress struct {
+	// Now is the current simulated time.
+	Now sim.Time
+	// Windows is the number of capture windows exported so far (zero
+	// without the MITM).
+	Windows int
+	// Tripped is true once any attached live detector has tripped.
+	Tripped bool
+}
+
+// RunOption configures one Testbed.Run.
+type RunOption func(*runConfig)
+
+type boundDetector struct {
+	d       detect.Detector
+	policy  TripPolicy
+	tripped bool
+}
+
+type runConfig struct {
+	limit     sim.Time
+	detectors []*boundDetector
+	progress  func(RunProgress)
+}
+
+// WithLimit bounds the run's *simulated* time (default DefaultRunBudget).
+func WithLimit(limit sim.Time) RunOption {
+	return func(rc *runConfig) { rc.limit = limit }
+}
+
+// WithDetector attaches a live streaming detector to the run: every
+// capture transaction is fed to it about when the hardware would emit it.
+// Under AbortOnTrip the simulation stops the moment the detector trips;
+// under FlagOnly the print finishes and the verdict lands in
+// Result.Detections. Any number of detectors may be attached; each one's
+// finalized report is returned in attachment order.
+func WithDetector(d detect.Detector, policy TripPolicy) RunOption {
+	return func(rc *runConfig) {
+		rc.detectors = append(rc.detectors, &boundDetector{d: d, policy: policy})
+	}
+}
+
+// WithProgress registers a callback invoked after every simulation step —
+// a hook for progress bars and streaming dashboards. Attaching it makes
+// the run step in capture-window increments.
+func WithProgress(fn func(RunProgress)) RunOption {
+	return func(rc *runConfig) { rc.progress = fn }
+}
+
+// Run executes the program to completion (or kill, or detector abort),
+// lets the simulation settle, and collects the result. The context
+// cancels the run between simulation steps; options bound the simulated
+// time and attach live detectors.
+func (tb *Testbed) Run(ctx context.Context, prog gcode.Program, opts ...RunOption) (*Result, error) {
+	rc := runConfig{limit: DefaultRunBudget}
+	for _, opt := range opts {
+		opt(&rc)
+	}
+	if rc.limit <= 0 {
+		return nil, fmt.Errorf("offramps: Run limit must be positive")
+	}
+	if len(rc.detectors) > 0 && tb.Board == nil {
+		return nil, fmt.Errorf("offramps: live detectors require the MITM path (captures come from the board)")
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+
+	tb.Firmware.Load(prog)
+	if err := tb.Firmware.Start(); err != nil {
+		return nil, fmt.Errorf("offramps: %w", err)
+	}
+
+	// With live detectors or a progress callback the simulation steps in
+	// capture-window increments so each transaction is observed about
+	// when the hardware would emit it; otherwise whole seconds.
+	step := sim.Time(sim.Second)
+	if tb.Board != nil && (len(rc.detectors) > 0 || rc.progress != nil) {
+		step = tb.Board.Config().ExportPeriod
+	}
+
+	res := &Result{}
+	deadline := tb.Engine.Now() + rc.limit
+	fed := 0
+	for !tb.Firmware.Done() && !res.Aborted {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("offramps: run cancelled: %w", err)
+		}
+		if tb.Engine.Now() >= deadline {
+			return nil, &ErrTimeout{Limit: rc.limit}
+		}
+		if err := tb.Engine.Run(tb.Engine.Now() + step); err != nil {
+			return nil, fmt.Errorf("offramps: simulation: %w", err)
+		}
+		var err error
+		fed, err = tb.feedDetectors(&rc, res, fed, true)
+		if err != nil {
+			return nil, err
+		}
+		if rc.progress != nil {
+			rc.progress(tb.progressSnapshot(&rc))
+		}
+	}
+	finished := tb.Firmware.FinishedAt()
+	if !res.Aborted {
+		// Normal completion: settle to observe post-kill physics, then
+		// feed the trailing windows. It is too late to abort a finished
+		// print, so trips here never truncate the feed — every detector
+		// sees the full stream and the end-of-print checks run in each
+		// detector's Finalize.
+		if err := tb.Engine.Run(tb.Engine.Now() + tb.opts.settle); err != nil {
+			return nil, fmt.Errorf("offramps: settling: %w", err)
+		}
+		var err error
+		if fed, err = tb.feedDetectors(&rc, res, fed, false); err != nil {
+			return nil, err
+		}
+		if rc.progress != nil {
+			rc.progress(tb.progressSnapshot(&rc))
+		}
+	}
+	if tb.Board != nil {
+		tb.Board.StopCapture()
+	}
+
+	res.Completed = !res.Aborted && tb.Firmware.Err() == nil
+	res.HaltError = tb.Firmware.Err()
+	res.Duration = finished
+	if res.Aborted {
+		res.Duration = tb.Engine.Now()
+	}
+	res.Quality = tb.Plant.Part().AssessQuality(1.0)
+	res.Part = tb.Plant.Part()
+	res.PeakHotendTemp = tb.Plant.PeakHotendTemp()
+	res.PeakBedTemp = tb.Plant.PeakBedTemp()
+	res.HotendExceededSafe = tb.Plant.HotendExceededSafe()
+	res.FanDutyAtEnd = tb.Plant.FanDuty()
+	res.PeakFanDuty = tb.Plant.PeakFanDuty()
+	res.StepsLost = make(map[signal.Axis]uint64, 4)
+	for _, a := range signal.Axes {
+		res.StepsLost[a] = tb.Plant.Driver(a).StepsLost()
+	}
+	if tb.Board != nil {
+		res.Recording = tb.Board.Recording()
+	}
+	for _, bd := range rc.detectors {
+		rep := bd.d.Finalize()
+		res.Detections = append(res.Detections, rep)
+		if rep.TrojanLikely {
+			res.TrojanLikely = true
+		}
+	}
+	return res, nil
+}
+
+// feedDetectors streams freshly exported capture transactions to every
+// attached detector, starting at position fed, and returns the new feed
+// position. While the print is still running (allowAbort) a trip from an
+// AbortOnTrip detector records the abort and stops the feed; after
+// completion, trips only flag and the whole stream is delivered.
+func (tb *Testbed) feedDetectors(rc *runConfig, res *Result, fed int, allowAbort bool) (int, error) {
+	if tb.Board == nil || len(rc.detectors) == 0 {
+		return fed, nil
+	}
+	rec := tb.Board.Recording()
+	for ; fed < rec.Len(); fed++ {
+		tx := rec.Transactions[fed]
+		for _, bd := range rc.detectors {
+			v := bd.d.Observe(tx)
+			if v.Err != nil {
+				return fed, fmt.Errorf("offramps: detector %s: %w", bd.d.Name(), v.Err)
+			}
+			if v.Tripped && !bd.tripped {
+				bd.tripped = true
+				if allowAbort && bd.policy == AbortOnTrip && !res.Aborted {
+					res.Aborted = true
+					res.AbortedAt = tb.Engine.Now()
+					res.TripReason = v.Reason()
+				}
+			}
+		}
+		if res.Aborted {
+			fed++
+			break
+		}
+	}
+	return fed, nil
+}
+
+func (tb *Testbed) progressSnapshot(rc *runConfig) RunProgress {
+	p := RunProgress{Now: tb.Engine.Now()}
+	if tb.Board != nil {
+		p.Windows = tb.Board.Recording().Len()
+	}
+	for _, bd := range rc.detectors {
+		if bd.tripped {
+			p.Tripped = true
+		}
+	}
+	return p
+}

@@ -1,0 +1,224 @@
+package offramps
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"offramps/internal/detect"
+	"offramps/internal/flaw3d"
+	"offramps/internal/sim"
+)
+
+func TestRunAbortsTrojanEarly(t *testing.T) {
+	prog := mustTestPart(t)
+	golden, err := captureRun(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A blatant relocation trojan: the live monitor must abort mid-print.
+	tampered, err := flaw3d.Relocate(prog, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTestbed(WithSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor, err := detect.NewMonitor(golden, detect.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(context.Background(), tampered, WithDetector(monitor, AbortOnTrip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted || !res.TrojanLikely {
+		t.Fatalf("trojan print not aborted: %+v", res)
+	}
+	if res.TripReason == "" {
+		t.Fatal("no trip reason recorded")
+	}
+	if len(res.Detections) != 1 || res.Detections[0].Trip == nil {
+		t.Fatalf("trip not in the finalized report: %+v", res.Detections)
+	}
+	if res.Completed {
+		t.Error("aborted run reported as completed")
+	}
+	// The abort saved machine time: the job stopped well before the
+	// golden print's full duration.
+	goldenDuration := sim.Time(golden.Len()) * 100 * sim.Millisecond
+	if res.AbortedAt >= goldenDuration {
+		t.Errorf("aborted at %v, golden print runs %v — nothing saved", res.AbortedAt, goldenDuration)
+	}
+}
+
+func TestRunCleanPrintCompletesUnderMonitor(t *testing.T) {
+	prog := mustTestPart(t)
+	golden, err := captureRun(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTestbed(WithSeed(3)) // different seed: real re-print
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor, err := detect.NewMonitor(golden, detect.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(context.Background(), prog, WithDetector(monitor, AbortOnTrip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted {
+		t.Fatalf("clean print aborted at %v: %s", res.AbortedAt, res.TripReason)
+	}
+	if res.TrojanLikely {
+		t.Error("clean print flagged at finish")
+	}
+	if !res.Completed {
+		t.Errorf("clean print incomplete: %v", res.HaltError)
+	}
+}
+
+func TestRunStealthyFlaggedAtFinish(t *testing.T) {
+	prog := mustTestPart(t)
+	golden, err := captureRun(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2% reduction: survives the windowed margin, caught by the final
+	// 0%-margin check in the detector's Finalize.
+	tampered, err := flaw3d.Reduce(prog, 0.98)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTestbed(WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor, err := detect.NewMonitor(golden, detect.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(context.Background(), tampered, WithDetector(monitor, AbortOnTrip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted {
+		t.Errorf("stealthy reduction aborted mid-print: %s", res.TripReason)
+	}
+	if !res.TrojanLikely {
+		t.Error("stealthy reduction not flagged")
+	}
+	if len(res.Detections) != 1 || len(res.Detections[0].Final) == 0 {
+		t.Errorf("final-count mismatch missing from report: %+v", res.Detections)
+	}
+}
+
+func TestRunDetectorsRequireMITM(t *testing.T) {
+	prog := mustTestPart(t)
+	golden, err := captureRun(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTestbed(WithoutMITM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor, err := detect.NewMonitor(golden, detect.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = tb.Run(context.Background(), prog, WithLimit(sim.Second), WithDetector(monitor, AbortOnTrip))
+	if err == nil {
+		t.Error("detector run without MITM accepted")
+	}
+}
+
+func TestRunEnsembleAndFlagOnly(t *testing.T) {
+	prog := mustTestPart(t)
+	golden, err := captureRun(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A blatant trojan under FlagOnly: the print must run to the end and
+	// both ensemble members must still deliver their reports.
+	tampered, err := flaw3d.Relocate(prog, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTestbed(WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor, err := detect.NewMonitor(golden, detect.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules, err := detect.NewRuleEngine(detect.DefaultLimits())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ensemble, err := detect.NewEnsemble(detect.VoteAny, monitor, rules)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(context.Background(), tampered, WithDetector(ensemble, FlagOnly))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted {
+		t.Fatal("FlagOnly detector aborted the print")
+	}
+	if !res.TrojanLikely {
+		t.Error("blatant trojan not flagged")
+	}
+	if len(res.Detections) != 1 || len(res.Detections[0].Sub) != 2 {
+		t.Fatalf("ensemble report missing members: %+v", res.Detections)
+	}
+	if !strings.Contains(res.Detections[0].Format(), "golden-monitor") {
+		t.Error("report does not name the tripping member")
+	}
+}
+
+func TestRunProgressCallback(t *testing.T) {
+	prog := mustTestPart(t)
+	tb, err := NewTestbed(WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var calls int
+	var lastWindows int
+	res, err := tb.Run(context.Background(), prog, WithProgress(func(p RunProgress) {
+		calls++
+		if p.Windows < lastWindows {
+			t.Errorf("windows went backwards: %d -> %d", lastWindows, p.Windows)
+		}
+		lastWindows = p.Windows
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("progress callback never invoked")
+	}
+	if lastWindows != res.Recording.Len() {
+		t.Errorf("final progress saw %d windows, capture has %d", lastWindows, res.Recording.Len())
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	prog := mustTestPart(t)
+	tb, err := NewTestbed(WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := tb.Run(ctx, prog); err == nil {
+		t.Error("cancelled context accepted")
+	}
+}

@@ -1,6 +1,7 @@
 package offramps
 
 import (
+	"context"
 	"errors"
 	"math"
 	"strings"
@@ -28,7 +29,7 @@ func TestGoldenPrintEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := tb.Run(mustTestPart(t), 3600*sim.Second)
+	res, err := tb.Run(context.Background(), mustTestPart(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +81,7 @@ func TestDeterminismSameSeed(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := tb.Run(mustTestPart(t), 3600*sim.Second)
+		res, err := tb.Run(context.Background(), mustTestPart(t))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -106,7 +107,7 @@ func TestWithoutMITMMatchesGeometry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resM, err := mitm.Run(prog, 3600*sim.Second)
+	resM, err := mitm.Run(context.Background(), prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,7 +115,7 @@ func TestWithoutMITMMatchesGeometry(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	resD, err := direct.Run(prog, 3600*sim.Second)
+	resD, err := direct.Run(context.Background(), prog)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -147,7 +148,7 @@ func TestRunTimeout(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, err = tb.Run(prog, 5*sim.Second)
+	_, err = tb.Run(context.Background(), prog, WithLimit(5*sim.Second))
 	var timeout *ErrTimeout
 	if !errors.As(err, &timeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
@@ -162,10 +163,10 @@ func TestRunValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := tb.Run(nil, 0); err == nil {
+	if _, err := tb.Run(context.Background(), nil, WithLimit(0)); err == nil {
 		t.Error("zero limit accepted")
 	}
-	if _, err := tb.Run(nil, sim.Second); err == nil {
+	if _, err := tb.Run(context.Background(), nil, WithLimit(sim.Second)); err == nil {
 		t.Error("empty program accepted")
 	}
 }
@@ -195,7 +196,7 @@ func TestStartPositionDoesNotChangeCapture(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := tb.Run(prog, 3600*sim.Second)
+		res, err := tb.Run(context.Background(), prog)
 		if err != nil {
 			t.Fatal(err)
 		}
