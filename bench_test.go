@@ -17,11 +17,17 @@ import (
 // report simulated seconds per run and verify the experiment's headline
 // property, so `go test -bench .` doubles as a reproduction run.
 
+// freshGoldens disables the process-wide golden cache so every benchmark
+// iteration pays for its own golden print: the experiment benchmarks
+// share seeds across experiments, and cross-benchmark cache hits would
+// silently deflate whichever benchmark runs later in the binary.
+var freshGoldens = WithGoldenCache(nil)
+
 // BenchmarkTableI regenerates Table I: golden print plus all nine
 // trojans, judging each physical effect.
 func BenchmarkTableI(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := TableI(uint64(i) + 1)
+		rep, err := TableI(uint64(i)+1, freshGoldens)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -38,7 +44,7 @@ func BenchmarkTableI(b *testing.B) {
 // printed and checked against the golden capture, plus the clean control.
 func BenchmarkTableII(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := TableII(uint64(i) + 1)
+		rep, err := TableII(uint64(i)+1, freshGoldens)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -62,7 +68,7 @@ func BenchmarkTableII(b *testing.B) {
 // comparison and the detector's report.
 func BenchmarkFigure4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := Figure4(uint64(i) + 1)
+		rep, err := Figure4(uint64(i)+1, freshGoldens)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -77,7 +83,7 @@ func BenchmarkFigure4(b *testing.B) {
 // and the no-quality-impact comparison.
 func BenchmarkOverhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := Overhead(uint64(i) + 1)
+		rep, err := Overhead(uint64(i)+1, freshGoldens)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -93,7 +99,7 @@ func BenchmarkOverhead(b *testing.B) {
 // the worst per-window drift against the 5 % margin.
 func BenchmarkDrift(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rep, err := Drift(uint64(i)+1, 3)
+		rep, err := Drift(uint64(i)+1, 3, freshGoldens)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -148,6 +154,7 @@ func BenchmarkCampaign(b *testing.B) {
 			Detector: func() (detect.Detector, error) { return detect.NewRuleEngine(detect.DefaultLimits()) },
 			Policy:   FlagOnly},
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		results, err := Campaign{}.Run(context.Background(), scens)

@@ -75,6 +75,12 @@ type Campaign struct {
 	// scenario's Seed is used verbatim (including zero), so experiment
 	// suites that pair same-seed runs stay paired for any caller seed.
 	BaseSeed uint64
+	// Cache, when non-nil, memoizes golden (trojan-free, unmodified)
+	// scenario results by (program hash, seed, budget) so repeated golden
+	// prints across campaigns simulate exactly once. Determinism makes a
+	// hit bit-identical to a fresh run. Scenarios with trojans, detectors,
+	// Prepare hooks, or any extra options are never cached.
+	Cache *GoldenCache
 }
 
 // Run executes every scenario and returns the results in scenario order.
@@ -121,7 +127,8 @@ feed:
 	return results, nil
 }
 
-// runScenario builds and runs one scenario end to end.
+// runScenario builds and runs one scenario end to end, consulting the
+// golden cache for memoizable scenarios.
 func (c Campaign) runScenario(ctx context.Context, i int, s Scenario) ScenarioResult {
 	seed := s.Seed
 	if seed == 0 && c.BaseSeed != 0 {
@@ -129,50 +136,61 @@ func (c Campaign) runScenario(ctx context.Context, i int, s Scenario) ScenarioRe
 	}
 	out := ScenarioResult{Name: s.Name, Seed: seed}
 
-	opts := []Option{WithSeed(seed)}
-	if s.Trojan != nil {
-		tr := s.Trojan(seed)
-		if tr == nil {
-			out.Err = fmt.Errorf("offramps: scenario %q: trojan factory returned nil", s.Name)
-			return out
-		}
-		opts = append(opts, WithTrojan(tr))
-	}
-	opts = append(opts, s.Options...)
-	tb, err := NewTestbed(opts...)
-	if err != nil {
-		out.Err = fmt.Errorf("offramps: scenario %q: %w", s.Name, err)
-		return out
-	}
-	if s.Prepare != nil {
-		if err := s.Prepare(tb); err != nil {
-			out.Err = fmt.Errorf("offramps: scenario %q: prepare: %w", s.Name, err)
-			return out
-		}
-	}
-
 	budget := c.Budget
 	if budget == 0 {
 		budget = DefaultRunBudget
 	}
-	ropts := []RunOption{WithLimit(budget)}
-	if s.Detector != nil {
-		d, err := s.Detector()
-		if err != nil {
-			out.Err = fmt.Errorf("offramps: scenario %q: detector: %w", s.Name, err)
-			return out
-		}
-		ropts = append(ropts, WithDetector(d, s.Policy))
-	}
-	ropts = append(ropts, s.RunOptions...)
 
-	res, err := tb.Run(ctx, s.Program, ropts...)
+	var res *Result
+	var err error
+	if c.Cache != nil && s.goldenCacheable() {
+		key := goldenKey{program: hashProgram(s.Program), seed: seed, budget: budget}
+		res, err = c.Cache.run(key, func() (*Result, error) {
+			return c.runFresh(ctx, s, seed, budget)
+		})
+	} else {
+		res, err = c.runFresh(ctx, s, seed, budget)
+	}
 	if err != nil {
 		out.Err = fmt.Errorf("offramps: scenario %q: %w", s.Name, err)
 		return out
 	}
 	out.Result = res
 	return out
+}
+
+// runFresh builds a testbed for the scenario and simulates it.
+func (c Campaign) runFresh(ctx context.Context, s Scenario, seed uint64, budget sim.Time) (*Result, error) {
+	opts := []Option{WithSeed(seed)}
+	if s.Trojan != nil {
+		tr := s.Trojan(seed)
+		if tr == nil {
+			return nil, fmt.Errorf("trojan factory returned nil")
+		}
+		opts = append(opts, WithTrojan(tr))
+	}
+	opts = append(opts, s.Options...)
+	tb, err := NewTestbed(opts...)
+	if err != nil {
+		return nil, err
+	}
+	if s.Prepare != nil {
+		if err := s.Prepare(tb); err != nil {
+			return nil, fmt.Errorf("prepare: %w", err)
+		}
+	}
+
+	ropts := []RunOption{WithLimit(budget)}
+	if s.Detector != nil {
+		d, err := s.Detector()
+		if err != nil {
+			return nil, fmt.Errorf("detector: %w", err)
+		}
+		ropts = append(ropts, WithDetector(d, s.Policy))
+	}
+	ropts = append(ropts, s.RunOptions...)
+
+	return tb.Run(ctx, s.Program, ropts...)
 }
 
 // firstScenarioErr returns the first per-scenario failure, or nil.

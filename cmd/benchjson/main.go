@@ -1,0 +1,104 @@
+// Command benchjson converts `go test -bench` output read from stdin into
+// a JSON document on stdout, so CI can archive the perf trajectory of the
+// key benchmarks across PRs (see scripts/bench.sh).
+//
+// Every benchmark line becomes one object carrying the iteration count and
+// every reported metric keyed by its unit (ns/op, allocs/op, B/op, and any
+// custom b.ReportMetric units such as events/op or sim-s/op).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func main() {
+	if err := run(os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// Result is one parsed benchmark line.
+type Result struct {
+	Name    string             `json:"name"`
+	Runs    int64              `json:"runs"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the document benchjson emits.
+type Report struct {
+	Goos       string   `json:"goos,omitempty"`
+	Goarch     string   `json:"goarch,omitempty"`
+	Pkg        string   `json:"pkg,omitempty"`
+	CPU        string   `json:"cpu,omitempty"`
+	Benchmarks []Result `json:"benchmarks"`
+}
+
+func run(in *os.File, out *os.File) error {
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	rep := Report{}
+	for sc.Scan() {
+		line := sc.Text()
+		if r, ok := parseBenchLine(line); ok {
+			rep.Benchmarks = append(rep.Benchmarks, r)
+			continue
+		}
+		parseHeader(&rep, line)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// parseHeader captures the context lines `go test` prints before results.
+func parseHeader(rep *Report, line string) {
+	if s, ok := strings.CutPrefix(line, "goos: "); ok {
+		rep.Goos = s
+	} else if s, ok := strings.CutPrefix(line, "goarch: "); ok {
+		rep.Goarch = s
+	} else if s, ok := strings.CutPrefix(line, "pkg: "); ok {
+		rep.Pkg = s
+	} else if s, ok := strings.CutPrefix(line, "cpu: "); ok {
+		rep.CPU = s
+	}
+}
+
+// parseBenchLine parses one result line of the form
+//
+//	BenchmarkName-8   3   80680280 ns/op   1204 allocs/op   166.2 sim-s/op
+//
+// into a Result. Non-benchmark lines report ok=false.
+func parseBenchLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Result{}, false
+	}
+	name := fields[0]
+	if !strings.HasPrefix(name, "Benchmark") {
+		return Result{}, false
+	}
+	var runs int64
+	if _, err := fmt.Sscanf(fields[1], "%d", &runs); err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: name, Runs: runs, Metrics: make(map[string]float64, (len(fields)-2)/2)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		var v float64
+		if _, err := fmt.Sscanf(fields[i], "%g", &v); err != nil {
+			return Result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true
+}

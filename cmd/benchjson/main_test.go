@@ -1,0 +1,62 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	line := "BenchmarkGoldenPrint \t       3\t  80680280 ns/op\t   1198928 events/op\t       166.2 sim-s/op\t 2946872 B/op\t    1204 allocs/op"
+	r, ok := parseBenchLine(line)
+	if !ok {
+		t.Fatal("benchmark line not recognized")
+	}
+	if r.Name != "BenchmarkGoldenPrint" || r.Runs != 3 {
+		t.Errorf("name/runs = %q/%d", r.Name, r.Runs)
+	}
+	want := map[string]float64{
+		"ns/op":     80680280,
+		"events/op": 1198928,
+		"sim-s/op":  166.2,
+		"B/op":      2946872,
+		"allocs/op": 1204,
+	}
+	for unit, v := range want {
+		if r.Metrics[unit] != v {
+			t.Errorf("metric %s = %v, want %v", unit, r.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseBenchLineWithGOMAXPROCSSuffix(t *testing.T) {
+	r, ok := parseBenchLine("BenchmarkCampaign-8   5   1000000 ns/op   42 allocs/op")
+	if !ok || r.Name != "BenchmarkCampaign-8" || r.Metrics["allocs/op"] != 42 {
+		t.Errorf("parsed %+v ok=%v", r, ok)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"goos: linux",
+		"PASS",
+		"ok  \tofframps\t1.028s",
+		"",
+		"BenchmarkBroken abc ns/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("line %q misparsed as a benchmark", line)
+		}
+	}
+}
+
+func TestParseHeader(t *testing.T) {
+	rep := Report{}
+	for _, line := range []string{
+		"goos: linux",
+		"goarch: amd64",
+		"pkg: offramps",
+		"cpu: Intel(R) Xeon(R) Processor @ 2.10GHz",
+	} {
+		parseHeader(&rep, line)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "offramps" || rep.CPU == "" {
+		t.Errorf("header = %+v", rep)
+	}
+}

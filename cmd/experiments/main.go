@@ -9,12 +9,15 @@
 //	experiments -table1 -figure4
 //	experiments -drift -runs 6
 //	experiments -all -workers 4
+//	experiments -all -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 )
 
@@ -37,9 +40,37 @@ func run(args []string) error {
 		seed     = fs.Uint64("seed", 1, "base time-noise seed")
 		runs     = fs.Int("runs", 4, "number of prints for the drift experiment")
 		workers  = fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS)")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file`")
+		memprofile = fs.String("memprofile", "", "write a heap profile taken after the experiments to `file`")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle allocations so the profile shows live heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			}
+		}()
 	}
 	if *all {
 		*table1, *table2, *figure4, *overhead, *drift = true, true, true, true, true

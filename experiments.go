@@ -25,9 +25,22 @@ func WithWorkers(n int) ExperimentOption {
 	return func(c *Campaign) { c.Workers = n }
 }
 
+// WithGoldenCache overrides the golden-capture cache the experiment's
+// campaign uses (nil disables caching, e.g. for fresh-vs-cached
+// verification runs).
+func WithGoldenCache(gc *GoldenCache) ExperimentOption {
+	return func(c *Campaign) { c.Cache = gc }
+}
+
+// experimentGoldenCache memoizes golden prints across the experiment entry
+// points: TableI, TableII, Figure4, and Drift all print the standard test
+// part, with overlapping (program, seed) pairs, so one process-wide cache
+// lets `experiments -all` simulate each golden exactly once.
+var experimentGoldenCache = NewGoldenCache()
+
 // newCampaign builds the experiment suite's standard campaign.
 func newCampaign(opts []ExperimentOption) Campaign {
-	c := Campaign{Budget: DefaultRunBudget}
+	c := Campaign{Budget: DefaultRunBudget, Cache: experimentGoldenCache}
 	for _, opt := range opts {
 		opt(&c)
 	}

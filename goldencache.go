@@ -1,0 +1,130 @@
+package offramps
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"offramps/internal/gcode"
+	"offramps/internal/sim"
+)
+
+// goldenKey content-addresses one golden print: the exact program (hashed
+// over raw float bits, finer than the 5-decimal G-code serialization), the
+// time-noise seed, and the run budget. Everything else that shapes a
+// cacheable scenario's capture is the testbed's compiled-in default
+// configuration, which is constant for a build: scenarios carrying any
+// opaque knob that could change the capture — a trojan or detector
+// factory, a Prepare hook, extra Options or RunOptions — are never cached
+// (see Scenario.goldenCacheable and DESIGN.md §6).
+type goldenKey struct {
+	program [sha256.Size]byte
+	seed    uint64
+	budget  sim.Time
+}
+
+// hashProgram computes the content address of a program.
+func hashProgram(prog gcode.Program) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	for _, c := range prog {
+		h.Write([]byte(c.Code))
+		h.Write([]byte{0})
+		for _, w := range c.Words {
+			h.Write([]byte{w.Letter})
+			if w.Bare {
+				h.Write([]byte{1})
+			} else {
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(w.Value))
+				h.Write(buf[:])
+			}
+		}
+		h.Write([]byte{'\n'})
+	}
+	return [sha256.Size]byte(h.Sum(nil))
+}
+
+// goldenEntry is one memoized golden run. The Once serializes concurrent
+// workers asking for the same golden: the first computes, the rest reuse.
+type goldenEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
+// GoldenCache memoizes golden (trojan-free, detector-free, unmodified)
+// print runs across campaigns. The experiment suite re-simulates
+// bit-identical goldens — TableII, Figure4, and Drift all print the same
+// program with overlapping seeds — so a shared cache lets each golden be
+// simulated exactly once per process. Determinism makes this sound: a
+// cached Result is bit-identical to a fresh run with the same key (tested
+// by TestGoldenCacheBitIdentical).
+//
+// Cached Results (including Part and Recording) are shared read-only;
+// everything downstream of a campaign treats results as immutable.
+type GoldenCache struct {
+	mu      sync.Mutex
+	entries map[goldenKey]*goldenEntry
+	hits    uint64
+	misses  uint64
+}
+
+// NewGoldenCache returns an empty cache.
+func NewGoldenCache() *GoldenCache {
+	return &GoldenCache{entries: make(map[goldenKey]*goldenEntry)}
+}
+
+// Stats reports cache hits and misses so far.
+func (gc *GoldenCache) Stats() (hits, misses uint64) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.hits, gc.misses
+}
+
+// Len reports the number of memoized goldens.
+func (gc *GoldenCache) Len() int {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return len(gc.entries)
+}
+
+// run returns the memoized result for key, computing it via fresh exactly
+// once per key (concurrent callers block on the first computation).
+// Failures are not memoized: a transient error (e.g. a cancelled context)
+// must not poison the key for later campaigns.
+func (gc *GoldenCache) run(key goldenKey, fresh func() (*Result, error)) (*Result, error) {
+	gc.mu.Lock()
+	if gc.entries == nil {
+		gc.entries = make(map[goldenKey]*goldenEntry)
+	}
+	e, ok := gc.entries[key]
+	if !ok {
+		e = &goldenEntry{}
+		gc.entries[key] = e
+		gc.misses++
+	} else {
+		gc.hits++
+	}
+	gc.mu.Unlock()
+	e.once.Do(func() { e.res, e.err = fresh() })
+	if e.err != nil {
+		gc.mu.Lock()
+		if gc.entries[key] == e {
+			delete(gc.entries, key)
+		}
+		gc.mu.Unlock()
+	}
+	return e.res, e.err
+}
+
+// goldenCacheable reports whether the scenario is a pure golden print the
+// cache may memoize: no trojan, no detector, no instrumentation, and no
+// opaque construction or run options. Options and RunOptions are funcs —
+// their effect on the capture cannot be content-addressed, so any
+// non-empty slice disqualifies the scenario (the conservative reading of
+// "the key must cover every option that affects the capture").
+func (s *Scenario) goldenCacheable() bool {
+	return s.Trojan == nil && s.Detector == nil && s.Prepare == nil &&
+		len(s.Options) == 0 && len(s.RunOptions) == 0
+}

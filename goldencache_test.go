@@ -1,0 +1,121 @@
+package offramps
+
+import (
+	"context"
+	"testing"
+
+	"offramps/internal/fpga"
+	"offramps/internal/sim"
+	"offramps/internal/trojan"
+)
+
+// TestGoldenCacheBitIdentical verifies the golden cache's core promise: a
+// cache hit returns a result bit-identical to a fresh simulation of the
+// same (program, seed, budget), and the golden is simulated exactly once.
+func TestGoldenCacheBitIdentical(t *testing.T) {
+	prog := mustTestPart(t)
+	scens := []Scenario{{Name: "golden", Program: prog, Seed: 5}}
+
+	fresh, err := Campaign{Workers: 1}.Run(context.Background(), scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := firstScenarioErr(fresh); err != nil {
+		t.Fatal(err)
+	}
+
+	cache := NewGoldenCache()
+	cached1, err := Campaign{Workers: 1, Cache: cache}.Run(context.Background(), scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cached2, err := Campaign{Workers: 1, Cache: cache}.Run(context.Background(), scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := firstScenarioErr(cached2); err != nil {
+		t.Fatal(err)
+	}
+
+	if hits, misses := cache.Stats(); hits != 1 || misses != 1 {
+		t.Fatalf("cache stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	if cached1[0].Result != cached2[0].Result {
+		t.Error("cache hit did not reuse the memoized result")
+	}
+
+	// Bit-identical against the fresh, uncached run.
+	a, b := fresh[0].Result, cached2[0].Result
+	if a.Duration != b.Duration || a.Quality != b.Quality {
+		t.Errorf("cached golden differs from fresh: duration %v vs %v, quality %v vs %v",
+			a.Duration, b.Duration, a.Quality, b.Quality)
+	}
+	if a.Recording.Len() != b.Recording.Len() {
+		t.Fatalf("capture lengths differ: %d vs %d", a.Recording.Len(), b.Recording.Len())
+	}
+	for i := range a.Recording.Transactions {
+		if a.Recording.Transactions[i] != b.Recording.Transactions[i] {
+			t.Fatalf("cached transaction %d differs from fresh run", i)
+		}
+	}
+}
+
+// TestGoldenCacheKeySeparation verifies distinct seeds, programs, and
+// budgets occupy distinct entries (content addressing, not name-based).
+func TestGoldenCacheKeySeparation(t *testing.T) {
+	prog := mustTestPart(t)
+	flow, err := TestPartWithFlow(1.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewGoldenCache()
+	c := Campaign{Workers: 2, Cache: cache}
+	scens := []Scenario{
+		{Name: "a", Program: prog, Seed: 1},
+		{Name: "b", Program: prog, Seed: 2},       // same program, new seed
+		{Name: "c", Program: flow, Seed: 1},       // new program, same seed
+		{Name: "a-again", Program: prog, Seed: 1}, // duplicate of a
+	}
+	results, err := c.Run(context.Background(), scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := firstScenarioErr(results); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 3 {
+		t.Errorf("cache holds %d entries, want 3 (a, b, c)", cache.Len())
+	}
+	if results[0].Result != results[3].Result {
+		t.Error("duplicate golden scenario did not share the memoized result")
+	}
+	if results[0].Result.Recording.Len() == 0 {
+		t.Error("cached golden has empty capture")
+	}
+}
+
+// TestGoldenCacheSkipsNonGoldenScenarios verifies scenarios carrying
+// trojans or opaque options bypass the cache entirely.
+func TestGoldenCacheSkipsNonGoldenScenarios(t *testing.T) {
+	prog := mustTestPart(t)
+	cache := NewGoldenCache()
+	scens := []Scenario{
+		{Name: "t2", Program: prog, Seed: 1, Trojan: func(uint64) fpga.Trojan {
+			return trojan.NewT2ExtrusionReduction(trojan.T2Params{KeepRatio: 0.5})
+		}},
+		{Name: "opts", Program: prog, Seed: 1, Options: []Option{WithSettle(3 * sim.Second)}},
+	}
+	results, err := Campaign{Workers: 1, Cache: cache}.Run(context.Background(), scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := firstScenarioErr(results); err != nil {
+		t.Fatal(err)
+	}
+	if cache.Len() != 0 {
+		t.Errorf("non-golden scenarios were cached: %d entries", cache.Len())
+	}
+	if hits, misses := cache.Stats(); hits != 0 || misses != 0 {
+		t.Errorf("cache consulted for non-golden scenarios: %d hits / %d misses", hits, misses)
+	}
+}

@@ -46,6 +46,27 @@ type Firmware struct {
 
 	stopControl func()
 	stopFanPWM  func()
+
+	// Scheduling fast-path state: cached method values (one bound func
+	// instead of a fresh allocation per dispatch), the recycled step-train
+	// pool, the part-fan PWM gate target, and the cached fan line.
+	nextFn        func()
+	executeNextFn func()
+	trainPool     []*stepTrain
+	fan           fanGate
+	fanLine       *signal.Line
+}
+
+// fanGate ends a part-fan software-PWM window through the engine's
+// allocation-free fast path.
+type fanGate struct{ fw *Firmware }
+
+// FireEdge implements sim.EdgeTarget: it drops the fan gate unless a newer
+// window has raised the duty to full.
+func (g *fanGate) FireEdge(uint64) {
+	if g.fw.fanDuty < 0.999 {
+		g.fw.fanLine.Set(signal.Low)
+	}
 }
 
 // New builds a firmware instance attached to the Arduino-side bus.
@@ -65,6 +86,10 @@ func New(engine *sim.Engine, bus *signal.Bus, cfg Config) (*Firmware, error) {
 		bed:    newHeater("bed", bus.Line(signal.PinBed), bus.ThermBed, cfg.BedMaxTemp, cfg.BedPID, cfg),
 		uart:   newUARTTx(engine, bus.Line(signal.PinUARTTx), cfg.UARTBaud),
 	}
+	fw.nextFn = fw.next
+	fw.executeNextFn = fw.executeNext
+	fw.fan = fanGate{fw: fw}
+	fw.fanLine = bus.Line(signal.PinFan)
 	return fw, nil
 }
 
@@ -83,7 +108,7 @@ func (fw *Firmware) Start() error {
 	fw.started = true
 	fw.stopControl = fw.engine.Ticker(fw.cfg.ControlPeriod, fw.controlTick)
 	fw.stopFanPWM = fw.engine.Ticker(fw.cfg.FanPWMPeriod, fw.fanPWMTick)
-	fw.engine.After(fw.dispatchDelay(), fw.executeNext)
+	fw.engine.After(fw.dispatchDelay(), fw.executeNextFn)
 	return nil
 }
 
@@ -180,7 +205,7 @@ func (fw *Firmware) next() {
 	if fw.killed {
 		return
 	}
-	fw.engine.After(fw.dispatchDelay(), fw.executeNext)
+	fw.engine.After(fw.dispatchDelay(), fw.executeNextFn)
 }
 
 // executeNext dispatches one command.
@@ -288,7 +313,7 @@ func (fw *Firmware) executeDwell(cmd gcode.Command) {
 	if d < 0 {
 		d = 0
 	}
-	fw.engine.After(d, fw.next)
+	fw.engine.After(d, fw.nextFn)
 }
 
 // waitForHeater polls until the heater reaches its setpoint (M109/M190).
@@ -383,25 +408,25 @@ func (fw *Firmware) executeMove(cmd gcode.Command) {
 		fw.bus.Dir(a).Set(level)
 	}
 
-	// Schedule every step pulse.
+	// Emit every step pulse through a per-axis step train: O(1) pending
+	// engine work per axis instead of O(steps) events and closures
+	// enqueued upfront. Timestamps match the eager schedule exactly.
+	base := fw.engine.Now() + fw.cfg.DirSetup
 	for i, a := range signal.Axes {
 		n := pm.axes[i].steps
 		if n == 0 {
 			continue
 		}
-		line := fw.bus.Step(a)
-		for k := 0; k < n; k++ {
-			at := fw.cfg.DirSetup + pm.stepTime(k, n)
-			fw.engine.After(at, func() {
-				if fw.killed {
-					return
-				}
-				line.Set(signal.High)
-			})
-			fw.engine.After(at+fw.cfg.StepPulseWidth, func() {
-				line.Set(signal.Low)
-			})
+		t := fw.acquireTrain()
+		*t = stepTrain{
+			fw:    fw,
+			line:  fw.bus.Step(a),
+			prof:  pm.prof,
+			base:  base,
+			width: fw.cfg.StepPulseWidth,
+			n:     n,
 		}
+		fw.engine.ScheduleEdge(t.riseAt(0), t, trainRise)
 		// Track believed position.
 		if pm.axes[i].negative {
 			fw.steps[a] -= int64(n)
@@ -410,7 +435,7 @@ func (fw *Firmware) executeMove(cmd gcode.Command) {
 		}
 	}
 
-	fw.engine.After(fw.cfg.DirSetup+pm.duration()+fw.cfg.StepPulseWidth, fw.next)
+	fw.engine.After(fw.cfg.DirSetup+pm.duration()+fw.cfg.StepPulseWidth, fw.nextFn)
 }
 
 // controlTick runs both heater PID loops and their PWM windows.
@@ -435,20 +460,16 @@ func (fw *Firmware) drivePWM(h *heater) {
 	default:
 		h.pin.Set(signal.High)
 		onTime := sim.Time(float64(fw.cfg.PWMPeriod) * h.duty)
-		pin := h.pin
-		fw.engine.After(onTime, func() {
-			// Only drop the gate if a newer window hasn't raised the duty
-			// to full; the next window re-raises it anyway.
-			if h.duty < 0.999 {
-				pin.Set(signal.Low)
-			}
-		})
+		// The heater's FireEdge only drops the gate if a newer window
+		// hasn't raised the duty to full; the next window re-raises it
+		// anyway.
+		fw.engine.AfterEdge(onTime, h, 0)
 	}
 }
 
 // fanPWMTick emits one software-PWM window for the part fan.
 func (fw *Firmware) fanPWMTick(sim.Time) {
-	fan := fw.bus.Line(signal.PinFan)
+	fan := fw.fanLine
 	switch {
 	case fw.fanDuty <= 0.001:
 		fan.Set(signal.Low)
@@ -457,11 +478,7 @@ func (fw *Firmware) fanPWMTick(sim.Time) {
 	default:
 		fan.Set(signal.High)
 		onTime := sim.Time(float64(fw.cfg.FanPWMPeriod) * fw.fanDuty)
-		fw.engine.After(onTime, func() {
-			if fw.fanDuty < 0.999 {
-				fan.Set(signal.Low)
-			}
-		})
+		fw.engine.AfterEdge(onTime, &fw.fan, 0)
 	}
 }
 

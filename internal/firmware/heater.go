@@ -132,6 +132,14 @@ func (h *heater) control(now sim.Time, dt float64) error {
 	return nil
 }
 
+// FireEdge implements sim.EdgeTarget: it ends a software-PWM window by
+// dropping the MOSFET gate, unless a newer window raised the duty to full.
+func (h *heater) FireEdge(uint64) {
+	if h.duty < 0.999 {
+		h.pin.Set(signal.Low)
+	}
+}
+
 // trip latches the heater off.
 func (h *heater) trip() {
 	h.killed = true

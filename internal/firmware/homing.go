@@ -102,7 +102,7 @@ func (fw *Firmware) seekEndstop(a signal.Axis, speed float64, done func()) {
 		taken++
 		fw.steps[a]--
 		step.Set(signal.High)
-		fw.engine.After(fw.cfg.StepPulseWidth, func() { step.Set(signal.Low) })
+		step.SetAfter(fw.cfg.StepPulseWidth, signal.Low)
 		fw.engine.After(period, tick)
 	}
 	// Honour DIR setup before the first pulse.
@@ -134,7 +134,7 @@ func (fw *Firmware) bumpAway(a signal.Axis, speed float64, done func()) {
 		taken++
 		fw.steps[a]++
 		step.Set(signal.High)
-		fw.engine.After(fw.cfg.StepPulseWidth, func() { step.Set(signal.Low) })
+		step.SetAfter(fw.cfg.StepPulseWidth, signal.Low)
 		fw.engine.After(period, tick)
 	}
 	fw.engine.After(fw.cfg.DirSetup, tick)

@@ -61,7 +61,7 @@ func (u *uartTx) sendByte(b byte) {
 }
 
 func (u *uartTx) setAt(at sim.Time, level signal.Level) {
-	u.engine.Schedule(at, func() { u.line.Set(level) })
+	u.engine.ScheduleEdge(at, u.line, uint64(level))
 }
 
 // uartRx decodes 8N1 frames from a line by sampling mid-bit after each

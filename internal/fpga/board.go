@@ -257,12 +257,16 @@ func (p *PinPath) InjectPulse(width sim.Time) {
 		panic(fmt.Sprintf("fpga: InjectPulse with non-positive width %v", width))
 	}
 	p.dst.SetAfter(p.delay, signal.High)
-	p.board.engine.After(p.delay+width, func() {
-		if p.forced {
-			return
-		}
-		// Restore to the source's current level so a concurrent real
-		// pulse is not cut short more than one injection width.
-		p.dst.Set(p.src.Level())
-	})
+	p.board.engine.AfterEdge(p.delay+width, p, 0)
+}
+
+// FireEdge implements sim.EdgeTarget: it ends an injected pulse by
+// restoring the output to the source's current level, so a concurrent
+// real pulse is not cut short more than one injection width. Forced paths
+// stay clamped.
+func (p *PinPath) FireEdge(uint64) {
+	if p.forced {
+		return
+	}
+	p.dst.Set(p.src.Level())
 }

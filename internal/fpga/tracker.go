@@ -113,8 +113,14 @@ type Exporter struct {
 
 func newExporter(b *Board) *Exporter {
 	e := &Exporter{
-		board:     b,
-		recording: &capture.Recording{Period: b.cfg.ExportPeriod},
+		board: b,
+		recording: &capture.Recording{
+			Period: b.cfg.ExportPeriod,
+			// Preallocate for a typical print: the standard test part runs
+			// ≈2 simulated minutes, ≈1.2k windows at the 0.1 s export
+			// period. Growing past this is still amortized append.
+			Transactions: make([]capture.Transaction, 0, 2048),
+		},
 	}
 	b.homing.OnHomed(func(sim.Time) {
 		b.tracker.OnFirstStep(func(at sim.Time) { e.start(at) })

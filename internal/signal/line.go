@@ -106,20 +106,32 @@ func (l *Line) Set(level Level) {
 	}
 }
 
+// FireEdge implements sim.EdgeTarget: it drives the line to Level(arg).
+// It is the engine's allocation-free fast path behind SetAfter, Pulse and
+// Connect — a prebound callback with the target level as the argument, in
+// place of a fresh closure per scheduled edge.
+func (l *Line) FireEdge(arg uint64) { l.Set(Level(arg)) }
+
 // SetAfter schedules the line to be driven to level after delay. It models
 // a gate or level-shifter output with known propagation delay.
 func (l *Line) SetAfter(delay sim.Time, level Level) {
-	l.engine.After(delay, func() { l.Set(level) })
+	l.engine.AfterEdge(delay, l, uint64(level))
 }
 
 // Pulse drives the line High for width, then back Low. If the line is
-// already High it is first taken Low so a distinct rising edge is produced.
+// already High it is first taken Low now, and the distinct rising edge
+// follows one engine tick (1 ns) later — keeping the falling edge
+// timestamp-distinct so Trace pulse-width statistics never observe a
+// zero-width pulse.
 func (l *Line) Pulse(width sim.Time) {
 	if width <= 0 {
 		panic(fmt.Sprintf("signal: Pulse with non-positive width %v", width))
 	}
 	if l.level == High {
 		l.Set(Low)
+		l.engine.AfterEdge(sim.Nanosecond, l, uint64(High))
+		l.engine.AfterEdge(sim.Nanosecond+width, l, uint64(Low))
+		return
 	}
 	l.Set(High)
 	l.SetAfter(width, Low)

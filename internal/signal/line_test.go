@@ -88,6 +88,17 @@ func TestLinePulseFromHigh(t *testing.T) {
 	if edges[0].Level != Low || edges[1].Level != High || edges[2].Level != Low {
 		t.Errorf("edges = %v", edges)
 	}
+	// The falling edge must be timestamp-distinct from the new rising
+	// edge — a zero-width Low at the same instant would skew Trace
+	// pulse-width statistics.
+	if edges[1].At <= edges[0].At {
+		t.Errorf("rising edge at %v not after the preceding fall at %v", edges[1].At, edges[0].At)
+	}
+	// And the requested width must hold between the distinct rise and its
+	// fall.
+	if got := edges[2].At - edges[1].At; got != sim.Microsecond {
+		t.Errorf("pulse width = %v, want 1µs", got)
+	}
 }
 
 func TestLineConnectPropagationDelay(t *testing.T) {

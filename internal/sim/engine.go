@@ -1,59 +1,110 @@
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
+	"math"
 )
 
 // ErrStopped is returned by Run when the simulation was halted by Stop
 // before reaching its target time.
 var ErrStopped = errors.New("sim: engine stopped")
 
-// event is a scheduled callback. seq breaks ties between events scheduled
-// for the same instant so execution order is deterministic (FIFO within an
-// instant).
+// EdgeTarget is a prebound callback for the engine's allocation-free
+// scheduling fast path. Hot-path schedulers (signal edges, step trains)
+// implement it once and pass a small argument per event instead of
+// allocating a fresh closure: the interface value holds a pointer that is
+// already live, so ScheduleEdge never heap-allocates.
+type EdgeTarget interface {
+	// FireEdge runs the scheduled work. arg is the small payload given to
+	// ScheduleEdge (a signal level, a pulse phase, ...).
+	FireEdge(arg uint64)
+}
+
+// event is a scheduled callback, stored by value: the queue tiers hold
+// []event slices, so steady-state scheduling performs zero allocations.
+// Exactly one of fn and tgt is set. seq breaks ties between events
+// scheduled for the same instant so execution order is deterministic
+// (FIFO within an instant).
 type event struct {
 	at  Time
 	seq uint64
 	fn  func()
+	tgt EdgeTarget
+	arg uint64
 }
 
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// call runs the event's payload.
+func (ev *event) call() {
+	if ev.fn != nil {
+		ev.fn()
+		return
 	}
-	return h[i].seq < h[j].seq
+	ev.tgt.FireEdge(ev.arg)
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(*event)) }
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+// eventLess orders events by (at, seq) — the engine's total execution
+// order. seq is unique, so the order is strict.
+func eventLess(a, b event) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
 }
+
+// Timing-wheel geometry. The wheel is the near tier of the two-tier
+// scheduler: one slot covers 2^wheelShift ns, and the whole wheel spans
+// slot*count ahead of the drain window. The dominant short fixed delays of
+// a print — FPGA propagation (13 ns), STEP pulse widths (2 µs), UART bit
+// times (8.7 µs), step periods (≥ 50 µs at the 20 kHz envelope) — all land
+// in the wheel; long periodics (PWM windows, control ticks, capture
+// exports) overflow into the far-tier heap and are promoted into the wheel
+// when their window comes due.
+const (
+	wheelShift = 13 // 8.192 µs per slot
+	wheelSlots = 256
+	wheelSlot  = Time(1) << wheelShift
+	wheelSpan  = wheelSlot * wheelSlots
+	wheelMask  = wheelSlots - 1
+)
+
+// slotOf maps an absolute timestamp to its wheel slot. The mapping is
+// absolute (no cursor offset), so a slot is valid for exactly one window
+// per rotation.
+func slotOf(at Time) int { return int(at>>wheelShift) & wheelMask }
 
 // Engine is a deterministic discrete-event simulator. The zero value is
 // ready to use.
+//
+// Internally the pending set is split across two tiers that together
+// implement one total (time, sequence) order:
+//
+//   - a hierarchical timing wheel (near tier) holding events less than
+//     wheelSpan ahead, appended to unsorted slots and drained in exact
+//     (at, seq) order window by window;
+//   - a hand-rolled 4-ary min-heap of value events (far tier) holding
+//     everything beyond the wheel horizon, promoted into the wheel as its
+//     windows come due.
+//
+// Both tiers store events by value and reuse their backing storage, so
+// scheduling allocates only when a slice grows.
 type Engine struct {
-	queue   eventHeap
 	now     Time
 	seq     uint64
 	stopped bool
 	// executed counts events run since creation; useful for progress
 	// reporting and for benchmarks that want simulated-events/op.
 	executed uint64
+	pending  int
+
+	// base is the start (aligned to wheelSlot) of the wheel window
+	// currently being drained. Events at < base+wheelSpan live in slots;
+	// later events live in the heap.
+	base       Time
+	slots      [wheelSlots][]event
+	wheelCount int
+
+	heap []event
 }
 
 // NewEngine returns an empty engine at time zero.
@@ -66,7 +117,7 @@ func (e *Engine) Now() Time { return e.now }
 func (e *Engine) Executed() uint64 { return e.executed }
 
 // Pending reports the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.queue) }
+func (e *Engine) Pending() int { return e.pending }
 
 // Schedule enqueues fn to run at absolute time at. Scheduling in the past
 // (before Now) is a programming error and panics: silently reordering
@@ -75,11 +126,7 @@ func (e *Engine) Schedule(at Time, fn func()) {
 	if fn == nil {
 		panic("sim: Schedule with nil func")
 	}
-	if at < e.now {
-		panic(fmt.Sprintf("sim: Schedule at %v before now %v", at, e.now))
-	}
-	e.seq++
-	heap.Push(&e.queue, &event{at: at, seq: e.seq, fn: fn})
+	e.enqueue(event{at: at, fn: fn})
 }
 
 // After enqueues fn to run d nanoseconds after the current time.
@@ -90,6 +137,44 @@ func (e *Engine) After(d Time, fn func()) {
 	e.Schedule(e.now+d, fn)
 }
 
+// ScheduleEdge enqueues tgt.FireEdge(arg) to run at absolute time at.
+// This is the allocation-free fast path: no closure is created, and the
+// event is stored by value. Ordering is identical to Schedule — one seq
+// counter covers both paths.
+func (e *Engine) ScheduleEdge(at Time, tgt EdgeTarget, arg uint64) {
+	if tgt == nil {
+		panic("sim: ScheduleEdge with nil target")
+	}
+	e.enqueue(event{at: at, tgt: tgt, arg: arg})
+}
+
+// AfterEdge enqueues tgt.FireEdge(arg) to run d nanoseconds after the
+// current time, via the allocation-free fast path.
+func (e *Engine) AfterEdge(d Time, tgt EdgeTarget, arg uint64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: AfterEdge with negative delay %v", d))
+	}
+	e.ScheduleEdge(e.now+d, tgt, arg)
+}
+
+// enqueue stamps the event's sequence number and routes it to the wheel
+// or the heap.
+func (e *Engine) enqueue(ev event) {
+	if ev.at < e.now {
+		panic(fmt.Sprintf("sim: Schedule at %v before now %v", ev.at, e.now))
+	}
+	e.seq++
+	ev.seq = e.seq
+	e.pending++
+	if ev.at < e.base+wheelSpan {
+		s := slotOf(ev.at)
+		e.slots[s] = append(e.slots[s], ev)
+		e.wheelCount++
+		return
+	}
+	e.heapPush(ev)
+}
+
 // Stop halts the run loop after the currently executing event returns.
 // Pending events remain queued; a subsequent Run resumes.
 func (e *Engine) Stop() { e.stopped = true }
@@ -98,20 +183,8 @@ func (e *Engine) Stop() { e.stopped = true }
 // lies beyond until. The clock is left at min(until, time of last event).
 // It returns ErrStopped if Stop was called during execution.
 func (e *Engine) Run(until Time) error {
-	e.stopped = false
-	for len(e.queue) > 0 {
-		next := e.queue[0]
-		if next.at > until {
-			e.now = until
-			return nil
-		}
-		heap.Pop(&e.queue)
-		e.now = next.at
-		e.executed++
-		next.fn()
-		if e.stopped {
-			return ErrStopped
-		}
+	if err := e.run(until); err != nil {
+		return err
 	}
 	if until > e.now {
 		e.now = until
@@ -123,18 +196,120 @@ func (e *Engine) Run(until Time) error {
 // other events) with no time bound. It returns ErrStopped if Stop was
 // called. Use with care: a periodic task keeps the queue permanently non-empty; prefer
 // Run with an explicit horizon for full-system simulations.
-func (e *Engine) RunUntilIdle() error {
+func (e *Engine) RunUntilIdle() error { return e.run(math.MaxInt64) }
+
+// run is the drain loop shared by Run and RunUntilIdle. It executes every
+// event with at ≤ until in strict (at, seq) order and leaves the clock at
+// the last executed event (the callers decide whether to advance further).
+func (e *Engine) run(until Time) error {
 	e.stopped = false
-	for len(e.queue) > 0 {
-		next := heap.Pop(&e.queue).(*event)
-		e.now = next.at
-		e.executed++
-		next.fn()
-		if e.stopped {
-			return ErrStopped
+	for e.pending > 0 {
+		if e.wheelCount == 0 {
+			// The wheel is empty: jump the window straight to the heap's
+			// earliest event instead of rotating through empty slots.
+			top := e.heap[0].at
+			if top > until {
+				return nil
+			}
+			e.base = top &^ (wheelSlot - 1)
 		}
+		// Promote far-tier events due in this window.
+		for len(e.heap) > 0 && e.heap[0].at < e.base+wheelSlot {
+			ev := e.heapPop()
+			s := slotOf(ev.at)
+			e.slots[s] = append(e.slots[s], ev)
+			e.wheelCount++
+		}
+		// Drain the current window in (at, seq) order. The slot is
+		// unsorted and may grow while events execute (short-delay
+		// reschedules land back in the same window), so each step scans
+		// for the minimum remaining event.
+		slot := &e.slots[slotOf(e.base)]
+		for len(*slot) > 0 {
+			s := *slot
+			min := 0
+			for i := 1; i < len(s); i++ {
+				if eventLess(s[i], s[min]) {
+					min = i
+				}
+			}
+			ev := s[min]
+			if ev.at > until {
+				return nil
+			}
+			last := len(s) - 1
+			s[min] = s[last]
+			s[last] = event{} // release fn/tgt references
+			*slot = s[:last]
+			e.wheelCount--
+			e.pending--
+			e.now = ev.at
+			e.executed++
+			ev.call()
+			if e.stopped {
+				return ErrStopped
+			}
+			slot = &e.slots[slotOf(e.base)]
+		}
+		if e.pending == 0 {
+			break
+		}
+		// Every remaining event lies at or beyond the next window.
+		if e.base+wheelSlot > until {
+			return nil
+		}
+		e.base += wheelSlot
 	}
 	return nil
+}
+
+// heapPush inserts ev into the far-tier 4-ary min-heap.
+func (e *Engine) heapPush(ev event) {
+	h := append(e.heap, ev)
+	i := len(h) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !eventLess(h[i], h[p]) {
+			break
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+	e.heap = h
+}
+
+// heapPop removes and returns the minimum event of the far tier.
+func (e *Engine) heapPop() event {
+	h := e.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = event{} // release fn/tgt references
+	h = h[:last]
+	i := 0
+	for {
+		first := i*4 + 1
+		if first >= len(h) {
+			break
+		}
+		end := first + 4
+		if end > len(h) {
+			end = len(h)
+		}
+		min := first
+		for c := first + 1; c < end; c++ {
+			if eventLess(h[c], h[min]) {
+				min = c
+			}
+		}
+		if !eventLess(h[min], h[i]) {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	e.heap = h
+	return top
 }
 
 // Ticker invokes fn every period, starting at Now+period, until the

@@ -1,0 +1,339 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestEngineSameInstantFIFOAcrossTiers proves FIFO-within-instant holds
+// when events for the same instant arrive through different tiers: some
+// scheduled far ahead (heap, promoted into the wheel when due) and some
+// scheduled late (directly into the wheel). Execution must follow
+// scheduling order regardless of which tier held each event.
+func TestEngineSameInstantFIFOAcrossTiers(t *testing.T) {
+	e := NewEngine()
+	const T = wheelSpan + 4*wheelSlot + 17
+	var got []int
+	// Far tier: beyond the wheel horizon at schedule time.
+	e.Schedule(T, func() { got = append(got, 0) })
+	e.Schedule(T, func() { got = append(got, 1) })
+	// An event just before T schedules more work for the exact same
+	// instant; by then T is inside the wheel window, so these take the
+	// near tier.
+	e.Schedule(T-1, func() {
+		e.Schedule(T, func() { got = append(got, 2) })
+		e.Schedule(T, func() { got = append(got, 3) })
+	})
+	if err := e.Run(T); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{0, 1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("executed %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cross-tier same-instant order = %v, want %v", got, want)
+		}
+	}
+}
+
+// TestEngineSameInstantFIFOEdgePath proves the closure path and the
+// allocation-free edge path share one sequence counter: interleaved
+// Schedule and ScheduleEdge calls for one instant run in call order.
+type orderRecorder struct{ got *[]int }
+
+func (r *orderRecorder) FireEdge(arg uint64) { *r.got = append(*r.got, int(arg)) }
+
+func TestEngineSameInstantFIFOEdgePath(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	rec := &orderRecorder{got: &got}
+	e.Schedule(100, func() { got = append(got, 0) })
+	e.ScheduleEdge(100, rec, 1)
+	e.Schedule(100, func() { got = append(got, 2) })
+	e.ScheduleEdge(100, rec, 3)
+	if err := e.Run(100); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("mixed-path same-instant order = %v, want ascending", got)
+		}
+	}
+	if len(got) != 4 {
+		t.Fatalf("executed %d events, want 4", len(got))
+	}
+}
+
+// TestEngineStopResumeMidWheel stops the engine between events that share
+// a wheel window (and partly share an instant) and checks the remainder
+// stays queued and resumes in exactly the original order.
+func TestEngineStopResumeMidWheel(t *testing.T) {
+	e := NewEngine()
+	var got []int
+	add := func(id int) func() { return func() { got = append(got, id) } }
+	const T = 3 * wheelSlot / 2 // mid-wheel, not slot-aligned
+	e.Schedule(T, add(0))
+	e.Schedule(T, func() { got = append(got, 1); e.Stop() })
+	e.Schedule(T, add(2))
+	e.Schedule(T+1, add(3))
+	e.Schedule(T+wheelSlot, add(4)) // next window of the same wheel
+
+	if err := e.Run(T + 2*wheelSlot); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("executed %v before stop, want [0 1]", got)
+	}
+	if e.Pending() != 3 {
+		t.Fatalf("Pending() = %d after stop, want 3", e.Pending())
+	}
+	if err := e.Run(T + 2*wheelSlot); err != nil {
+		t.Fatalf("resume Run: %v", err)
+	}
+	want := []int{0, 1, 2, 3, 4}
+	for i := range want {
+		if i >= len(got) || got[i] != want[i] {
+			t.Fatalf("resumed order = %v, want %v", got, want)
+		}
+	}
+}
+
+// refEngine is the pre-rework scheduler semantics distilled to their
+// definition: execute pending events in strictly increasing (at, seq)
+// order, where seq is assignment order. The differential test replays an
+// identical randomized workload through refEngine and Engine and demands
+// identical execution order, proving the two-tier scheduler preserves the
+// old ordering exactly.
+type refEngine struct {
+	now     Time
+	seq     uint64
+	pending []refEvent
+}
+
+type refEvent struct {
+	at  Time
+	seq uint64
+	id  int
+}
+
+func (r *refEngine) schedule(at Time, id int) {
+	r.seq++
+	r.pending = append(r.pending, refEvent{at: at, seq: r.seq, id: id})
+}
+
+func (r *refEngine) run(spawn func(id int, now Time, schedule func(d Time, id int))) []int {
+	var order []int
+	for len(r.pending) > 0 {
+		min := 0
+		for i := 1; i < len(r.pending); i++ {
+			p, q := r.pending[i], r.pending[min]
+			if p.at < q.at || (p.at == q.at && p.seq < q.seq) {
+				min = i
+			}
+		}
+		ev := r.pending[min]
+		r.pending[min] = r.pending[len(r.pending)-1]
+		r.pending = r.pending[:len(r.pending)-1]
+		r.now = ev.at
+		order = append(order, ev.id)
+		spawn(ev.id, r.now, func(d Time, id int) { r.schedule(r.now+d, id) })
+	}
+	return order
+}
+
+// workload is a deterministic random event tree: node i, when executed,
+// schedules its children at fixed relative delays. Delays mix the wheel's
+// sweet spot (sub-slot, multi-slot) with far-horizon heap delays and
+// plenty of zero/equal delays to force same-instant ties.
+type workloadNode struct {
+	children []struct {
+		delay Time
+		id    int
+	}
+}
+
+func buildWorkload(rng *rand.Rand, n int) []workloadNode {
+	delays := []Time{
+		0, 1, 13, 100, // same-instant and sub-slot
+		2000, 2000, 8192, 8193, // slot-boundary neighbours
+		50_000, 50_000, 150_000, // multi-slot
+		wheelSpan - 1, wheelSpan, wheelSpan + 1, // horizon boundary
+		10_000_000, 100_000_000, // deep heap
+	}
+	nodes := make([]workloadNode, n)
+	next := 1
+	for i := 0; i < n && next < n; i++ {
+		kids := rng.Intn(4)
+		for k := 0; k < kids && next < n; k++ {
+			d := delays[rng.Intn(len(delays))]
+			nodes[i].children = append(nodes[i].children, struct {
+				delay Time
+				id    int
+			}{d, next})
+			next++
+		}
+	}
+	return nodes
+}
+
+func TestEngineDifferentialOrderingVsReference(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 1234} {
+		rng := rand.New(rand.NewSource(seed))
+		nodes := buildWorkload(rng, 600)
+
+		// Reference run.
+		ref := &refEngine{}
+		ref.schedule(0, 0)
+		refOrder := ref.run(func(id int, _ Time, schedule func(Time, int)) {
+			for _, c := range nodes[id].children {
+				schedule(c.delay, c.id)
+			}
+		})
+
+		// Engine run, alternating closure and edge paths to cover both.
+		e := NewEngine()
+		var order []int
+		var exec func(id int)
+		sink := &workloadSink{}
+		sink.fire = func(id int) { exec(id) }
+		exec = func(id int) {
+			order = append(order, id)
+			for _, c := range nodes[id].children {
+				c := c
+				if c.id%2 == 0 {
+					e.After(c.delay, func() { exec(c.id) })
+				} else {
+					e.AfterEdge(c.delay, sink, uint64(c.id))
+				}
+			}
+		}
+		e.Schedule(0, func() { exec(0) })
+		if err := e.RunUntilIdle(); err != nil {
+			t.Fatalf("seed %d: RunUntilIdle: %v", seed, err)
+		}
+
+		if len(order) != len(refOrder) {
+			t.Fatalf("seed %d: executed %d events, reference executed %d", seed, len(order), len(refOrder))
+		}
+		for i := range refOrder {
+			if order[i] != refOrder[i] {
+				t.Fatalf("seed %d: execution order diverges at %d: engine %d, reference %d",
+					seed, i, order[i], refOrder[i])
+			}
+		}
+	}
+}
+
+type workloadSink struct{ fire func(id int) }
+
+func (s *workloadSink) FireEdge(arg uint64) { s.fire(int(arg)) }
+
+// TestEngineEdgePathValidation mirrors the closure path's contract checks.
+func TestEngineEdgePathValidation(t *testing.T) {
+	e := NewEngine()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleEdge(nil target) did not panic")
+			}
+		}()
+		e.ScheduleEdge(0, nil, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("AfterEdge with negative delay did not panic")
+			}
+		}()
+		e.AfterEdge(-1, &workloadSink{fire: func(int) {}}, 0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("ScheduleEdge in the past did not panic")
+			}
+		}()
+		e.Schedule(100, func() {})
+		if err := e.Run(100); err != nil {
+			t.Fatal(err)
+		}
+		e.ScheduleEdge(50, &workloadSink{fire: func(int) {}}, 0)
+	}()
+}
+
+// BenchmarkEngineSchedule measures the raw schedule/execute cycle on a
+// near-horizon workload — the wheel's fast path.
+func BenchmarkEngineSchedule(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.Schedule(Time(j)*50, func() {})
+		}
+		if err := e.RunUntilIdle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineScheduleEdge measures the allocation-free fast path.
+func BenchmarkEngineScheduleEdge(b *testing.B) {
+	sink := &workloadSink{fire: func(int) {}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		for j := 0; j < 1000; j++ {
+			e.ScheduleEdge(Time(j)*50, sink, 0)
+		}
+		if err := e.RunUntilIdle(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineTicker measures periodic work (the control-loop shape).
+func BenchmarkEngineTicker(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		cancel := e.Ticker(100*Microsecond, func(Time) {})
+		if err := e.Run(100 * Millisecond); err != nil {
+			b.Fatal(err)
+		}
+		cancel()
+	}
+}
+
+// BenchmarkEngineMixedHorizon measures the realistic print shape: dense
+// near-horizon pulse edges riding on sparse far-horizon periodics, which
+// exercises wheel/heap promotion.
+func BenchmarkEngineMixedHorizon(b *testing.B) {
+	sink := &workloadSink{fire: func(int) {}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := NewEngine()
+		// Far tier: periodic exports every 100 ms over 1 s.
+		for j := Time(1); j <= 10; j++ {
+			e.Schedule(j*100*Millisecond, func() {})
+		}
+		// Near tier: a self-rescheduling 20 kHz pulse train with 2 µs
+		// falling edges, like a STEP line at the paper's envelope.
+		var rise func()
+		n := 0
+		rise = func() {
+			n++
+			e.AfterEdge(2*Microsecond, sink, 0)
+			if n < 20_000 {
+				e.After(50*Microsecond, rise)
+			}
+		}
+		e.Schedule(0, rise)
+		if err := e.Run(1100 * Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

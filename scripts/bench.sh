@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# bench.sh runs the key perf benchmarks (GoldenPrint, Campaign,
+# MonitorObserve, plus the engine microbenchmarks) and writes their
+# results to BENCH_<label>.json so the perf trajectory is tracked across
+# PRs. The label defaults to the repo's commit count.
+#
+# Usage: scripts/bench.sh [label] [benchtime]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+label="${1:-$(git rev-list --count HEAD 2>/dev/null || echo dev)}"
+benchtime="${2:-2x}"
+out="BENCH_${label}.json"
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+go test -run NONE \
+  -bench 'BenchmarkGoldenPrint$|BenchmarkCampaign$|BenchmarkMonitorObserve$' \
+  -benchtime "$benchtime" -count 1 . | tee "$tmp"
+go test -run NONE \
+  -bench 'BenchmarkEngineSchedule$|BenchmarkEngineScheduleEdge$|BenchmarkEngineTicker$|BenchmarkEngineMixedHorizon$' \
+  -benchtime 100x -count 1 ./internal/sim | tee -a "$tmp"
+
+go run ./cmd/benchjson < "$tmp" > "$out"
+echo "wrote $out"
