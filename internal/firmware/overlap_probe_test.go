@@ -1,0 +1,14 @@
+package firmware
+
+import "testing"
+
+// Probe: StepPulseWidth longer than the step period (legal per
+// Config.Validate) — does the pooled step train survive overlapping
+// falls?
+func TestStepTrainOverlapProbe(t *testing.T) {
+	r := newRig(t, func(c *Config) {
+		c.MaxStepRate = 1_000_000 // 1 µs period
+		// default StepPulseWidth = 2 µs > period
+	})
+	r.run(t, "G28\nG1 X1 F6000\nG1 X2 F6000\n")
+}
