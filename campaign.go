@@ -113,6 +113,12 @@ func (c Campaign) Run(ctx context.Context, scenarios []Scenario) ([]ScenarioResu
 	}
 feed:
 	for i := range scenarios {
+		// Checked before each handoff: a blocked select chooses randomly
+		// when both a worker and Done are ready, so without this guard a
+		// cancelled campaign could keep feeding the pool.
+		if ctx.Err() != nil {
+			break
+		}
 		select {
 		case indices <- i:
 		case <-ctx.Done():

@@ -1,7 +1,9 @@
 // Command experiments regenerates every table and figure in the paper's
-// evaluation section (see DESIGN.md §3 for the experiment index). Every
+// evaluation section (see DESIGN.md §3 for the experiment index), plus
+// the tap-side topology experiment this reproduction adds. Every
 // experiment fans its prints across a campaign worker pool; -workers
-// bounds the pool.
+// bounds the pool. -json writes the machine-readable reports alongside
+// the Format() text.
 //
 // Usage:
 //
@@ -9,10 +11,12 @@
 //	experiments -table1 -figure4
 //	experiments -drift -runs 6
 //	experiments -all -workers 4
+//	experiments -all -json reports.json
 //	experiments -all -cpuprofile cpu.out -memprofile mem.out
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -37,9 +41,11 @@ func run(args []string) error {
 		figure4  = fs.Bool("figure4", false, "Figure 4: detection output excerpt")
 		overhead = fs.Bool("overhead", false, "§V-B: monitoring overhead")
 		drift    = fs.Bool("drift", false, "§V-C: time-noise drift bound")
+		tapside  = fs.Bool("tapside", false, "§V-D: tap-side topology (co-location blind spot)")
 		seed     = fs.Uint64("seed", 1, "base time-noise seed")
 		runs     = fs.Int("runs", 4, "number of prints for the drift experiment")
 		workers  = fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS)")
+		jsonOut  = fs.String("json", "", "also write the machine-readable reports to `file` (\"-\" = stdout)")
 
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file`")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken after the experiments to `file`")
@@ -73,9 +79,9 @@ func run(args []string) error {
 		}()
 	}
 	if *all {
-		*table1, *table2, *figure4, *overhead, *drift = true, true, true, true, true
+		*table1, *table2, *figure4, *overhead, *drift, *tapside = true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*figure4 && !*overhead && !*drift {
+	if !*table1 && !*table2 && !*figure4 && !*overhead && !*drift && !*tapside {
 		fs.Usage()
 		return fmt.Errorf("nothing selected; use -all or pick experiments")
 	}
@@ -83,15 +89,18 @@ func run(args []string) error {
 	type experiment struct {
 		enabled bool
 		name    string
+		key     string // stable key for the -json document
 		run     func() (interface{ Format() string }, error)
 	}
 	list := []experiment{
-		{*table1, "Table I", func() (interface{ Format() string }, error) { return offrampsTableI(*seed, *workers) }},
-		{*table2, "Table II", func() (interface{ Format() string }, error) { return offrampsTableII(*seed, *workers) }},
-		{*figure4, "Figure 4", func() (interface{ Format() string }, error) { return offrampsFigure4(*seed, *workers) }},
-		{*overhead, "Overhead (§V-B)", func() (interface{ Format() string }, error) { return offrampsOverhead(*seed, *workers) }},
-		{*drift, "Drift (§V-C)", func() (interface{ Format() string }, error) { return offrampsDrift(*seed, *runs, *workers) }},
+		{*table1, "Table I", "table1", func() (interface{ Format() string }, error) { return offrampsTableI(*seed, *workers) }},
+		{*table2, "Table II", "table2", func() (interface{ Format() string }, error) { return offrampsTableII(*seed, *workers) }},
+		{*figure4, "Figure 4", "figure4", func() (interface{ Format() string }, error) { return offrampsFigure4(*seed, *workers) }},
+		{*overhead, "Overhead (§V-B)", "overhead", func() (interface{ Format() string }, error) { return offrampsOverhead(*seed, *workers) }},
+		{*drift, "Drift (§V-C)", "drift", func() (interface{ Format() string }, error) { return offrampsDrift(*seed, *runs, *workers) }},
+		{*tapside, "Tap sides (§V-D)", "tapside", func() (interface{ Format() string }, error) { return offrampsTapSides(*seed, *workers) }},
 	}
+	reports := make(map[string]any)
 	for _, ex := range list {
 		if !ex.enabled {
 			continue
@@ -104,6 +113,31 @@ func run(args []string) error {
 		}
 		fmt.Print(rep.Format())
 		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
+		reports[ex.key] = rep
+	}
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, *seed, reports); err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
 	}
 	return nil
+}
+
+// writeJSON emits the machine-readable report document to path ("-" =
+// stdout).
+func writeJSON(path string, seed uint64, reports map[string]any) error {
+	doc := struct {
+		Seed    uint64         `json:"seed"`
+		Reports map[string]any `json:"reports"`
+	}{Seed: seed, Reports: reports}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(path, out, 0o644)
 }

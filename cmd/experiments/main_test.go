@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
 
 func TestRunRequiresSelection(t *testing.T) {
 	if err := run(nil); err == nil {
@@ -18,5 +23,32 @@ func TestRunSingleExperiment(t *testing.T) {
 	// The overhead experiment is the fastest full-pipeline one.
 	if err := run([]string{"-overhead"}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunWritesJSONReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs two full simulated prints")
+	}
+	path := filepath.Join(t.TempDir(), "reports.json")
+	if err := run([]string{"-overhead", "-json", path}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Seed    uint64                     `json:"seed"`
+		Reports map[string]json.RawMessage `json:"reports"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v", err)
+	}
+	if doc.Seed != 1 {
+		t.Errorf("seed = %d, want 1", doc.Seed)
+	}
+	if _, ok := doc.Reports["overhead"]; !ok || len(doc.Reports) != 1 {
+		t.Errorf("reports keys = %v, want [overhead]", doc.Reports)
 	}
 }

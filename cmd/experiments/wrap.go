@@ -32,3 +32,7 @@ func offrampsOverhead(seed uint64, workers int) (interface{ Format() string }, e
 func offrampsDrift(seed uint64, runs, workers int) (interface{ Format() string }, error) {
 	return offramps.Drift(seed, runs, campaignOpts(workers)...)
 }
+
+func offrampsTapSides(seed uint64, workers int) (interface{ Format() string }, error) {
+	return offramps.TapSides(seed, campaignOpts(workers)...)
+}

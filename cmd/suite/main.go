@@ -1,0 +1,220 @@
+// Command suite executes declarative scenario-spec files: every
+// experiment is data, not code. A spec file describes scenarios (program
+// reference, trojan, detector, tap placement, seed policy, budget) and
+// post-run golden comparisons; the runner compiles them through the
+// registry-backed spec compiler and fans the prints across the campaign
+// worker pool, then emits human, JSON, and CSV reports.
+//
+// Usage:
+//
+//	suite spec.json...
+//	suite -workers 4 -json report.json -csv rows.csv specs/*.json
+//	suite -seed 99 spec.json        # override the spec's base seed
+//
+// See examples/specs/ for committed spec files, including the RAMPS-side
+// tap scenario that detects a board-injected trojan the paper's
+// Arduino-side tap is blind to (§V-D).
+package main
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+	"time"
+
+	"offramps"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "suite:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("suite", flag.ContinueOnError)
+	var (
+		workers = fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS, overrides spec)")
+		seed    = fs.Uint64("seed", 0, "override every suite's base seed (0 = use the spec's)")
+		jsonOut = fs.String("json", "", "write the suite reports as JSON to `file` (\"-\" = stdout)")
+		csvOut  = fs.String("csv", "", "write per-scenario and per-comparison rows as CSV to `file` (\"-\" = stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	paths := fs.Args()
+	if len(paths) == 0 {
+		fs.Usage()
+		return fmt.Errorf("no spec files given")
+	}
+
+	// One golden cache across all suites: spec files that print the same
+	// (program, seed) golden share a single simulation.
+	cache := offramps.NewGoldenCache()
+	var reports []*offramps.SuiteReport
+	for _, path := range paths {
+		spec, err := offramps.LoadSuiteSpec(path)
+		if err != nil {
+			return err
+		}
+		if *seed != 0 {
+			spec.BaseSeed = *seed
+		}
+		c := offramps.Campaign{Cache: cache}
+		if *workers > 0 {
+			c.Workers = *workers
+			spec.Workers = 0 // flag wins over the spec
+		}
+		start := time.Now()
+		rep, err := c.RunSuite(context.Background(), spec)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		fmt.Fprint(stdout, rep.Format())
+		fmt.Fprintf(stdout, "(%s executed in %v)\n\n", path, time.Since(start).Round(time.Millisecond))
+		reports = append(reports, rep)
+	}
+
+	if *jsonOut != "" {
+		if err := writeJSON(*jsonOut, stdout, reports); err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
+	}
+	if *csvOut != "" {
+		if err := writeCSV(*csvOut, stdout, reports); err != nil {
+			return fmt.Errorf("csv: %w", err)
+		}
+	}
+	return firstError(reports)
+}
+
+// firstError surfaces scenario or comparison failures as a non-zero exit
+// (a TrojanLikely verdict is a finding, not a failure).
+func firstError(reports []*offramps.SuiteReport) error {
+	for _, rep := range reports {
+		for _, r := range rep.Results {
+			if r.Err != nil {
+				return fmt.Errorf("suite %s: scenario %s: %w", rep.Suite, r.Name, r.Err)
+			}
+		}
+		for _, c := range rep.Comparisons {
+			if c.Err != nil {
+				return fmt.Errorf("suite %s: compare %s vs %s: %w", rep.Suite, c.Golden, c.Suspect, c.Err)
+			}
+		}
+	}
+	return nil
+}
+
+// sink opens the output target ("-" = the runner's stdout). The returned
+// close func is idempotent, so it can back both a defer (cleanup on
+// error) and an explicit flush-and-close whose error is checked.
+func sink(path string, stdout io.Writer) (io.Writer, func() error, error) {
+	if path == "-" {
+		return stdout, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	var once sync.Once
+	var cerr error
+	return f, func() error {
+		once.Do(func() { cerr = f.Close() })
+		return cerr
+	}, nil
+}
+
+func writeJSON(path string, stdout io.Writer, reports []*offramps.SuiteReport) error {
+	w, closer, err := sink(path, stdout)
+	if err != nil {
+		return err
+	}
+	defer closer()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Suites []*offramps.SuiteReport `json:"suites"`
+	}{reports}); err != nil {
+		return err
+	}
+	return closer()
+}
+
+// csvHeader labels both row kinds; comparison rows leave the scenario
+// metric columns empty and vice versa.
+var csvHeader = []string{
+	"kind", "suite", "name", "seed", "golden", "suspect",
+	"completed", "aborted", "trojan_likely", "mismatches", "final_mismatches",
+	"largest_pct", "duration_s", "windows", "filament_mm", "error",
+}
+
+func writeCSV(path string, stdout io.Writer, reports []*offramps.SuiteReport) error {
+	w, closer, err := sink(path, stdout)
+	if err != nil {
+		return err
+	}
+	defer closer()
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	for _, rep := range reports {
+		for _, r := range rep.Results {
+			row := []string{"scenario", rep.Suite, r.Name, strconv.FormatUint(r.Seed, 10), "", ""}
+			if r.Err != nil {
+				row = append(row, "", "", "", "", "", "", "", "", "", r.Err.Error())
+			} else {
+				res := r.Result
+				windows := 0
+				if res.Recording != nil {
+					windows = res.Recording.Len()
+				}
+				row = append(row,
+					strconv.FormatBool(res.Completed),
+					strconv.FormatBool(res.Aborted),
+					strconv.FormatBool(res.TrojanLikely),
+					"", "", "",
+					f(res.Duration.Seconds()),
+					strconv.Itoa(windows),
+					f(res.Quality.TotalFilament),
+					"",
+				)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+		for _, c := range rep.Comparisons {
+			row := []string{"compare", rep.Suite, "", "", c.Golden, c.Suspect}
+			if c.Err != nil {
+				row = append(row, "", "", "", "", "", "", "", "", "", c.Err.Error())
+			} else {
+				row = append(row,
+					"", "",
+					strconv.FormatBool(c.Report.TrojanLikely),
+					strconv.Itoa(c.Report.NumMismatches),
+					strconv.Itoa(len(c.Report.Final)),
+					f(c.Report.LargestPercent),
+					"", "", "", "",
+				)
+			}
+			if err := cw.Write(row); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return closer()
+}

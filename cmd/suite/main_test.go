@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// repoRoot walks up from the test's working directory to the module root
+// so the committed example specs resolve.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module root not found")
+		}
+		dir = parent
+	}
+}
+
+// TestTapsideExampleSpec executes the committed tap-placement spec file
+// end to end — the acceptance scenario for the composable rig topology: a
+// RAMPS-side tap detects a board-injected trojan that the paper's
+// Arduino-side tap misses.
+func TestTapsideExampleSpec(t *testing.T) {
+	spec := filepath.Join(repoRoot(t), "examples", "specs", "tapside.json")
+	jsonPath := filepath.Join(t.TempDir(), "report.json")
+	csvPath := filepath.Join(t.TempDir(), "rows.csv")
+
+	var out strings.Builder
+	if err := run([]string{"-json", jsonPath, "-csv", csvPath, spec}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	text := out.String()
+	if !strings.Contains(text, "compare golden vs arduino-tap [golden-comparator]: no trojan suspected") {
+		t.Errorf("arduino-side tap did not stay blind to the board's own trojan:\n%s", text)
+	}
+	if !strings.Contains(text, "compare golden vs ramps-tap [golden-comparator]: TROJAN LIKELY") {
+		t.Errorf("ramps-side tap did not detect the board-injected trojan:\n%s", text)
+	}
+
+	// The JSON sink round-trips and carries both verdicts.
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Suites []struct {
+			Suite       string `json:"suite"`
+			Comparisons []struct {
+				Suspect string `json:"suspect"`
+				Report  struct {
+					TrojanLikely  bool
+					NumMismatches int
+				} `json:"report"`
+			} `json:"comparisons"`
+		} `json:"suites"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("JSON sink: %v", err)
+	}
+	if len(doc.Suites) != 1 || len(doc.Suites[0].Comparisons) != 2 {
+		t.Fatalf("JSON sink shape: %+v", doc)
+	}
+	byName := map[string]bool{}
+	for _, c := range doc.Suites[0].Comparisons {
+		byName[c.Suspect] = c.Report.TrojanLikely
+	}
+	if byName["arduino-tap"] {
+		t.Error("JSON: arduino-tap flagged")
+	}
+	if !byName["ramps-tap"] {
+		t.Error("JSON: ramps-tap not flagged")
+	}
+
+	// The CSV sink has a header plus one row per scenario and comparison.
+	csvData, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(csvData)), "\n")
+	if len(lines) != 1+3+2 {
+		t.Errorf("CSV rows = %d, want 6:\n%s", len(lines), csvData)
+	}
+	if !strings.HasPrefix(lines[0], "kind,suite,name,seed") {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+}
+
+// TestLiveMonitorExampleSpec executes the committed two-wave spec: the
+// suspect's golden-monitor detector references the golden scenario's
+// capture and aborts the tampered print mid-run.
+func TestLiveMonitorExampleSpec(t *testing.T) {
+	spec := filepath.Join(repoRoot(t), "examples", "specs", "live_monitor.json")
+	var out strings.Builder
+	if err := run([]string{spec}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "TROJAN LIKELY (aborted)") {
+		t.Errorf("live monitor did not abort the tampered print:\n%s", out.String())
+	}
+}
+
+func TestRunRejectsMissingSpec(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{filepath.Join(t.TempDir(), "nope.json")}, &out); err == nil {
+		t.Error("missing spec file accepted")
+	}
+	if err := run([]string{}, &out); err == nil {
+		t.Error("empty spec list accepted")
+	}
+}

@@ -8,7 +8,6 @@ import (
 	"offramps/internal/capture"
 	"offramps/internal/detect"
 	"offramps/internal/flaw3d"
-	"offramps/internal/fpga"
 	"offramps/internal/gcode"
 	"offramps/internal/printer"
 	"offramps/internal/signal"
@@ -97,39 +96,33 @@ var paperEffects = map[string]string{
 	"T9": "Arbitrarily reducing part fan speed mid-print",
 }
 
-// tableITrojan returns a factory building a fresh Table I trojan per run,
-// so campaign workers never share trojan state.
-func tableITrojan(id string) func(seed uint64) fpga.Trojan {
-	return func(seed uint64) fpga.Trojan {
-		for _, tr := range trojan.Suite(seed) {
-			if tr.ID() == id {
-				return tr
-			}
+// TableISpecs returns the declarative Table I scenario grid: the clean
+// T0 print plus one scenario per registered Table I trojan, every seed a
+// zero delta from the base (the paper pairs all ten prints on one seed).
+func TableISpecs() []ScenarioSpec {
+	specs := []ScenarioSpec{{Name: "T0"}}
+	for _, id := range trojan.SuiteIDs {
+		s := ScenarioSpec{Name: id, Trojan: &TrojanSpec{Name: id}}
+		if id == "T7" {
+			// Observe the post-kill physics: the clamp keeps heating
+			// after the firmware panics.
+			s.Settle = 60 * sim.Second
 		}
-		return nil
+		specs = append(specs, s)
 	}
+	return specs
 }
 
 // TableI reproduces the paper's Table I: print the test part once clean
 // (T0, FPGA in bypass) and once under each trojan — all fanned across the
 // campaign worker pool — and verify each trojan's physical effect on the
-// part or machine.
+// part or machine. The scenario grid comes from TableISpecs through the
+// spec compiler.
 func TableI(seed uint64, opts ...ExperimentOption) (*TableIReport, error) {
-	prog, err := TestPart()
+	suite := trojan.Suite(seed)
+	scens, err := CompileSpecs(SpecContext{BaseSeed: seed}, TableISpecs())
 	if err != nil {
 		return nil, err
-	}
-
-	suite := trojan.Suite(seed)
-	scens := []Scenario{{Name: "T0", Program: prog, Seed: seed}}
-	for _, tr := range suite {
-		s := Scenario{Name: tr.ID(), Program: prog, Seed: seed, Trojan: tableITrojan(tr.ID())}
-		if tr.ID() == "T7" {
-			// Observe the post-kill physics: the clamp keeps heating
-			// after the firmware panics.
-			s.Options = []Option{WithSettle(60 * sim.Second)}
-		}
-		scens = append(scens, s)
 	}
 	results, err := newCampaign(opts).Run(context.Background(), scens)
 	if err != nil {
@@ -258,65 +251,61 @@ func captureRun(prog gcode.Program, seed uint64) (*capture.Recording, error) {
 	return res.Recording, nil
 }
 
+// TableIISuite returns the paper's Table II as a declarative suite: the
+// golden print, the eight Flaw3D-tampered prints on offset seeds
+// (modelling physically separate runs of the same job), a clean control
+// on its own seed, and one golden comparison per suspect.
+func TableIISuite(seed uint64) *SuiteSpec {
+	s := &SuiteSpec{
+		Name:      "table2",
+		BaseSeed:  seed,
+		Scenarios: []ScenarioSpec{{Name: "golden"}},
+	}
+	for i, tc := range flaw3d.TableII() {
+		name := fmt.Sprintf("flaw3d-%d", tc.Num)
+		s.Scenarios = append(s.Scenarios, ScenarioSpec{
+			Name:      name,
+			Program:   ProgramSpec{Flaw3D: tc.Num},
+			SeedDelta: uint64(i) + 100,
+		})
+		s.Compare = append(s.Compare, CompareSpec{Golden: "golden", Suspect: name})
+	}
+	s.Scenarios = append(s.Scenarios, ScenarioSpec{Name: "clean-control", SeedDelta: 999})
+	// Clean control: same G-code, different seed — must pass.
+	s.Compare = append(s.Compare, CompareSpec{Golden: "golden", Suspect: "clean-control"})
+	return s
+}
+
 // TableII reproduces the paper's Table II: emulate the eight Flaw3D
 // trojans by tampering the G-code (as the paper's Python script does),
 // print each on the OFFRAMPS testbed in parallel, capture the pulse
-// profiles, and replay each through the golden detector. The golden and
-// suspect prints use different time-noise seeds, modelling physically
-// separate runs of the same job.
+// profiles, and replay each through the golden detector. The whole
+// experiment — prints and comparisons — executes the declarative
+// TableIISuite.
 func TableII(seed uint64, opts ...ExperimentOption) (*TableIIReport, error) {
-	prog, err := TestPart()
+	rep, err := newCampaign(opts).RunSuite(context.Background(), TableIISuite(seed))
 	if err != nil {
 		return nil, err
 	}
-	cases := flaw3d.TableII()
-	scens := []Scenario{{Name: "golden", Program: prog, Seed: seed}}
-	for i, tc := range cases {
-		tampered, err := tc.Apply(prog)
-		if err != nil {
-			return nil, fmt.Errorf("offramps: %s: %w", tc, err)
-		}
-		scens = append(scens, Scenario{
-			Name:    fmt.Sprintf("flaw3d-%d", tc.Num),
-			Program: tampered,
-			Seed:    seed + uint64(i) + 100,
-		})
-	}
-	scens = append(scens, Scenario{Name: "clean-control", Program: prog, Seed: seed + 999})
-
-	results, err := newCampaign(opts).Run(context.Background(), scens)
-	if err != nil {
+	if err := firstScenarioErr(rep.Results); err != nil {
 		return nil, err
-	}
-	golden, err := scenarioCapture(results[0])
-	if err != nil {
-		return nil, fmt.Errorf("offramps: golden capture: %w", err)
 	}
 
 	report := &TableIIReport{}
-	for i, tc := range cases {
-		suspect, err := scenarioCapture(results[i+1])
-		if err != nil {
-			return nil, fmt.Errorf("offramps: %s print: %w", tc, err)
+	cases := flaw3d.TableII()
+	for i, cmp := range rep.Comparisons {
+		if cmp.Err != nil {
+			return nil, fmt.Errorf("offramps: compare %s vs %s: %w", cmp.Golden, cmp.Suspect, cmp.Err)
 		}
-		rep, err := detect.Compare(golden, suspect, detect.DefaultConfig())
-		if err != nil {
-			return nil, fmt.Errorf("offramps: %s detect: %w", tc, err)
+		if i < len(cases) {
+			report.Rows = append(report.Rows, TableIIRow{
+				Case: cases[i], Report: *cmp.Report, Detected: cmp.Report.TrojanLikely,
+			})
+		} else {
+			report.CleanControl = *cmp.Report
+			report.CleanFalsePositive = cmp.Report.TrojanLikely
 		}
-		report.Rows = append(report.Rows, TableIIRow{Case: tc, Report: rep, Detected: rep.TrojanLikely})
 	}
-
-	// Clean control: same G-code, different seed — must pass.
-	clean, err := scenarioCapture(results[len(results)-1])
-	if err != nil {
-		return nil, fmt.Errorf("offramps: clean control: %w", err)
-	}
-	rep, err := detect.Compare(golden, clean, detect.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
-	report.CleanControl = rep
-	report.CleanFalsePositive = rep.TrojanLikely
 	return report, nil
 }
 
@@ -351,38 +340,42 @@ func (r *Figure4Report) Format() string {
 	return sb.String()
 }
 
+// Figure4Suite returns the paper's Figure 4 workload as a declarative
+// suite: a golden print, a Flaw3D relocation print (Table II test case 7,
+// the paper's "relocates material every 20 movements"), and their golden
+// comparison.
+func Figure4Suite(seed uint64) *SuiteSpec {
+	return &SuiteSpec{
+		Name:     "figure4",
+		BaseSeed: seed,
+		Scenarios: []ScenarioSpec{
+			{Name: "golden"},
+			{Name: "relocation", Program: ProgramSpec{Flaw3D: 7}, SeedDelta: 107},
+		},
+		Compare: []CompareSpec{{Golden: "golden", Suspect: "relocation"}},
+	}
+}
+
 // Figure4 reproduces the paper's Figure 4 using the same trojan the paper
-// shows: a Flaw3D relocation trojan. (The caption says "relocates material
-// every 20 movements", i.e. Table II test case 7.)
+// shows, by executing the declarative Figure4Suite.
 func Figure4(seed uint64, opts ...ExperimentOption) (*Figure4Report, error) {
-	prog, err := TestPart()
+	srep, err := newCampaign(opts).RunSuite(context.Background(), Figure4Suite(seed))
 	if err != nil {
 		return nil, err
 	}
-	tc := flaw3d.TableII()[6] // case 7: relocation every 20 moves
-	tampered, err := tc.Apply(prog)
+	golden, err := scenarioCapture(srep.Results[0])
 	if err != nil {
 		return nil, err
 	}
-	results, err := newCampaign(opts).Run(context.Background(), []Scenario{
-		{Name: "golden", Program: prog, Seed: seed},
-		{Name: "relocation", Program: tampered, Seed: seed + 107},
-	})
+	suspect, err := scenarioCapture(srep.Results[1])
 	if err != nil {
 		return nil, err
 	}
-	golden, err := scenarioCapture(results[0])
-	if err != nil {
-		return nil, err
+	cmp := srep.Comparisons[0]
+	if cmp.Err != nil {
+		return nil, cmp.Err
 	}
-	suspect, err := scenarioCapture(results[1])
-	if err != nil {
-		return nil, err
-	}
-	rep, err := detect.Compare(golden, suspect, detect.DefaultConfig())
-	if err != nil {
-		return nil, err
-	}
+	rep := *cmp.Report
 
 	out := &Figure4Report{Report: rep}
 	// Excerpt 6 transactions around the first mismatch, like the paper.
@@ -441,13 +434,26 @@ func (r *OverheadReport) Format() string {
 	return sb.String()
 }
 
+// OverheadSpecs returns the §V-B scenario pair: the same part printed
+// with the MITM inline and with jumpers in direct mode. The latency
+// probes the experiment adds to the MITM print are instrumentation, not
+// topology, so they attach as a Prepare hook after compilation — the one
+// part of this experiment a spec cannot carry.
+func OverheadSpecs() []ScenarioSpec {
+	direct := false
+	return []ScenarioSpec{
+		{Name: "mitm"},
+		{Name: "direct", MITM: &direct},
+	}
+}
+
 // Overhead reproduces §V-B: measure the MITM's propagation delay and the
 // control-signal envelope during a real print, and show the detection
 // hardware has no effect on print quality by printing the same part with
 // and without the MITM inline — the two rigs run as parallel campaign
-// scenarios.
+// scenarios compiled from OverheadSpecs.
 func Overhead(seed uint64, opts ...ExperimentOption) (*OverheadReport, error) {
-	prog, err := TestPart()
+	scens, err := CompileSpecs(SpecContext{BaseSeed: seed}, OverheadSpecs())
 	if err != nil {
 		return nil, err
 	}
@@ -481,10 +487,8 @@ func Overhead(seed uint64, opts ...ExperimentOption) (*OverheadReport, error) {
 		return nil
 	}
 
-	results, err := newCampaign(opts).Run(context.Background(), []Scenario{
-		{Name: "mitm", Program: prog, Seed: seed, Prepare: instrument},
-		{Name: "direct", Program: prog, Seed: seed, Options: []Option{WithoutMITM()}},
-	})
+	scens[0].Prepare = instrument
+	results, err := newCampaign(opts).Run(context.Background(), scens)
 	if err != nil {
 		return nil, err
 	}
@@ -541,52 +545,165 @@ func (r *DriftReport) Format() string {
 	return sb.String()
 }
 
+// ---------------------------------------------------------------------------
+// TapSides — the §V-D co-location limitation as a scenario axis
+
+// TapSideReport demonstrates the paper's §V-D discussion ("both the
+// attacks and defense would be co-located in the same FPGA") as a
+// measurable topology experiment: the same board-injected trojan print,
+// captured simultaneously at both tap points, detected only where the tap
+// can see it.
+//
+// The trojan under test is T2 (extruder pulse masking) deliberately: the
+// extruder is the one axis with no endstop, so nothing couples the
+// plant's tampered physical state back into the firmware's commanded
+// steps and the Arduino-side capture stays bit-identical to the golden
+// for every seed. X/Y injection trojans (T1/T4) leak into the Arduino
+// capture through the end-of-print G28 X park — a closed-loop homing
+// whose commanded step count depends on the physically shifted carriage
+// — which is physical attestation, not capture-side detection.
+type TapSideReport struct {
+	// TrojanID is the board-injected trojan under test.
+	TrojanID string
+	// ArduinoReport compares the golden capture against the trojaned
+	// print's Arduino-side (input-tap) capture — the paper's rig.
+	ArduinoReport detect.Report
+	// RAMPSReport compares the golden capture against the trojaned
+	// print's RAMPS-side (output-tap) capture.
+	RAMPSReport detect.Report
+	// ArduinoDetected / RAMPSDetected are the two verdicts; the paper's
+	// limitation is precisely ArduinoDetected == false.
+	ArduinoDetected bool
+	RAMPSDetected   bool
+	// Diff measures the physical damage the Arduino-side tap failed to
+	// see (trojaned part vs golden part); under T2 the signature is the
+	// halved filament ratio.
+	Diff printer.Diff
+}
+
+// Format renders the tap-side comparison.
+func (r *TapSideReport) Format() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Tap-side topology (§V-D): board-injected %s under golden detection\n", r.TrojanID)
+	verdict := func(detected bool) string {
+		if detected {
+			return "TROJAN LIKELY"
+		}
+		return "no trojan suspected"
+	}
+	fmt.Fprintf(&sb, "arduino-side tap (paper rig): %s (%d mismatches, %d final) — blind to its own board\n",
+		verdict(r.ArduinoDetected), r.ArduinoReport.NumMismatches, len(r.ArduinoReport.Final))
+	fmt.Fprintf(&sb, "ramps-side tap:               %s (%d mismatches, %d final, largest %.2f%%)\n",
+		verdict(r.RAMPSDetected), r.RAMPSReport.NumMismatches, len(r.RAMPSReport.Final), r.RAMPSReport.LargestPercent)
+	fmt.Fprintf(&sb, "physical damage missed by the arduino tap: filament ratio %.2f vs golden\n",
+		r.Diff.FilamentRatio)
+	return sb.String()
+}
+
+// TapSidesSuite returns the tap-placement experiment as a declarative
+// suite: a golden print, the same print with trojan T2 masking extruder
+// pulses on the board itself and both buses tapped, and one golden
+// comparison per tap side of the trojaned capture.
+func TapSidesSuite(seed uint64) *SuiteSpec {
+	return &SuiteSpec{
+		Name:     "tapsides",
+		BaseSeed: seed,
+		Scenarios: []ScenarioSpec{
+			{Name: "golden"},
+			{Name: "trojaned", Trojan: &TrojanSpec{Name: "T2"}, Tap: "dual"},
+		},
+		Compare: []CompareSpec{
+			{Golden: "golden", Suspect: "trojaned", SuspectTap: "arduino"},
+			{Golden: "golden", Suspect: "trojaned", SuspectTap: "ramps"},
+		},
+	}
+}
+
+// TapSides runs the declarative TapSidesSuite: the golden detector misses
+// a board-injected trojan when the capture taps the FPGA's input (the
+// co-location blind spot the paper reproduces faithfully), and catches
+// the very same print when the capture taps the FPGA's output.
+func TapSides(seed uint64, opts ...ExperimentOption) (*TapSideReport, error) {
+	srep, err := newCampaign(opts).RunSuite(context.Background(), TapSidesSuite(seed))
+	if err != nil {
+		return nil, err
+	}
+	if err := firstScenarioErr(srep.Results); err != nil {
+		return nil, err
+	}
+	for _, cmp := range srep.Comparisons {
+		if cmp.Err != nil {
+			return nil, fmt.Errorf("offramps: compare %s vs %s: %w", cmp.Golden, cmp.Suspect, cmp.Err)
+		}
+	}
+	golden, trojaned := srep.Results[0].Result, srep.Results[1].Result
+	report := &TapSideReport{
+		TrojanID:        "T2",
+		ArduinoReport:   *srep.Comparisons[0].Report,
+		RAMPSReport:     *srep.Comparisons[1].Report,
+		ArduinoDetected: srep.Comparisons[0].Report.TrojanLikely,
+		RAMPSDetected:   srep.Comparisons[1].Report.TrojanLikely,
+		Diff:            trojaned.Part.Compare(golden.Part, 1.0),
+	}
+	return report, nil
+}
+
+// DriftSuite returns the §V-C workload as a declarative suite: `runs`
+// known-good prints of the same job on stepped seeds, compared pairwise.
+func DriftSuite(seed uint64, runs int) *SuiteSpec {
+	s := &SuiteSpec{Name: "drift", BaseSeed: seed}
+	for i := 0; i < runs; i++ {
+		s.Scenarios = append(s.Scenarios, ScenarioSpec{
+			Name:      fmt.Sprintf("drift-%d", i),
+			SeedDelta: uint64(i) * 31,
+		})
+	}
+	for i := 0; i < runs; i++ {
+		for j := i + 1; j < runs; j++ {
+			s.Compare = append(s.Compare, CompareSpec{
+				Golden:  fmt.Sprintf("drift-%d", i),
+				Suspect: fmt.Sprintf("drift-%d", j),
+			})
+		}
+	}
+	return s
+}
+
 // Drift runs the same job `runs` times with different time-noise seeds —
 // one campaign scenario per print — and measures the worst per-window
 // divergence, the quantity the paper bounds at 5 % ("This drift was,
-// however, always less than a 5 % difference in our testing").
+// however, always less than a 5 % difference in our testing"). Prints and
+// pairwise comparisons both execute the declarative DriftSuite.
 func Drift(seed uint64, runs int, opts ...ExperimentOption) (*DriftReport, error) {
 	if runs < 2 {
 		return nil, fmt.Errorf("offramps: drift needs at least 2 runs, got %d", runs)
 	}
-	prog, err := TestPart()
+	srep, err := newCampaign(opts).RunSuite(context.Background(), DriftSuite(seed, runs))
 	if err != nil {
 		return nil, err
 	}
-	scens := make([]Scenario, runs)
-	for i := range scens {
-		scens[i] = Scenario{Name: fmt.Sprintf("drift-%d", i), Program: prog, Seed: seed + uint64(i)*31}
-	}
-	results, err := newCampaign(opts).Run(context.Background(), scens)
-	if err != nil {
-		return nil, err
-	}
-	recs := make([]*capture.Recording, runs)
-	for i, r := range results {
-		recs[i], err = scenarioCapture(r)
-		if err != nil {
+	for i, r := range srep.Results {
+		if _, err := scenarioCapture(r); err != nil {
 			return nil, fmt.Errorf("offramps: drift run %d: %w", i, err)
 		}
 	}
 	report := &DriftReport{Runs: runs, FinalCountsEqual: true}
-	for i := 0; i < runs; i++ {
-		for j := i + 1; j < runs; j++ {
-			rep, err := detect.Compare(recs[i], recs[j], detect.DefaultConfig())
-			if err != nil {
-				return nil, err
-			}
-			if rep.LargestSubstantial > report.MaxDriftPercent {
-				report.MaxDriftPercent = rep.LargestSubstantial
-			}
-			if rep.LargestPercent > report.MaxDriftRaw {
-				report.MaxDriftRaw = rep.LargestPercent
-			}
-			if len(rep.Final) > 0 {
-				report.FinalCountsEqual = false
-			}
-			if rep.TrojanLikely {
-				report.FalsePositives++
-			}
+	for _, cmp := range srep.Comparisons {
+		if cmp.Err != nil {
+			return nil, cmp.Err
+		}
+		rep := cmp.Report
+		if rep.LargestSubstantial > report.MaxDriftPercent {
+			report.MaxDriftPercent = rep.LargestSubstantial
+		}
+		if rep.LargestPercent > report.MaxDriftRaw {
+			report.MaxDriftRaw = rep.LargestPercent
+		}
+		if len(rep.Final) > 0 {
+			report.FinalCountsEqual = false
+		}
+		if rep.TrojanLikely {
+			report.FalsePositives++
 		}
 	}
 	return report, nil

@@ -201,6 +201,44 @@ func TestDriftValidation(t *testing.T) {
 	}
 }
 
+// TestTapSidesReproduces is the §V-D co-location claim, both directions:
+// the paper's Arduino-side tap is provably blind to a trojan its own
+// board runs, and moving the tap to the RAMPS side catches the very same
+// print — so the limitation is topology, not detection. Two seeds guard
+// against the result holding by coincidence (the extruder has no endstop,
+// so no seed can couple the tampered physics back into the Arduino
+// capture; see TapSideReport).
+func TestTapSidesReproduces(t *testing.T) {
+	for _, seed := range []uint64{1, 42} {
+		rep, err := TapSides(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.ArduinoDetected {
+			t.Errorf("seed %d: arduino-side tap detected the board's own trojan — §V-D says it cannot", seed)
+		}
+		if rep.ArduinoReport.NumMismatches != 0 || len(rep.ArduinoReport.Final) != 0 {
+			t.Errorf("seed %d: arduino-side capture diverged from golden: %d mismatches, %d final",
+				seed, rep.ArduinoReport.NumMismatches, len(rep.ArduinoReport.Final))
+		}
+		if !rep.RAMPSDetected {
+			t.Errorf("seed %d: ramps-side tap missed the board-injected trojan", seed)
+		}
+		// The undetected (arduino-side) print still carries real physical
+		// damage — that is what makes the blind spot matter. T2's
+		// signature is the halved flow.
+		if rep.Diff.FilamentRatio < 0.40 || rep.Diff.FilamentRatio > 0.60 {
+			t.Errorf("seed %d: trojaned filament ratio = %v, want ≈0.5", seed, rep.Diff.FilamentRatio)
+		}
+		out := rep.Format()
+		for _, want := range []string{"arduino-side tap", "ramps-side tap", "TROJAN LIKELY"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("Format() missing %q", want)
+			}
+		}
+	}
+}
+
 func TestCaptureCSVRoundTripThroughRun(t *testing.T) {
 	tb, err := NewTestbed(WithSeed(5))
 	if err != nil {

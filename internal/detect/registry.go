@@ -1,0 +1,126 @@
+package detect
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"offramps/internal/capture"
+	"offramps/internal/registry"
+)
+
+// BuildEnv carries the run-scoped references a detector factory may need
+// but a spec file cannot embed. Today that is only the golden capture:
+// golden-based detectors compare against a reference print resolved at
+// suite-execution time (e.g. from another scenario's recording), not at
+// spec-authoring time.
+type BuildEnv struct {
+	// Golden is the reference capture for golden-based detectors; nil for
+	// reference-free strategies.
+	Golden *capture.Recording
+}
+
+// Factory builds a fresh detector from serialized parameters. params is
+// the spec file's raw JSON (nil or empty means defaults).
+type Factory func(params json.RawMessage, env BuildEnv) (Detector, error)
+
+var table = registry.Table[Factory]{Kind: "detector"}
+
+// Register adds a named detector factory to the registry. Scenario specs
+// reference detectors by these names. Registering a nil factory, an
+// empty name, or a duplicate name panics: the registry is assembled at
+// init time and a collision is a programming error.
+func Register(name string, f Factory) {
+	if f == nil {
+		panic("detect: Register with nil factory")
+	}
+	table.Register(name, f)
+}
+
+// Build constructs a fresh detector by registry name.
+func Build(name string, params json.RawMessage, env BuildEnv) (Detector, error) {
+	f, err := table.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("detect: %w", err)
+	}
+	d, err := f(params, env)
+	if err != nil {
+		return nil, fmt.Errorf("detect: building %q: %w", name, err)
+	}
+	if d == nil {
+		return nil, fmt.Errorf("detect: factory %q returned nil", name)
+	}
+	return d, nil
+}
+
+// Registered reports whether a detector name is known.
+func Registered(name string) bool { return table.Has(name) }
+
+// RegisteredNames lists the registered detector names, sorted.
+func RegisteredNames() []string { return table.Names() }
+
+// memberSpec is one ensemble member in a spec file.
+type memberSpec struct {
+	Name   string          `json:"name"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// ensembleParams is the ensemble's spec-file parameter shape.
+type ensembleParams struct {
+	Vote    string       `json:"vote,omitempty"` // "any" (default) or "all"
+	Members []memberSpec `json:"members"`
+}
+
+// The built-in strategies register under the same names their reports
+// carry, so a spec file reads like the tool output it produces.
+func init() {
+	goldenFactory := func(live bool) Factory {
+		return func(p json.RawMessage, env BuildEnv) (Detector, error) {
+			cfg := DefaultConfig()
+			if err := registry.UnmarshalParams(p, &cfg); err != nil {
+				return nil, err
+			}
+			if env.Golden == nil {
+				return nil, fmt.Errorf("golden-based detector needs a golden capture (set the spec's \"golden\" reference)")
+			}
+			return newGolden(env.Golden, cfg, live)
+		}
+	}
+	Register("golden-comparator", goldenFactory(false))
+	Register("golden-monitor", goldenFactory(true))
+
+	Register(goldenFreeName, func(p json.RawMessage, _ BuildEnv) (Detector, error) {
+		limits := DefaultLimits()
+		if err := registry.UnmarshalParams(p, &limits); err != nil {
+			return nil, err
+		}
+		return NewRuleEngine(limits)
+	})
+
+	Register("ensemble", func(p json.RawMessage, env BuildEnv) (Detector, error) {
+		var params ensembleParams
+		if err := registry.UnmarshalParams(p, &params); err != nil {
+			return nil, err
+		}
+		var vote Vote
+		switch params.Vote {
+		case "", "any":
+			vote = VoteAny
+		case "all":
+			vote = VoteAll
+		default:
+			return nil, fmt.Errorf("unknown ensemble vote %q (want any or all)", params.Vote)
+		}
+		if len(params.Members) == 0 {
+			return nil, fmt.Errorf("ensemble needs at least one member")
+		}
+		members := make([]Detector, 0, len(params.Members))
+		for _, m := range params.Members {
+			d, err := Build(m.Name, m.Params, env)
+			if err != nil {
+				return nil, err
+			}
+			members = append(members, d)
+		}
+		return NewEnsemble(vote, members...)
+	})
+}

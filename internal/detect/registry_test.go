@@ -1,0 +1,88 @@
+package detect
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"offramps/internal/capture"
+)
+
+func registryGolden() *capture.Recording {
+	rec := &capture.Recording{}
+	for i := 0; i < 5; i++ {
+		_ = rec.Append(capture.Transaction{
+			Index: uint32(i), X: int32(1000 * (i + 1)), Y: int32(500 * (i + 1)),
+		})
+	}
+	return rec
+}
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"ensemble", "golden-comparator", "golden-free", "golden-monitor"}
+	if got := RegisteredNames(); !reflect.DeepEqual(got, want) {
+		t.Errorf("RegisteredNames() = %v, want %v", got, want)
+	}
+}
+
+func TestBuildGoldenDetectors(t *testing.T) {
+	env := BuildEnv{Golden: registryGolden()}
+	for _, name := range []string{"golden-comparator", "golden-monitor"} {
+		d, err := Build(name, nil, env)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", name, err)
+		}
+		if d.Name() != name {
+			t.Errorf("built detector names itself %q, want %q", d.Name(), name)
+		}
+		// Without a golden reference the build must fail, not defer the
+		// error to stream time.
+		if _, err := Build(name, nil, BuildEnv{}); err == nil {
+			t.Errorf("%s built without a golden capture", name)
+		}
+	}
+	// Params overlay the default config.
+	d, err := Build("golden-comparator", json.RawMessage(`{"margin": 0.10}`), env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := d.(*Golden); g.cfg.Margin != 0.10 || g.cfg.MinAbsolute != DefaultConfig().MinAbsolute {
+		t.Errorf("config overlay wrong: %+v", d.(*Golden).cfg)
+	}
+}
+
+func TestBuildGoldenFreeAndEnsemble(t *testing.T) {
+	d, err := Build("golden-free", json.RawMessage(`{"maxRetractSteps": 999}`), BuildEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := d.(*RuleEngine); e.limits.MaxRetractSteps != 999 {
+		t.Errorf("limits overlay wrong: %+v", e.limits)
+	}
+
+	raw := json.RawMessage(`{
+		"vote": "all",
+		"members": [
+			{"name": "golden-monitor"},
+			{"name": "golden-free", "params": {"maxStationaryExtrude": 50}}
+		]
+	}`)
+	d, err = Build("ensemble", raw, BuildEnv{Golden: registryGolden()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ens := d.(*Ensemble)
+	if ens.Name() != "ensemble(all)" || len(ens.members) != 2 {
+		t.Errorf("ensemble = %s with %d members", ens.Name(), len(ens.members))
+	}
+
+	for _, bad := range []string{
+		`{"vote": "most", "members": [{"name": "golden-free"}]}`,
+		`{"members": []}`,
+		`{"members": [{"name": "nope"}]}`,
+	} {
+		if _, err := Build("ensemble", json.RawMessage(bad), BuildEnv{}); err == nil {
+			t.Errorf("bad ensemble spec accepted: %s", bad)
+		}
+	}
+}

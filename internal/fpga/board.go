@@ -16,6 +16,63 @@ import (
 	"offramps/internal/sim"
 )
 
+// TapSide selects which bus(es) the board's monitoring tap — axis
+// tracking plus the capture exporter — observes. The paper's rig taps the
+// Arduino side (the FPGA's input), which is precisely why its own trojans
+// are invisible to its own capture (§V-D: "both the attacks and defense
+// would be co-located in the same FPGA"). Making the tap point
+// configuration rather than architecture turns that limitation into a
+// testable scenario axis.
+type TapSide int
+
+const (
+	// TapArduino taps the FPGA's input: the capture records what the
+	// firmware commanded. Board-injected trojans act downstream of this
+	// tap and do not appear — the paper's §V-D co-location blind spot.
+	TapArduino TapSide = iota
+	// TapRAMPS taps the FPGA's output: the capture records what the
+	// printer actually received, so board-injected trojans DO appear.
+	TapRAMPS
+	// TapDual taps both buses and exports two captures; diffing them
+	// isolates exactly what the board itself modified.
+	TapDual
+)
+
+// String names the tap side for configs and reports.
+func (s TapSide) String() string {
+	switch s {
+	case TapArduino:
+		return "arduino"
+	case TapRAMPS:
+		return "ramps"
+	case TapDual:
+		return "dual"
+	default:
+		return fmt.Sprintf("TapSide(%d)", int(s))
+	}
+}
+
+// ParseTapSide maps a spec-file string to a TapSide ("" = the default
+// Arduino-side tap).
+func ParseTapSide(s string) (TapSide, error) {
+	switch s {
+	case "", "arduino":
+		return TapArduino, nil
+	case "ramps":
+		return TapRAMPS, nil
+	case "dual", "both":
+		return TapDual, nil
+	default:
+		return 0, fmt.Errorf("fpga: unknown tap side %q (want arduino, ramps, or dual)", s)
+	}
+}
+
+// TapsArduino reports whether the side includes the Arduino-side tap.
+func (s TapSide) TapsArduino() bool { return s == TapArduino || s == TapDual }
+
+// TapsRAMPS reports whether the side includes the RAMPS-side tap.
+func (s TapSide) TapsRAMPS() bool { return s == TapRAMPS || s == TapDual }
+
 // Config holds the board's electrical and export parameters.
 type Config struct {
 	// PropagationDelay is the through-FPGA latency applied to every
@@ -25,6 +82,9 @@ type Config struct {
 	// ExportPeriod is the capture window; the paper's UART control unit
 	// exports every 0.1 s.
 	ExportPeriod sim.Time
+	// Tap places the monitoring tap: the paper's Arduino-side input tap
+	// (default), the RAMPS-side output tap, or both.
+	Tap TapSide
 }
 
 // DefaultConfig matches the paper's measured platform.
@@ -32,6 +92,7 @@ func DefaultConfig() Config {
 	return Config{
 		PropagationDelay: 13 * sim.Nanosecond,
 		ExportPeriod:     100 * sim.Millisecond,
+		Tap:              TapArduino,
 	}
 }
 
@@ -42,6 +103,9 @@ func (c Config) Validate() error {
 	}
 	if c.ExportPeriod <= 0 {
 		return fmt.Errorf("fpga: ExportPeriod must be positive")
+	}
+	if c.Tap != TapArduino && c.Tap != TapRAMPS && c.Tap != TapDual {
+		return fmt.Errorf("fpga: unknown tap side %v", c.Tap)
 	}
 	return nil
 }
@@ -71,12 +135,22 @@ type Board struct {
 
 	paths map[string]*PinPath
 
-	homing   *HomingDetector
-	tracker  *AxisTracker
-	exporter *Exporter
+	homing *HomingDetector
+	// taps holds one monitoring tap (tracker + exporter) per tapped bus;
+	// primary is the side Recording()/Tracker() report, in tap preference
+	// order (Arduino when tapped — the paper's rig — else RAMPS).
+	taps    map[TapSide]*tap
+	primary TapSide
 
 	trojans map[string]Trojan
 	order   []string
+}
+
+// tap is one monitoring attachment point: the axis tracker counting a
+// bus's STEP/DIR activity and the exporter emitting its capture.
+type tap struct {
+	tracker  *AxisTracker
+	exporter *Exporter
 }
 
 // NewBoard wires the MITM between the two buses and starts the monitoring
@@ -91,6 +165,7 @@ func NewBoard(engine *sim.Engine, arduino, ramps *signal.Bus, cfg Config) (*Boar
 		arduino: arduino,
 		ramps:   ramps,
 		paths:   make(map[string]*PinPath, len(signal.ControlPins)),
+		taps:    make(map[TapSide]*tap, 2),
 		trojans: make(map[string]Trojan),
 	}
 
@@ -109,10 +184,27 @@ func NewBoard(engine *sim.Engine, arduino, ramps *signal.Bus, cfg Config) (*Boar
 	ramps.ThermBed.Connect(arduino.ThermBed)
 
 	b.homing = NewHomingDetector(ramps)
-	b.tracker = NewAxisTracker(arduino)
-	b.homing.OnHomed(func(at sim.Time) { b.tracker.Reset(at) })
-	b.exporter = newExporter(b)
+	// Attach one monitoring tap per configured side. The Arduino tap is
+	// wired first so callback registration order (tracker reset, then
+	// exporter synchronization) matches the single-tap board exactly.
+	if cfg.Tap.TapsArduino() {
+		b.attachTap(TapArduino, arduino)
+	}
+	if cfg.Tap.TapsRAMPS() {
+		b.attachTap(TapRAMPS, ramps)
+	}
+	b.primary = TapArduino
+	if !cfg.Tap.TapsArduino() {
+		b.primary = TapRAMPS
+	}
 	return b, nil
+}
+
+// attachTap wires an axis tracker and capture exporter onto one bus.
+func (b *Board) attachTap(side TapSide, bus *signal.Bus) {
+	tracker := NewAxisTracker(bus)
+	b.homing.OnHomed(func(at sim.Time) { tracker.Reset(at) })
+	b.taps[side] = &tap{tracker: tracker, exporter: newExporter(b, tracker)}
 }
 
 // Engine returns the simulation engine.
@@ -134,14 +226,41 @@ func (b *Board) Path(pin string) *PinPath {
 // Homing exposes the homing detection module.
 func (b *Board) Homing() *HomingDetector { return b.homing }
 
-// Tracker exposes the axis tracking module.
-func (b *Board) Tracker() *AxisTracker { return b.tracker }
+// PrimaryTap reports the side Recording() and Tracker() serve: the
+// Arduino side whenever it is tapped (the paper's rig), else RAMPS.
+func (b *Board) PrimaryTap() TapSide { return b.primary }
 
-// Recording returns the capture accumulated so far.
-func (b *Board) Recording() *capture.Recording { return b.exporter.recording }
+// Tracker exposes the primary tap's axis tracking module.
+func (b *Board) Tracker() *AxisTracker { return b.taps[b.primary].tracker }
 
-// StopCapture halts the export ticker; the recording keeps its contents.
-func (b *Board) StopCapture() { b.exporter.Stop() }
+// TrackerAt exposes the axis tracker on one side, or nil when that side
+// is not tapped. side must be TapArduino or TapRAMPS.
+func (b *Board) TrackerAt(side TapSide) *AxisTracker {
+	if t, ok := b.taps[side]; ok {
+		return t.tracker
+	}
+	return nil
+}
+
+// Recording returns the primary tap's capture accumulated so far.
+func (b *Board) Recording() *capture.Recording { return b.taps[b.primary].exporter.recording }
+
+// RecordingAt returns one side's capture, or nil when that side is not
+// tapped. side must be TapArduino or TapRAMPS.
+func (b *Board) RecordingAt(side TapSide) *capture.Recording {
+	if t, ok := b.taps[side]; ok {
+		return t.exporter.recording
+	}
+	return nil
+}
+
+// StopCapture halts every export ticker; the recordings keep their
+// contents.
+func (b *Board) StopCapture() {
+	for _, t := range b.taps {
+		t.exporter.Stop()
+	}
+}
 
 // OnHomed registers fn to run when the homing detector fires.
 func (b *Board) OnHomed(fn func(at sim.Time)) { b.homing.OnHomed(fn) }

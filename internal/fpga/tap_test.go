@@ -1,0 +1,128 @@
+package fpga
+
+import (
+	"testing"
+
+	"offramps/internal/signal"
+	"offramps/internal/sim"
+)
+
+func TestParseTapSide(t *testing.T) {
+	cases := []struct {
+		in   string
+		want TapSide
+		err  bool
+	}{
+		{"", TapArduino, false},
+		{"arduino", TapArduino, false},
+		{"ramps", TapRAMPS, false},
+		{"dual", TapDual, false},
+		{"both", TapDual, false},
+		{"sideways", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseTapSide(c.in)
+		if (err != nil) != c.err {
+			t.Errorf("ParseTapSide(%q) err = %v", c.in, err)
+			continue
+		}
+		if !c.err && got != c.want {
+			t.Errorf("ParseTapSide(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+	if TapArduino.String() != "arduino" || TapRAMPS.String() != "ramps" || TapDual.String() != "dual" {
+		t.Error("TapSide.String vocabulary changed")
+	}
+}
+
+func TestConfigValidatesTapSide(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Tap = TapSide(42)
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid tap side accepted")
+	}
+}
+
+// tapRig builds a homed board with the given tap configuration so the
+// trackers are reset and counting.
+func tapRig(t *testing.T, tap TapSide) (*sim.Engine, *signal.Bus, *Board) {
+	t.Helper()
+	e := sim.NewEngine()
+	arduino := signal.NewBus(e)
+	ramps := signal.NewBus(e)
+	cfg := DefaultConfig()
+	cfg.Tap = tap
+	b, err := NewBoard(e, arduino, ramps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := pressSequence(e, ramps.MinEndstop(signal.AxisX), 10*sim.Millisecond)
+	at = pressSequence(e, ramps.MinEndstop(signal.AxisY), at)
+	pressSequence(e, ramps.MinEndstop(signal.AxisZ), at)
+	if err := e.RunUntilIdle(); err != nil {
+		t.Fatal(err)
+	}
+	if !b.Homing().Homed() {
+		t.Fatal("rig did not home")
+	}
+	return e, arduino, b
+}
+
+func TestRAMPSTapIsPrimaryWhenArduinoUntapped(t *testing.T) {
+	_, _, b := tapRig(t, TapRAMPS)
+	if b.PrimaryTap() != TapRAMPS {
+		t.Errorf("primary tap = %v, want ramps", b.PrimaryTap())
+	}
+	if b.TrackerAt(TapArduino) != nil || b.RecordingAt(TapArduino) != nil {
+		t.Error("untapped Arduino side exposes a tracker/recording")
+	}
+	if b.TrackerAt(TapRAMPS) == nil || b.Recording() == nil {
+		t.Error("RAMPS tap missing")
+	}
+	if b.Recording() != b.RecordingAt(TapRAMPS) {
+		t.Error("primary recording is not the RAMPS capture")
+	}
+}
+
+// TestDualTapSeparatesCommandedFromReceived is the §V-D co-location axis
+// in miniature: steps the firmware commands are counted by both taps,
+// while steps the board itself injects appear only on the RAMPS side.
+func TestDualTapSeparatesCommandedFromReceived(t *testing.T) {
+	e, arduino, b := tapRig(t, TapDual)
+	if b.PrimaryTap() != TapArduino {
+		t.Fatalf("primary tap = %v, want arduino", b.PrimaryTap())
+	}
+
+	// Firmware commands 3 positive X steps.
+	step := arduino.Step(signal.AxisX)
+	at := e.Now() + sim.Millisecond
+	for i := 0; i < 3; i++ {
+		func(at sim.Time) {
+			e.Schedule(at, func() { step.Set(signal.High) })
+			e.Schedule(at+2*sim.Microsecond, func() { step.Set(signal.Low) })
+		}(at)
+		at += 100 * sim.Microsecond
+	}
+	// The board injects 2 more, downstream of the Arduino-side tap.
+	e.Schedule(at, func() {
+		b.Path(signal.PinXStep).InjectPulse(2 * sim.Microsecond)
+	})
+	e.Schedule(at+100*sim.Microsecond, func() {
+		b.Path(signal.PinXStep).InjectPulse(2 * sim.Microsecond)
+	})
+	// Bounded run: the first STEP edge starts the export tickers, which
+	// reschedule forever, so the engine never goes idle from here on.
+	if err := e.Run(at + sim.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := b.TrackerAt(TapArduino).Count(signal.AxisX); got != 3 {
+		t.Errorf("Arduino-side count = %d, want 3 (commanded only)", got)
+	}
+	if got := b.TrackerAt(TapRAMPS).Count(signal.AxisX); got != 5 {
+		t.Errorf("RAMPS-side count = %d, want 5 (commanded + injected)", got)
+	}
+	if b.Tracker() != b.TrackerAt(TapArduino) {
+		t.Error("primary tracker is not the Arduino-side tracker under dual tap")
+	}
+}

@@ -12,12 +12,14 @@ import (
 // counters are absolute positions within the build volume (and cumulative
 // filament for E).
 //
-// The tracker taps the Arduino-side lines — the FPGA's *input* — so a
-// capture records what the firmware actually commanded. Trojans injected
-// downstream (by this same board) do not appear in its own capture, which
-// is why the paper evaluates detection against upstream (Flaw3D) trojans
-// rather than its own (§V-D "both the attacks and defense would be
-// co-located in the same FPGA").
+// Which bus a tracker counts is the board's tap placement (Config.Tap).
+// The paper's rig taps the Arduino-side lines — the FPGA's *input* — so
+// its capture records what the firmware actually commanded; trojans
+// injected downstream (by this same board) do not appear in that capture,
+// which is why the paper evaluates detection against upstream (Flaw3D)
+// trojans rather than its own (§V-D "both the attacks and defense would
+// be co-located in the same FPGA"). A RAMPS-side tap counts the FPGA's
+// *output* instead and does see board-injected trojans.
 type AxisTracker struct {
 	counts  map[signal.Axis]int64
 	dirs    map[signal.Axis]*signal.Line
@@ -105,15 +107,19 @@ func (t *AxisTracker) OnFirstStep(fn func(at sim.Time)) {
 // which did not wait for the first step."
 type Exporter struct {
 	board     *Board
+	tracker   *AxisTracker
 	recording *capture.Recording
 	index     uint32
 	started   bool
 	stop      func()
 }
 
-func newExporter(b *Board) *Exporter {
+// newExporter attaches an exporter to one tap's tracker; a dual-tap
+// board runs one exporter per tapped bus.
+func newExporter(b *Board, tracker *AxisTracker) *Exporter {
 	e := &Exporter{
-		board: b,
+		board:   b,
+		tracker: tracker,
 		recording: &capture.Recording{
 			Period: b.cfg.ExportPeriod,
 			// Preallocate for a typical print: the standard test part runs
@@ -123,7 +129,7 @@ func newExporter(b *Board) *Exporter {
 		},
 	}
 	b.homing.OnHomed(func(sim.Time) {
-		b.tracker.OnFirstStep(func(at sim.Time) { e.start(at) })
+		tracker.OnFirstStep(func(at sim.Time) { e.start(at) })
 	})
 	return e
 }
@@ -135,7 +141,7 @@ func (e *Exporter) start(at sim.Time) {
 	e.started = true
 	e.recording.StartedAt = at
 	e.stop = e.board.engine.Ticker(e.board.cfg.ExportPeriod, func(sim.Time) {
-		tx := e.board.tracker.Snapshot(e.index)
+		tx := e.tracker.Snapshot(e.index)
 		e.index++
 		// Append cannot fail: indices are generated contiguously here.
 		if err := e.recording.Append(tx); err != nil {

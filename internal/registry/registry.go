@@ -1,0 +1,85 @@
+// Package registry provides the shared name→factory table behind the
+// trojan and detector registries: registration panics on programmer
+// error (the tables are assembled at init time), lookups are
+// concurrency-safe, and spec-file parameters decode strictly.
+package registry
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Table is a named factory registry. The zero value is ready to use.
+type Table[F any] struct {
+	// Kind names the registered thing in panic messages ("trojan",
+	// "detector").
+	Kind string
+
+	mu      sync.RWMutex
+	entries map[string]F
+}
+
+// Register adds a named factory. Registering an empty name or a
+// duplicate panics: the registry is assembled at init time and a
+// collision is a programming error.
+func (t *Table[F]) Register(name string, f F) {
+	if name == "" {
+		panic(t.Kind + ": Register with empty name")
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, dup := t.entries[name]; dup {
+		panic(fmt.Sprintf("%s: %q registered twice", t.Kind, name))
+	}
+	if t.entries == nil {
+		t.entries = make(map[string]F)
+	}
+	t.entries[name] = f
+}
+
+// Lookup returns the named factory.
+func (t *Table[F]) Lookup(name string) (F, error) {
+	t.mu.RLock()
+	f, ok := t.entries[name]
+	t.mu.RUnlock()
+	if !ok {
+		return f, fmt.Errorf("unknown %s %q (known: %v)", t.Kind, name, t.Names())
+	}
+	return f, nil
+}
+
+// Has reports whether name is registered.
+func (t *Table[F]) Has(name string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	_, ok := t.entries[name]
+	return ok
+}
+
+// Names lists the registered names, sorted.
+func (t *Table[F]) Names() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	names := make([]string, 0, len(t.entries))
+	for n := range t.entries {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// UnmarshalParams overlays spec-file JSON onto a defaults-prefilled
+// params struct. nil, empty, and literal null all mean "keep defaults";
+// unknown fields are rejected so a typo in a spec file fails loudly
+// instead of silently running the default configuration.
+func UnmarshalParams(params json.RawMessage, into any) error {
+	if len(params) == 0 || bytes.Equal(bytes.TrimSpace(params), []byte("null")) {
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(params))
+	dec.DisallowUnknownFields()
+	return dec.Decode(into)
+}

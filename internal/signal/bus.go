@@ -94,6 +94,32 @@ func (a Axis) String() string {
 	}
 }
 
+// MarshalText renders the axis letter, so JSON maps keyed by Axis read
+// "X"/"Y"/"Z"/"E" instead of raw integers.
+func (a Axis) MarshalText() ([]byte, error) {
+	if a < AxisX || a > AxisE {
+		return nil, fmt.Errorf("signal: invalid axis %d", int(a))
+	}
+	return []byte(a.String()), nil
+}
+
+// UnmarshalText parses an axis letter.
+func (a *Axis) UnmarshalText(text []byte) error {
+	switch string(text) {
+	case "X":
+		*a = AxisX
+	case "Y":
+		*a = AxisY
+	case "Z":
+		*a = AxisZ
+	case "E":
+		*a = AxisE
+	default:
+		return fmt.Errorf("signal: unknown axis %q", text)
+	}
+	return nil
+}
+
 // StepPin returns the STEP pin name for the axis.
 func (a Axis) StepPin() string {
 	switch a {

@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 	"time"
 )
@@ -51,3 +52,29 @@ func FromDuration(d time.Duration) Time { return Time(d.Nanoseconds()) }
 
 // FromSeconds converts floating-point seconds to simulation Time.
 func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// MarshalJSON encodes the timestamp as a Go duration string ("2m4.5s"),
+// the form scenario spec files use.
+func (t Time) MarshalJSON() ([]byte, error) {
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON accepts either a Go duration string ("10s", "1h30m",
+// "200us") or a bare integer nanosecond count.
+func (t *Time) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err == nil {
+		d, err := time.ParseDuration(s)
+		if err != nil {
+			return fmt.Errorf("sim: bad duration %q: %w", s, err)
+		}
+		*t = FromDuration(d)
+		return nil
+	}
+	var ns int64
+	if err := json.Unmarshal(data, &ns); err != nil {
+		return fmt.Errorf("sim: Time must be a duration string or nanosecond count, got %s", data)
+	}
+	*t = Time(ns)
+	return nil
+}

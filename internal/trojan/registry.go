@@ -1,0 +1,118 @@
+package trojan
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"offramps/internal/fpga"
+	"offramps/internal/registry"
+	"offramps/internal/sim"
+)
+
+// Factory builds a fresh trojan from serialized parameters. params is the
+// spec file's raw JSON (nil or empty means "use the Table I defaults");
+// seed feeds trojans that make random choices, so randomized trojans stay
+// reproducible across campaign workers.
+type Factory func(params json.RawMessage, seed uint64) (fpga.Trojan, error)
+
+var table = registry.Table[Factory]{Kind: "trojan"}
+
+// Register adds a named trojan factory to the registry. Scenario specs
+// reference trojans by these names. Registering a nil factory, an empty
+// name, or a duplicate name panics: the registry is assembled at init
+// time and a collision is a programming error.
+func Register(name string, f Factory) {
+	if f == nil {
+		panic("trojan: Register with nil factory")
+	}
+	table.Register(name, f)
+}
+
+// Build constructs a fresh trojan by registry name.
+func Build(name string, params json.RawMessage, seed uint64) (fpga.Trojan, error) {
+	f, err := table.Lookup(name)
+	if err != nil {
+		return nil, fmt.Errorf("trojan: %w", err)
+	}
+	t, err := f(params, seed)
+	if err != nil {
+		return nil, fmt.Errorf("trojan: building %q: %w", name, err)
+	}
+	if t == nil {
+		return nil, fmt.Errorf("trojan: factory %q returned nil", name)
+	}
+	return t, nil
+}
+
+// Names lists the registered trojan names, sorted.
+func Names() []string { return table.Names() }
+
+// The nine Table I trojans register under their paper IDs with the exact
+// Suite defaults, so a spec naming "T3" with no params reproduces the
+// Table I run bit-for-bit. Params JSON overrides individual fields, e.g.
+// {"name": "T2", "params": {"keepRatio": 0.75}}.
+func init() {
+	Register("T1", func(p json.RawMessage, seed uint64) (fpga.Trojan, error) {
+		params := T1Params{Period: 10 * sim.Second, Steps: 40, Seed: seed}
+		if err := registry.UnmarshalParams(p, &params); err != nil {
+			return nil, err
+		}
+		return NewT1AxisShift(params), nil
+	})
+	Register("T2", func(p json.RawMessage, _ uint64) (fpga.Trojan, error) {
+		params := T2Params{KeepRatio: 0.5}
+		if err := registry.UnmarshalParams(p, &params); err != nil {
+			return nil, err
+		}
+		return NewT2ExtrusionReduction(params), nil
+	})
+	Register("T3", func(p json.RawMessage, _ uint64) (fpga.Trojan, error) {
+		params := T3Params{Mode: OverExtrude, EveryNYSteps: 12}
+		if err := registry.UnmarshalParams(p, &params); err != nil {
+			return nil, err
+		}
+		return NewT3RetractionTamper(params), nil
+	})
+	Register("T4", func(p json.RawMessage, seed uint64) (fpga.Trojan, error) {
+		params := T4Params{LayerPeriodMin: 1, LayerPeriodMax: 3, Steps: 24, Seed: seed}
+		if err := registry.UnmarshalParams(p, &params); err != nil {
+			return nil, err
+		}
+		return NewT4ZWobble(params), nil
+	})
+	Register("T5", func(p json.RawMessage, _ uint64) (fpga.Trojan, error) {
+		params := T5Params{TriggerLayer: 3, ExtraSteps: 240}
+		if err := registry.UnmarshalParams(p, &params); err != nil {
+			return nil, err
+		}
+		return NewT5ZShift(params), nil
+	})
+	Register("T6", func(p json.RawMessage, _ uint64) (fpga.Trojan, error) {
+		params := T6Params{Delay: 30 * sim.Second, Bed: true, Hotend: true}
+		if err := registry.UnmarshalParams(p, &params); err != nil {
+			return nil, err
+		}
+		return NewT6HeaterDoS(params), nil
+	})
+	Register("T7", func(p json.RawMessage, _ uint64) (fpga.Trojan, error) {
+		params := T7Params{Delay: 30 * sim.Second}
+		if err := registry.UnmarshalParams(p, &params); err != nil {
+			return nil, err
+		}
+		return NewT7ThermalRunaway(params), nil
+	})
+	Register("T8", func(p json.RawMessage, _ uint64) (fpga.Trojan, error) {
+		params := T8Params{Delay: 5 * sim.Second, OnTime: 2 * sim.Second, OffTime: 8 * sim.Second}
+		if err := registry.UnmarshalParams(p, &params); err != nil {
+			return nil, err
+		}
+		return NewT8StepperDoS(params), nil
+	})
+	Register("T9", func(p json.RawMessage, _ uint64) (fpga.Trojan, error) {
+		params := T9Params{Delay: 5 * sim.Second, ForceOff: true}
+		if err := registry.UnmarshalParams(p, &params); err != nil {
+			return nil, err
+		}
+		return NewT9FanTamper(params), nil
+	})
+}

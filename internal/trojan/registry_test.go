@@ -1,0 +1,78 @@
+package trojan
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"offramps/internal/sim"
+)
+
+func TestRegistryCoversSuite(t *testing.T) {
+	if got := Names(); !reflect.DeepEqual(got, SuiteIDs) {
+		t.Errorf("registered trojans = %v, want %v", got, SuiteIDs)
+	}
+	suite := Suite(7)
+	for i, id := range SuiteIDs {
+		if suite[i].ID() != id {
+			t.Errorf("Suite[%d].ID = %s, want %s", i, suite[i].ID(), id)
+		}
+	}
+}
+
+func TestBuildDefaultsMatchSuite(t *testing.T) {
+	// A registry build with nil params must equal the Suite member
+	// field-for-field (same seed included).
+	suite := Suite(42)
+	for i, id := range SuiteIDs {
+		built, err := Build(id, nil, 42)
+		if err != nil {
+			t.Fatalf("Build(%s): %v", id, err)
+		}
+		if !reflect.DeepEqual(built, suite[i]) {
+			t.Errorf("Build(%s, nil, 42) != Suite(42)[%d]:\n  %#v\nvs\n  %#v", id, i, built, suite[i])
+		}
+	}
+}
+
+func TestBuildAppliesParamOverrides(t *testing.T) {
+	raw := json.RawMessage(`{"keepRatio": 0.75}`)
+	tr, err := Build("T2", raw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, ok := tr.(*T2ExtrusionReduction)
+	if !ok {
+		t.Fatalf("T2 build returned %T", tr)
+	}
+	if t2.p.KeepRatio != 0.75 {
+		t.Errorf("KeepRatio = %v, want 0.75", t2.p.KeepRatio)
+	}
+
+	// Durations parse from Go duration strings via sim.Time.
+	tr, err = Build("T1", json.RawMessage(`{"period": "2s", "steps": 8}`), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := tr.(*T1AxisShift)
+	if t1.p.Period != 2*sim.Second || t1.p.Steps != 8 {
+		t.Errorf("T1 params = %+v", t1.p)
+	}
+	// Seed defaults to the build seed when not overridden.
+	if t1.p.Seed != 1 {
+		t.Errorf("T1 seed = %d, want 1", t1.p.Seed)
+	}
+}
+
+func TestBuildRejectsUnknowns(t *testing.T) {
+	if _, err := Build("T99", nil, 1); err == nil {
+		t.Error("unknown trojan name accepted")
+	}
+	if _, err := Build("T2", json.RawMessage(`{"kepRatio": 0.75}`), 1); err == nil {
+		t.Error("unknown param field accepted")
+	}
+	if _, err := Build("T2", json.RawMessage(`{"keepRatio": 7}`), 1); err != nil {
+		// Params validate at Arm time, not Build time.
+		t.Errorf("out-of-range param rejected at build: %v", err)
+	}
+}

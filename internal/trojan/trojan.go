@@ -46,21 +46,26 @@ type Info interface {
 	Scenario() string // the benign failure the trojan impersonates
 }
 
+// SuiteIDs lists the Table I trojan registry names in paper order.
+var SuiteIDs = []string{"T1", "T2", "T3", "T4", "T5", "T6", "T7", "T8", "T9"}
+
 // Suite returns all nine trojans with the parameters used for the Table I
 // experiment, in order T1..T9. seed feeds the trojans that make random
-// choices (T1's axis selection, T4's layer selection).
+// choices (T1's axis selection, T4's layer selection). The trojans come
+// from the registry with default params, so Suite and a spec file naming
+// "T1".."T9" can never drift apart.
 func Suite(seed uint64) []Info {
-	return []Info{
-		NewT1AxisShift(T1Params{Period: 10 * sim.Second, Steps: 40, Seed: seed}),
-		NewT2ExtrusionReduction(T2Params{KeepRatio: 0.5}),
-		NewT3RetractionTamper(T3Params{Mode: OverExtrude, EveryNYSteps: 12}),
-		NewT4ZWobble(T4Params{LayerPeriodMin: 1, LayerPeriodMax: 3, Steps: 24, Seed: seed}),
-		NewT5ZShift(T5Params{TriggerLayer: 3, ExtraSteps: 240}),
-		NewT6HeaterDoS(T6Params{Delay: 30 * sim.Second, Bed: true, Hotend: true}),
-		NewT7ThermalRunaway(T7Params{Delay: 30 * sim.Second}),
-		NewT8StepperDoS(T8Params{Delay: 5 * sim.Second, OnTime: 2 * sim.Second, OffTime: 8 * sim.Second}),
-		NewT9FanTamper(T9Params{Delay: 5 * sim.Second, ForceOff: true}),
+	out := make([]Info, 0, len(SuiteIDs))
+	for _, id := range SuiteIDs {
+		t, err := Build(id, nil, seed)
+		if err != nil {
+			// The registry entries are static and their default params are
+			// compile-time constants; a failure here is a programming bug.
+			panic("trojan: Suite: " + err.Error())
+		}
+		out = append(out, t.(Info))
 	}
+	return out
 }
 
 // injectionPulseWidth matches the firmware's own step pulse width so the

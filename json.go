@@ -1,0 +1,49 @@
+package offramps
+
+import (
+	"encoding/json"
+
+	"offramps/internal/capture"
+	"offramps/internal/printer"
+)
+
+// JSON views for the report sinks (cmd/suite, cmd/experiments -json).
+// Results serialize their summary metrics; the raw deposited part and the
+// full capture streams are omitted — they are bulk simulation state, and
+// captures already have their own CSV serialization (cmd/offramps).
+
+// MarshalJSON renders the result summary: Part and the capture recordings
+// are replaced by the capture window count, and the halt error becomes a
+// string. The shadow fields stay nil so the bulk fields are omitted.
+func (r *Result) MarshalJSON() ([]byte, error) {
+	type alias Result
+	aux := struct {
+		*alias
+		Part             *printer.Part      `json:"Part,omitempty"`
+		Recording        *capture.Recording `json:"Recording,omitempty"`
+		ArduinoRecording *capture.Recording `json:"ArduinoRecording,omitempty"`
+		RAMPSRecording   *capture.Recording `json:"RAMPSRecording,omitempty"`
+		HaltError        string             `json:"HaltError,omitempty"`
+		Windows          int                `json:"Windows"`
+	}{alias: (*alias)(r)}
+	if r.HaltError != nil {
+		aux.HaltError = r.HaltError.Error()
+	}
+	if r.Recording != nil {
+		aux.Windows = r.Recording.Len()
+	}
+	return json.Marshal(aux)
+}
+
+// MarshalJSON renders a scenario outcome with its error as a string.
+func (r ScenarioResult) MarshalJSON() ([]byte, error) {
+	type alias ScenarioResult
+	aux := struct {
+		alias
+		Err string `json:"Err,omitempty"`
+	}{alias: alias(r)}
+	if r.Err != nil {
+		aux.Err = r.Err.Error()
+	}
+	return json.Marshal(aux)
+}

@@ -21,10 +21,19 @@
 // machine's thermal outcome. Run optionally attaches live streaming
 // detectors (WithDetector) that can abort the print the moment a trojan
 // is suspected. Campaign fans many (program × trojan × seed × detector)
-// scenarios across a worker pool with deterministic per-scenario seeding;
-// the experiment entry points (TableI, TableII, Figure4, Overhead, Drift)
-// all run through it to regenerate every table and figure in the paper's
-// evaluation. See DESIGN.md for the architecture.
+// scenarios across a worker pool with deterministic per-scenario seeding.
+//
+// Scenarios are data: a serializable ScenarioSpec (program ref, trojan
+// spec, detector spec, tap placement, seed policy, budget) compiles into
+// a runnable Scenario through the trojan/detector registries, and a
+// SuiteSpec file bundles scenarios with post-run golden comparisons
+// (cmd/suite executes them). The experiment entry points (TableI,
+// TableII, Figure4, Overhead, Drift, TapSides) all compile themselves
+// from specs to regenerate every table and figure in the paper's
+// evaluation. The board's capture tap point is itself configuration
+// (WithTapSide): the paper's Arduino-side tap, a RAMPS-side tap that can
+// see board-injected trojans (§V-D), or both. See DESIGN.md for the
+// architecture.
 package offramps
 
 import (
@@ -60,6 +69,8 @@ type options struct {
 	seed        uint64
 	timeNoise   sim.Time
 	mitm        bool
+	tap         fpga.TapSide
+	tapSet      bool
 	propDelay   sim.Time
 	exportEvery sim.Time
 	settle      sim.Time
@@ -74,10 +85,25 @@ func defaultOptions() options {
 		seed:        1,
 		timeNoise:   200 * sim.Microsecond,
 		mitm:        true,
+		tap:         fpga.TapArduino,
 		propDelay:   13 * sim.Nanosecond,
 		exportEvery: 100 * sim.Millisecond,
 		settle:      2 * sim.Second,
 	}
+}
+
+// validate rejects option combinations that would silently build a rig
+// other than the one the caller described.
+func (o *options) validate() error {
+	if !o.mitm {
+		if len(o.trojans) > 0 {
+			return fmt.Errorf("offramps: config error: trojans require the MITM path (remove WithoutMITM)")
+		}
+		if o.tapSet {
+			return fmt.Errorf("offramps: config error: WithTapSide requires the MITM path (the tap lives on the board; remove WithoutMITM)")
+		}
+	}
+	return nil
 }
 
 // Option configures a Testbed.
@@ -94,6 +120,15 @@ func WithTimeNoise(d sim.Time) Option { return func(o *options) { o.timeNoise = 
 // WithoutMITM wires the Arduino bus directly to the RAMPS bus — the
 // paper's Figure 3a jumper configuration. No capture or trojans.
 func WithoutMITM() Option { return func(o *options) { o.mitm = false } }
+
+// WithTapSide places the board's monitoring tap: the paper's Arduino-side
+// input tap (default), the RAMPS-side output tap, or both. The tap point
+// decides what the capture can see — a RAMPS-side tap observes the FPGA's
+// output and therefore *does* record board-injected trojans, turning the
+// paper's §V-D co-location limitation into a scenario axis.
+func WithTapSide(side fpga.TapSide) Option {
+	return func(o *options) { o.tap = side; o.tapSet = true }
+}
 
 // WithPropagationDelay overrides the FPGA through-path delay (the paper
 // measured ≤ 12.923 ns; the overhead experiment sweeps this).
@@ -135,6 +170,9 @@ func NewTestbed(opts ...Option) (*Testbed, error) {
 	for _, opt := range opts {
 		opt(&o)
 	}
+	if err := o.validate(); err != nil {
+		return nil, err
+	}
 	engine := sim.NewEngine()
 	arduino := signal.NewBus(engine)
 	ramps := signal.NewBus(engine)
@@ -145,6 +183,7 @@ func NewTestbed(opts ...Option) (*Testbed, error) {
 		bcfg := fpga.DefaultConfig()
 		bcfg.PropagationDelay = o.propDelay
 		bcfg.ExportPeriod = o.exportEvery
+		bcfg.Tap = o.tap
 		board, err := fpga.NewBoard(engine, arduino, ramps, bcfg)
 		if err != nil {
 			return nil, fmt.Errorf("offramps: building board: %w", err)
@@ -156,9 +195,6 @@ func NewTestbed(opts ...Option) (*Testbed, error) {
 		}
 		tb.Board = board
 	} else {
-		if len(o.trojans) > 0 {
-			return nil, fmt.Errorf("offramps: trojans require the MITM path (remove WithoutMITM)")
-		}
 		arduino.ConnectAll(ramps, 0)
 	}
 
@@ -199,8 +235,15 @@ type Result struct {
 	HaltError error
 	// Duration is the simulated wall-clock length of the print.
 	Duration sim.Time
-	// Recording is the OFFRAMPS capture (nil without the MITM).
+	// Recording is the OFFRAMPS capture from the board's primary tap
+	// (nil without the MITM): the Arduino-side tap when it exists — the
+	// paper's configuration — else the RAMPS-side tap.
 	Recording *capture.Recording
+	// ArduinoRecording and RAMPSRecording are the per-side captures; each
+	// is nil when that bus is not tapped (see WithTapSide). Under the
+	// default Arduino-only tap, ArduinoRecording aliases Recording.
+	ArduinoRecording *capture.Recording
+	RAMPSRecording   *capture.Recording
 	// Quality summarizes the deposited part.
 	Quality printer.Quality
 	// Part is the raw deposited part, kept for deeper comparisons than

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"offramps/internal/detect"
+	"offramps/internal/fpga"
 	"offramps/internal/gcode"
 	"offramps/internal/signal"
 	"offramps/internal/sim"
@@ -174,6 +175,8 @@ func (tb *Testbed) Run(ctx context.Context, prog gcode.Program, opts ...RunOptio
 	}
 	if tb.Board != nil {
 		res.Recording = tb.Board.Recording()
+		res.ArduinoRecording = tb.Board.RecordingAt(fpga.TapArduino)
+		res.RAMPSRecording = tb.Board.RecordingAt(fpga.TapRAMPS)
 	}
 	for _, bd := range rc.detectors {
 		rep := bd.d.Finalize()

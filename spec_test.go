@@ -1,0 +1,338 @@
+package offramps
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"offramps/internal/capture"
+	"offramps/internal/fpga"
+	"offramps/internal/sim"
+	"offramps/internal/trojan"
+)
+
+func TestScenarioSpecSeedPolicy(t *testing.T) {
+	if got := (ScenarioSpec{Seed: 42, SeedDelta: 7}).EffectiveSeed(100); got != 42 {
+		t.Errorf("absolute seed = %d, want 42", got)
+	}
+	if got := (ScenarioSpec{SeedDelta: 7}).EffectiveSeed(100); got != 107 {
+		t.Errorf("relative seed = %d, want 107", got)
+	}
+	if got := (ScenarioSpec{}).EffectiveSeed(100); got != 100 {
+		t.Errorf("default seed = %d, want 100", got)
+	}
+}
+
+func TestScenarioSpecCompile(t *testing.T) {
+	spec := ScenarioSpec{
+		Name:      "trojaned",
+		SeedDelta: 3,
+		Trojan:    &TrojanSpec{Name: "T2"},
+		Detector:  &DetectorSpec{Name: "golden-free", Policy: "abort"},
+		Tap:       "dual",
+		Settle:    5 * sim.Second,
+		Budget:    10 * sim.Second,
+	}
+	sc, err := spec.Compile(SpecContext{BaseSeed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "trojaned" || sc.Seed != 13 {
+		t.Errorf("compiled name/seed = %q/%d", sc.Name, sc.Seed)
+	}
+	if sc.Trojan == nil || sc.Trojan(13) == nil {
+		t.Error("trojan factory missing or returns nil")
+	}
+	if sc.Detector == nil {
+		t.Fatal("detector factory missing")
+	}
+	if d, err := sc.Detector(); err != nil || d == nil {
+		t.Errorf("detector build: %v", err)
+	}
+	if sc.Policy != AbortOnTrip {
+		t.Errorf("policy = %v, want AbortOnTrip", sc.Policy)
+	}
+	// dual tap + settle → two construction options; budget → one run option.
+	if len(sc.Options) != 2 || len(sc.RunOptions) != 1 {
+		t.Errorf("options = %d, run options = %d", len(sc.Options), len(sc.RunOptions))
+	}
+}
+
+func TestScenarioSpecCompilePreservesCacheability(t *testing.T) {
+	// A plain golden spec must compile to a scenario the golden cache can
+	// memoize — the experiment suites depend on it.
+	sc, err := ScenarioSpec{Name: "golden"}.Compile(SpecContext{BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.goldenCacheable() {
+		t.Error("plain compiled spec is not golden-cacheable")
+	}
+	// An explicit default tap must not add an option either.
+	sc, err = ScenarioSpec{Name: "golden", Tap: "arduino"}.Compile(SpecContext{BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sc.goldenCacheable() {
+		t.Error("explicit arduino tap broke cacheability")
+	}
+}
+
+func TestScenarioSpecCompileErrors(t *testing.T) {
+	cases := []ScenarioSpec{
+		{}, // no name
+		{Name: "x", Trojan: &TrojanSpec{Name: "T99"}},                                // unknown trojan
+		{Name: "x", Detector: &DetectorSpec{Name: "nope"}},                           // unknown detector
+		{Name: "x", Detector: &DetectorSpec{Name: "golden-free", Policy: "explode"}}, // bad policy
+		{Name: "x", Tap: "sideways"},                                                 // bad tap
+		{Name: "x", Settle: -1},                                                      // negative settle
+		{Name: "x", Program: ProgramSpec{Part: "warship"}},                           // unknown part
+		{Name: "x", Program: ProgramSpec{Flaw3D: 99}},                                // bad flaw3d case
+		{Name: "x", Program: ProgramSpec{Part: "testpart", File: "a.gcode"}},         // two sources
+		{Name: "x", Detector: &DetectorSpec{Name: "golden-monitor", Golden: "g"}},    // no resolver
+	}
+	for i, spec := range cases {
+		if _, err := spec.Compile(SpecContext{BaseSeed: 1}); err == nil {
+			t.Errorf("case %d: bad spec compiled: %+v", i, spec)
+		}
+	}
+
+	mitm := false
+	bad := ScenarioSpec{Name: "x", MITM: &mitm, Trojan: &TrojanSpec{Name: "T1"}}
+	if _, err := bad.Compile(SpecContext{}); err == nil || !strings.Contains(err.Error(), "config error") {
+		t.Errorf("trojan without MITM compiled: %v", err)
+	}
+	bad = ScenarioSpec{Name: "x", MITM: &mitm, Tap: "ramps"}
+	if _, err := bad.Compile(SpecContext{}); err == nil || !strings.Contains(err.Error(), "config error") {
+		t.Errorf("tap without MITM compiled: %v", err)
+	}
+	bad = ScenarioSpec{Name: "x", MITM: &mitm, Detector: &DetectorSpec{Name: "golden-free"}}
+	if _, err := bad.Compile(SpecContext{}); err == nil || !strings.Contains(err.Error(), "config error") {
+		t.Errorf("detector without MITM compiled: %v", err)
+	}
+
+	// Golden-referencing detectors must validate their params eagerly
+	// too, even though the real reference capture only exists at run
+	// time.
+	goldens := func(string) *capture.Recording { return nil }
+	bad = ScenarioSpec{Name: "x", Detector: &DetectorSpec{
+		Name: "golden-monitor", Golden: "g", Params: json.RawMessage(`{"margni": 0.1}`),
+	}}
+	if _, err := bad.Compile(SpecContext{Goldens: goldens}); err == nil {
+		t.Error("bad golden-detector params survived compilation")
+	}
+	ok := ScenarioSpec{Name: "x", Detector: &DetectorSpec{
+		Name: "golden-monitor", Golden: "g", Params: json.RawMessage(`{"margin": 0.1}`),
+	}}
+	if _, err := ok.Compile(SpecContext{Goldens: goldens}); err != nil {
+		t.Errorf("good golden-detector params rejected: %v", err)
+	}
+}
+
+func TestParseSuiteSpecStrict(t *testing.T) {
+	if _, err := ParseSuiteSpec([]byte(`{"scenarios": [{"name": "a", "trjoan": {}}]}`), ""); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ParseSuiteSpec([]byte(`{"scenarios": []}`), ""); err == nil {
+		t.Error("empty suite accepted")
+	}
+	if _, err := ParseSuiteSpec([]byte(`{"scenarios": [{"name":"a"},{"name":"a"}]}`), ""); err == nil {
+		t.Error("duplicate scenario names accepted")
+	}
+	if _, err := ParseSuiteSpec([]byte(`{"scenarios": [{"name":"a"}], "compare": [{"golden":"a","suspect":"b"}]}`), ""); err == nil {
+		t.Error("dangling compare reference accepted")
+	}
+	if _, err := ParseSuiteSpec([]byte(`{"scenarios": [{"name":"a","detector":{"name":"golden-monitor","golden":"a"}}]}`), ""); err == nil {
+		t.Error("self-golden accepted")
+	}
+	if _, err := ParseSuiteSpec([]byte(`{"scenarios": [
+		{"name":"a","detector":{"name":"golden-monitor","golden":"b"}},
+		{"name":"b","detector":{"name":"golden-monitor","golden":"a"}}]}`), ""); err == nil {
+		t.Error("golden reference cycle accepted")
+	}
+	if _, err := ParseSuiteSpec([]byte(`{"scenarios": [{"name":"a"},{"name":"b"}],
+		"compare": [{"golden":"a","suspect":"b","suspectTap":"dual"}]}`), ""); err == nil {
+		t.Error("dual compare tap accepted (comparisons need one side)")
+	}
+	if _, err := ParseSuiteSpec([]byte(`{"budget": "-5s", "scenarios": [{"name":"a"}]}`), ""); err == nil {
+		t.Error("negative suite budget accepted")
+	}
+	if _, err := ParseSuiteSpec([]byte(`{"scenarios":[{"name":"a"}]}{"scenarios":[{"name":"b"}]}`), ""); err == nil {
+		t.Error("trailing content after the suite object accepted")
+	}
+
+	s, err := ParseSuiteSpec([]byte(`{
+		"name": "ok",
+		"baseSeed": 9,
+		"budget": "20m",
+		"scenarios": [
+			{"name": "g"},
+			{"name": "s", "seedDelta": 5, "trojan": {"name": "T2", "params": {"keepRatio": 0.8}}}
+		],
+		"compare": [{"golden": "g", "suspect": "s"}]
+	}`), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.BaseSeed != 9 || s.Budget != 20*60*sim.Second || len(s.Scenarios) != 2 {
+		t.Errorf("parsed suite = %+v", s)
+	}
+}
+
+// TestBuiltinSuitesValidate compiles every built-in experiment's spec
+// form — the spec path and the experiment entry points must never drift.
+func TestBuiltinSuitesValidate(t *testing.T) {
+	suites := []*SuiteSpec{
+		TableIISuite(1), Figure4Suite(1), DriftSuite(1, 3), TapSidesSuite(1),
+		{Name: "table1", BaseSeed: 1, Scenarios: TableISpecs()},
+		{Name: "overhead", BaseSeed: 1, Scenarios: OverheadSpecs()},
+	}
+	for _, s := range suites {
+		if err := s.Validate(); err != nil {
+			t.Errorf("suite %s: %v", s.Name, err)
+		}
+		if _, err := CompileSpecs(SpecContext{BaseSeed: s.BaseSeed}, s.Scenarios); err != nil {
+			t.Errorf("suite %s compile: %v", s.Name, err)
+		}
+	}
+}
+
+// TestRunSuiteTwoWaves runs a miniature suite whose detector references a
+// golden scenario, exercising wave partitioning and the registry-built
+// live monitor end to end.
+func TestRunSuiteTwoWaves(t *testing.T) {
+	suite := &SuiteSpec{
+		Name:     "waves",
+		BaseSeed: 2,
+		Scenarios: []ScenarioSpec{
+			{Name: "golden"},
+			{
+				Name:      "suspect",
+				Program:   ProgramSpec{Flaw3D: 1},
+				SeedDelta: 50,
+				Detector:  &DetectorSpec{Name: "golden-monitor", Golden: "golden", Policy: "abort"},
+			},
+		},
+		Compare: []CompareSpec{{Golden: "golden", Suspect: "suspect"}},
+	}
+	rep, err := Campaign{}.RunSuite(context.Background(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := firstScenarioErr(rep.Results); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Results[0].Name != "golden" || rep.Results[1].Name != "suspect" {
+		t.Fatalf("result order: %s, %s", rep.Results[0].Name, rep.Results[1].Name)
+	}
+	suspect := rep.Results[1].Result
+	if !suspect.Aborted || !suspect.TrojanLikely {
+		t.Errorf("live monitor did not abort the 50%% reduction (aborted=%v likely=%v)",
+			suspect.Aborted, suspect.TrojanLikely)
+	}
+	// The post-run comparison sees the truncated capture and agrees.
+	if cmp := rep.Comparisons[0]; cmp.Err != nil || !cmp.Report.TrojanLikely {
+		t.Errorf("comparison verdict: %+v", cmp)
+	}
+	if !strings.Contains(rep.Format(), "TROJAN LIKELY") {
+		t.Error("Format() missing verdict")
+	}
+}
+
+// TestRunSuiteChainedGoldens runs a golden-reference chain (A ← B ← C):
+// wave ordering must resolve transitively, with each dependent detector
+// streaming against a reference printed in an earlier wave.
+func TestRunSuiteChainedGoldens(t *testing.T) {
+	suite := &SuiteSpec{
+		Name:     "chain",
+		BaseSeed: 3,
+		Scenarios: []ScenarioSpec{
+			// Spec order deliberately reversed vs dependency order.
+			{Name: "c", SeedDelta: 2, Detector: &DetectorSpec{Name: "golden-comparator", Golden: "b"}},
+			{Name: "b", SeedDelta: 1, Detector: &DetectorSpec{Name: "golden-comparator", Golden: "a"}},
+			{Name: "a"},
+		},
+	}
+	rep, err := Campaign{}.RunSuite(context.Background(), suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := firstScenarioErr(rep.Results); err != nil {
+		t.Fatalf("chained golden references failed: %v", err)
+	}
+	// Results keep spec order; b and c each carry their detector report.
+	for i, want := range []string{"c", "b", "a"} {
+		if rep.Results[i].Name != want {
+			t.Errorf("result %d = %q, want %q", i, rep.Results[i].Name, want)
+		}
+	}
+	for _, name := range []string{"c", "b"} {
+		for _, r := range rep.Results {
+			if r.Name == name && len(r.Result.Detections) != 1 {
+				t.Errorf("%s carries %d detector reports, want 1", name, len(r.Result.Detections))
+			}
+		}
+	}
+}
+
+// TestSuiteReportFormatPartial: a cancelled suite's report contains
+// never-started scenarios (Result nil, Err nil); Format must render them
+// without panicking.
+func TestSuiteReportFormatPartial(t *testing.T) {
+	rep := &SuiteReport{
+		Suite: "partial",
+		Results: []ScenarioResult{
+			{Name: "never-ran", Seed: 7},
+		},
+	}
+	if out := rep.Format(); !strings.Contains(out, "not run") {
+		t.Errorf("partial report rendering = %q", out)
+	}
+}
+
+// TestSpecCompiledTableIMatchesClosurePath asserts the declarative path
+// produces bit-identical results to a hand-built closure scenario — the
+// "closure path stays a thin adapter" guarantee.
+func TestSpecCompiledTableIMatchesClosurePath(t *testing.T) {
+	prog := mustTestPart(t)
+	seed := uint64(11)
+
+	compiled, err := CompileSpecs(SpecContext{BaseSeed: seed}, []ScenarioSpec{
+		{Name: "t2", Trojan: &TrojanSpec{Name: "T2"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	closure := []Scenario{{
+		Name: "t2", Program: prog, Seed: seed,
+		Trojan: func(s uint64) fpga.Trojan {
+			return trojan.NewT2ExtrusionReduction(trojan.T2Params{KeepRatio: 0.5})
+		},
+	}}
+
+	ra, err := Campaign{}.Run(context.Background(), compiled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := Campaign{}.Run(context.Background(), closure)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := firstScenarioErr(append(ra, rb...)); err != nil {
+		t.Fatal(err)
+	}
+	a, b := ra[0].Result, rb[0].Result
+	if a.Duration != b.Duration || a.Quality != b.Quality {
+		t.Errorf("spec path diverged from closure path: %v/%v vs %v/%v",
+			a.Duration, a.Quality, b.Duration, b.Quality)
+	}
+	if a.Recording.Len() != b.Recording.Len() {
+		t.Fatalf("capture lengths differ: %d vs %d", a.Recording.Len(), b.Recording.Len())
+	}
+	for i := range a.Recording.Transactions {
+		if a.Recording.Transactions[i] != b.Recording.Transactions[i] {
+			t.Fatalf("transaction %d differs", i)
+		}
+	}
+}

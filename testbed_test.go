@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"offramps/internal/firmware"
+	"offramps/internal/fpga"
 	"offramps/internal/gcode"
 	"offramps/internal/printer"
 	"offramps/internal/signal"
@@ -131,10 +132,68 @@ func TestWithoutMITMMatchesGeometry(t *testing.T) {
 	}
 }
 
+// TestTrojanRequiresMITM: a jumpered (WithoutMITM) rig has no board to
+// arm trojans on or tap — building one with either must be a
+// configuration error, never a rig that silently drops them. Option
+// order must not matter.
 func TestTrojanRequiresMITM(t *testing.T) {
-	_, err := NewTestbed(WithoutMITM(), WithTrojan(trojan.NewT7ThermalRunaway(trojan.T7Params{})))
-	if err == nil {
-		t.Fatal("trojan accepted on direct-wired stack")
+	tr := trojan.NewT7ThermalRunaway(trojan.T7Params{})
+	for _, opts := range [][]Option{
+		{WithoutMITM(), WithTrojan(tr)},
+		{WithTrojan(tr), WithoutMITM()},
+	} {
+		tb, err := NewTestbed(opts...)
+		if err == nil {
+			t.Fatal("trojan accepted on direct-wired stack")
+		}
+		if tb != nil {
+			t.Error("failed construction returned a testbed")
+		}
+		if !strings.Contains(err.Error(), "config error") {
+			t.Errorf("error does not read as a configuration error: %v", err)
+		}
+	}
+}
+
+// TestTapSideRequiresMITM: the monitoring tap lives on the board, so
+// placing it on a jumpered rig is the same class of configuration error.
+func TestTapSideRequiresMITM(t *testing.T) {
+	_, err := NewTestbed(WithoutMITM(), WithTapSide(fpga.TapRAMPS))
+	if err == nil || !strings.Contains(err.Error(), "config error") {
+		t.Fatalf("tap side accepted on direct-wired stack: %v", err)
+	}
+}
+
+// TestDualTapRun prints end to end with both buses tapped: the two
+// captures must agree on a clean print (modulo nothing — same counters,
+// same windows), and the per-side recordings surface on the Result.
+func TestDualTapRun(t *testing.T) {
+	tb, err := NewTestbed(WithSeed(3), WithTapSide(fpga.TapDual))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(context.Background(), mustTestPart(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Completed {
+		t.Fatalf("dual-tap print halted: %v", res.HaltError)
+	}
+	if res.ArduinoRecording == nil || res.RAMPSRecording == nil {
+		t.Fatal("dual tap missing a per-side recording")
+	}
+	if res.Recording != res.ArduinoRecording {
+		t.Error("primary recording is not the Arduino-side capture")
+	}
+	a, r := res.ArduinoRecording, res.RAMPSRecording
+	if a.Len() == 0 || a.Len() != r.Len() {
+		t.Fatalf("capture lengths: arduino %d, ramps %d", a.Len(), r.Len())
+	}
+	for i := range a.Transactions {
+		if a.Transactions[i] != r.Transactions[i] {
+			t.Fatalf("clean print: taps disagree at window %d: %+v vs %+v",
+				i, a.Transactions[i], r.Transactions[i])
+		}
 	}
 }
 
