@@ -36,6 +36,10 @@ type Scenario struct {
 	Detector func() (detect.Detector, error)
 	// Policy applies to the Detector (FlagOnly or AbortOnTrip).
 	Policy TripPolicy
+	// DetectorBind places the Detector's tap binding; the zero value,
+	// BindPrimary, feeds it from the board's primary tap — the paper's
+	// rig and the behaviour of every pre-binding scenario.
+	DetectorBind TapBinding
 	// Options are extra testbed construction options (settle time, plant
 	// config, ...), applied after the campaign's own seed/trojan options.
 	Options []Option
@@ -192,7 +196,7 @@ func (c Campaign) runFresh(ctx context.Context, s Scenario, seed uint64, budget 
 		if err != nil {
 			return nil, fmt.Errorf("detector: %w", err)
 		}
-		ropts = append(ropts, WithDetector(d, s.Policy))
+		ropts = append(ropts, WithDetectorAt(s.DetectorBind, d, s.Policy))
 	}
 	ropts = append(ropts, s.RunOptions...)
 

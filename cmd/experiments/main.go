@@ -42,6 +42,7 @@ func run(args []string) error {
 		overhead = fs.Bool("overhead", false, "§V-B: monitoring overhead")
 		drift    = fs.Bool("drift", false, "§V-C: time-noise drift bound")
 		tapside  = fs.Bool("tapside", false, "§V-D: tap-side topology (co-location blind spot)")
+		selfatt  = fs.Bool("selfattest", false, "dual-tap board self-attestation (golden-free board-trojan detection)")
 		seed     = fs.Uint64("seed", 1, "base time-noise seed")
 		runs     = fs.Int("runs", 4, "number of prints for the drift experiment")
 		workers  = fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS)")
@@ -79,9 +80,9 @@ func run(args []string) error {
 		}()
 	}
 	if *all {
-		*table1, *table2, *figure4, *overhead, *drift, *tapside = true, true, true, true, true, true
+		*table1, *table2, *figure4, *overhead, *drift, *tapside, *selfatt = true, true, true, true, true, true, true
 	}
-	if !*table1 && !*table2 && !*figure4 && !*overhead && !*drift && !*tapside {
+	if !*table1 && !*table2 && !*figure4 && !*overhead && !*drift && !*tapside && !*selfatt {
 		fs.Usage()
 		return fmt.Errorf("nothing selected; use -all or pick experiments")
 	}
@@ -99,6 +100,7 @@ func run(args []string) error {
 		{*overhead, "Overhead (§V-B)", "overhead", func() (interface{ Format() string }, error) { return offrampsOverhead(*seed, *workers) }},
 		{*drift, "Drift (§V-C)", "drift", func() (interface{ Format() string }, error) { return offrampsDrift(*seed, *runs, *workers) }},
 		{*tapside, "Tap sides (§V-D)", "tapside", func() (interface{ Format() string }, error) { return offrampsTapSides(*seed, *workers) }},
+		{*selfatt, "Self-attestation", "selfattest", func() (interface{ Format() string }, error) { return offrampsSelfAttest(*seed, *workers) }},
 	}
 	reports := make(map[string]any)
 	for _, ex := range list {

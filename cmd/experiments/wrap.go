@@ -36,3 +36,7 @@ func offrampsDrift(seed uint64, runs, workers int) (interface{ Format() string }
 func offrampsTapSides(seed uint64, workers int) (interface{ Format() string }, error) {
 	return offramps.TapSides(seed, campaignOpts(workers)...)
 }
+
+func offrampsSelfAttest(seed uint64, workers int) (interface{ Format() string }, error) {
+	return offramps.SelfAttest(seed, campaignOpts(workers)...)
+}

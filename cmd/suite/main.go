@@ -13,7 +13,9 @@
 //
 // See examples/specs/ for committed spec files, including the RAMPS-side
 // tap scenario that detects a board-injected trojan the paper's
-// Arduino-side tap is blind to (§V-D).
+// Arduino-side tap is blind to (§V-D), and the dual-tap self-attestation
+// suite whose "attestation" detector (bound with "tap": "dual") flags a
+// board-resident trojan in a single print with no golden capture.
 package main
 
 import (

@@ -112,6 +112,39 @@ func TestLiveMonitorExampleSpec(t *testing.T) {
 	}
 }
 
+// TestAttestationExampleSpec executes the committed self-attestation
+// spec end to end — the acceptance scenario for tap-addressable
+// detection: a dual-tap attestation detector flags a board-run T2 in a
+// single print with no golden reference, while the same run's Arduino-
+// side capture passes the paper's golden workflow.
+func TestAttestationExampleSpec(t *testing.T) {
+	spec := filepath.Join(repoRoot(t), "examples", "specs", "attestation.json")
+	var out strings.Builder
+	if err := run([]string{spec}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	lines := strings.Split(text, "\n")
+	scenarioVerdict := func(name string) string {
+		for _, l := range lines {
+			if strings.HasPrefix(l, name+" ") {
+				return l
+			}
+		}
+		t.Fatalf("scenario %q missing from output:\n%s", name, text)
+		return ""
+	}
+	if l := scenarioVerdict("attested"); !strings.Contains(l, "TROJAN LIKELY") {
+		t.Errorf("dual-tap attestation did not flag the board trojan: %q", l)
+	}
+	if l := scenarioVerdict("clean-attested"); strings.Contains(l, "TROJAN LIKELY") {
+		t.Errorf("clean dual-tap attestation false-positived: %q", l)
+	}
+	if !strings.Contains(text, "compare golden vs attested [golden-comparator]: no trojan suspected") {
+		t.Errorf("the trojaned run's arduino-side capture did not pass the paper's golden workflow:\n%s", text)
+	}
+}
+
 func TestRunRejectsMissingSpec(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{filepath.Join(t.TempDir(), "nope.json")}, &out); err == nil {

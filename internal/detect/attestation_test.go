@@ -1,0 +1,253 @@
+package detect
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"offramps/internal/capture"
+)
+
+// pairStream interleaves two recordings into the (up0, down0, up1,
+// down1, ...) stream the attestation's plain Observe protocol consumes.
+func pairStream(up, down *capture.Recording) *capture.Recording {
+	n := up.Len()
+	if down.Len() < n {
+		n = down.Len()
+	}
+	out := &capture.Recording{}
+	for i := 0; i < n; i++ {
+		out.Transactions = append(out.Transactions, up.Transactions[i], down.Transactions[i])
+	}
+	return out
+}
+
+func mustAttestation(t *testing.T) *Attestation {
+	t.Helper()
+	a, err := NewAttestation(DefaultAttestationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestAttestationCleanPairsPass(t *testing.T) {
+	up := rec(100, 200, 300, 400)
+	a := mustAttestation(t)
+	rep, err := ReplayDual(up, rec(100, 200, 300, 400), a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrojanLikely {
+		t.Fatalf("identical views flagged:\n%s", rep.Format())
+	}
+	if rep.NumCompared != 4 {
+		t.Errorf("NumCompared = %d, want 4", rep.NumCompared)
+	}
+	if rep.Detector != "attestation" {
+		t.Errorf("Detector = %q", rep.Detector)
+	}
+}
+
+func TestAttestationToleratesBoundarySkew(t *testing.T) {
+	// A step landing on a window boundary can be counted one window apart
+	// between the taps: a few steps of transient divergence that the
+	// absolute guard must absorb, including on small early counts where
+	// the relative swing is large.
+	up := rec(10, 200, 300, 400)
+	down := rec(8, 202, 300, 400) // ±2 steps of transient skew, settled by the end
+	rep, err := ReplayDual(up, down, mustAttestation(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrojanLikely {
+		t.Fatalf("transient boundary skew flagged:\n%s", rep.Format())
+	}
+	if rep.NumMismatches != 0 {
+		t.Errorf("boundary skew produced %d windowed mismatches", rep.NumMismatches)
+	}
+}
+
+func TestAttestationFinalCheckCatchesSubMarginSkim(t *testing.T) {
+	// A divergence small enough to hide under the per-window absolute
+	// guard but persisting to the end of the print: the 0 %-margin final
+	// check reports it, matching the golden detector's end-of-print
+	// semantics.
+	up := rec(100, 200, 300, 400)
+	down := rec(100, 200, 300, 398)
+	rep, err := ReplayDual(up, down, mustAttestation(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.NumMismatches != 0 {
+		t.Errorf("sub-guard skim produced %d windowed mismatches", rep.NumMismatches)
+	}
+	if len(rep.Final) == 0 {
+		t.Fatal("persistent final divergence not reported by the 0%-margin check")
+	}
+	if !rep.TrojanLikely {
+		t.Error("final-count divergence did not flag the print")
+	}
+}
+
+func TestAttestationCatchesMasking(t *testing.T) {
+	// A board trojan masking half the extruder pulses: downstream E falls
+	// behind upstream immediately. The detector must trip mid-stream.
+	up := &capture.Recording{Transactions: []capture.Transaction{
+		{Index: 0, X: 10, Y: 10, Z: 5, E: 100},
+		{Index: 1, X: 20, Y: 20, Z: 5, E: 200},
+		{Index: 2, X: 30, Y: 30, Z: 5, E: 300},
+	}}
+	down := &capture.Recording{Transactions: []capture.Transaction{
+		{Index: 0, X: 10, Y: 10, Z: 5, E: 50},
+		{Index: 1, X: 20, Y: 20, Z: 5, E: 100},
+		{Index: 2, X: 30, Y: 30, Z: 5, E: 150},
+	}}
+	a := mustAttestation(t)
+	v := a.ObservePair(up.Transactions[0], down.Transactions[0])
+	if !v.Tripped {
+		t.Fatal("halved extrusion did not trip on the first pair")
+	}
+	if v.Trip == nil || v.Trip.Column != "E" {
+		t.Fatalf("trip = %+v, want an E-column mismatch", v.Trip)
+	}
+	rep, err := ReplayDual(up, down, mustAttestation(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.TrojanLikely || !rep.Tripped {
+		t.Fatalf("masking not flagged:\n%s", rep.Format())
+	}
+	if len(rep.Final) == 0 {
+		t.Error("final-count divergence missing from the report")
+	}
+	if !strings.Contains(rep.Format(), "Trojan likely!") {
+		t.Error("Format() missing the verdict line")
+	}
+}
+
+func TestAttestationStreamProtocolErrors(t *testing.T) {
+	a := mustAttestation(t)
+	// Upstream must start at index 0.
+	if v := a.Observe(capture.Transaction{Index: 3}); v.Err == nil {
+		t.Error("out-of-order upstream index accepted")
+	}
+	// Downstream must pair the pending upstream index.
+	a = mustAttestation(t)
+	if v := a.Observe(capture.Transaction{Index: 0}); v.Err != nil {
+		t.Fatal(v.Err)
+	}
+	if v := a.Observe(capture.Transaction{Index: 1}); v.Err == nil {
+		t.Error("mismatched downstream index accepted")
+	}
+	// ObservePair with disagreeing indices fails the same way.
+	a = mustAttestation(t)
+	if v := a.ObservePair(capture.Transaction{Index: 0}, capture.Transaction{Index: 1}); v.Err == nil {
+		t.Error("mismatched pair accepted")
+	}
+}
+
+func TestAttestationEmptyAndDanglingStreams(t *testing.T) {
+	// No pairs at all: nothing to attest, not a detection.
+	rep := mustAttestation(t).Finalize()
+	if rep.TrojanLikely {
+		t.Error("empty attestation stream flagged")
+	}
+	if rep.NumCompared != 0 {
+		t.Errorf("NumCompared = %d, want 0", rep.NumCompared)
+	}
+	// A dangling upstream half surfaces as a negative length delta and
+	// flags: the downstream view is missing a window upstream produced.
+	a := mustAttestation(t)
+	if v := a.Observe(capture.Transaction{Index: 0, X: 5}); v.Err != nil {
+		t.Fatal(v.Err)
+	}
+	rep = a.Finalize()
+	if rep.LengthDelta != -1 {
+		t.Errorf("LengthDelta = %d, want -1 for a dangling upstream window", rep.LengthDelta)
+	}
+	if !rep.TrojanLikely {
+		t.Error("one-sided window attested clean")
+	}
+}
+
+// TestAttestationDanglingUpstreamDoesNotSkewFinal: a clean interleaved
+// stream truncated after an odd transaction (one complete pair plus an
+// unpaired upstream half) must not fabricate final-count mismatches —
+// the 0 %-margin check always compares the two sides at the same
+// window. The truncation itself is still reported and flagged, but only
+// through the LengthDelta, never through invented count divergence.
+func TestAttestationDanglingUpstreamDoesNotSkewFinal(t *testing.T) {
+	a := mustAttestation(t)
+	clean := rec(100, 200) // two windows of a clean print
+	if v := a.ObservePair(clean.Transactions[0], clean.Transactions[0]); v.Err != nil {
+		t.Fatal(v.Err)
+	}
+	// The stream cuts off after the next upstream half.
+	if v := a.Observe(clean.Transactions[1]); v.Err != nil {
+		t.Fatal(v.Err)
+	}
+	rep := a.Finalize()
+	if len(rep.Final) != 0 {
+		t.Errorf("dangling upstream fabricated %d final mismatches: %+v", len(rep.Final), rep.Final)
+	}
+	if rep.NumMismatches != 0 {
+		t.Errorf("dangling upstream fabricated %d windowed mismatches", rep.NumMismatches)
+	}
+	if rep.LengthDelta != -1 {
+		t.Errorf("LengthDelta = %d, want -1", rep.LengthDelta)
+	}
+	if !rep.TrojanLikely {
+		t.Error("one-sided trailing window attested clean — imbalance must flag, as in ReplayDual")
+	}
+}
+
+// TestReplayDualFlagsTruncatedSide: a view that simply stops producing
+// windows (a board suppressing its trailing exports) must not pass
+// attestation clean — the side-length imbalance is itself the
+// divergence.
+func TestReplayDualFlagsTruncatedSide(t *testing.T) {
+	up := rec(100, 200, 300, 400)
+	down := rec(100, 200) // downstream truncated after the tampering point
+	rep, err := ReplayDual(up, down, mustAttestation(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LengthDelta != -2 {
+		t.Errorf("LengthDelta = %d, want -2", rep.LengthDelta)
+	}
+	if !rep.TrojanLikely {
+		t.Fatalf("truncated downstream view attested clean:\n%s", rep.Format())
+	}
+	// Symmetrically for a longer downstream.
+	rep, err = ReplayDual(rec(100, 200), rec(100, 200, 300), mustAttestation(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.LengthDelta != 1 || !rep.TrojanLikely {
+		t.Errorf("surplus downstream windows not flagged: delta=%d likely=%v", rep.LengthDelta, rep.TrojanLikely)
+	}
+}
+
+func TestAttestationRegistryFactory(t *testing.T) {
+	if !Registered("attestation") {
+		t.Fatal("attestation not registered")
+	}
+	d, err := Build("attestation", nil, BuildEnv{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.(PairObserver); !ok {
+		t.Fatal("registry-built attestation does not implement PairObserver")
+	}
+	// Params overlay the defaults strictly.
+	if _, err := Build("attestation", json.RawMessage(`{"margin": 0.1}`), BuildEnv{}); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+	if _, err := Build("attestation", json.RawMessage(`{"margni": 0.1}`), BuildEnv{}); err == nil {
+		t.Error("unknown param field accepted")
+	}
+	if _, err := Build("attestation", json.RawMessage(`{"margin": -1}`), BuildEnv{}); err == nil {
+		t.Error("invalid margin accepted")
+	}
+}

@@ -9,11 +9,12 @@ import (
 )
 
 // The Detector conformance suite: every implementation — batch
-// comparator, live monitor, golden-free rule engine, and both ensemble
-// rules — consumes the same transaction streams and must produce the
-// expected trip points and final verdicts, plus the interface-wide
-// invariants (latching verdicts, idempotent Finalize, Name stamped on
-// the report).
+// comparator, live monitor, golden-free rule engine, both ensemble
+// rules, and the dual-view attestation — consumes the same transaction
+// streams and must produce the expected trip points and final verdicts,
+// plus the interface-wide invariants (latching verdicts, idempotent and
+// non-mutating Finalize — Observe keeps working after a mid-stream
+// Finalize — and the Name stamped on the report).
 
 // conformanceExpect is one detector's expected behaviour on one stream.
 type conformanceExpect struct {
@@ -21,9 +22,37 @@ type conformanceExpect struct {
 	likely bool
 }
 
+// conformant couples a Detector constructor with its stream shape:
+// single-tap detectors consume the suspect stream as-is, while the
+// attestation consumes the interleaved (golden-as-upstream, suspect-as-
+// downstream) pair stream — the plain-Observe form of its dual feed.
+type conformant struct {
+	build func() Detector
+	feed  func(golden, suspect *capture.Recording) []capture.Transaction
+}
+
+// singleFeed is the identity stream shape.
+func singleFeed(_, suspect *capture.Recording) []capture.Transaction {
+	return suspect.Transactions
+}
+
+// interleavedFeed builds the attestation's (up0, down0, up1, down1, ...)
+// protocol stream.
+func interleavedFeed(golden, suspect *capture.Recording) []capture.Transaction {
+	n := golden.Len()
+	if suspect.Len() < n {
+		n = suspect.Len()
+	}
+	out := make([]capture.Transaction, 0, 2*n)
+	for i := 0; i < n; i++ {
+		out = append(out, golden.Transactions[i], suspect.Transactions[i])
+	}
+	return out
+}
+
 // detectorFactories builds every Detector implementation against the
 // same golden capture and machine limits.
-func detectorFactories(t *testing.T, golden *capture.Recording) map[string]func() Detector {
+func detectorFactories(t *testing.T, golden *capture.Recording) map[string]conformant {
 	t.Helper()
 	limits := DefaultLimits()
 	mk := func(build func() (Detector, error)) func() Detector {
@@ -35,11 +64,14 @@ func detectorFactories(t *testing.T, golden *capture.Recording) map[string]func(
 			return d
 		}
 	}
-	return map[string]func() Detector{
-		"golden-comparator": mk(func() (Detector, error) { return NewComparator(golden, DefaultConfig()) }),
-		"golden-monitor":    mk(func() (Detector, error) { return NewMonitor(golden, DefaultConfig()) }),
-		"golden-free":       mk(func() (Detector, error) { return NewRuleEngine(limits) }),
-		"ensemble(any)": mk(func() (Detector, error) {
+	single := func(build func() (Detector, error)) conformant {
+		return conformant{build: mk(build), feed: singleFeed}
+	}
+	return map[string]conformant{
+		"golden-comparator": single(func() (Detector, error) { return NewComparator(golden, DefaultConfig()) }),
+		"golden-monitor":    single(func() (Detector, error) { return NewMonitor(golden, DefaultConfig()) }),
+		"golden-free":       single(func() (Detector, error) { return NewRuleEngine(limits) }),
+		"ensemble(any)": single(func() (Detector, error) {
 			m, err := NewMonitor(golden, DefaultConfig())
 			if err != nil {
 				return nil, err
@@ -50,7 +82,7 @@ func detectorFactories(t *testing.T, golden *capture.Recording) map[string]func(
 			}
 			return NewEnsemble(VoteAny, m, e)
 		}),
-		"ensemble(all)": mk(func() (Detector, error) {
+		"ensemble(all)": single(func() (Detector, error) {
 			m, err := NewMonitor(golden, DefaultConfig())
 			if err != nil {
 				return nil, err
@@ -61,6 +93,10 @@ func detectorFactories(t *testing.T, golden *capture.Recording) map[string]func(
 			}
 			return NewEnsemble(VoteAll, m, e)
 		}),
+		"attestation": {
+			build: mk(func() (Detector, error) { return NewAttestation(DefaultAttestationConfig()) }),
+			feed:  interleavedFeed,
+		},
 	}
 }
 
@@ -80,12 +116,16 @@ func TestDetectorConformance(t *testing.T) {
 				"golden-free":       {tripAt: -1, likely: false},
 				"ensemble(any)":     {tripAt: -1, likely: false},
 				"ensemble(all)":     {tripAt: -1, likely: false},
+				"attestation":       {tripAt: -1, likely: false},
 			},
 		},
 		{
 			// +20 % on X at window 2: a physically plausible divergence —
 			// only the golden reference can see it. The monitor halts at
 			// the offending window; the comparator flags it at the end.
+			// The attestation (fed the same divergence as a pair stream)
+			// trips on the downstream half of pair 2 — interleaved
+			// position 5.
 			name:   "blatant-divergence",
 			stream: rec(100, 200, 360, 400),
 			expect: map[string]conformanceExpect{
@@ -94,11 +134,16 @@ func TestDetectorConformance(t *testing.T) {
 				"golden-free":       {tripAt: -1, likely: false},
 				"ensemble(any)":     {tripAt: 2, likely: true},
 				"ensemble(all)":     {tripAt: -1, likely: false},
+				"attestation":       {tripAt: 5, likely: true},
 			},
 		},
 		{
-			// Uniform 2 % reduction: inside the windowed margin, caught
-			// only by the 0 %-margin final-count check.
+			// Uniform 2 % reduction: inside the golden detectors' windowed
+			// 5 % margin, caught only by their 0 %-margin final-count
+			// check. The attestation's margin is far tighter (its two
+			// views share one print, so there is no time noise to
+			// tolerate): it trips as soon as the divergence clears the
+			// absolute guard — the Y column of pair 1, position 3.
 			name:   "stealthy-reduction",
 			stream: rec(98, 196, 294, 392),
 			expect: map[string]conformanceExpect{
@@ -107,6 +152,7 @@ func TestDetectorConformance(t *testing.T) {
 				"golden-free":       {tripAt: -1, likely: false},
 				"ensemble(any)":     {tripAt: -1, likely: true},
 				"ensemble(all)":     {tripAt: -1, likely: false},
+				"attestation":       {tripAt: 3, likely: true},
 			},
 		},
 		{
@@ -121,6 +167,7 @@ func TestDetectorConformance(t *testing.T) {
 				"golden-free":       {tripAt: 2, likely: true},
 				"ensemble(any)":     {tripAt: 2, likely: true},
 				"ensemble(all)":     {tripAt: 2, likely: true},
+				"attestation":       {tripAt: 5, likely: true},
 			},
 		},
 	}
@@ -128,18 +175,19 @@ func TestDetectorConformance(t *testing.T) {
 	factories := detectorFactories(t, golden)
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			for name, build := range factories {
+			for name, c := range factories {
 				want, ok := tc.expect[name]
 				if !ok {
 					t.Fatalf("case %s has no expectation for %s", tc.name, name)
 				}
 				t.Run(name, func(t *testing.T) {
-					d := build()
+					d := c.build()
 					if d.Name() != name {
 						t.Errorf("Name() = %q, want %q", d.Name(), name)
 					}
+					stream := c.feed(golden, tc.stream)
 					tripAt := -1
-					for i, tx := range tc.stream.Transactions {
+					for i, tx := range stream {
 						v := d.Observe(tx)
 						if v.Err != nil {
 							t.Fatalf("stream error at %d: %v", i, v.Err)
@@ -152,6 +200,13 @@ func TestDetectorConformance(t *testing.T) {
 						}
 						if !v.Tripped && tripAt >= 0 {
 							t.Errorf("verdict un-latched at %d", i)
+						}
+						// Observe-after-Finalize: Finalize mid-stream must
+						// not perturb the detector — the stream continues
+						// and the end-of-stream report is unaffected
+						// (checked against the uninterrupted replay below).
+						if mid := d.Finalize(); mid.Detector != name {
+							t.Errorf("mid-stream Finalize report Detector = %q", mid.Detector)
 						}
 					}
 					if tripAt != want.tripAt {
@@ -171,13 +226,15 @@ func TestDetectorConformance(t *testing.T) {
 					if again := d.Finalize(); !reflect.DeepEqual(rep, again) {
 						t.Error("second Finalize differs from the first")
 					}
-					// A fresh detector replaying the same stream agrees.
-					replayed, err := Replay(tc.stream, build())
+					// A fresh detector replaying the same stream — without
+					// the mid-stream Finalize calls — produces the same
+					// full report, proving Finalize never mutated state.
+					replayed, err := Replay(&capture.Recording{Transactions: stream}, c.build())
 					if err != nil {
 						t.Fatal(err)
 					}
-					if replayed.TrojanLikely != rep.TrojanLikely || replayed.Tripped != rep.Tripped {
-						t.Errorf("Replay verdict diverges: %+v vs %+v", replayed, rep)
+					if !reflect.DeepEqual(replayed, rep) {
+						t.Errorf("uninterrupted replay diverges:\n%+v\nvs\n%+v", replayed, rep)
 					}
 				})
 			}

@@ -1,0 +1,73 @@
+package detect
+
+import (
+	"encoding/json"
+	"testing"
+
+	"offramps/internal/capture"
+)
+
+// FuzzBuildDetectorParams drives every registered detector factory with
+// arbitrary params bytes: Build must return a detector or an error —
+// never panic — including recursive ensemble specs, whose members are
+// themselves registry builds. This is the spec-file attack surface: a
+// suite file's "params" blob reaches these decoders verbatim.
+func FuzzBuildDetectorParams(f *testing.F) {
+	for _, seed := range []string{
+		"", "null", "{}",
+		`{"margin": 0.05}`,
+		`{"margin": -5}`,
+		`{"margni": 0.05}`,
+		`{"vote": "any", "members": [{"name": "golden-free"}]}`,
+		`{"vote": "quorum", "members": [{"name": "golden-free"}]}`,
+		`{"members": []}`,
+		`{"members": [{"name": "no-such-detector"}]}`,
+		`{"members": [{"name": "ensemble", "params": {"members": [{"name": "ensemble", "params": {"members": [{"name": "attestation"}]}}]}}]}`,
+		`{"members": [{"name": "golden-monitor", "params": {"margin": "wide"}}]}`,
+		`{"maxTravel": 1e309}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	golden := &capture.Recording{Transactions: []capture.Transaction{{X: 1}}}
+	names := RegisteredNames()
+	f.Fuzz(func(t *testing.T, params []byte) {
+		for _, name := range names {
+			d, err := Build(name, json.RawMessage(params), BuildEnv{Golden: golden})
+			if err != nil {
+				continue
+			}
+			if d == nil {
+				t.Fatalf("Build(%s, %q) returned nil detector and nil error", name, params)
+			}
+			if d.Name() == "" {
+				t.Fatalf("Build(%s, %q) returned a nameless detector", name, params)
+			}
+		}
+	})
+}
+
+// TestNestedEnsembleSpecErrors pins the decoder behaviour the fuzzer
+// probes: malformed nested ensemble specs error cleanly at build time.
+func TestNestedEnsembleSpecErrors(t *testing.T) {
+	env := BuildEnv{Golden: &capture.Recording{Transactions: []capture.Transaction{{X: 1}}}}
+	bad := []string{
+		`{"members": [{"name": "ensemble"}]}`,                                                                   // inner ensemble with no members
+		`{"members": [{"name": "ensemble", "params": {"members": [{"nmae": "x"}]}}]}`,                           // typo inside the nesting
+		`{"members": [{"name": "ensemble", "params": {"members": [{"name": 42}]}}]}`,                            // wrong type deep down
+		`{"members": [{"name": "ensemble", "params": {"vote": "most", "members": [{"name": "golden-free"}]}}]}`, // bad nested vote
+	}
+	for _, p := range bad {
+		if _, err := Build("ensemble", json.RawMessage(p), env); err == nil {
+			t.Errorf("Build(ensemble, %s) accepted", p)
+		}
+	}
+	// A well-formed two-deep nesting builds.
+	good := `{"vote": "all", "members": [{"name": "golden-free"}, {"name": "ensemble", "params": {"members": [{"name": "golden-monitor"}]}}]}`
+	d, err := Build("ensemble", json.RawMessage(good), env)
+	if err != nil {
+		t.Fatalf("nested ensemble rejected: %v", err)
+	}
+	if d.Name() != "ensemble(all)" {
+		t.Errorf("Name() = %q", d.Name())
+	}
+}

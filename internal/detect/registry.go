@@ -96,6 +96,14 @@ func init() {
 		return NewRuleEngine(limits)
 	})
 
+	Register(attestationName, func(p json.RawMessage, _ BuildEnv) (Detector, error) {
+		cfg := DefaultAttestationConfig()
+		if err := registry.UnmarshalParams(p, &cfg); err != nil {
+			return nil, err
+		}
+		return NewAttestation(cfg)
+	})
+
 	Register("ensemble", func(p json.RawMessage, env BuildEnv) (Detector, error) {
 		var params ensembleParams
 		if err := registry.UnmarshalParams(p, &params); err != nil {

@@ -19,7 +19,7 @@ func registryGolden() *capture.Recording {
 }
 
 func TestRegistryNames(t *testing.T) {
-	want := []string{"ensemble", "golden-comparator", "golden-free", "golden-monitor"}
+	want := []string{"attestation", "ensemble", "golden-comparator", "golden-free", "golden-monitor"}
 	if got := RegisteredNames(); !reflect.DeepEqual(got, want) {
 		t.Errorf("RegisteredNames() = %v, want %v", got, want)
 	}

@@ -254,6 +254,20 @@ func (b *Board) RecordingAt(side TapSide) *capture.Recording {
 	return nil
 }
 
+// OnExport registers fn to receive every capture transaction one side's
+// exporter emits, in export order — the per-side streaming feed that
+// lets side-bound live detectors observe a chosen tap instead of
+// polling the primary recording. side must be TapArduino or TapRAMPS;
+// subscribing to an untapped side is an error.
+func (b *Board) OnExport(side TapSide, fn func(capture.Transaction)) error {
+	t, ok := b.taps[side]
+	if !ok {
+		return fmt.Errorf("fpga: no %v tap to stream from (board taps %v)", side, b.cfg.Tap)
+	}
+	t.exporter.OnExport(fn)
+	return nil
+}
+
 // StopCapture halts every export ticker; the recordings keep their
 // contents.
 func (b *Board) StopCapture() {

@@ -3,6 +3,7 @@ package fpga
 import (
 	"testing"
 
+	"offramps/internal/capture"
 	"offramps/internal/signal"
 	"offramps/internal/sim"
 )
@@ -124,5 +125,65 @@ func TestDualTapSeparatesCommandedFromReceived(t *testing.T) {
 	}
 	if b.Tracker() != b.TrackerAt(TapArduino) {
 		t.Error("primary tracker is not the Arduino-side tracker under dual tap")
+	}
+}
+
+// TestOnExportStreamsPerSide drives a dual-tap board with a board-
+// injected extra step and checks the per-side streams deliver exactly
+// what the matching recordings accumulate, in export order — the feed
+// contract side-bound live detectors rely on.
+func TestOnExportStreamsPerSide(t *testing.T) {
+	e, arduino, b := tapRig(t, TapDual)
+
+	var gotArduino, gotRAMPS []capture.Transaction
+	if err := b.OnExport(TapArduino, func(tx capture.Transaction) {
+		gotArduino = append(gotArduino, tx)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.OnExport(TapRAMPS, func(tx capture.Transaction) {
+		gotRAMPS = append(gotRAMPS, tx)
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	step := arduino.Step(signal.AxisX)
+	at := e.Now() + sim.Millisecond
+	e.Schedule(at, func() { step.Set(signal.High) })
+	e.Schedule(at+2*sim.Microsecond, func() { step.Set(signal.Low) })
+	e.Schedule(at+100*sim.Microsecond, func() {
+		b.Path(signal.PinXStep).InjectPulse(2 * sim.Microsecond)
+	})
+	if err := e.Run(at + sim.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	for side, got := range map[TapSide][]capture.Transaction{
+		TapArduino: gotArduino,
+		TapRAMPS:   gotRAMPS,
+	} {
+		rec := b.RecordingAt(side)
+		if len(got) == 0 || len(got) != rec.Len() {
+			t.Fatalf("%v stream delivered %d transactions, recording has %d", side, len(got), rec.Len())
+		}
+		for i, tx := range got {
+			if tx != rec.Transactions[i] {
+				t.Fatalf("%v stream[%d] = %+v, recording has %+v", side, i, tx, rec.Transactions[i])
+			}
+		}
+	}
+	// The injected step reaches only the RAMPS-side stream.
+	if up, down := gotArduino[len(gotArduino)-1].X, gotRAMPS[len(gotRAMPS)-1].X; up+1 != down {
+		t.Errorf("final X counts: arduino %d, ramps %d — want the one injected step downstream only", up, down)
+	}
+}
+
+func TestOnExportRejectsUntappedSide(t *testing.T) {
+	_, _, b := tapRig(t, TapArduino)
+	if err := b.OnExport(TapRAMPS, func(capture.Transaction) {}); err == nil {
+		t.Error("subscription to an untapped side accepted")
+	}
+	if err := b.OnExport(TapDual, func(capture.Transaction) {}); err == nil {
+		t.Error("OnExport(TapDual) accepted — subscriptions are per side")
 	}
 }

@@ -112,6 +112,7 @@ type Exporter struct {
 	index     uint32
 	started   bool
 	stop      func()
+	onExport  []func(capture.Transaction)
 }
 
 // newExporter attaches an exporter to one tap's tracker; a dual-tap
@@ -147,7 +148,21 @@ func (e *Exporter) start(at sim.Time) {
 		if err := e.recording.Append(tx); err != nil {
 			panic("fpga: exporter generated non-contiguous index: " + err.Error())
 		}
+		for _, fn := range e.onExport {
+			fn(tx)
+		}
 	})
+}
+
+// OnExport registers fn to receive every transaction this exporter
+// emits, in export order, at the simulated instant the hardware would
+// put it on the UART — the streaming feed behind live detection.
+// Subscribers run after the transaction is appended to the recording.
+func (e *Exporter) OnExport(fn func(capture.Transaction)) {
+	if fn == nil {
+		panic("fpga: OnExport(nil)")
+	}
+	e.onExport = append(e.onExport, fn)
 }
 
 // Started reports whether export has begun.

@@ -1,0 +1,117 @@
+package registry
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTableRegisterLookup(t *testing.T) {
+	var tbl Table[int]
+	tbl.Kind = "widget"
+	tbl.Register("a", 1)
+	tbl.Register("b", 2)
+	if got, err := tbl.Lookup("a"); err != nil || got != 1 {
+		t.Errorf("Lookup(a) = %d, %v", got, err)
+	}
+	if _, err := tbl.Lookup("nope"); err == nil || !strings.Contains(err.Error(), "widget") {
+		t.Errorf("unknown lookup error = %v, want the kind named", err)
+	}
+	if !tbl.Has("b") || tbl.Has("c") {
+		t.Error("Has() vocabulary wrong")
+	}
+	if names := tbl.Names(); len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Errorf("Names() = %v", names)
+	}
+}
+
+func TestTableRegisterPanics(t *testing.T) {
+	expectPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	var tbl Table[int]
+	tbl.Register("a", 1)
+	expectPanic("duplicate registration", func() { tbl.Register("a", 2) })
+	expectPanic("empty name", func() { tbl.Register("", 3) })
+}
+
+// decoderTarget mirrors the shape of real params structs: scalar fields
+// of several types plus a nested member list, so the fuzzer exercises
+// type mismatches and nesting against a realistic schema.
+type decoderTarget struct {
+	Margin      float64 `json:"margin,omitempty"`
+	MinAbsolute int32   `json:"minAbsolute,omitempty"`
+	Vote        string  `json:"vote,omitempty"`
+	Members     []struct {
+		Name   string          `json:"name"`
+		Params json.RawMessage `json:"params,omitempty"`
+	} `json:"members,omitempty"`
+}
+
+func TestUnmarshalParamsStrict(t *testing.T) {
+	keepDefaults := [][]byte{nil, {}, []byte("null"), []byte(" null ")}
+	for _, p := range keepDefaults {
+		into := decoderTarget{Margin: 0.05}
+		if err := UnmarshalParams(p, &into); err != nil {
+			t.Errorf("UnmarshalParams(%q) = %v, want defaults kept", p, err)
+		}
+		if into.Margin != 0.05 {
+			t.Errorf("UnmarshalParams(%q) clobbered defaults", p)
+		}
+	}
+	bad := []string{
+		`{"margni": 0.1}`,            // typo'd field
+		`{"margin": "five percent"}`, // wrong type
+		`{"minAbsolute": 1.5}`,       // non-integer
+		`{"members": {"name": "x"}}`, // object where a list belongs
+		`[1, 2, 3]`,                  // wrong top-level shape
+		`{"margin": 0.1`,             // truncated
+		`{"members":[{"name":1}]}`,   // nested wrong type
+	}
+	for _, p := range bad {
+		var into decoderTarget
+		if err := UnmarshalParams([]byte(p), &into); err == nil {
+			t.Errorf("UnmarshalParams(%s) accepted", p)
+		}
+	}
+	good := `{"margin": 0.1, "members": [{"name": "inner", "params": {"anything": true}}]}`
+	var into decoderTarget
+	if err := UnmarshalParams([]byte(good), &into); err != nil {
+		t.Errorf("UnmarshalParams(%s) = %v", good, err)
+	}
+	if into.Margin != 0.1 || len(into.Members) != 1 {
+		t.Errorf("decoded %+v", into)
+	}
+}
+
+// FuzzUnmarshalParams hammers the strict spec-params decoder with
+// arbitrary byte strings: it must always either decode or error, never
+// panic, and must never accept input carrying an unknown field.
+func FuzzUnmarshalParams(f *testing.F) {
+	for _, seed := range []string{
+		"", "null", "{}", `{"margin": 0.05}`, `{"margni": 0.05}`,
+		`{"margin": "x"}`, `{"vote": "any", "members": [{"name": "golden-free"}]}`,
+		`{"members": [{"name": "ensemble", "params": {"members": [{"name": "e"}]}}]}`,
+		`[{}]`, `{"margin": 1e309}`, "{\"margin\":", `{"a":{"b":{"c":{"d":1}}}}`,
+	} {
+		f.Add([]byte(seed))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var into decoderTarget
+		err := UnmarshalParams(json.RawMessage(data), &into)
+		if err != nil {
+			return
+		}
+		// Accepted input must re-encode: a decode that succeeded cannot
+		// have left the target in an unmarshalable state.
+		if _, merr := json.Marshal(into); merr != nil {
+			t.Fatalf("accepted params %q but target does not re-marshal: %v", data, merr)
+		}
+	})
+}

@@ -14,7 +14,10 @@ import (
 
 // MarshalJSON renders the result summary: Part and the capture recordings
 // are replaced by the capture window count, and the halt error becomes a
-// string. The shadow fields stay nil so the bulk fields are omitted.
+// string. The shadow fields stay nil so the bulk fields are omitted. A
+// dual-tap result additionally reports each side's window count, so a
+// sink can tell whether the two views stayed in step without shipping
+// the full streams.
 func (r *Result) MarshalJSON() ([]byte, error) {
 	type alias Result
 	aux := struct {
@@ -25,12 +28,18 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 		RAMPSRecording   *capture.Recording `json:"RAMPSRecording,omitempty"`
 		HaltError        string             `json:"HaltError,omitempty"`
 		Windows          int                `json:"Windows"`
+		ArduinoWindows   int                `json:"ArduinoWindows,omitempty"`
+		RAMPSWindows     int                `json:"RAMPSWindows,omitempty"`
 	}{alias: (*alias)(r)}
 	if r.HaltError != nil {
 		aux.HaltError = r.HaltError.Error()
 	}
 	if r.Recording != nil {
 		aux.Windows = r.Recording.Len()
+	}
+	if r.ArduinoRecording != nil && r.RAMPSRecording != nil {
+		aux.ArduinoWindows = r.ArduinoRecording.Len()
+		aux.RAMPSWindows = r.RAMPSRecording.Len()
 	}
 	return json.Marshal(aux)
 }

@@ -32,8 +32,12 @@
 // from specs to regenerate every table and figure in the paper's
 // evaluation. The board's capture tap point is itself configuration
 // (WithTapSide): the paper's Arduino-side tap, a RAMPS-side tap that can
-// see board-injected trojans (§V-D), or both. See DESIGN.md for the
-// architecture.
+// see board-injected trojans (§V-D), or both. Live detection is tap-
+// addressable on top of that: WithDetectorAt binds a detector to a
+// chosen tap, and the dual binding feeds attestation-style detectors
+// synchronized pairs from both sides, so a single dual-tap print detects
+// board-resident trojans with no golden reference (SelfAttest). See
+// DESIGN.md for the architecture.
 package offramps
 
 import (

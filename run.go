@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"offramps/internal/capture"
 	"offramps/internal/detect"
 	"offramps/internal/fpga"
 	"offramps/internal/gcode"
@@ -41,13 +42,68 @@ type RunProgress struct {
 	Tripped bool
 }
 
+// TapBinding names the tap a live detector observes. The zero value,
+// BindPrimary, is the board's primary tap — the paper's rig — so
+// detectors attached without an explicit binding behave exactly as
+// before taps became addressable.
+type TapBinding int
+
+const (
+	// BindPrimary feeds the detector from the board's primary tap
+	// (Arduino-side when tapped — the paper's configuration — else
+	// RAMPS).
+	BindPrimary TapBinding = iota
+	// BindArduino feeds the detector from the Arduino-side (input) tap:
+	// what the firmware commanded.
+	BindArduino
+	// BindRAMPS feeds the detector from the RAMPS-side (output) tap:
+	// what the printer actually received — the side that sees board-
+	// injected trojans (§V-D).
+	BindRAMPS
+	// BindDual feeds the detector synchronized per-window pairs from
+	// both taps; the detector must implement detect.PairObserver (e.g.
+	// the attestation detector).
+	BindDual
+)
+
+// String names the binding for error messages and reports.
+func (b TapBinding) String() string {
+	switch b {
+	case BindPrimary:
+		return "primary"
+	case BindArduino:
+		return "arduino"
+	case BindRAMPS:
+		return "ramps"
+	case BindDual:
+		return "dual"
+	default:
+		return fmt.Sprintf("TapBinding(%d)", int(b))
+	}
+}
+
 // RunOption configures one Testbed.Run.
 type RunOption func(*runConfig)
+
+// sideFeed buffers one tap's exported transactions as the board streams
+// them (Board.OnExport); detectors drain it between simulation steps so
+// trips and aborts stay deterministic step-boundary decisions.
+type sideFeed struct {
+	txs []capture.Transaction
+}
 
 type boundDetector struct {
 	d       detect.Detector
 	policy  TripPolicy
-	tripped bool
+	binding TapBinding
+	// pair is non-nil exactly when binding == BindDual (validated at run
+	// start).
+	pair detect.PairObserver
+	// src is the single-side feed; up/down are the dual feeds.
+	src      *sideFeed
+	up, down *sideFeed
+	fed      int // windows (or pairs) consumed so far
+	tripped  bool
 }
 
 type runConfig struct {
@@ -61,15 +117,28 @@ func WithLimit(limit sim.Time) RunOption {
 	return func(rc *runConfig) { rc.limit = limit }
 }
 
-// WithDetector attaches a live streaming detector to the run: every
-// capture transaction is fed to it about when the hardware would emit it.
-// Under AbortOnTrip the simulation stops the moment the detector trips;
-// under FlagOnly the print finishes and the verdict lands in
-// Result.Detections. Any number of detectors may be attached; each one's
-// finalized report is returned in attachment order.
+// WithDetector attaches a live streaming detector to the run, fed from
+// the board's primary tap: every capture transaction is fed to it about
+// when the hardware would emit it. Under AbortOnTrip the simulation
+// stops the moment the detector trips; under FlagOnly the print finishes
+// and the verdict lands in Result.Detections. Any number of detectors
+// may be attached; each one's finalized report is returned in attachment
+// order.
 func WithDetector(d detect.Detector, policy TripPolicy) RunOption {
+	return WithDetectorAt(BindPrimary, d, policy)
+}
+
+// WithDetectorAt attaches a live detector bound to a specific tap: the
+// Arduino side (what the firmware commanded), the RAMPS side (what the
+// printer received — visible board tampering), or the dual pair feed for
+// attestation-style detectors that diff the two views of the same print.
+// The board must actually tap the bound side (WithTapSide); a dual
+// binding additionally requires the detector to implement
+// detect.PairObserver. Both constraints are validated when Run starts,
+// independent of option order.
+func WithDetectorAt(binding TapBinding, d detect.Detector, policy TripPolicy) RunOption {
 	return func(rc *runConfig) {
-		rc.detectors = append(rc.detectors, &boundDetector{d: d, policy: policy})
+		rc.detectors = append(rc.detectors, &boundDetector{d: d, policy: policy, binding: binding})
 	}
 }
 
@@ -95,6 +164,9 @@ func (tb *Testbed) Run(ctx context.Context, prog gcode.Program, opts ...RunOptio
 	if len(rc.detectors) > 0 && tb.Board == nil {
 		return nil, fmt.Errorf("offramps: live detectors require the MITM path (captures come from the board)")
 	}
+	if err := tb.bindDetectors(&rc); err != nil {
+		return nil, err
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -114,7 +186,6 @@ func (tb *Testbed) Run(ctx context.Context, prog gcode.Program, opts ...RunOptio
 
 	res := &Result{}
 	deadline := tb.Engine.Now() + rc.limit
-	fed := 0
 	for !tb.Firmware.Done() && !res.Aborted {
 		if err := ctx.Err(); err != nil {
 			return nil, fmt.Errorf("offramps: run cancelled: %w", err)
@@ -125,9 +196,7 @@ func (tb *Testbed) Run(ctx context.Context, prog gcode.Program, opts ...RunOptio
 		if err := tb.Engine.Run(tb.Engine.Now() + step); err != nil {
 			return nil, fmt.Errorf("offramps: simulation: %w", err)
 		}
-		var err error
-		fed, err = tb.feedDetectors(&rc, res, fed, true)
-		if err != nil {
+		if err := tb.feedDetectors(&rc, res, true); err != nil {
 			return nil, err
 		}
 		if rc.progress != nil {
@@ -144,8 +213,7 @@ func (tb *Testbed) Run(ctx context.Context, prog gcode.Program, opts ...RunOptio
 		if err := tb.Engine.Run(tb.Engine.Now() + tb.opts.settle); err != nil {
 			return nil, fmt.Errorf("offramps: settling: %w", err)
 		}
-		var err error
-		if fed, err = tb.feedDetectors(&rc, res, fed, false); err != nil {
+		if err := tb.feedDetectors(&rc, res, false); err != nil {
 			return nil, err
 		}
 		if rc.progress != nil {
@@ -180,6 +248,13 @@ func (tb *Testbed) Run(ctx context.Context, prog gcode.Program, opts ...RunOptio
 	}
 	for _, bd := range rc.detectors {
 		rep := bd.d.Finalize()
+		if bd.pair != nil {
+			// The pair feed delivers only complete pairs; windows one side
+			// exported and the other never did are a divergence the
+			// detector cannot see on its own (a board suppressing its
+			// trailing exports must not attest clean).
+			detect.FlagImbalance(rep, len(bd.down.txs)-len(bd.up.txs))
+		}
 		res.Detections = append(res.Detections, rep)
 		if rep.TrojanLikely {
 			res.TrojanLikely = true
@@ -188,22 +263,108 @@ func (tb *Testbed) Run(ctx context.Context, prog gcode.Program, opts ...RunOptio
 	return res, nil
 }
 
-// feedDetectors streams freshly exported capture transactions to every
-// attached detector, starting at position fed, and returns the new feed
-// position. While the print is still running (allowAbort) a trip from an
-// AbortOnTrip detector records the abort and stops the feed; after
-// completion, trips only flag and the whole stream is delivered.
-func (tb *Testbed) feedDetectors(rc *runConfig, res *Result, fed int, allowAbort bool) (int, error) {
-	if tb.Board == nil || len(rc.detectors) == 0 {
-		return fed, nil
+// bindDetectors resolves every attached detector's tap binding against
+// the board's actual tap topology and subscribes the per-side streaming
+// feeds. Validation runs after all options are applied, so the outcome
+// is independent of option order: a detector bound to an untapped side,
+// a dual binding on a single-tap board, a pair-consuming detector bound
+// to one side, and a plain detector bound to the dual feed all fail
+// here, before any simulation happens.
+func (tb *Testbed) bindDetectors(rc *runConfig) error {
+	if len(rc.detectors) == 0 {
+		return nil
 	}
-	rec := tb.Board.Recording()
-	for ; fed < rec.Len(); fed++ {
-		tx := rec.Transactions[fed]
+	feeds := make(map[fpga.TapSide]*sideFeed, 2)
+	subscribe := func(side fpga.TapSide) (*sideFeed, error) {
+		if f, ok := feeds[side]; ok {
+			return f, nil
+		}
+		f := &sideFeed{}
+		if err := tb.Board.OnExport(side, func(tx capture.Transaction) {
+			f.txs = append(f.txs, tx)
+		}); err != nil {
+			return nil, err
+		}
+		feeds[side] = f
+		return f, nil
+	}
+	boardTap := tb.Board.Config().Tap
+	for _, bd := range rc.detectors {
+		pair, isPair := bd.d.(detect.PairObserver)
+		if bd.binding == BindDual {
+			if boardTap != fpga.TapDual {
+				return fmt.Errorf("offramps: config error: detector %s is bound to the dual tap but the board taps %v (add WithTapSide(fpga.TapDual))", bd.d.Name(), boardTap)
+			}
+			if !isPair {
+				return fmt.Errorf("offramps: config error: detector %s is bound to the dual tap but does not consume observation pairs", bd.d.Name())
+			}
+			bd.pair = pair
+			var err error
+			if bd.up, err = subscribe(fpga.TapArduino); err != nil {
+				return fmt.Errorf("offramps: %w", err)
+			}
+			if bd.down, err = subscribe(fpga.TapRAMPS); err != nil {
+				return fmt.Errorf("offramps: %w", err)
+			}
+			continue
+		}
+		if isPair {
+			return fmt.Errorf("offramps: config error: detector %s consumes both taps; bind it with BindDual", bd.d.Name())
+		}
+		var side fpga.TapSide
+		switch bd.binding {
+		case BindPrimary:
+			side = tb.Board.PrimaryTap()
+		case BindArduino:
+			side = fpga.TapArduino
+		case BindRAMPS:
+			side = fpga.TapRAMPS
+		default:
+			return fmt.Errorf("offramps: unknown tap binding %v", bd.binding)
+		}
+		if (side == fpga.TapArduino && !boardTap.TapsArduino()) ||
+			(side == fpga.TapRAMPS && !boardTap.TapsRAMPS()) {
+			return fmt.Errorf("offramps: config error: detector %s is bound to the %v tap but the board taps %v (see WithTapSide)", bd.d.Name(), side, boardTap)
+		}
+		f, err := subscribe(side)
+		if err != nil {
+			return fmt.Errorf("offramps: detector %s: %w", bd.d.Name(), err)
+		}
+		bd.src = f
+	}
+	return nil
+}
+
+// feedDetectors drains the per-side streaming feeds into every attached
+// detector, window by window in rounds: round r delivers window r (or
+// pair r, for a dual binding) to each detector in attachment order, so
+// detectors on different taps advance in lockstep. While the print is
+// still running (allowAbort) a trip from an AbortOnTrip detector records
+// the abort and stops the feed at the end of its round; after
+// completion, trips only flag and the whole stream is delivered.
+func (tb *Testbed) feedDetectors(rc *runConfig, res *Result, allowAbort bool) error {
+	if tb.Board == nil || len(rc.detectors) == 0 {
+		return nil
+	}
+	for {
+		progressed := false
 		for _, bd := range rc.detectors {
-			v := bd.d.Observe(tx)
+			var v detect.Verdict
+			if bd.pair != nil {
+				if bd.fed >= len(bd.up.txs) || bd.fed >= len(bd.down.txs) {
+					continue
+				}
+				v = bd.pair.ObservePair(bd.up.txs[bd.fed], bd.down.txs[bd.fed])
+			} else {
+				if bd.fed >= len(bd.src.txs) {
+					continue
+				}
+				v = bd.d.Observe(bd.src.txs[bd.fed])
+			}
+			bd.fed++
+			progressed = true
 			if v.Err != nil {
-				return fed, fmt.Errorf("offramps: detector %s: %w", bd.d.Name(), v.Err)
+				return fmt.Errorf("offramps: detector %s: %w", bd.d.Name(), v.Err)
 			}
 			if v.Tripped && !bd.tripped {
 				bd.tripped = true
@@ -214,12 +375,10 @@ func (tb *Testbed) feedDetectors(rc *runConfig, res *Result, fed int, allowAbort
 				}
 			}
 		}
-		if res.Aborted {
-			fed++
-			break
+		if !progressed || res.Aborted {
+			return nil
 		}
 	}
-	return fed, nil
 }
 
 func (tb *Testbed) progressSnapshot(rc *runConfig) RunProgress {

@@ -7,8 +7,20 @@ import (
 
 	"offramps/internal/detect"
 	"offramps/internal/flaw3d"
+	"offramps/internal/fpga"
 	"offramps/internal/sim"
+	"offramps/internal/trojan"
 )
+
+// boardTrojan builds a registered board trojan for run-layer tests.
+func boardTrojan(t *testing.T, id string, seed uint64) fpga.Trojan {
+	t.Helper()
+	tr, err := trojan.Build(id, nil, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
 
 func TestRunAbortsTrojanEarly(t *testing.T) {
 	prog := mustTestPart(t)
@@ -181,6 +193,154 @@ func TestRunEnsembleAndFlagOnly(t *testing.T) {
 	}
 	if !strings.Contains(res.Detections[0].Format(), "golden-monitor") {
 		t.Error("report does not name the tripping member")
+	}
+}
+
+// TestRunSideBoundDetectors is the §V-D asymmetry live, in one print:
+// the same board-run T2 masking trojan is invisible to a golden monitor
+// fed from the Arduino-side tap and flagged by an identical monitor fed
+// from the RAMPS side.
+func TestRunSideBoundDetectors(t *testing.T) {
+	prog := mustTestPart(t)
+	golden, err := captureRun(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := NewTestbed(WithSeed(2), WithTapSide(fpga.TapDual), WithTrojan(boardTrojan(t, "T2", 2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	upMonitor, err := detect.NewMonitor(golden, detect.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	downMonitor, err := detect.NewMonitor(golden, detect.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(context.Background(), prog,
+		WithDetectorAt(BindArduino, upMonitor, FlagOnly),
+		WithDetectorAt(BindRAMPS, downMonitor, FlagOnly),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Detections) != 2 {
+		t.Fatalf("got %d detections, want 2", len(res.Detections))
+	}
+	if up := res.Detections[0]; up.TrojanLikely {
+		t.Errorf("arduino-bound monitor flagged the board's own trojan — §V-D says it cannot:\n%s", up.Format())
+	}
+	if down := res.Detections[1]; !down.TrojanLikely {
+		t.Errorf("ramps-bound monitor missed the board-injected trojan:\n%s", down.Format())
+	}
+	if !res.TrojanLikely {
+		t.Error("run verdict did not aggregate the ramps-side detection")
+	}
+}
+
+// TestRunAttestationAbortsBoardTrojan is the tentpole claim end to end:
+// a dual-tap rig running the attestation detector halts a board-resident
+// trojan mid-print from a SINGLE simulation — no golden capture, no
+// second run.
+func TestRunAttestationAbortsBoardTrojan(t *testing.T) {
+	prog := mustTestPart(t)
+	tb, err := NewTestbed(WithSeed(3), WithTapSide(fpga.TapDual), WithTrojan(boardTrojan(t, "T2", 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := detect.NewAttestation(detect.DefaultAttestationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(context.Background(), prog, WithDetectorAt(BindDual, att, AbortOnTrip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted || !res.TrojanLikely {
+		t.Fatalf("board trojan not aborted by self-attestation: %+v", res)
+	}
+	if res.TripReason == "" {
+		t.Fatal("no trip reason recorded")
+	}
+	if len(res.Detections) != 1 || res.Detections[0].Detector != "attestation" {
+		t.Fatalf("attestation report missing: %+v", res.Detections)
+	}
+}
+
+func TestRunAttestationCleanDualPasses(t *testing.T) {
+	prog := mustTestPart(t)
+	tb, err := NewTestbed(WithSeed(4), WithTapSide(fpga.TapDual))
+	if err != nil {
+		t.Fatal(err)
+	}
+	att, err := detect.NewAttestation(detect.DefaultAttestationConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tb.Run(context.Background(), prog, WithDetectorAt(BindDual, att, AbortOnTrip))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted || res.TrojanLikely {
+		t.Fatalf("clean dual-tap print failed attestation: %s", res.Detections[0].Format())
+	}
+	if res.Detections[0].NumCompared == 0 {
+		t.Error("attestation compared no pairs")
+	}
+}
+
+// TestRunTapBindingValidation: every invalid binding fails before the
+// simulation starts, independent of the order options are applied in.
+func TestRunTapBindingValidation(t *testing.T) {
+	prog := mustTestPart(t)
+	golden, err := captureRun(prog, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monitor := func() detect.Detector {
+		m, err := detect.NewMonitor(golden, detect.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	attestation := func() detect.Detector {
+		a, err := detect.NewAttestation(detect.DefaultAttestationConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return a
+	}
+	cases := []struct {
+		name string
+		tap  fpga.TapSide
+		opt  RunOption
+	}{
+		{"ramps binding on arduino-only board", fpga.TapArduino, WithDetectorAt(BindRAMPS, monitor(), FlagOnly)},
+		{"arduino binding on ramps-only board", fpga.TapRAMPS, WithDetectorAt(BindArduino, monitor(), FlagOnly)},
+		{"dual binding on single-tap board", fpga.TapArduino, WithDetectorAt(BindDual, attestation(), FlagOnly)},
+		{"pair detector on primary binding", fpga.TapDual, WithDetector(attestation(), FlagOnly)},
+		{"pair detector on single-side binding", fpga.TapDual, WithDetectorAt(BindRAMPS, attestation(), FlagOnly)},
+		{"plain detector on dual binding", fpga.TapDual, WithDetectorAt(BindDual, monitor(), FlagOnly)},
+	}
+	for _, tc := range cases {
+		// The option order must not matter: the same config error fires
+		// with the detector first or last.
+		orders := [][]RunOption{
+			{tc.opt, WithLimit(sim.Second)},
+			{WithLimit(sim.Second), tc.opt},
+		}
+		for i, opts := range orders {
+			tb, err := NewTestbed(WithTapSide(tc.tap))
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, err = tb.Run(context.Background(), prog, opts...)
+			if err == nil || !strings.Contains(err.Error(), "config error") {
+				t.Errorf("%s (order %d): err = %v, want config error", tc.name, i, err)
+			}
+		}
 	}
 }
 

@@ -157,7 +157,7 @@ type TrojanSpec struct {
 
 // DetectorSpec names a registered detector, its JSON parameters, the
 // scenario whose capture serves as golden reference (for golden-based
-// strategies), and the trip policy.
+// strategies), the tap the detector observes, and the trip policy.
 type DetectorSpec struct {
 	Name   string          `json:"name"`
 	Params json.RawMessage `json:"params,omitempty"`
@@ -168,6 +168,27 @@ type DetectorSpec struct {
 	// Policy is "flag" (default: print finishes, verdict in the result)
 	// or "abort" (halt the print the moment the detector trips).
 	Policy string `json:"policy,omitempty"`
+	// Tap binds the detector to a tap side: "" (the board's primary
+	// tap), "arduino", "ramps", or "dual" (the paired feed attestation-
+	// style detectors consume). The scenario's own tap placement must
+	// include the bound side.
+	Tap string `json:"tap,omitempty"`
+}
+
+// parseTapBinding maps the spec vocabulary onto TapBinding.
+func parseTapBinding(s string) (TapBinding, error) {
+	switch s {
+	case "":
+		return BindPrimary, nil
+	case "arduino":
+		return BindArduino, nil
+	case "ramps":
+		return BindRAMPS, nil
+	case "dual", "both":
+		return BindDual, nil
+	default:
+		return 0, fmt.Errorf("offramps: unknown detector tap %q (want arduino, ramps, or dual)", s)
+	}
 }
 
 // parsePolicy maps the spec vocabulary onto TripPolicy.
@@ -275,6 +296,11 @@ func (s ScenarioSpec) Compile(ctx SpecContext) (Scenario, error) {
 		}
 	}
 
+	tap, err := fpga.ParseTapSide(s.Tap)
+	if err != nil {
+		return fail(err)
+	}
+
 	if s.Detector != nil {
 		d := *s.Detector
 		policy, err := parsePolicy(d.Policy)
@@ -282,6 +308,28 @@ func (s ScenarioSpec) Compile(ctx SpecContext) (Scenario, error) {
 			return fail(err)
 		}
 		out.Policy = policy
+		bind, err := parseTapBinding(d.Tap)
+		if err != nil {
+			return fail(err)
+		}
+		// The detector's tap binding must be a side the scenario actually
+		// taps; this is the spec-level twin of Run's binding validation,
+		// surfaced before any print simulates.
+		switch bind {
+		case BindArduino:
+			if !tap.TapsArduino() {
+				return fail(fmt.Errorf("config error: detector %q is bound to the arduino tap but the scenario taps %q", d.Name, tap))
+			}
+		case BindRAMPS:
+			if !tap.TapsRAMPS() {
+				return fail(fmt.Errorf("config error: detector %q is bound to the ramps tap but the scenario taps %q (set \"tap\": \"ramps\" or \"dual\")", d.Name, tap))
+			}
+		case BindDual:
+			if tap != fpga.TapDual {
+				return fail(fmt.Errorf("config error: detector %q is bound to the dual tap but the scenario taps %q (set \"tap\": \"dual\")", d.Name, tap))
+			}
+		}
+		out.DetectorBind = bind
 		goldens := ctx.Goldens
 		if d.Golden != "" && goldens == nil {
 			return fail(fmt.Errorf("detector %q references golden %q but the compile context resolves no goldens", d.Name, d.Golden))
@@ -294,8 +342,17 @@ func (s ScenarioSpec) Compile(ctx SpecContext) (Scenario, error) {
 		if d.Golden != "" {
 			env.Golden = specValidationGolden
 		}
-		if _, err := detect.Build(d.Name, d.Params, env); err != nil {
+		trial, err := detect.Build(d.Name, d.Params, env)
+		if err != nil {
 			return fail(err)
+		}
+		// Pair-consuming detectors (attestation) diff both taps and only
+		// make sense on the dual feed; plain detectors cannot consume it.
+		if _, isPair := trial.(detect.PairObserver); isPair != (bind == BindDual) {
+			if isPair {
+				return fail(fmt.Errorf("config error: detector %q consumes both taps; bind it with \"tap\": \"dual\" (and tap the scenario dual)", d.Name))
+			}
+			return fail(fmt.Errorf("config error: detector %q does not consume observation pairs; bind it to one side, not \"dual\"", d.Name))
 		}
 		out.Detector = func() (detect.Detector, error) {
 			env := detect.BuildEnv{}
@@ -309,10 +366,6 @@ func (s ScenarioSpec) Compile(ctx SpecContext) (Scenario, error) {
 		}
 	}
 
-	tap, err := fpga.ParseTapSide(s.Tap)
-	if err != nil {
-		return fail(err)
-	}
 	mitm := s.MITM == nil || *s.MITM
 	if !mitm {
 		if s.Trojan != nil {

@@ -130,6 +130,89 @@ func TestScenarioSpecCompileErrors(t *testing.T) {
 	}
 }
 
+// TestScenarioSpecDetectorTapValidation: the tap-addressable detection
+// negative paths. A detector bound to an untapped side, an attestation
+// requested without the dual tap, a dual binding on a plain detector,
+// and a side-bound detector without the MITM must all fail at compile
+// time with "config error" diagnostics — and, like every Compile check,
+// the outcome depends only on the spec's content, never on the order its
+// fields were written in (exercised by permuting independent knobs).
+func TestScenarioSpecDetectorTapValidation(t *testing.T) {
+	bad := []struct {
+		name string
+		spec ScenarioSpec
+	}{
+		{"ramps binding on default arduino tap",
+			ScenarioSpec{Name: "x", Detector: &DetectorSpec{Name: "golden-free", Tap: "ramps"}}},
+		{"arduino binding on ramps tap",
+			ScenarioSpec{Name: "x", Tap: "ramps", Detector: &DetectorSpec{Name: "golden-free", Tap: "arduino"}}},
+		{"attestation without dual scenario tap",
+			ScenarioSpec{Name: "x", Detector: &DetectorSpec{Name: "attestation", Tap: "dual"}}},
+		{"attestation on single-side tap",
+			ScenarioSpec{Name: "x", Tap: "ramps", Detector: &DetectorSpec{Name: "attestation", Tap: "dual"}}},
+		{"attestation without a dual binding",
+			ScenarioSpec{Name: "x", Tap: "dual", Detector: &DetectorSpec{Name: "attestation"}}},
+		{"plain detector on the dual binding",
+			ScenarioSpec{Name: "x", Tap: "dual", Detector: &DetectorSpec{Name: "golden-free", Tap: "dual"}}},
+		{"dual binding without MITM",
+			func() ScenarioSpec {
+				mitm := false
+				return ScenarioSpec{Name: "x", MITM: &mitm, Tap: "dual",
+					Detector: &DetectorSpec{Name: "attestation", Tap: "dual"}}
+			}()},
+		{"side-bound detector without MITM",
+			func() ScenarioSpec {
+				mitm := false
+				return ScenarioSpec{Name: "x", MITM: &mitm,
+					Detector: &DetectorSpec{Name: "golden-free", Tap: "arduino"}}
+			}()},
+	}
+	for _, tc := range bad {
+		_, err := tc.spec.Compile(SpecContext{BaseSeed: 1})
+		if err == nil || !strings.Contains(err.Error(), "config error") {
+			t.Errorf("%s: err = %v, want a config error", tc.name, err)
+		}
+	}
+
+	// Unknown binding vocabulary is its own diagnostic.
+	if _, err := (ScenarioSpec{Name: "x", Detector: &DetectorSpec{Name: "golden-free", Tap: "sideways"}}).Compile(SpecContext{}); err == nil {
+		t.Error("unknown detector tap accepted")
+	}
+
+	// The good twins compile: every side the scenario taps is bindable.
+	good := []ScenarioSpec{
+		{Name: "x", Detector: &DetectorSpec{Name: "golden-free", Tap: "arduino"}},
+		{Name: "x", Tap: "ramps", Detector: &DetectorSpec{Name: "golden-free", Tap: "ramps"}},
+		{Name: "x", Tap: "dual", Detector: &DetectorSpec{Name: "golden-free", Tap: "ramps"}},
+		{Name: "x", Tap: "dual", Detector: &DetectorSpec{Name: "attestation", Tap: "dual"}},
+	}
+	for i, spec := range good {
+		sc, err := spec.Compile(SpecContext{BaseSeed: 1})
+		if err != nil {
+			t.Errorf("good spec %d rejected: %v", i, err)
+			continue
+		}
+		if spec.Detector.Tap == "dual" && sc.DetectorBind != BindDual {
+			t.Errorf("good spec %d: DetectorBind = %v, want dual", i, sc.DetectorBind)
+		}
+	}
+
+	// A compiled dual-attestation scenario with the json round trip: the
+	// spec stays pure data.
+	js := `{"name": "a", "tap": "dual", "trojan": {"name": "T2"}, "detector": {"name": "attestation", "tap": "dual", "policy": "abort"}}`
+	var spec ScenarioSpec
+	if err := json.Unmarshal([]byte(js), &spec); err != nil {
+		t.Fatal(err)
+	}
+	sc, err := spec.Compile(SpecContext{BaseSeed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.DetectorBind != BindDual || sc.Policy != AbortOnTrip {
+		t.Errorf("round-tripped spec compiled to bind=%v policy=%v", sc.DetectorBind, sc.Policy)
+	}
+}
+
 func TestParseSuiteSpecStrict(t *testing.T) {
 	if _, err := ParseSuiteSpec([]byte(`{"scenarios": [{"name": "a", "trjoan": {}}]}`), ""); err == nil {
 		t.Error("unknown field accepted")
@@ -185,6 +268,7 @@ func TestParseSuiteSpecStrict(t *testing.T) {
 func TestBuiltinSuitesValidate(t *testing.T) {
 	suites := []*SuiteSpec{
 		TableIISuite(1), Figure4Suite(1), DriftSuite(1, 3), TapSidesSuite(1),
+		SelfAttestSuite(1),
 		{Name: "table1", BaseSeed: 1, Scenarios: TableISpecs()},
 		{Name: "overhead", BaseSeed: 1, Scenarios: OverheadSpecs()},
 	}
