@@ -85,6 +85,15 @@ type Campaign struct {
 	// hit bit-identical to a fresh run. Scenarios with trojans, detectors,
 	// Prepare hooks, or any extra options are never cached.
 	Cache *GoldenCache
+	// Sinks receive each ScenarioResult as it completes (completion
+	// order, Emit calls serialized across workers), so huge campaigns
+	// stream instead of buffering. A sink error does not stop the
+	// campaign; the first one is returned (as a *SinkError) after every
+	// scenario finished. The campaign never closes a sink — one sink
+	// commonly spans several Run calls (a suite's waves, a multi-suite
+	// sweep), so the owner must call Close after the last campaign or
+	// buffered sinks (e.g. CSVSink) lose their tail.
+	Sinks []ResultSink
 }
 
 // Run executes every scenario and returns the results in scenario order.
@@ -104,6 +113,20 @@ func (c Campaign) Run(ctx context.Context, scenarios []Scenario) ([]ScenarioResu
 	}
 
 	results := make([]ScenarioResult, len(scenarios))
+	var sinkMu sync.Mutex
+	var sinkErr error
+	emit := func(r ScenarioResult) {
+		if len(c.Sinks) == 0 {
+			return
+		}
+		sinkMu.Lock()
+		defer sinkMu.Unlock()
+		for _, s := range c.Sinks {
+			if err := s.Emit(r); err != nil && sinkErr == nil {
+				sinkErr = &SinkError{Err: err}
+			}
+		}
+	}
 	indices := make(chan int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -112,6 +135,7 @@ func (c Campaign) Run(ctx context.Context, scenarios []Scenario) ([]ScenarioResu
 			defer wg.Done()
 			for i := range indices {
 				results[i] = c.runScenario(ctx, i, scenarios[i])
+				emit(results[i])
 			}
 		}()
 	}
@@ -134,7 +158,7 @@ feed:
 	if err := ctx.Err(); err != nil {
 		return results, fmt.Errorf("offramps: campaign cancelled: %w", err)
 	}
-	return results, nil
+	return results, sinkErr
 }
 
 // runScenario builds and runs one scenario end to end, consulting the

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// Comparison mode: `benchjson -compare old.json new.json` diffs two
+// archived reports and annotates regressions. CI points old.json at the
+// newest committed BENCH_<n>.json and new.json at the run's fresh
+// results; any benchmark whose tracked metric regressed past the
+// threshold emits a GitHub Actions ::warning:: annotation. The exit
+// status stays zero — perf tracking is advisory, not a gate — unless a
+// compared benchmark is missing from the new report, which means the
+// bench harness itself broke.
+
+// loadReport reads an archived benchjson document and indexes it by
+// benchmark base name (the "-8" GOMAXPROCS suffix stripped, so reports
+// from different machines compare).
+func loadReport(path string) (map[string]Result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	out := make(map[string]Result, len(rep.Benchmarks))
+	for _, b := range rep.Benchmarks {
+		out[benchBase(b.Name)] = b
+	}
+	return out, nil
+}
+
+// benchBase strips a trailing "-<digits>" GOMAXPROCS suffix.
+func benchBase(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 {
+		return name
+	}
+	for _, c := range name[i+1:] {
+		if c < '0' || c > '9' {
+			return name
+		}
+	}
+	if i == len(name)-1 {
+		return name
+	}
+	return name[:i]
+}
+
+// runCompare diffs the named benchmarks' metric between two reports.
+func runCompare(oldPath, newPath, metric, benches string, threshold float64, out io.Writer) error {
+	oldRep, err := loadReport(oldPath)
+	if err != nil {
+		return err
+	}
+	newRep, err := loadReport(newPath)
+	if err != nil {
+		return err
+	}
+
+	var missing []string
+	for _, name := range strings.Split(benches, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		n, ok := newRep[name]
+		if !ok {
+			missing = append(missing, name)
+			continue
+		}
+		o, ok := oldRep[name]
+		if !ok {
+			fmt.Fprintf(out, "%s: not in baseline %s, skipping\n", name, oldPath)
+			continue
+		}
+		ov, nv := o.Metrics[metric], n.Metrics[metric]
+		if nv == 0 {
+			// A tracked metric vanishing from the fresh report is a broken
+			// bench harness, not a 100% improvement.
+			missing = append(missing, fmt.Sprintf("%s (no %s)", name, metric))
+			continue
+		}
+		if ov == 0 {
+			fmt.Fprintf(out, "%s: baseline has no %s, skipping\n", name, metric)
+			continue
+		}
+		delta := (nv - ov) / ov * 100
+		fmt.Fprintf(out, "%s: %s %.0f -> %.0f (%+.1f%%) vs %s\n", name, metric, ov, nv, delta, oldPath)
+		if delta > threshold {
+			fmt.Fprintf(out, "::warning title=bench regression::%s %s regressed %+.1f%% vs %s (threshold %.0f%%)\n",
+				name, metric, delta, oldPath, threshold)
+		}
+	}
+	if len(missing) > 0 {
+		return fmt.Errorf("benchmarks missing from %s: %s", newPath, strings.Join(missing, ", "))
+	}
+	return nil
+}

@@ -5,18 +5,49 @@
 // Every benchmark line becomes one object carrying the iteration count and
 // every reported metric keyed by its unit (ns/op, allocs/op, B/op, and any
 // custom b.ReportMetric units such as events/op or sim-s/op).
+//
+// With -compare, benchjson instead diffs two archived reports:
+//
+//	benchjson -compare BENCH_3.json BENCH_ci.json
+//	benchjson -compare -threshold 15 -metric ns/op -benches BenchmarkGoldenPrint old.json new.json
+//
+// printing per-benchmark deltas and a GitHub Actions ::warning::
+// annotation for any tracked benchmark that regressed past the
+// threshold. Comparison is advisory (exit 0 on regressions); only a
+// benchmark missing from the new report fails.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"os"
 	"strings"
 )
 
 func main() {
-	if err := run(os.Stdin, os.Stdout); err != nil {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	var (
+		compare   = fs.Bool("compare", false, "compare two archived reports (old.json new.json) instead of converting")
+		metric    = fs.String("metric", "ns/op", "metric `unit` to compare")
+		benches   = fs.String("benches", "BenchmarkGoldenPrint,BenchmarkCampaign", "comma-separated benchmark `names` to compare")
+		threshold = fs.Float64("threshold", 15, "annotate regressions beyond this `percent`")
+	)
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		os.Exit(2)
+	}
+	var err error
+	if *compare {
+		if fs.NArg() != 2 {
+			err = fmt.Errorf("-compare wants exactly two report files, got %d args", fs.NArg())
+		} else {
+			err = runCompare(fs.Arg(0), fs.Arg(1), *metric, *benches, *threshold, os.Stdout)
+		}
+	} else {
+		err = run(os.Stdin, os.Stdout)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}

@@ -1,6 +1,13 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
 	line := "BenchmarkGoldenPrint \t       3\t  80680280 ns/op\t   1198928 events/op\t       166.2 sim-s/op\t 2946872 B/op\t    1204 allocs/op"
@@ -58,5 +65,107 @@ func TestParseHeader(t *testing.T) {
 	}
 	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "offramps" || rep.CPU == "" {
 		t.Errorf("header = %+v", rep)
+	}
+}
+
+func TestBenchBase(t *testing.T) {
+	for in, want := range map[string]string{
+		"BenchmarkCampaign-8":     "BenchmarkCampaign",
+		"BenchmarkCampaign":       "BenchmarkCampaign",
+		"BenchmarkCampaign-":      "BenchmarkCampaign-",
+		"BenchmarkT2-Masking":     "BenchmarkT2-Masking",
+		"BenchmarkGoldenPrint-16": "BenchmarkGoldenPrint",
+	} {
+		if got := benchBase(in); got != want {
+			t.Errorf("benchBase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func writeBenchReport(t *testing.T, dir, name string, ns map[string]float64) string {
+	t.Helper()
+	rep := Report{}
+	for bench, v := range ns {
+		rep.Benchmarks = append(rep.Benchmarks, Result{Name: bench, Runs: 2, Metrics: map[string]float64{"ns/op": v}})
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCompareAnnotatesRegressions(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBenchReport(t, dir, "old.json", map[string]float64{
+		"BenchmarkGoldenPrint": 100_000_000, "BenchmarkCampaign-8": 400_000_000,
+	})
+	cur := writeBenchReport(t, dir, "new.json", map[string]float64{
+		"BenchmarkGoldenPrint-8": 130_000_000, "BenchmarkCampaign": 390_000_000,
+	})
+	var out strings.Builder
+	if err := runCompare(old, cur, "ns/op", "BenchmarkGoldenPrint,BenchmarkCampaign", 15, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "::warning title=bench regression::BenchmarkGoldenPrint ns/op regressed +30.0%") {
+		t.Errorf("30%% regression not annotated:\n%s", text)
+	}
+	if strings.Contains(text, "::warning title=bench regression::BenchmarkCampaign") {
+		t.Errorf("improvement annotated as regression:\n%s", text)
+	}
+	if !strings.Contains(text, "BenchmarkCampaign: ns/op 400000000 -> 390000000 (-2.5%)") {
+		t.Errorf("delta line missing:\n%s", text)
+	}
+}
+
+func TestRunCompareMissingBenchFails(t *testing.T) {
+	dir := t.TempDir()
+	old := writeBenchReport(t, dir, "old.json", map[string]float64{"BenchmarkGoldenPrint": 1})
+	cur := writeBenchReport(t, dir, "new.json", map[string]float64{"BenchmarkOther": 1})
+	var out strings.Builder
+	err := runCompare(old, cur, "ns/op", "BenchmarkGoldenPrint", 15, &out)
+	if err == nil || !strings.Contains(err.Error(), "missing") {
+		t.Errorf("missing benchmark tolerated: %v", err)
+	}
+
+	// A benchmark present in both reports but without the tracked metric
+	// in the new one is equally a broken harness, not a -100% win.
+	old = writeBenchReport(t, dir, "old2.json", map[string]float64{"BenchmarkGoldenPrint": 100})
+	cur = writeBenchReport(t, dir, "new2.json", map[string]float64{"BenchmarkGoldenPrint": 100})
+	err = runCompare(old, cur, "allocs/op", "BenchmarkGoldenPrint", 15, &out)
+	if err == nil || !strings.Contains(err.Error(), "no allocs/op") {
+		t.Errorf("vanished metric tolerated: %v", err)
+	}
+}
+
+func TestRunCompareAgainstCommittedBaseline(t *testing.T) {
+	// The committed BENCH_<n>.json files must stay consumable by the CI
+	// compare step. Pick the newest by numeric label, matching the CI
+	// step's `sort -V` (lexical order breaks at BENCH_10).
+	matches, err := filepath.Glob(filepath.Join("..", "..", "BENCH_*.json"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no committed BENCH files: %v", err)
+	}
+	latest, best := "", -1
+	for _, m := range matches {
+		label := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(m), "BENCH_"), ".json")
+		if n, err := strconv.Atoi(label); err == nil && n > best {
+			latest, best = m, n
+		}
+	}
+	if latest == "" {
+		t.Fatalf("no numerically labelled BENCH files among %v", matches)
+	}
+	var out strings.Builder
+	if err := runCompare(latest, latest, "ns/op", "BenchmarkGoldenPrint,BenchmarkCampaign", 15, &out); err != nil {
+		t.Fatalf("self-compare of %s failed: %v", latest, err)
+	}
+	if !strings.Contains(out.String(), "(+0.0%)") {
+		t.Errorf("self-compare deltas not zero:\n%s", out.String())
 	}
 }

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"offramps"
+)
+
+// repoRoot walks up from the test's working directory to the module root
+// so the committed example specs resolve.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("module root not found")
+		}
+		dir = parent
+	}
+}
+
+// TestGridgenRoundTrips expands the committed Table II grid and feeds
+// the output back through the strict suite parser: gridgen's JSON is a
+// complete, valid suite spec.
+func TestGridgenRoundTrips(t *testing.T) {
+	grid := filepath.Join(repoRoot(t), "examples", "specs", "grid_tableii.json")
+	var out strings.Builder
+	if err := run([]string{grid}, &out); err != nil {
+		t.Fatal(err)
+	}
+	suite, err := offramps.ParseSuiteSpec([]byte(out.String()), filepath.Dir(grid))
+	if err != nil {
+		t.Fatalf("gridgen output does not parse as a suite spec: %v", err)
+	}
+	if suite.Name != "table2-grid" {
+		t.Errorf("suite name = %q", suite.Name)
+	}
+	if len(suite.Scenarios) != 10 || len(suite.Compare) != 9 {
+		t.Errorf("suite shape: %d scenarios, %d compares", len(suite.Scenarios), len(suite.Compare))
+	}
+}
+
+// TestGridgenNamesShards: -names lists every scenario, and the -shard
+// slices partition that list exactly.
+func TestGridgenNamesShards(t *testing.T) {
+	grid := filepath.Join(repoRoot(t), "examples", "specs", "grid_tableii.json")
+	var all strings.Builder
+	if err := run([]string{"-names", grid}, &all); err != nil {
+		t.Fatal(err)
+	}
+	names := strings.Fields(all.String())
+	if len(names) != 10 {
+		t.Fatalf("names = %v", names)
+	}
+	seen := map[string]int{}
+	for i := 1; i <= 3; i++ {
+		var out strings.Builder
+		if err := run([]string{"-names", "-shard", fmt.Sprintf("%d/3", i), grid}, &out); err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range strings.Fields(out.String()) {
+			seen[n]++
+		}
+	}
+	if len(seen) != len(names) {
+		t.Errorf("shards cover %d of %d names", len(seen), len(names))
+	}
+	for n, c := range seen {
+		if c != 1 {
+			t.Errorf("name %q listed by %d shards", n, c)
+		}
+	}
+}
+
+// TestGridgenRejectsBadInput covers the CLI guards.
+func TestGridgenRejectsBadInput(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no args accepted")
+	}
+	if err := run([]string{"-shard", "1/2", "grid.json"}, &out); err == nil {
+		t.Error("-shard without -names accepted")
+	}
+	if err := run([]string{filepath.Join(t.TempDir(), "nope.json")}, &out); err == nil {
+		t.Error("missing grid file accepted")
+	}
+}

@@ -10,23 +10,40 @@
 //	suite spec.json...
 //	suite -workers 4 -json report.json -csv rows.csv specs/*.json
 //	suite -seed 99 spec.json        # override the spec's base seed
+//	suite -grid grid.json           # expand a parameter-grid sweep first
+//	suite -grid -shard 2/4 -json shard2.json grid.json
+//	suite -grid -merge -json merged.json grid.json shard*.json
+//	suite -jsonl results.jsonl -progress big_sweep.json
+//
+// A grid file (-grid) is a compact sweep description — axes of programs,
+// trojans, detectors, taps, budgets, and seeds, cross-multiplied minus
+// include/exclude filters — expanded deterministically into a suite (see
+// cmd/gridgen to materialize the expansion). -shard i/N runs a disjoint,
+// stable slice of any suite: each scenario's shard is a hash of its
+// name, so CI matrices and remote runners can split a sweep and -merge
+// reassembles the per-shard JSON reports into one report byte-identical
+// to the unsharded run. -jsonl and -progress stream per-scenario rows as
+// prints complete, keeping memory bounded on huge sweeps.
 //
 // See examples/specs/ for committed spec files, including the RAMPS-side
 // tap scenario that detects a board-injected trojan the paper's
-// Arduino-side tap is blind to (§V-D), and the dual-tap self-attestation
-// suite whose "attestation" detector (bound with "tap": "dual") flags a
-// board-resident trojan in a single print with no golden capture.
+// Arduino-side tap is blind to (§V-D), the dual-tap self-attestation
+// suite, and the Table II reproduction expressed as a grid
+// (grid_tableii.json).
 package main
 
 import (
 	"context"
 	"encoding/csv"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -43,10 +60,15 @@ func main() {
 func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("suite", flag.ContinueOnError)
 	var (
-		workers = fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS, overrides spec)")
-		seed    = fs.Uint64("seed", 0, "override every suite's base seed (0 = use the spec's)")
-		jsonOut = fs.String("json", "", "write the suite reports as JSON to `file` (\"-\" = stdout)")
-		csvOut  = fs.String("csv", "", "write per-scenario and per-comparison rows as CSV to `file` (\"-\" = stdout)")
+		workers  = fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS, overrides spec)")
+		seed     = fs.Uint64("seed", 0, "override every suite's base seed (0 = use the spec's)")
+		jsonOut  = fs.String("json", "", "write the suite reports as JSON to `file` (\"-\" = stdout)")
+		csvOut   = fs.String("csv", "", "write per-scenario and per-comparison rows as CSV to `file` (\"-\" = stdout)")
+		grid     = fs.Bool("grid", false, "treat the spec files as parameter-grid sweeps and expand them first (grid_*.json files auto-detect)")
+		shard    = fs.String("shard", "", "run only shard `i/N` of each suite (stable per-scenario slices; merge with -merge)")
+		merge    = fs.Bool("merge", false, "merge shard reports: first arg is the spec/grid file, the rest are per-shard -json files")
+		jsonlOut = fs.String("jsonl", "", "stream one JSON line per completed scenario to `file` (\"-\" = stdout)")
+		progress = fs.Bool("progress", false, "print a progress line as each scenario completes")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,36 +78,119 @@ func run(args []string, stdout io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("no spec files given")
 	}
+	if *merge {
+		if *shard != "" {
+			return fmt.Errorf("-merge and -shard are mutually exclusive")
+		}
+		if *csvOut != "" || *jsonlOut != "" || *progress {
+			return fmt.Errorf("-csv, -jsonl, and -progress are not supported with -merge (it stitches existing -json reports)")
+		}
+		return runMerge(*grid, *seed, paths, *jsonOut, stdout)
+	}
+	var shardIdx, shardCnt int
+	if *shard != "" {
+		var err error
+		if shardIdx, shardCnt, err = offramps.ParseShard(*shard); err != nil {
+			return err
+		}
+	}
+
+	var jsonl *offramps.JSONLSink
+	if *jsonlOut != "" {
+		w, closer, err := sink(*jsonlOut, stdout)
+		if err != nil {
+			return fmt.Errorf("jsonl: %w", err)
+		}
+		defer closer()
+		jsonl = offramps.NewJSONLSink(w)
+	}
 
 	// One golden cache across all suites: spec files that print the same
 	// (program, seed) golden share a single simulation.
 	cache := offramps.NewGoldenCache()
 	var reports []*offramps.SuiteReport
+	var sinkFailure error
 	for _, path := range paths {
-		spec, err := offramps.LoadSuiteSpec(path)
+		spec, err := loadSuite(path, *grid)
 		if err != nil {
 			return err
 		}
 		if *seed != 0 {
 			spec.BaseSeed = *seed
 		}
+		runSpec := spec
+		var sh *offramps.SuiteShard
+		if *shard != "" {
+			if sh, err = spec.Shard(shardIdx, shardCnt); err != nil {
+				return fmt.Errorf("%s: %w", path, err)
+			}
+			runSpec = sh.Spec
+		}
+
 		c := offramps.Campaign{Cache: cache}
 		if *workers > 0 {
 			c.Workers = *workers
-			spec.Workers = 0 // flag wins over the spec
+			runSpec.Workers = 0 // flag wins over the spec
 		}
+		// The jsonl sink spans every suite and is closed after the loop;
+		// per-suite sinks are closed as each suite finishes.
+		var perSuite []offramps.ResultSink
+		if jsonl != nil {
+			jsonl.Label = spec.Name
+			c.Sinks = append(c.Sinks, ownedOnly(sh, jsonl))
+		}
+		if *progress {
+			total := len(runSpec.Scenarios)
+			if sh != nil {
+				total = len(sh.Owned)
+			}
+			ps := ownedOnly(sh, &offramps.ProgressSink{W: stdout, Total: total})
+			c.Sinks = append(c.Sinks, ps)
+			perSuite = append(perSuite, ps)
+		}
+
 		start := time.Now()
-		rep, err := c.RunSuite(context.Background(), spec)
-		if err != nil {
-			return fmt.Errorf("%s: %w", path, err)
+		rep := &offramps.SuiteReport{Suite: runSpec.Name, BaseSeed: runSpec.BaseSeed, Results: []offramps.ScenarioResult{}}
+		if len(runSpec.Scenarios) > 0 {
+			if rep, err = c.RunSuite(context.Background(), runSpec); err != nil {
+				// A sink failure still produced a complete report — keep
+				// going so -json/-csv artifacts are written, and surface
+				// the error at exit.
+				var se *offramps.SinkError
+				if !errors.As(err, &se) {
+					return fmt.Errorf("%s: %w", path, err)
+				}
+				if sinkFailure == nil {
+					sinkFailure = fmt.Errorf("%s: %w", path, err)
+				}
+			}
+		}
+		for _, s := range perSuite {
+			if cerr := s.Close(); cerr != nil && sinkFailure == nil {
+				sinkFailure = fmt.Errorf("%s: result sink: %w", path, cerr)
+			}
+		}
+		if sh != nil {
+			// Helper goldens ran for the shard's compares but belong to
+			// another shard's report.
+			rep = sh.Filter(rep)
+			fmt.Fprintf(stdout, "shard %d/%d of %s: %d of %d scenarios\n",
+				shardIdx, shardCnt, spec.Name, len(rep.Results), len(spec.Scenarios))
 		}
 		fmt.Fprint(stdout, rep.Format())
 		fmt.Fprintf(stdout, "(%s executed in %v)\n\n", path, time.Since(start).Round(time.Millisecond))
 		reports = append(reports, rep)
 	}
+	if jsonl != nil {
+		if cerr := jsonl.Close(); cerr != nil && sinkFailure == nil {
+			sinkFailure = fmt.Errorf("jsonl: %w", cerr)
+		}
+	}
 
 	if *jsonOut != "" {
-		if err := writeJSON(*jsonOut, stdout, reports); err != nil {
+		if err := writeJSONDoc(*jsonOut, stdout, struct {
+			Suites []*offramps.SuiteReport `json:"suites"`
+		}{reports}); err != nil {
 			return fmt.Errorf("json: %w", err)
 		}
 	}
@@ -94,7 +199,54 @@ func run(args []string, stdout io.Writer) error {
 			return fmt.Errorf("csv: %w", err)
 		}
 	}
-	return firstError(reports)
+	if err := firstError(reports); err != nil {
+		return err
+	}
+	return sinkFailure
+}
+
+// ownedOnly filters streamed rows to the shard's owned scenarios:
+// helper goldens execute in every shard that needs them, but across a
+// sharded sweep's concatenated -jsonl streams each scenario must appear
+// exactly once, matching the merged -json report.
+func ownedOnly(sh *offramps.SuiteShard, inner offramps.ResultSink) offramps.ResultSink {
+	if sh == nil {
+		return inner
+	}
+	return &ownedSink{sh: sh, inner: inner}
+}
+
+type ownedSink struct {
+	sh    *offramps.SuiteShard
+	inner offramps.ResultSink
+}
+
+func (s *ownedSink) Emit(r offramps.ScenarioResult) error {
+	if !s.sh.Owned[r.Name] {
+		return nil
+	}
+	return s.inner.Emit(r)
+}
+
+func (s *ownedSink) Close() error { return s.inner.Close() }
+
+// loadSuite reads a suite spec — or a grid spec expanded into one. -grid
+// forces grid interpretation; without it, the committed grid_*.json
+// naming convention decides, so `suite examples/specs/*.json` keeps
+// working with grids in the glob.
+func loadSuite(path string, grid bool) (*offramps.SuiteSpec, error) {
+	if grid || strings.HasPrefix(filepath.Base(path), "grid_") {
+		g, err := offramps.LoadGridSpec(path)
+		if err != nil {
+			return nil, err
+		}
+		s, err := g.Expand()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return s, nil
+	}
+	return offramps.LoadSuiteSpec(path)
 }
 
 // firstError surfaces scenario or comparison failures as a non-zero exit
@@ -134,7 +286,11 @@ func sink(path string, stdout io.Writer) (io.Writer, func() error, error) {
 	}, nil
 }
 
-func writeJSON(path string, stdout io.Writer, reports []*offramps.SuiteReport) error {
+// writeJSONDoc writes any document as indented JSON. Both the live
+// report path and the shard merge path emit through this one encoder
+// configuration — that shared normalization is what makes a merged
+// report byte-identical to an unsharded one.
+func writeJSONDoc(path string, stdout io.Writer, doc any) error {
 	w, closer, err := sink(path, stdout)
 	if err != nil {
 		return err
@@ -142,20 +298,10 @@ func writeJSON(path string, stdout io.Writer, reports []*offramps.SuiteReport) e
 	defer closer()
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	if err := enc.Encode(struct {
-		Suites []*offramps.SuiteReport `json:"suites"`
-	}{reports}); err != nil {
+	if err := enc.Encode(doc); err != nil {
 		return err
 	}
 	return closer()
-}
-
-// csvHeader labels both row kinds; comparison rows leave the scenario
-// metric columns empty and vice versa.
-var csvHeader = []string{
-	"kind", "suite", "name", "seed", "golden", "suspect",
-	"completed", "aborted", "trojan_likely", "mismatches", "final_mismatches",
-	"largest_pct", "duration_s", "windows", "filament_mm", "error",
 }
 
 func writeCSV(path string, stdout io.Writer, reports []*offramps.SuiteReport) error {
@@ -165,33 +311,13 @@ func writeCSV(path string, stdout io.Writer, reports []*offramps.SuiteReport) er
 	}
 	defer closer()
 	cw := csv.NewWriter(w)
-	if err := cw.Write(csvHeader); err != nil {
+	if err := cw.Write(offramps.ScenarioCSVHeader); err != nil {
 		return err
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
 	for _, rep := range reports {
 		for _, r := range rep.Results {
-			row := []string{"scenario", rep.Suite, r.Name, strconv.FormatUint(r.Seed, 10), "", ""}
-			if r.Err != nil {
-				row = append(row, "", "", "", "", "", "", "", "", "", r.Err.Error())
-			} else {
-				res := r.Result
-				windows := 0
-				if res.Recording != nil {
-					windows = res.Recording.Len()
-				}
-				row = append(row,
-					strconv.FormatBool(res.Completed),
-					strconv.FormatBool(res.Aborted),
-					strconv.FormatBool(res.TrojanLikely),
-					"", "", "",
-					f(res.Duration.Seconds()),
-					strconv.Itoa(windows),
-					f(res.Quality.TotalFilament),
-					"",
-				)
-			}
-			if err := cw.Write(row); err != nil {
+			if err := cw.Write(offramps.ScenarioCSVRow(rep.Suite, r)); err != nil {
 				return err
 			}
 		}

@@ -1,7 +1,9 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -152,5 +154,189 @@ func TestRunRejectsMissingSpec(t *testing.T) {
 	}
 	if err := run([]string{}, &out); err == nil {
 		t.Error("empty spec list accepted")
+	}
+}
+
+// TestGridTableIIExampleSpec runs the committed Table II grid sweep in
+// -grid mode: the generator expands the eight Flaw3D cases plus golden
+// and clean control, and every tampered print is detected while the
+// clean control passes — the paper's Table II from a 30-line grid file.
+func TestGridTableIIExampleSpec(t *testing.T) {
+	spec := filepath.Join(repoRoot(t), "examples", "specs", "grid_tableii.json")
+	var out strings.Builder
+	if err := run([]string{"-grid", spec}, &out); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for i := 1; i <= 8; i++ {
+		want := fmt.Sprintf("compare golden vs flaw3d-%d [golden-comparator]: TROJAN LIKELY", i)
+		if !strings.Contains(text, want) {
+			t.Errorf("flaw3d case %d not detected:\n%s", i, text)
+		}
+	}
+	if !strings.Contains(text, "compare golden vs clean-control [golden-comparator]: no trojan suspected") {
+		t.Errorf("clean control false-positived:\n%s", text)
+	}
+}
+
+// TestShardMergeByteIdentical is the sharding acceptance test: for base
+// seeds 1 and 7, running the grid as four hash-keyed shards and merging
+// the per-shard JSON reports yields a file byte-identical to the
+// unsharded run's.
+func TestShardMergeByteIdentical(t *testing.T) {
+	grid := filepath.Join("testdata", "grid_shard.json")
+	for _, seed := range []string{"1", "7"} {
+		t.Run("seed"+seed, func(t *testing.T) {
+			dir := t.TempDir()
+			full := filepath.Join(dir, "full.json")
+			var out strings.Builder
+			if err := run([]string{"-grid", "-seed", seed, "-json", full, grid}, &out); err != nil {
+				t.Fatal(err)
+			}
+
+			const shards = 4
+			mergeArgs := []string{"-grid", "-merge", "-seed", seed, "-json", filepath.Join(dir, "merged.json"), grid}
+			for i := 1; i <= shards; i++ {
+				shardOut := filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
+				if err := run([]string{"-grid", "-seed", seed, "-shard", fmt.Sprintf("%d/%d", i, shards), "-json", shardOut, grid}, &out); err != nil {
+					t.Fatalf("shard %d: %v", i, err)
+				}
+				mergeArgs = append(mergeArgs, shardOut)
+			}
+			if err := run(mergeArgs, &out); err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+
+			want, err := os.ReadFile(full)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := os.ReadFile(filepath.Join(dir, "merged.json"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("merged report is not byte-identical to the unsharded run\nunsharded: %d bytes\nmerged:    %d bytes", len(want), len(got))
+			}
+		})
+	}
+}
+
+// TestMergeDetectsCoverageGap: merging fewer shards than the sweep needs
+// must fail loudly, not emit a silently incomplete report.
+func TestMergeDetectsCoverageGap(t *testing.T) {
+	grid := filepath.Join("testdata", "grid_shard.json")
+	dir := t.TempDir()
+	var out strings.Builder
+	shard1 := filepath.Join(dir, "shard1.json")
+	if err := run([]string{"-grid", "-shard", "1/4", "-json", shard1, grid}, &out); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"-grid", "-merge", "-json", filepath.Join(dir, "merged.json"), grid, shard1}, &out)
+	if err == nil || !strings.Contains(err.Error(), "missing from the shard reports") {
+		t.Errorf("partial merge accepted: %v", err)
+	}
+	// Merging the same shard twice is an overlap, not coverage.
+	err = run([]string{"-grid", "-merge", "-json", filepath.Join(dir, "merged.json"), grid, shard1, shard1}, &out)
+	if err == nil || !strings.Contains(err.Error(), "more than one shard") {
+		t.Errorf("overlapping merge accepted: %v", err)
+	}
+}
+
+// TestShardFlagValidation covers the CLI-level shard/merge guards.
+func TestShardFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-shard", "9/4", filepath.Join("testdata", "grid_shard.json")}, &out); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if err := run([]string{"-shard", "1/4", "-merge", "x.json", "y.json"}, &out); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("-shard with -merge accepted: %v", err)
+	}
+	if err := run([]string{"-merge", "onlyspec.json"}, &out); err == nil {
+		t.Error("merge without shard reports accepted")
+	}
+	if err := run([]string{"-merge", "-csv", "rows.csv", "x.json", "y.json"}, &out); err == nil || !strings.Contains(err.Error(), "not supported with -merge") {
+		t.Errorf("-merge with -csv accepted: %v", err)
+	}
+	if err := run([]string{"-merge", "-progress", "x.json", "y.json"}, &out); err == nil || !strings.Contains(err.Error(), "not supported with -merge") {
+		t.Errorf("-merge with -progress accepted: %v", err)
+	}
+}
+
+// TestShardedJSONLStreamsOwnedOnly: helper goldens execute in several
+// shards, but the concatenated per-shard JSONL streams must carry each
+// scenario exactly once, matching the merged report.
+func TestShardedJSONLStreamsOwnedOnly(t *testing.T) {
+	grid := filepath.Join("testdata", "grid_shard.json")
+	dir := t.TempDir()
+	seen := map[string]int{}
+	total := 0
+	for i := 1; i <= 2; i++ {
+		rows := filepath.Join(dir, fmt.Sprintf("rows%d.jsonl", i))
+		var out strings.Builder
+		if err := run([]string{"-grid", "-shard", fmt.Sprintf("%d/2", i), "-jsonl", rows, grid}, &out); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		data, err := os.ReadFile(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+			var row struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal([]byte(line), &row); err != nil {
+				t.Fatalf("bad row %q: %v", line, err)
+			}
+			seen[row.Name]++
+			total++
+		}
+	}
+	if total != 5 {
+		t.Errorf("concatenated rows = %d, want 5 (one per scenario)", total)
+	}
+	for name, n := range seen {
+		if n != 1 {
+			t.Errorf("scenario %q streamed %d times across shards", name, n)
+		}
+	}
+}
+
+// TestMergePerTapComparisons: two comparisons of the same scenario pair
+// that differ only in tap (the attestation-style §V-D pattern) must
+// survive the shard→merge round trip as distinct rows, byte-identical
+// to the unsharded report.
+func TestMergePerTapComparisons(t *testing.T) {
+	spec := filepath.Join("testdata", "pertap_compare.json")
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.json")
+	var out strings.Builder
+	if err := run([]string{"-json", full, spec}, &out); err != nil {
+		t.Fatal(err)
+	}
+	mergeArgs := []string{"-merge", "-json", filepath.Join(dir, "merged.json"), spec}
+	for i := 1; i <= 2; i++ {
+		shardOut := filepath.Join(dir, fmt.Sprintf("shard%d.json", i))
+		if err := run([]string{"-shard", fmt.Sprintf("%d/2", i), "-json", shardOut, spec}, &out); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+		mergeArgs = append(mergeArgs, shardOut)
+	}
+	if err := run(mergeArgs, &out); err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "merged.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("per-tap merged report differs from the unsharded run")
+	}
+	if !strings.Contains(string(want), `"suspectTap": "ramps"`) {
+		t.Errorf("comparison rows do not carry their tap:\n%s", want)
 	}
 }

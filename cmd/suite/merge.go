@@ -1,0 +1,156 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Shard-report merging. Each shard ran a disjoint, hash-keyed slice of
+// one suite and wrote a normal -json report containing only its owned
+// scenarios and comparisons. The merge re-expands the suite (or grid) to
+// recover the canonical scenario order, stitches the shard rows back
+// into that order, and re-emits through the same JSON encoder the live
+// path uses — so the merged report is byte-identical to an unsharded
+// run of the same suite and seeds. Rows are carried as raw JSON: the
+// merge never re-simulates, re-parses floats, or reorders keys.
+
+// rawSuite mirrors offramps.SuiteReport field-for-field with opaque
+// rows. The tags and field order must match SuiteReport exactly: the
+// byte-identity guarantee rests on both paths serializing the same
+// shape.
+type rawSuite struct {
+	Suite       string            `json:"suite"`
+	BaseSeed    uint64            `json:"baseSeed"`
+	Results     []json.RawMessage `json:"results"`
+	Comparisons []json.RawMessage `json:"comparisons,omitempty"`
+}
+
+type rawDoc struct {
+	Suites []rawSuite `json:"suites"`
+}
+
+func runMerge(grid bool, seed uint64, paths []string, jsonOut string, stdout io.Writer) error {
+	if len(paths) < 2 {
+		return fmt.Errorf("-merge needs the spec/grid file followed by at least one shard report")
+	}
+	suite, err := loadSuite(paths[0], grid)
+	if err != nil {
+		return err
+	}
+	if seed != 0 {
+		suite.BaseSeed = seed
+	}
+
+	results := make(map[string]json.RawMessage)
+	compares := make(map[string]json.RawMessage)
+	// Per-tap comparisons of the same scenario pair are distinct entries,
+	// so the key carries the taps too.
+	cmpKey := func(golden, goldenTap, suspect, suspectTap string) string {
+		return golden + "\x00" + goldenTap + "\x00" + suspect + "\x00" + suspectTap
+	}
+	for _, p := range paths[1:] {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return fmt.Errorf("shard report: %w", err)
+		}
+		var doc rawDoc
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("shard report %s: %w", p, err)
+		}
+		if len(doc.Suites) != 1 {
+			return fmt.Errorf("shard report %s: want exactly one suite, got %d", p, len(doc.Suites))
+		}
+		rs := doc.Suites[0]
+		if rs.Suite != suite.Name {
+			return fmt.Errorf("shard report %s is for suite %q, not %q", p, rs.Suite, suite.Name)
+		}
+		if rs.BaseSeed != suite.BaseSeed {
+			return fmt.Errorf("shard report %s ran base seed %d, not %d (same -seed for every shard and the merge)", p, rs.BaseSeed, suite.BaseSeed)
+		}
+		for _, raw := range rs.Results {
+			var head struct{ Name string }
+			if err := json.Unmarshal(raw, &head); err != nil || head.Name == "" {
+				return fmt.Errorf("shard report %s: unreadable scenario row %s", p, raw)
+			}
+			if _, dup := results[head.Name]; dup {
+				return fmt.Errorf("scenario %q appears in more than one shard report (overlapping shards?)", head.Name)
+			}
+			results[head.Name] = raw
+		}
+		for _, raw := range rs.Comparisons {
+			var head struct {
+				Golden     string `json:"golden"`
+				Suspect    string `json:"suspect"`
+				GoldenTap  string `json:"goldenTap"`
+				SuspectTap string `json:"suspectTap"`
+			}
+			if err := json.Unmarshal(raw, &head); err != nil || head.Suspect == "" {
+				return fmt.Errorf("shard report %s: unreadable comparison row %s", p, raw)
+			}
+			key := cmpKey(head.Golden, head.GoldenTap, head.Suspect, head.SuspectTap)
+			if _, dup := compares[key]; dup {
+				return fmt.Errorf("comparison %s vs %s appears in more than one shard report", head.Golden, head.Suspect)
+			}
+			compares[key] = raw
+		}
+	}
+
+	merged := rawSuite{Suite: suite.Name, BaseSeed: suite.BaseSeed, Results: make([]json.RawMessage, 0, len(suite.Scenarios))}
+	for _, sc := range suite.Scenarios {
+		raw, ok := results[sc.Name]
+		if !ok {
+			return fmt.Errorf("scenario %q missing from the shard reports (coverage gap — were all N shards merged?)", sc.Name)
+		}
+		merged.Results = append(merged.Results, raw)
+		delete(results, sc.Name)
+	}
+	for name := range results {
+		return fmt.Errorf("shard reports contain scenario %q that the suite does not (stale shard files?)", name)
+	}
+	for _, cmp := range suite.Compare {
+		key := cmpKey(cmp.Golden, cmp.GoldenTap, cmp.Suspect, cmp.SuspectTap)
+		raw, ok := compares[key]
+		if !ok {
+			return fmt.Errorf("comparison %s vs %s missing from the shard reports", cmp.Golden, cmp.Suspect)
+		}
+		merged.Comparisons = append(merged.Comparisons, raw)
+		delete(compares, key)
+	}
+	for key := range compares {
+		return fmt.Errorf("shard reports contain a comparison the suite does not: %q", key)
+	}
+
+	fmt.Fprintf(stdout, "merged %d shard reports of suite %s: %d scenarios, %d comparisons\n",
+		len(paths)-1, suite.Name, len(merged.Results), len(merged.Comparisons))
+	if jsonOut != "" {
+		if err := writeJSONDoc(jsonOut, stdout, rawDoc{Suites: []rawSuite{merged}}); err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
+	}
+	return firstMergedError(merged)
+}
+
+// firstMergedError mirrors firstError over raw rows, so a merged report
+// carrying a scenario or comparison failure exits non-zero exactly like
+// the live path.
+func firstMergedError(merged rawSuite) error {
+	for _, raw := range merged.Results {
+		var head struct{ Name, Err string }
+		if err := json.Unmarshal(raw, &head); err == nil && head.Err != "" {
+			return fmt.Errorf("suite %s: scenario %s: %s", merged.Suite, head.Name, head.Err)
+		}
+	}
+	for _, raw := range merged.Comparisons {
+		var head struct {
+			Golden  string `json:"golden"`
+			Suspect string `json:"suspect"`
+			Error   string `json:"error"`
+		}
+		if err := json.Unmarshal(raw, &head); err == nil && head.Error != "" {
+			return fmt.Errorf("suite %s: compare %s vs %s: %s", merged.Suite, head.Golden, head.Suspect, head.Error)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,658 @@
+package offramps
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"offramps/internal/sim"
+)
+
+// This file is the suite *generator*: a GridSpec is a compact sweep
+// description — lists of programs, trojans, detectors, tap placements,
+// budgets, and a seed range — that expands into the cross-product of
+// ScenarioSpecs, minus include/exclude filters. Expansion is
+// deterministic and ordered: the same grid file always produces the same
+// suite, scenario for scenario, byte for byte. That determinism is what
+// makes the second half of this file sound: every expanded scenario has
+// a stable shard key (an FNV-1a hash of its name), so `suite -shard i/N`
+// runs a disjoint, reproducible slice of the sweep and a merged set of
+// shard reports is byte-identical to the unsharded run.
+
+// ProgramAxis is one value of the programs axis: a ProgramSpec plus an
+// optional display label overriding the derived one.
+type ProgramAxis struct {
+	ProgramSpec
+	Label string `json:"label,omitempty"`
+}
+
+// TrojanAxis is one value of the trojans axis. An entry with no name
+// means "no trojan" (the clean arm of the sweep); give it a label when
+// the derived "clean" is not wanted.
+type TrojanAxis struct {
+	TrojanSpec
+	Label string `json:"label,omitempty"`
+}
+
+// DetectorAxis is one value of the detectors axis. An entry with no name
+// means "no detector".
+type DetectorAxis struct {
+	DetectorSpec
+	Label string `json:"label,omitempty"`
+}
+
+// SeedAxis sweeps the seed dimension: either an explicit value list or
+// an inclusive [From, To] range with Step (default 1). When Delta is set
+// the values are offsets from the suite's base seed (ScenarioSpec
+// SeedDelta); otherwise they pin absolute seeds.
+type SeedAxis struct {
+	Values []uint64 `json:"values,omitempty"`
+	From   uint64   `json:"from,omitempty"`
+	To     uint64   `json:"to,omitempty"`
+	Step   uint64   `json:"step,omitempty"`
+	Delta  bool     `json:"delta,omitempty"`
+}
+
+// expand materializes the axis values.
+func (a *SeedAxis) expand() ([]uint64, error) {
+	if len(a.Values) > 0 {
+		if a.From != 0 || a.To != 0 || a.Step != 0 {
+			return nil, fmt.Errorf("seed axis sets both values and a range")
+		}
+		return a.Values, nil
+	}
+	step := a.Step
+	if step == 0 {
+		step = 1
+	}
+	if a.To < a.From {
+		return nil, fmt.Errorf("seed axis range [%d, %d] is empty", a.From, a.To)
+	}
+	var out []uint64
+	for v := a.From; v <= a.To; v += step {
+		out = append(out, v)
+		if v > v+step { // overflow guard
+			break
+		}
+	}
+	return out, nil
+}
+
+// GridAxes are the sweep dimensions. An absent axis contributes no
+// label and leaves the template's value in place; a present axis
+// overrides it for every cell.
+type GridAxes struct {
+	Programs  []ProgramAxis  `json:"programs,omitempty"`
+	Trojans   []TrojanAxis   `json:"trojans,omitempty"`
+	Detectors []DetectorAxis `json:"detectors,omitempty"`
+	// Taps are tap placements: "arduino", "ramps", or "dual".
+	Taps []string `json:"taps,omitempty"`
+	// Budgets are per-scenario simulated-time limits.
+	Budgets []sim.Time `json:"budgets,omitempty"`
+	Seeds   *SeedAxis  `json:"seeds,omitempty"`
+}
+
+// GridSeedPolicy assigns each expanded cell an increasing SeedDelta
+// (DeltaStart + index·DeltaStep, in full-product order, before filters
+// apply — so excluding a cell never shifts its neighbours' seeds). It
+// models the experiment suites' "physically separate runs of the same
+// job" pairing without a seed axis.
+type GridSeedPolicy struct {
+	DeltaStart uint64 `json:"deltaStart"`
+	DeltaStep  uint64 `json:"deltaStep,omitempty"`
+}
+
+// GridFilter selects cells by their axis labels (exact match; empty
+// fields are wildcards) or by a path.Match glob over the full cell name.
+// A cell is kept when it matches at least one include filter (or the
+// include list is empty) and no exclude filter.
+type GridFilter struct {
+	Name     string `json:"name,omitempty"`
+	Program  string `json:"program,omitempty"`
+	Trojan   string `json:"trojan,omitempty"`
+	Detector string `json:"detector,omitempty"`
+	Tap      string `json:"tap,omitempty"`
+}
+
+// matches reports whether the filter selects a cell with the given name
+// and labels. An all-empty filter matches nothing (it is rejected by
+// Validate anyway).
+func (f GridFilter) matches(name string, labels map[string]string) (bool, error) {
+	if f.isEmpty() {
+		return false, nil
+	}
+	if f.Name != "" {
+		ok, err := path.Match(f.Name, name)
+		if err != nil {
+			return false, fmt.Errorf("bad name glob %q: %w", f.Name, err)
+		}
+		if !ok {
+			return false, nil
+		}
+	}
+	for axis, want := range map[string]string{
+		"program": f.Program, "trojan": f.Trojan, "detector": f.Detector, "tap": f.Tap,
+	} {
+		if want != "" && labels[axis] != want {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+func (f GridFilter) isEmpty() bool {
+	return f == GridFilter{}
+}
+
+// GridSpec is a compact sweep description that expands into a SuiteSpec:
+// the cross-product of the axes, each cell a ScenarioSpec derived from
+// the template, plus verbatim extra scenarios (golden references,
+// controls) and comparison entries.
+type GridSpec struct {
+	Name     string `json:"name"`
+	BaseSeed uint64 `json:"baseSeed,omitempty"`
+	// Budget/Workers pass through to the expanded suite.
+	Budget  sim.Time `json:"budget,omitempty"`
+	Workers int      `json:"workers,omitempty"`
+	// Template seeds every cell; axis values override its fields, and its
+	// Name (when set) prefixes every cell name. Setting a template field
+	// that an axis also sweeps is an error.
+	Template ScenarioSpec `json:"template,omitempty"`
+	Axes     GridAxes     `json:"axes"`
+	// SeedPolicy assigns per-cell seed deltas by expansion index;
+	// mutually exclusive with a seeds axis.
+	SeedPolicy *GridSeedPolicy `json:"seedPolicy,omitempty"`
+	Include    []GridFilter    `json:"include,omitempty"`
+	Exclude    []GridFilter    `json:"exclude,omitempty"`
+	// Extra scenarios are prepended verbatim, before the expanded cells —
+	// typically the golden print and clean controls.
+	Extra []ScenarioSpec `json:"extra,omitempty"`
+	// CompareWith names a scenario (usually from Extra) to golden-compare
+	// every expanded cell against, in expansion order.
+	CompareWith string `json:"compareWith,omitempty"`
+	// Compare entries are appended verbatim after the generated ones.
+	Compare []CompareSpec `json:"compare,omitempty"`
+
+	// dir anchors relative program file references (set by LoadGridSpec).
+	dir string
+}
+
+// ParseGridSpec decodes a grid spec from JSON, strictly — unknown fields
+// and trailing content are errors, mirroring ParseSuiteSpec. dir anchors
+// relative file references in the expanded suite.
+func ParseGridSpec(data []byte, dir string) (*GridSpec, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var g GridSpec
+	if err := dec.Decode(&g); err != nil {
+		return nil, fmt.Errorf("offramps: parsing grid spec: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("offramps: parsing grid spec: trailing content after the grid object")
+	}
+	g.dir = dir
+	return &g, nil
+}
+
+// LoadGridSpec reads a grid spec file; a missing name defaults to the
+// file's base name.
+func LoadGridSpec(path string) (*GridSpec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("offramps: reading grid spec: %w", err)
+	}
+	g, err := ParseGridSpec(data, filepath.Dir(path))
+	if err != nil {
+		return nil, fmt.Errorf("offramps: %s: %w", path, err)
+	}
+	if g.Name == "" {
+		g.Name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	}
+	return g, nil
+}
+
+// programLabel derives a deterministic label for a program axis value.
+func programLabel(p ProgramSpec) string {
+	var parts []string
+	switch {
+	case p.File != "":
+		base := filepath.Base(p.File)
+		parts = append(parts, strings.TrimSuffix(base, filepath.Ext(base)))
+	case p.Box != nil:
+		parts = append(parts, fmt.Sprintf("box%gx%gx%g", p.Box.X, p.Box.Y, p.Box.Z))
+	case p.Part != "":
+		parts = append(parts, p.Part)
+	default:
+		parts = append(parts, "testpart")
+	}
+	if p.Flow != 0 {
+		parts = append(parts, fmt.Sprintf("flow%g", p.Flow))
+	}
+	if p.Flaw3D != 0 {
+		parts = append(parts, fmt.Sprintf("flaw3d-%d", p.Flaw3D))
+	}
+	// The default part is implied; a tampered or flow-scaled default
+	// labels itself by the modification alone ("flaw3d-3", "flow1.5").
+	if len(parts) > 1 && parts[0] == "testpart" && p.Part == "" {
+		parts = parts[1:]
+	}
+	return strings.Join(parts, "-")
+}
+
+// axisValue is one resolved value of one axis: the label it contributes
+// to cell names/filters and the mutation it applies to the cell spec.
+type axisValue struct {
+	label string
+	apply func(*ScenarioSpec)
+}
+
+// gridAxis is one resolved axis: its filter key and values. An absent
+// axis has a single no-op value and contributes no name label.
+type gridAxis struct {
+	key     string
+	present bool
+	values  []axisValue
+}
+
+// axes resolves the sweep dimensions in their fixed expansion order
+// (programs, trojans, detectors, taps, budgets, seeds — seeds innermost,
+// so paired-seed runs of one configuration stay adjacent).
+func (g *GridSpec) axes() ([]gridAxis, error) {
+	noop := []axisValue{{}}
+	out := []gridAxis{
+		{key: "program", values: noop},
+		{key: "trojan", values: noop},
+		{key: "detector", values: noop},
+		{key: "tap", values: noop},
+		{key: "budget", values: noop},
+		{key: "seed", values: noop},
+	}
+	conflict := func(axis, field string, set bool) error {
+		if set {
+			return fmt.Errorf("offramps: grid %q: the %s axis conflicts with template.%s", g.Name, axis, field)
+		}
+		return nil
+	}
+
+	if len(g.Axes.Programs) > 0 {
+		zero := ProgramSpec{}
+		if err := conflict("programs", "program", g.Template.Program != zero); err != nil {
+			return nil, err
+		}
+		ax := gridAxis{key: "program", present: true}
+		for _, p := range g.Axes.Programs {
+			p := p
+			label := p.Label
+			if label == "" {
+				label = programLabel(p.ProgramSpec)
+			}
+			ax.values = append(ax.values, axisValue{label, func(s *ScenarioSpec) { s.Program = p.ProgramSpec }})
+		}
+		out[0] = ax
+	}
+	if len(g.Axes.Trojans) > 0 {
+		if err := conflict("trojans", "trojan", g.Template.Trojan != nil); err != nil {
+			return nil, err
+		}
+		ax := gridAxis{key: "trojan", present: true}
+		for _, t := range g.Axes.Trojans {
+			t := t
+			label := t.Label
+			if label == "" {
+				label = t.Name
+				if label == "" {
+					label = "clean"
+				}
+			}
+			ax.values = append(ax.values, axisValue{label, func(s *ScenarioSpec) {
+				if t.Name == "" {
+					s.Trojan = nil
+					return
+				}
+				s.Trojan = &TrojanSpec{Name: t.Name, Params: t.Params}
+			}})
+		}
+		out[1] = ax
+	}
+	if len(g.Axes.Detectors) > 0 {
+		if err := conflict("detectors", "detector", g.Template.Detector != nil); err != nil {
+			return nil, err
+		}
+		ax := gridAxis{key: "detector", present: true}
+		for _, d := range g.Axes.Detectors {
+			d := d
+			label := d.Label
+			if label == "" {
+				label = d.Name
+				if label == "" {
+					label = "none"
+				}
+			}
+			ax.values = append(ax.values, axisValue{label, func(s *ScenarioSpec) {
+				if d.Name == "" {
+					s.Detector = nil
+					return
+				}
+				spec := d.DetectorSpec
+				s.Detector = &spec
+			}})
+		}
+		out[2] = ax
+	}
+	if len(g.Axes.Taps) > 0 {
+		if err := conflict("taps", "tap", g.Template.Tap != ""); err != nil {
+			return nil, err
+		}
+		ax := gridAxis{key: "tap", present: true}
+		for _, t := range g.Axes.Taps {
+			t := t
+			label := t
+			if label == "" {
+				label = "arduino"
+			}
+			ax.values = append(ax.values, axisValue{label, func(s *ScenarioSpec) { s.Tap = t }})
+		}
+		out[3] = ax
+	}
+	if len(g.Axes.Budgets) > 0 {
+		if err := conflict("budgets", "budget", g.Template.Budget != 0); err != nil {
+			return nil, err
+		}
+		ax := gridAxis{key: "budget", present: true}
+		for _, b := range g.Axes.Budgets {
+			b := b
+			ax.values = append(ax.values, axisValue{"budget" + b.String(), func(s *ScenarioSpec) { s.Budget = b }})
+		}
+		out[4] = ax
+	}
+	if g.Axes.Seeds != nil {
+		if err := conflict("seeds", "seed/seedDelta", g.Template.Seed != 0 || g.Template.SeedDelta != 0); err != nil {
+			return nil, err
+		}
+		if g.SeedPolicy != nil {
+			return nil, fmt.Errorf("offramps: grid %q: seedPolicy conflicts with a seeds axis", g.Name)
+		}
+		vals, err := g.Axes.Seeds.expand()
+		if err != nil {
+			return nil, fmt.Errorf("offramps: grid %q: %w", g.Name, err)
+		}
+		ax := gridAxis{key: "seed", present: true}
+		for _, v := range vals {
+			v := v
+			if g.Axes.Seeds.Delta {
+				ax.values = append(ax.values, axisValue{fmt.Sprintf("d%d", v), func(s *ScenarioSpec) { s.SeedDelta = v }})
+			} else {
+				if v == 0 {
+					return nil, fmt.Errorf("offramps: grid %q: absolute seed 0 is reserved (use delta seeds)", g.Name)
+				}
+				ax.values = append(ax.values, axisValue{fmt.Sprintf("s%d", v), func(s *ScenarioSpec) { s.Seed = v }})
+			}
+		}
+		out[5] = ax
+	}
+	return out, nil
+}
+
+// Expand materializes the grid into a complete SuiteSpec: extra
+// scenarios first (verbatim), then every cross-product cell that
+// survives the filters, named by the labels of the multi-valued axes
+// and validated as a suite. Expansion is pure and deterministic — same
+// grid, same suite.
+func (g *GridSpec) Expand() (*SuiteSpec, error) {
+	if g.Name == "" {
+		return nil, fmt.Errorf("offramps: grid spec needs a name")
+	}
+	if g.SeedPolicy != nil && (g.Template.Seed != 0 || g.Template.SeedDelta != 0) {
+		return nil, fmt.Errorf("offramps: grid %q: seedPolicy conflicts with template seed fields", g.Name)
+	}
+	axes, err := g.axes()
+	if err != nil {
+		return nil, err
+	}
+	// A filter naming an axis the grid does not sweep would silently
+	// never match (labels carry swept axes only) — reject it instead.
+	present := make(map[string]bool, len(axes))
+	for _, ax := range axes {
+		if ax.present {
+			present[ax.key] = true
+		}
+	}
+	for _, f := range append(append([]GridFilter{}, g.Include...), g.Exclude...) {
+		if f.isEmpty() {
+			return nil, fmt.Errorf("offramps: grid %q: empty include/exclude filter matches nothing", g.Name)
+		}
+		for axis, val := range map[string]string{
+			"program": f.Program, "trojan": f.Trojan, "detector": f.Detector, "tap": f.Tap,
+		} {
+			if val != "" && !present[axis] {
+				return nil, fmt.Errorf("offramps: grid %q: filter references the %s axis, which the grid does not sweep", g.Name, axis)
+			}
+		}
+	}
+
+	// Walk the cross-product in fixed nested order. idx is the cell's
+	// position in the *full* product, so seed-policy deltas are stable
+	// under filter changes.
+	var cells []ScenarioSpec
+	counters := make([]int, len(axes))
+	total := 1
+	for _, ax := range axes {
+		total *= len(ax.values)
+	}
+	for idx := 0; idx < total; idx++ {
+		spec := g.Template
+		labels := make(map[string]string, len(axes))
+		var nameParts []string
+		if spec.Name != "" {
+			nameParts = append(nameParts, spec.Name)
+		}
+		for ai, ax := range axes {
+			v := ax.values[counters[ai]]
+			if v.apply != nil {
+				v.apply(&spec)
+			}
+			if ax.present {
+				labels[ax.key] = v.label
+				if len(ax.values) > 1 {
+					nameParts = append(nameParts, v.label)
+				}
+			}
+		}
+		if len(nameParts) == 0 {
+			nameParts = append(nameParts, "cell")
+		}
+		spec.Name = strings.Join(nameParts, "/")
+		if g.SeedPolicy != nil {
+			step := g.SeedPolicy.DeltaStep
+			if step == 0 {
+				step = 1
+			}
+			spec.SeedDelta = g.SeedPolicy.DeltaStart + uint64(idx)*step
+		}
+
+		keep := len(g.Include) == 0
+		for _, f := range g.Include {
+			ok, err := f.matches(spec.Name, labels)
+			if err != nil {
+				return nil, fmt.Errorf("offramps: grid %q: include: %w", g.Name, err)
+			}
+			if ok {
+				keep = true
+				break
+			}
+		}
+		for _, f := range g.Exclude {
+			ok, err := f.matches(spec.Name, labels)
+			if err != nil {
+				return nil, fmt.Errorf("offramps: grid %q: exclude: %w", g.Name, err)
+			}
+			if ok {
+				keep = false
+				break
+			}
+		}
+		if keep {
+			cells = append(cells, spec)
+		}
+
+		// Odometer increment, innermost (seeds) axis fastest.
+		for ai := len(axes) - 1; ai >= 0; ai-- {
+			counters[ai]++
+			if counters[ai] < len(axes[ai].values) {
+				break
+			}
+			counters[ai] = 0
+		}
+	}
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("offramps: grid %q: filters removed every cell", g.Name)
+	}
+
+	suite := &SuiteSpec{
+		Name:      g.Name,
+		BaseSeed:  g.BaseSeed,
+		Budget:    g.Budget,
+		Workers:   g.Workers,
+		Scenarios: append(append([]ScenarioSpec{}, g.Extra...), cells...),
+		dir:       g.dir,
+	}
+	if g.CompareWith != "" {
+		for _, c := range cells {
+			suite.Compare = append(suite.Compare, CompareSpec{Golden: g.CompareWith, Suspect: c.Name})
+		}
+	}
+	suite.Compare = append(suite.Compare, g.Compare...)
+	if err := suite.Validate(); err != nil {
+		return nil, fmt.Errorf("offramps: grid %q: expanded suite invalid: %w", g.Name, err)
+	}
+	return suite, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sharding: a stable key per scenario partitions a suite into disjoint,
+// reproducible slices for CI matrix fan-out and remote execution.
+
+// ShardOf returns the 0-based shard that owns the named scenario among
+// count shards. The key is an FNV-1a hash of the scenario name, so a
+// scenario's shard never depends on expansion order — reordering or
+// filtering a grid does not reshuffle the slices.
+func ShardOf(name string, count int) int {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int(h.Sum64() % uint64(count))
+}
+
+// ParseShard parses the "i/N" shard notation (1-based index). The whole
+// string must be the pattern — trailing garbage ("2/4x", "1/4/8") is an
+// error, not a silently truncated slice.
+func ParseShard(s string) (index, count int, err error) {
+	a, b, ok := strings.Cut(s, "/")
+	if ok {
+		var ia, ib int
+		if ia, err = strconv.Atoi(a); err == nil {
+			if ib, err = strconv.Atoi(b); err == nil {
+				index, count = ia, ib
+			}
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("offramps: shard must be \"i/N\", got %q", s)
+	}
+	if count < 1 || index < 1 || index > count {
+		return 0, 0, fmt.Errorf("offramps: shard %d/%d out of range", index, count)
+	}
+	return index, count, nil
+}
+
+// SuiteShard is one runnable slice of a suite. Spec contains the owned
+// scenarios plus any helper scenarios they depend on (golden references
+// of owned detectors and owned comparisons, transitively); Owned marks
+// the scenarios whose results belong in this shard's report — helpers
+// execute but are reported by the shard that owns them.
+type SuiteShard struct {
+	Spec  *SuiteSpec
+	Owned map[string]bool
+}
+
+// Shard slices the suite into shard index (1-based) of count. The owned
+// sets of the count shards partition the suite's scenarios exactly;
+// comparisons are owned by their suspect's shard. Helper goldens may run
+// in several shards — the golden cache makes the repeats cheap and
+// determinism makes them bit-identical — so merged shard reports equal
+// the unsharded run.
+func (s *SuiteSpec) Shard(index, count int) (*SuiteShard, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	if count < 1 || index < 1 || index > count {
+		return nil, fmt.Errorf("offramps: shard %d/%d out of range", index, count)
+	}
+
+	owned := make(map[string]bool)
+	for _, sc := range s.Scenarios {
+		if ShardOf(sc.Name, count) == index-1 {
+			owned[sc.Name] = true
+		}
+	}
+
+	// need = owned ∪ golden closure. A needed scenario's own detector may
+	// reference another golden, so iterate to a fixpoint.
+	need := make(map[string]bool, len(owned))
+	for name := range owned {
+		need[name] = true
+	}
+	var compares []CompareSpec
+	for _, cmp := range s.Compare {
+		if owned[cmp.Suspect] {
+			compares = append(compares, cmp)
+			need[cmp.Golden] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, sc := range s.Scenarios {
+			if need[sc.Name] && sc.Detector != nil && sc.Detector.Golden != "" && !need[sc.Detector.Golden] {
+				need[sc.Detector.Golden] = true
+				changed = true
+			}
+		}
+	}
+
+	sub := &SuiteSpec{
+		Name:     s.Name,
+		BaseSeed: s.BaseSeed,
+		Budget:   s.Budget,
+		Workers:  s.Workers,
+		Compare:  compares,
+		dir:      s.dir,
+	}
+	for _, sc := range s.Scenarios {
+		if need[sc.Name] {
+			sub.Scenarios = append(sub.Scenarios, sc)
+		}
+	}
+	return &SuiteShard{Spec: sub, Owned: owned}, nil
+}
+
+// Filter reduces a report of the shard's Spec to the owned scenarios,
+// preserving order. Comparisons are already shard-local.
+func (sh *SuiteShard) Filter(rep *SuiteReport) *SuiteReport {
+	out := &SuiteReport{
+		Suite:       rep.Suite,
+		BaseSeed:    rep.BaseSeed,
+		Results:     make([]ScenarioResult, 0, len(sh.Owned)),
+		Comparisons: rep.Comparisons,
+	}
+	for _, r := range rep.Results {
+		if sh.Owned[r.Name] {
+			out.Results = append(out.Results, r)
+		}
+	}
+	return out
+}

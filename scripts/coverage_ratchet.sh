@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# coverage_ratchet.sh — self-ratcheting coverage baseline.
+#
+#   coverage_ratchet.sh check  <coverage.out> <baseline.txt> [tolerance-pt]
+#   coverage_ratchet.sh update <coverage.out> <baseline.txt>
+#
+# `check` compares the profile's total statement coverage against the
+# recorded baseline and fails when it dropped by more than the tolerance
+# (default 0.2pt) — a ratchet, not a fixed floor: the baseline follows
+# main upward automatically instead of needing a manual bump.
+# `update` rewrites the baseline file to the current total when (and only
+# when) coverage rose, printing "updated" or "unchanged" so CI knows
+# whether to commit; the ratchet never lowers the baseline.
+set -euo pipefail
+
+mode="${1:?usage: coverage_ratchet.sh check|update coverage.out baseline.txt [tolerance]}"
+profile="${2:?missing coverage profile}"
+baseline_file="${3:?missing baseline file}"
+tolerance="${4:-0.2}"
+
+total=$(go tool cover -func="$profile" | awk '/^total:/ {sub(/%/,"",$3); print $3}')
+if [ -z "$total" ]; then
+  echo "coverage_ratchet: no total in $profile" >&2
+  exit 1
+fi
+
+baseline="0"
+if [ -f "$baseline_file" ]; then
+  baseline=$(tr -d '[:space:]' < "$baseline_file")
+fi
+
+case "$mode" in
+check)
+  echo "total statement coverage: ${total}% (baseline: ${baseline}%, tolerance: ${tolerance}pt)"
+  awk -v t="$total" -v base="$baseline" -v tol="$tolerance" 'BEGIN {
+    if (t+0 < base+0 - tol+0) {
+      printf "coverage %.1f%% dropped more than %.1fpt below the %.1f%% baseline\n", t, tol, base
+      exit 1
+    }
+  }'
+  ;;
+update)
+  higher=$(awk -v t="$total" -v base="$baseline" 'BEGIN { print (t+0 > base+0) ? 1 : 0 }')
+  if [ "$higher" = "1" ]; then
+    printf '%s\n' "$total" > "$baseline_file"
+    echo "updated: baseline ${baseline}% -> ${total}%"
+  else
+    echo "unchanged: baseline ${baseline}% (current ${total}%)"
+  fi
+  ;;
+*)
+  echo "coverage_ratchet: unknown mode $mode (want check or update)" >&2
+  exit 2
+  ;;
+esac

@@ -1,0 +1,176 @@
+package offramps
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// SinkError wraps the first result-sink failure of a campaign. It is a
+// distinct type so callers can tell "the sweep ran, a sink could not
+// keep up" (results are complete and reportable) from a run failure:
+// Campaign.Run returns it only after every scenario finished, and
+// RunSuite keeps executing later waves and comparisons before
+// surfacing it with the full report.
+type SinkError struct{ Err error }
+
+func (e *SinkError) Error() string { return "offramps: result sink: " + e.Err.Error() }
+func (e *SinkError) Unwrap() error { return e.Err }
+
+// A ResultSink receives each ScenarioResult as it completes, in
+// completion order, instead of waiting for the whole campaign to buffer —
+// so a million-scenario sweep streams to disk with bounded memory. The
+// campaign serializes Emit calls (no sink-side locking needed) and the
+// rows are self-describing (name, seed), since completion order is
+// whatever the worker pool produced. Close flushes whatever the sink
+// buffers; it does not close the underlying writer. The sink's owner —
+// not the campaign — must call Close once after the last Emit, since
+// one sink may span many campaigns.
+type ResultSink interface {
+	Emit(r ScenarioResult) error
+	Close() error
+}
+
+// scenarioVerdict summarizes one result the way the suite report does.
+func scenarioVerdict(r ScenarioResult) string {
+	if r.Err != nil {
+		return fmt.Sprintf("error: %v", r.Err)
+	}
+	if r.Result == nil {
+		return "not run"
+	}
+	verdict := "clean"
+	if r.Result.TrojanLikely {
+		verdict = "TROJAN LIKELY"
+	}
+	if len(r.Result.Detections) == 0 {
+		verdict = "-"
+	}
+	if r.Result.Aborted {
+		verdict += " (aborted)"
+	}
+	return verdict
+}
+
+// JSONLSink appends one JSON object per completed scenario — the
+// streaming twin of the suite JSON report. Label (typically the suite
+// name) tags every row so several suites can share one stream.
+type JSONLSink struct {
+	Label string
+	enc   *json.Encoder
+}
+
+// NewJSONLSink streams rows to w.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	return &JSONLSink{enc: json.NewEncoder(w)}
+}
+
+// Emit writes one row.
+func (s *JSONLSink) Emit(r ScenarioResult) error {
+	row := struct {
+		Suite  string  `json:"suite,omitempty"`
+		Name   string  `json:"name"`
+		Seed   uint64  `json:"seed"`
+		Result *Result `json:"result,omitempty"`
+		Err    string  `json:"error,omitempty"`
+	}{Suite: s.Label, Name: r.Name, Seed: r.Seed, Result: r.Result}
+	if r.Err != nil {
+		row.Err = r.Err.Error()
+	}
+	return s.enc.Encode(row)
+}
+
+// Close is a no-op; rows are written unbuffered.
+func (s *JSONLSink) Close() error { return nil }
+
+// ScenarioCSVHeader labels the streaming scenario rows. It matches the
+// batch CSV schema of cmd/suite (whose compare rows reuse the same
+// columns), so streamed and batch CSVs concatenate cleanly.
+var ScenarioCSVHeader = []string{
+	"kind", "suite", "name", "seed", "golden", "suspect",
+	"completed", "aborted", "trojan_likely", "mismatches", "final_mismatches",
+	"largest_pct", "duration_s", "windows", "filament_mm", "error",
+}
+
+// ScenarioCSVRow renders one scenario result as a CSV record under
+// ScenarioCSVHeader. suite tags the row's suite column.
+func ScenarioCSVRow(suite string, r ScenarioResult) []string {
+	row := []string{"scenario", suite, r.Name, strconv.FormatUint(r.Seed, 10), "", ""}
+	if r.Err != nil {
+		return append(row, "", "", "", "", "", "", "", "", "", r.Err.Error())
+	}
+	if r.Result == nil {
+		return append(row, "", "", "", "", "", "", "", "", "", "not run")
+	}
+	res := r.Result
+	windows := 0
+	if res.Recording != nil {
+		windows = res.Recording.Len()
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
+	return append(row,
+		strconv.FormatBool(res.Completed),
+		strconv.FormatBool(res.Aborted),
+		strconv.FormatBool(res.TrojanLikely),
+		"", "", "",
+		f(res.Duration.Seconds()),
+		strconv.Itoa(windows),
+		f(res.Quality.TotalFilament),
+		"",
+	)
+}
+
+// CSVSink streams scenario rows as CSV, writing the header before the
+// first row. Label fills the suite column.
+type CSVSink struct {
+	Label       string
+	w           *csv.Writer
+	wroteHeader bool
+}
+
+// NewCSVSink streams CSV records to w.
+func NewCSVSink(w io.Writer) *CSVSink {
+	return &CSVSink{w: csv.NewWriter(w)}
+}
+
+// Emit writes one record (plus the header, first time).
+func (s *CSVSink) Emit(r ScenarioResult) error {
+	if !s.wroteHeader {
+		if err := s.w.Write(ScenarioCSVHeader); err != nil {
+			return err
+		}
+		s.wroteHeader = true
+	}
+	return s.w.Write(ScenarioCSVRow(s.Label, r))
+}
+
+// Close flushes buffered records.
+func (s *CSVSink) Close() error {
+	s.w.Flush()
+	return s.w.Error()
+}
+
+// ProgressSink prints a human progress line per completed scenario —
+// live feedback during long sweeps. Total, when non-zero, is the
+// expected scenario count for "[done/total]" framing.
+type ProgressSink struct {
+	W     io.Writer
+	Total int
+	done  int
+}
+
+// Emit prints one line.
+func (s *ProgressSink) Emit(r ScenarioResult) error {
+	s.done++
+	total := "?"
+	if s.Total > 0 {
+		total = strconv.Itoa(s.Total)
+	}
+	_, err := fmt.Fprintf(s.W, "[%d/%s] %-24s seed=%-8d %s\n", s.done, total, r.Name, r.Seed, scenarioVerdict(r))
+	return err
+}
+
+// Close is a no-op.
+func (s *ProgressSink) Close() error { return nil }

@@ -1,0 +1,190 @@
+package offramps
+
+import (
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// sinkScenarios builds a small campaign input: three clean prints on
+// distinct seeds.
+func sinkScenarios(t *testing.T) []Scenario {
+	t.Helper()
+	prog, err := TestPart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []Scenario
+	for i := 0; i < 3; i++ {
+		out = append(out, Scenario{Name: fmt.Sprintf("s%d", i), Program: prog, Seed: uint64(i) + 1})
+	}
+	return out
+}
+
+// TestCampaignStreamsToSinks: every completed scenario reaches every
+// sink exactly once, regardless of completion order.
+func TestCampaignStreamsToSinks(t *testing.T) {
+	var jsonl, csvBuf, prog strings.Builder
+	jl := NewJSONLSink(&jsonl)
+	jl.Label = "stream-test"
+	cs := NewCSVSink(&csvBuf)
+	ps := &ProgressSink{W: &prog, Total: 3}
+	c := Campaign{Workers: 2, Sinks: []ResultSink{jl, cs, ps}}
+
+	results, err := c.Run(context.Background(), sinkScenarios(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range c.Sinks {
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(results) != 3 {
+		t.Fatalf("results = %d", len(results))
+	}
+
+	// JSONL: one self-describing row per scenario, any order.
+	lines := strings.Split(strings.TrimSpace(jsonl.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("jsonl rows = %d:\n%s", len(lines), jsonl.String())
+	}
+	names := map[string]bool{}
+	for _, l := range lines {
+		var row struct {
+			Suite  string `json:"suite"`
+			Name   string `json:"name"`
+			Seed   uint64 `json:"seed"`
+			Result struct {
+				Completed bool
+			} `json:"result"`
+		}
+		if err := json.Unmarshal([]byte(l), &row); err != nil {
+			t.Fatalf("bad jsonl row %q: %v", l, err)
+		}
+		if row.Suite != "stream-test" || row.Seed == 0 || !row.Result.Completed {
+			t.Errorf("row %+v", row)
+		}
+		names[row.Name] = true
+	}
+	if len(names) != 3 {
+		t.Errorf("jsonl names = %v", names)
+	}
+
+	// CSV: header + 3 records under the shared schema.
+	recs, err := csv.NewReader(strings.NewReader(csvBuf.String())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("csv records = %d", len(recs))
+	}
+	if got, want := strings.Join(recs[0], ","), strings.Join(ScenarioCSVHeader, ","); got != want {
+		t.Errorf("csv header = %q", got)
+	}
+	for _, rec := range recs[1:] {
+		if rec[0] != "scenario" || rec[1] != "" || rec[6] != "true" {
+			t.Errorf("csv record %v", rec)
+		}
+	}
+
+	// Progress: [i/3] framing on each of the three lines.
+	plines := strings.Split(strings.TrimSpace(prog.String()), "\n")
+	if len(plines) != 3 {
+		t.Fatalf("progress lines = %d:\n%s", len(plines), prog.String())
+	}
+	for i, l := range plines {
+		if !strings.HasPrefix(l, fmt.Sprintf("[%d/3] ", i+1)) {
+			t.Errorf("progress line %d = %q", i, l)
+		}
+	}
+}
+
+// failSink fails on the second emit.
+type failSink struct{ n int }
+
+func (s *failSink) Emit(ScenarioResult) error {
+	s.n++
+	if s.n == 2 {
+		return errors.New("disk full")
+	}
+	return nil
+}
+func (s *failSink) Close() error { return nil }
+
+// TestCampaignSinkError: a failing sink surfaces its error from Run —
+// after every scenario still completed.
+func TestCampaignSinkError(t *testing.T) {
+	c := Campaign{Workers: 2, Sinks: []ResultSink{&failSink{}}}
+	results, err := c.Run(context.Background(), sinkScenarios(t))
+	if err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("err = %v, want the sink failure", err)
+	}
+	for _, r := range results {
+		if r.Err != nil || r.Result == nil {
+			t.Errorf("scenario %s did not complete: %+v", r.Name, r)
+		}
+	}
+}
+
+// TestSinkErrorRows: error results render as self-describing rows, not
+// panics, in every sink.
+func TestSinkErrorRows(t *testing.T) {
+	r := ScenarioResult{Name: "boom", Seed: 7, Err: errors.New("factory failed")}
+	var jsonl strings.Builder
+	if err := NewJSONLSink(&jsonl).Emit(r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(jsonl.String(), `"error":"factory failed"`) {
+		t.Errorf("jsonl error row = %s", jsonl.String())
+	}
+	row := ScenarioCSVRow("s", r)
+	if row[len(row)-1] != "factory failed" {
+		t.Errorf("csv error row = %v", row)
+	}
+	var prog strings.Builder
+	ps := &ProgressSink{W: &prog}
+	if err := ps.Emit(r); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.String(), "error: factory failed") || !strings.Contains(prog.String(), "[1/?]") {
+		t.Errorf("progress error row = %q", prog.String())
+	}
+}
+
+// TestSuiteContinuesOnSinkError: a sink failure must not abort the
+// suite — later waves and comparisons still run, the report is
+// complete, and the typed SinkError surfaces at the end.
+func TestSuiteContinuesOnSinkError(t *testing.T) {
+	suite := &SuiteSpec{
+		Name:     "sinkfail",
+		BaseSeed: 1,
+		Scenarios: []ScenarioSpec{
+			{Name: "golden"},
+			{Name: "suspect", SeedDelta: 5,
+				Detector: &DetectorSpec{Name: "golden-monitor", Golden: "golden"}},
+		},
+		Compare: []CompareSpec{{Golden: "golden", Suspect: "suspect"}},
+	}
+	c := Campaign{Sinks: []ResultSink{&failSink{}}}
+	rep, err := c.RunSuite(context.Background(), suite)
+	var se *SinkError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want a *SinkError", err)
+	}
+	if len(rep.Results) != 2 {
+		t.Fatalf("results = %d, want 2 (second wave must still run)", len(rep.Results))
+	}
+	for _, r := range rep.Results {
+		if r.Err != nil || r.Result == nil {
+			t.Errorf("scenario %s incomplete: %+v", r.Name, r)
+		}
+	}
+	if len(rep.Comparisons) != 1 || rep.Comparisons[0].Err != nil {
+		t.Errorf("comparisons did not run: %+v", rep.Comparisons)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -211,7 +212,7 @@ type ScenarioSpec struct {
 	Name string `json:"name"`
 	// Program references the G-code to print (zero value = the standard
 	// test part).
-	Program ProgramSpec `json:"program,omitempty"`
+	Program ProgramSpec `json:"program,omitzero"`
 	// Seed pins the time-noise seed absolutely; when 0 the effective seed
 	// is the compile context's base seed plus SeedDelta. This is the seed
 	// policy that lets one spec file run under many base seeds while
@@ -565,12 +566,16 @@ func (s *SuiteSpec) Validate() error {
 	return nil
 }
 
-// CompareResult is one executed CompareSpec.
+// CompareResult is one executed CompareSpec. The tap fields echo the
+// spec so a suite with several per-tap comparisons of the same scenario
+// pair stays distinguishable in reports (and mergeable across shards).
 type CompareResult struct {
-	Golden  string         `json:"golden"`
-	Suspect string         `json:"suspect"`
-	Report  *detect.Report `json:"report,omitempty"`
-	Err     error          `json:"-"`
+	Golden     string         `json:"golden"`
+	Suspect    string         `json:"suspect"`
+	GoldenTap  string         `json:"goldenTap,omitempty"`
+	SuspectTap string         `json:"suspectTap,omitempty"`
+	Report     *detect.Report `json:"report,omitempty"`
+	Err        error          `json:"-"`
 	// Error mirrors Err for the JSON sinks.
 	Error string `json:"error,omitempty"`
 }
@@ -600,18 +605,8 @@ func (r *SuiteReport) Format() string {
 			fmt.Fprintf(&sb, "%-24s %-10d %-12s %-10s not run\n", res.Name, res.Seed, "-", "-")
 			continue
 		}
-		verdict := "clean"
-		if res.Result.TrojanLikely {
-			verdict = "TROJAN LIKELY"
-		}
-		if len(res.Result.Detections) == 0 {
-			verdict = "-"
-		}
-		if res.Result.Aborted {
-			verdict += " (aborted)"
-		}
 		fmt.Fprintf(&sb, "%-24s %-10d %-12v %-10v %s\n",
-			res.Name, res.Seed, res.Result.Duration, res.Result.Completed, verdict)
+			res.Name, res.Seed, res.Result.Duration, res.Result.Completed, scenarioVerdict(res))
 	}
 	for _, cmp := range r.Comparisons {
 		if cmp.Err != nil {
@@ -655,8 +650,20 @@ func (c Campaign) RunSuite(runCtx context.Context, suite *SuiteSpec) (*SuiteRepo
 		Goldens:  func(name string) *capture.Recording { return recordings[name] },
 	}
 
+	// A sink failure does not stop the suite: the wave's results are
+	// complete (Run surfaces sink errors only after every scenario
+	// finished), so later waves and the comparisons still run; the first
+	// sink error is returned at the end with the full report.
+	var sinkFailure error
 	runWave := func(specs []ScenarioSpec) error {
 		res, err := c.RunSpecs(runCtx, ctx, specs)
+		var se *SinkError
+		if errors.As(err, &se) {
+			if sinkFailure == nil {
+				sinkFailure = err
+			}
+			err = nil
+		}
 		if err != nil {
 			// Record what finished before surfacing the cancellation.
 			for _, r := range res {
@@ -718,7 +725,7 @@ func (c Campaign) RunSuite(runCtx context.Context, suite *SuiteSpec) (*SuiteRepo
 	for _, cmp := range suite.Compare {
 		report.Comparisons = append(report.Comparisons, runCompare(cmp, results))
 	}
-	return report, nil
+	return report, sinkFailure
 }
 
 // tapRecording picks the named tap's capture out of a result.
@@ -742,7 +749,7 @@ func tapRecording(res *Result, tapName string) (*capture.Recording, error) {
 
 // runCompare executes one CompareSpec against the collected results.
 func runCompare(cmp CompareSpec, results map[string]ScenarioResult) CompareResult {
-	out := CompareResult{Golden: cmp.Golden, Suspect: cmp.Suspect}
+	out := CompareResult{Golden: cmp.Golden, Suspect: cmp.Suspect, GoldenTap: cmp.GoldenTap, SuspectTap: cmp.SuspectTap}
 	fail := func(err error) CompareResult {
 		out.Err = err
 		out.Error = err.Error()
