@@ -1,0 +1,143 @@
+// Command coordinator serves one resumable sweep to a fleet of
+// stateless workers. It expands a suite or grid spec into a work queue
+// of scenario names, hands out heartbeat-guarded leases over HTTP (see
+// internal/farm), journals every completed row to a JSONL file, and —
+// once every scenario is in — stitches the rows into a report
+// byte-identical to an uninterrupted single-process `suite` run.
+//
+// Usage:
+//
+//	coordinator -json merged.json spec.json
+//	coordinator -grid -journal sweep.jsonl -json merged.json grid_tableii.json
+//	coordinator -addr 127.0.0.1:7333 -ttl 30s -journal sweep.jsonl grid.json
+//
+// Kill it mid-sweep and start it again with the same -journal: it reads
+// the journal back (tolerating the torn trailing line a crash leaves),
+// re-queues only the missing scenarios, and the workers carry on. The
+// journal is the same row format `suite -jsonl` writes, so
+// `suite -merge` can also stitch it directly.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"offramps"
+	"offramps/internal/farm"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "coordinator:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("coordinator", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:0", "listen `address` (port 0 = pick a free port)")
+		addrFile = fs.String("addr-file", "", "write the bound address to `file` once listening (for scripts that used port 0)")
+		grid     = fs.Bool("grid", false, "treat the spec file as a parameter-grid sweep and expand it first (grid_*.json auto-detects)")
+		seed     = fs.Uint64("seed", 0, "override the suite's base seed (0 = use the spec's)")
+		ttl      = fs.Duration("ttl", 30*time.Second, "lease heartbeat window; a worker silent this long loses its scenario")
+		journal  = fs.String("journal", "", "append completed rows to this JSONL `file` and resume from it on restart")
+		jsonOut  = fs.String("json", "", "write the final stitched report as JSON to `file` (\"-\" = stdout)")
+		linger   = fs.Duration("linger", 2*time.Second, "keep serving this long after the sweep completes, so polling workers see \"done\" and exit")
+		progress = fs.Bool("progress", false, "print a line per accepted completion")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("want exactly one spec file, got %d", fs.NArg())
+	}
+	path := fs.Arg(0)
+
+	spec, err := offramps.LoadSuiteOrGrid(path, *grid)
+	if err != nil {
+		return err
+	}
+	if *seed != 0 {
+		spec.BaseSeed = *seed
+	}
+
+	co, err := farm.NewCoordinator(spec, *ttl, *journal)
+	if err != nil {
+		return err
+	}
+	defer co.Close()
+	if *progress {
+		co.Progress = stdout
+	}
+	if n := co.Resumed(); n > 0 {
+		fmt.Fprintf(stdout, "resumed %d of %d scenarios from %s\n", n, len(spec.Scenarios), *journal)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "suite %q: %d scenarios on http://%s\n", spec.Name, len(spec.Scenarios), ln.Addr())
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("addr-file: %w", err)
+		}
+	}
+	srv := &http.Server{Handler: co.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case <-co.Done():
+	case err := <-serveErr:
+		return fmt.Errorf("serving: %w", err)
+	}
+	// Workers poll; give their next lease request a chance to see "done"
+	// before the listener goes away.
+	time.Sleep(*linger)
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutCtx)
+
+	rep, err := co.Report()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "sweep complete: %d scenarios, %d comparisons\n", len(rep.Results), len(rep.Comparisons))
+	if *jsonOut != "" {
+		if err := writeReport(*jsonOut, stdout, rep); err != nil {
+			return fmt.Errorf("json: %w", err)
+		}
+	}
+	if err := co.Close(); err != nil {
+		return err
+	}
+	return rep.FirstError()
+}
+
+// writeReport writes the {"suites":[...]} document `suite -json` writes,
+// through the same encoder, so the bytes match a local run's exactly.
+func writeReport(path string, stdout io.Writer, rep *offramps.RawSuiteReport) error {
+	doc := offramps.RawReportDoc{Suites: []offramps.RawSuiteReport{*rep}}
+	if path == "-" {
+		return offramps.EncodeReport(stdout, doc)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := offramps.EncodeReport(f, doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,121 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"offramps"
+	"offramps/internal/farm"
+)
+
+const testGrid = `{
+  "name": "coord-grid",
+  "baseSeed": 1,
+  "extra": [{"name": "golden"}],
+  "axes": {"trojans": [{"label": "clean"}, {"name": "T2"}]},
+  "seedPolicy": {"deltaStart": 10},
+  "compareWith": "golden"
+}`
+
+func TestFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil {
+		t.Error("no spec file accepted")
+	}
+	if err := run([]string{"a.json", "b.json"}, &out); err == nil {
+		t.Error("two spec files accepted")
+	}
+	if err := run([]string{"does-not-exist.json"}, &out); err == nil {
+		t.Error("missing spec file accepted")
+	}
+}
+
+// TestCoordinatorEndToEnd drives the real command: a port-0 coordinator
+// announced via -addr-file, drained by two in-process workers, must
+// write the exact bytes of an uninterrupted local run.
+func TestCoordinatorEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	grid := filepath.Join(dir, "grid_coord.json")
+	if err := os.WriteFile(grid, []byte(testGrid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Local reference bytes.
+	spec, err := offramps.LoadSuiteOrGrid(grid, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := offramps.Campaign{Cache: offramps.NewGoldenCache()}
+	rep, err := c.RunSuite(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := offramps.EncodeReport(&want, struct {
+		Suites []*offramps.SuiteReport `json:"suites"`
+	}{[]*offramps.SuiteReport{rep}}); err != nil {
+		t.Fatal(err)
+	}
+
+	addrFile := filepath.Join(dir, "addr")
+	jsonOut := filepath.Join(dir, "merged.json")
+	var coOut strings.Builder
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{
+			"-addr", "127.0.0.1:0", "-addr-file", addrFile,
+			"-grid", "-journal", filepath.Join(dir, "sweep.jsonl"),
+			"-json", jsonOut, "-linger", "50ms", "-progress", grid,
+		}, &coOut)
+	}()
+
+	var addr string
+	for i := 0; i < 200; i++ {
+		if data, err := os.ReadFile(addrFile); err == nil {
+			addr = strings.TrimSpace(string(data))
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if addr == "" {
+		t.Fatal("coordinator never wrote its address")
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			w := &farm.Worker{
+				Client: &farm.Client{Base: "http://" + addr},
+				Name:   fmt.Sprintf("w%d", i),
+				Poll:   5 * time.Millisecond,
+			}
+			if _, err := w.Run(context.Background()); err != nil {
+				t.Errorf("worker %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := <-done; err != nil {
+		t.Fatalf("coordinator: %v\n%s", err, coOut.String())
+	}
+
+	got, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Error("coordinator report is not byte-identical to the local run")
+	}
+	if !strings.Contains(coOut.String(), "sweep complete") {
+		t.Errorf("missing completion line:\n%s", coOut.String())
+	}
+}

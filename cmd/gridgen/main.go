@@ -14,6 +14,13 @@
 // -names lists the expanded scenario names (with -shard, only the named
 // shard's), which is how a CI matrix or remote executor can preview a
 // sweep's slices without running anything.
+//
+// Static -shard slices and the farm's dynamic lease queue (see
+// internal/farm and cmd/coordinator) are two partitions of the same
+// scenario-name space: `gridgen -names -shard i/N` previews exactly the
+// set a `suite -shard i/N` run would own, while a coordinator deals the
+// same names out one lease at a time. Either way the reassembled report
+// is byte-identical to the unsharded run.
 package main
 
 import (

@@ -13,6 +13,7 @@
 //	suite -grid grid.json           # expand a parameter-grid sweep first
 //	suite -grid -shard 2/4 -json shard2.json grid.json
 //	suite -grid -merge -json merged.json grid.json shard*.json
+//	suite -grid -merge -json merged.json grid.json shard*.jsonl
 //	suite -jsonl results.jsonl -progress big_sweep.json
 //
 // A grid file (-grid) is a compact sweep description — axes of programs,
@@ -35,15 +36,12 @@ package main
 import (
 	"context"
 	"encoding/csv"
-	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"path/filepath"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -66,7 +64,7 @@ func run(args []string, stdout io.Writer) error {
 		csvOut   = fs.String("csv", "", "write per-scenario and per-comparison rows as CSV to `file` (\"-\" = stdout)")
 		grid     = fs.Bool("grid", false, "treat the spec files as parameter-grid sweeps and expand them first (grid_*.json files auto-detect)")
 		shard    = fs.String("shard", "", "run only shard `i/N` of each suite (stable per-scenario slices; merge with -merge)")
-		merge    = fs.Bool("merge", false, "merge shard reports: first arg is the spec/grid file, the rest are per-shard -json files")
+		merge    = fs.Bool("merge", false, "merge shard outputs: first arg is the spec/grid file, the rest are per-shard -json reports or -jsonl streams")
 		jsonlOut = fs.String("jsonl", "", "stream one JSON line per completed scenario to `file` (\"-\" = stdout)")
 		progress = fs.Bool("progress", false, "print a progress line as each scenario completes")
 	)
@@ -144,7 +142,7 @@ func run(args []string, stdout io.Writer) error {
 			if sh != nil {
 				total = len(sh.Owned)
 			}
-			ps := ownedOnly(sh, &offramps.ProgressSink{W: stdout, Total: total})
+			ps := ownedOnly(sh, &offramps.ProgressSink{W: stdout, Total: total, Cache: cache})
 			c.Sinks = append(c.Sinks, ps)
 			perSuite = append(perSuite, ps)
 		}
@@ -176,6 +174,16 @@ func run(args []string, stdout io.Writer) error {
 			rep = sh.Filter(rep)
 			fmt.Fprintf(stdout, "shard %d/%d of %s: %d of %d scenarios\n",
 				shardIdx, shardCnt, spec.Name, len(rep.Results), len(spec.Scenarios))
+		}
+		if jsonl != nil {
+			// Comparison rows ride the stream too (after the suite's
+			// scenario rows), so a -jsonl stream alone carries everything
+			// -merge needs to stitch the full report.
+			for _, cmp := range rep.Comparisons {
+				if cerr := jsonl.EmitCompare(cmp); cerr != nil && sinkFailure == nil {
+					sinkFailure = fmt.Errorf("jsonl: %w", cerr)
+				}
+			}
 		}
 		fmt.Fprint(stdout, rep.Format())
 		fmt.Fprintf(stdout, "(%s executed in %v)\n\n", path, time.Since(start).Round(time.Millisecond))
@@ -233,20 +241,11 @@ func (s *ownedSink) Close() error { return s.inner.Close() }
 // loadSuite reads a suite spec — or a grid spec expanded into one. -grid
 // forces grid interpretation; without it, the committed grid_*.json
 // naming convention decides, so `suite examples/specs/*.json` keeps
-// working with grids in the glob.
+// working with grids in the glob. The same loading path backs the farm
+// coordinator (cmd/coordinator), so both front ends see identical
+// suites for identical inputs.
 func loadSuite(path string, grid bool) (*offramps.SuiteSpec, error) {
-	if grid || strings.HasPrefix(filepath.Base(path), "grid_") {
-		g, err := offramps.LoadGridSpec(path)
-		if err != nil {
-			return nil, err
-		}
-		s, err := g.Expand()
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", path, err)
-		}
-		return s, nil
-	}
-	return offramps.LoadSuiteSpec(path)
+	return offramps.LoadSuiteOrGrid(path, grid)
 }
 
 // firstError surfaces scenario or comparison failures as a non-zero exit
@@ -296,9 +295,7 @@ func writeJSONDoc(path string, stdout io.Writer, doc any) error {
 		return err
 	}
 	defer closer()
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(doc); err != nil {
+	if err := offramps.EncodeReport(w, doc); err != nil {
 		return err
 	}
 	return closer()

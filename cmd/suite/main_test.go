@@ -8,6 +8,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"offramps"
 )
 
 // repoRoot walks up from the test's working directory to the module root
@@ -222,6 +224,55 @@ func TestShardMergeByteIdentical(t *testing.T) {
 	}
 }
 
+// TestMergeFromJSONLStreams: -merge stitches per-shard -jsonl streams —
+// no -json intermediate — into the same bytes as the unsharded run, and
+// mixed inputs (one shard as a report, one as a stream) merge too.
+func TestMergeFromJSONLStreams(t *testing.T) {
+	grid := filepath.Join("testdata", "grid_shard.json")
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.json")
+	var out strings.Builder
+	if err := run([]string{"-grid", "-json", full, grid}, &out); err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for i := 1; i <= 2; i++ {
+		if err := run([]string{"-grid", "-shard", fmt.Sprintf("%d/2", i),
+			"-jsonl", filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i)),
+			"-json", filepath.Join(dir, fmt.Sprintf("shard%d.json", i)), grid}, &out); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+
+	merged := filepath.Join(dir, "merged.json")
+	if err := run([]string{"-grid", "-merge", "-json", merged, grid,
+		filepath.Join(dir, "shard1.jsonl"), filepath.Join(dir, "shard2.jsonl")}, &out); err != nil {
+		t.Fatalf("stream merge: %v", err)
+	}
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("stream-merged report is not byte-identical to the unsharded run")
+	}
+
+	if err := run([]string{"-grid", "-merge", "-json", merged, grid,
+		filepath.Join(dir, "shard1.json"), filepath.Join(dir, "shard2.jsonl")}, &out); err != nil {
+		t.Fatalf("mixed merge: %v", err)
+	}
+	if got, err = os.ReadFile(merged); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Error("mixed-input merge is not byte-identical to the unsharded run")
+	}
+}
+
 // TestMergeDetectsCoverageGap: merging fewer shards than the sweep needs
 // must fail loudly, not emit a silently incomplete report.
 func TestMergeDetectsCoverageGap(t *testing.T) {
@@ -233,7 +284,7 @@ func TestMergeDetectsCoverageGap(t *testing.T) {
 		t.Fatal(err)
 	}
 	err := run([]string{"-grid", "-merge", "-json", filepath.Join(dir, "merged.json"), grid, shard1}, &out)
-	if err == nil || !strings.Contains(err.Error(), "missing from the shard reports") {
+	if err == nil || !strings.Contains(err.Error(), "coverage gap") {
 		t.Errorf("partial merge accepted: %v", err)
 	}
 	// Merging the same shard twice is an overlap, not coverage.
@@ -265,12 +316,13 @@ func TestShardFlagValidation(t *testing.T) {
 
 // TestShardedJSONLStreamsOwnedOnly: helper goldens execute in several
 // shards, but the concatenated per-shard JSONL streams must carry each
-// scenario exactly once, matching the merged report.
+// scenario — and each comparison — exactly once, matching the merged
+// report.
 func TestShardedJSONLStreamsOwnedOnly(t *testing.T) {
 	grid := filepath.Join("testdata", "grid_shard.json")
 	dir := t.TempDir()
-	seen := map[string]int{}
-	total := 0
+	scenarios := map[string]int{}
+	compares := map[string]int{}
 	for i := 1; i <= 2; i++ {
 		rows := filepath.Join(dir, fmt.Sprintf("rows%d.jsonl", i))
 		var out strings.Builder
@@ -282,22 +334,28 @@ func TestShardedJSONLStreamsOwnedOnly(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
-			var row struct {
-				Name string `json:"name"`
-			}
-			if err := json.Unmarshal([]byte(line), &row); err != nil {
+			row, err := offramps.ParseStreamRow([]byte(line))
+			if err != nil {
 				t.Fatalf("bad row %q: %v", line, err)
 			}
-			seen[row.Name]++
-			total++
+			if row.Name != "" {
+				scenarios[row.Name]++
+			} else {
+				compares[row.Key]++
+			}
 		}
 	}
-	if total != 5 {
-		t.Errorf("concatenated rows = %d, want 5 (one per scenario)", total)
+	if len(scenarios) != 5 {
+		t.Errorf("distinct scenarios streamed = %d, want 5", len(scenarios))
 	}
-	for name, n := range seen {
+	for name, n := range scenarios {
 		if n != 1 {
 			t.Errorf("scenario %q streamed %d times across shards", name, n)
+		}
+	}
+	for key, n := range compares {
+		if n != 1 {
+			t.Errorf("comparison %q streamed %d times across shards", key, n)
 		}
 	}
 }

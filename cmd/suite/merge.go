@@ -5,35 +5,26 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
+
+	"offramps"
 )
 
-// Shard-report merging. Each shard ran a disjoint, hash-keyed slice of
-// one suite and wrote a normal -json report containing only its owned
-// scenarios and comparisons. The merge re-expands the suite (or grid) to
-// recover the canonical scenario order, stitches the shard rows back
-// into that order, and re-emits through the same JSON encoder the live
-// path uses — so the merged report is byte-identical to an unsharded
-// run of the same suite and seeds. Rows are carried as raw JSON: the
-// merge never re-simulates, re-parses floats, or reorders keys.
-
-// rawSuite mirrors offramps.SuiteReport field-for-field with opaque
-// rows. The tags and field order must match SuiteReport exactly: the
-// byte-identity guarantee rests on both paths serializing the same
-// shape.
-type rawSuite struct {
-	Suite       string            `json:"suite"`
-	BaseSeed    uint64            `json:"baseSeed"`
-	Results     []json.RawMessage `json:"results"`
-	Comparisons []json.RawMessage `json:"comparisons,omitempty"`
-}
-
-type rawDoc struct {
-	Suites []rawSuite `json:"suites"`
-}
+// Shard merging. Each shard ran a disjoint, hash-keyed slice of one
+// suite and wrote either a normal -json report or a -jsonl stream
+// containing only its owned scenarios and comparisons. The merge
+// re-expands the suite (or grid) to recover the canonical scenario
+// order, stitches the shard rows back into that order (StitchReport),
+// and re-emits through the same JSON encoder the live path uses
+// (EncodeReport) — so the merged report is byte-identical to an
+// unsharded run of the same suite and seeds. Rows are carried as raw
+// JSON: the merge never re-simulates, re-parses floats, or reorders
+// keys. A farm coordinator's journal is a -jsonl stream too, so a
+// half-finished distributed sweep merges the same way once complete.
 
 func runMerge(grid bool, seed uint64, paths []string, jsonOut string, stdout io.Writer) error {
 	if len(paths) < 2 {
-		return fmt.Errorf("-merge needs the spec/grid file followed by at least one shard report")
+		return fmt.Errorf("-merge needs the spec/grid file followed by at least one shard report or stream")
 	}
 	suite, err := loadSuite(paths[0], grid)
 	if err != nil {
@@ -45,112 +36,114 @@ func runMerge(grid bool, seed uint64, paths []string, jsonOut string, stdout io.
 
 	results := make(map[string]json.RawMessage)
 	compares := make(map[string]json.RawMessage)
-	// Per-tap comparisons of the same scenario pair are distinct entries,
-	// so the key carries the taps too.
-	cmpKey := func(golden, goldenTap, suspect, suspectTap string) string {
-		return golden + "\x00" + goldenTap + "\x00" + suspect + "\x00" + suspectTap
-	}
 	for _, p := range paths[1:] {
-		data, err := os.ReadFile(p)
+		if strings.HasSuffix(p, ".jsonl") {
+			err = mergeStream(p, suite, results, compares, stdout)
+		} else {
+			err = mergeReport(p, suite, results, compares)
+		}
 		if err != nil {
-			return fmt.Errorf("shard report: %w", err)
-		}
-		var doc rawDoc
-		if err := json.Unmarshal(data, &doc); err != nil {
-			return fmt.Errorf("shard report %s: %w", p, err)
-		}
-		if len(doc.Suites) != 1 {
-			return fmt.Errorf("shard report %s: want exactly one suite, got %d", p, len(doc.Suites))
-		}
-		rs := doc.Suites[0]
-		if rs.Suite != suite.Name {
-			return fmt.Errorf("shard report %s is for suite %q, not %q", p, rs.Suite, suite.Name)
-		}
-		if rs.BaseSeed != suite.BaseSeed {
-			return fmt.Errorf("shard report %s ran base seed %d, not %d (same -seed for every shard and the merge)", p, rs.BaseSeed, suite.BaseSeed)
-		}
-		for _, raw := range rs.Results {
-			var head struct{ Name string }
-			if err := json.Unmarshal(raw, &head); err != nil || head.Name == "" {
-				return fmt.Errorf("shard report %s: unreadable scenario row %s", p, raw)
-			}
-			if _, dup := results[head.Name]; dup {
-				return fmt.Errorf("scenario %q appears in more than one shard report (overlapping shards?)", head.Name)
-			}
-			results[head.Name] = raw
-		}
-		for _, raw := range rs.Comparisons {
-			var head struct {
-				Golden     string `json:"golden"`
-				Suspect    string `json:"suspect"`
-				GoldenTap  string `json:"goldenTap"`
-				SuspectTap string `json:"suspectTap"`
-			}
-			if err := json.Unmarshal(raw, &head); err != nil || head.Suspect == "" {
-				return fmt.Errorf("shard report %s: unreadable comparison row %s", p, raw)
-			}
-			key := cmpKey(head.Golden, head.GoldenTap, head.Suspect, head.SuspectTap)
-			if _, dup := compares[key]; dup {
-				return fmt.Errorf("comparison %s vs %s appears in more than one shard report", head.Golden, head.Suspect)
-			}
-			compares[key] = raw
+			return err
 		}
 	}
 
-	merged := rawSuite{Suite: suite.Name, BaseSeed: suite.BaseSeed, Results: make([]json.RawMessage, 0, len(suite.Scenarios))}
-	for _, sc := range suite.Scenarios {
-		raw, ok := results[sc.Name]
-		if !ok {
-			return fmt.Errorf("scenario %q missing from the shard reports (coverage gap — were all N shards merged?)", sc.Name)
-		}
-		merged.Results = append(merged.Results, raw)
-		delete(results, sc.Name)
+	merged, err := offramps.StitchReport(suite, results, compares)
+	if err != nil {
+		return err
 	}
-	for name := range results {
-		return fmt.Errorf("shard reports contain scenario %q that the suite does not (stale shard files?)", name)
-	}
-	for _, cmp := range suite.Compare {
-		key := cmpKey(cmp.Golden, cmp.GoldenTap, cmp.Suspect, cmp.SuspectTap)
-		raw, ok := compares[key]
-		if !ok {
-			return fmt.Errorf("comparison %s vs %s missing from the shard reports", cmp.Golden, cmp.Suspect)
-		}
-		merged.Comparisons = append(merged.Comparisons, raw)
-		delete(compares, key)
-	}
-	for key := range compares {
-		return fmt.Errorf("shard reports contain a comparison the suite does not: %q", key)
-	}
-
-	fmt.Fprintf(stdout, "merged %d shard reports of suite %s: %d scenarios, %d comparisons\n",
+	fmt.Fprintf(stdout, "merged %d shard inputs of suite %s: %d scenarios, %d comparisons\n",
 		len(paths)-1, suite.Name, len(merged.Results), len(merged.Comparisons))
 	if jsonOut != "" {
-		if err := writeJSONDoc(jsonOut, stdout, rawDoc{Suites: []rawSuite{merged}}); err != nil {
+		if err := writeJSONDoc(jsonOut, stdout, offramps.RawReportDoc{Suites: []offramps.RawSuiteReport{*merged}}); err != nil {
 			return fmt.Errorf("json: %w", err)
 		}
 	}
-	return firstMergedError(merged)
+	return merged.FirstError()
 }
 
-// firstMergedError mirrors firstError over raw rows, so a merged report
-// carrying a scenario or comparison failure exits non-zero exactly like
-// the live path.
-func firstMergedError(merged rawSuite) error {
-	for _, raw := range merged.Results {
-		var head struct{ Name, Err string }
-		if err := json.Unmarshal(raw, &head); err == nil && head.Err != "" {
-			return fmt.Errorf("suite %s: scenario %s: %s", merged.Suite, head.Name, head.Err)
-		}
+// mergeStream folds one -jsonl shard stream (or farm journal) into the
+// row maps. The resume index already drops in-stream duplicate rows
+// (deterministic repeats); across files an overlap is still an error —
+// two shards claiming one scenario means the shard math was wrong.
+func mergeStream(path string, suite *offramps.SuiteSpec, results, compares map[string]json.RawMessage, stdout io.Writer) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("shard stream: %w", err)
 	}
-	for _, raw := range merged.Comparisons {
+	ix, err := offramps.ReadResumeIndex(f, suite.Name)
+	f.Close()
+	if err != nil {
+		return fmt.Errorf("shard stream %s: %w", path, err)
+	}
+	if err := ix.Validate(suite); err != nil {
+		return fmt.Errorf("shard stream %s: %w", path, err)
+	}
+	if ix.Torn {
+		// An interrupted run's tail; the dropped row surfaces as a
+		// coverage gap in the stitch if no other input carries it.
+		fmt.Fprintf(stdout, "note: %s ends in a torn line (dropped)\n", path)
+	}
+	for name, raw := range ix.Scenarios {
+		if _, dup := results[name]; dup {
+			return fmt.Errorf("scenario %q appears in more than one shard input (overlapping shards?)", name)
+		}
+		results[name] = raw
+	}
+	for key, raw := range ix.Compares {
+		if _, dup := compares[key]; dup {
+			parts := strings.Split(key, "\x00")
+			return fmt.Errorf("comparison %s vs %s appears in more than one shard input", parts[0], parts[2])
+		}
+		compares[key] = raw
+	}
+	return nil
+}
+
+// mergeReport folds one -json shard report into the row maps.
+func mergeReport(path string, suite *offramps.SuiteSpec, results, compares map[string]json.RawMessage) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("shard report: %w", err)
+	}
+	var doc offramps.RawReportDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("shard report %s: %w", path, err)
+	}
+	if len(doc.Suites) != 1 {
+		return fmt.Errorf("shard report %s: want exactly one suite, got %d", path, len(doc.Suites))
+	}
+	rs := doc.Suites[0]
+	if rs.Suite != suite.Name {
+		return fmt.Errorf("shard report %s is for suite %q, not %q", path, rs.Suite, suite.Name)
+	}
+	if rs.BaseSeed != suite.BaseSeed {
+		return fmt.Errorf("shard report %s ran base seed %d, not %d (same -seed for every shard and the merge)", path, rs.BaseSeed, suite.BaseSeed)
+	}
+	for _, raw := range rs.Results {
+		var head struct{ Name string }
+		if err := json.Unmarshal(raw, &head); err != nil || head.Name == "" {
+			return fmt.Errorf("shard report %s: unreadable scenario row %s", path, raw)
+		}
+		if _, dup := results[head.Name]; dup {
+			return fmt.Errorf("scenario %q appears in more than one shard input (overlapping shards?)", head.Name)
+		}
+		results[head.Name] = raw
+	}
+	for _, raw := range rs.Comparisons {
 		var head struct {
-			Golden  string `json:"golden"`
-			Suspect string `json:"suspect"`
-			Error   string `json:"error"`
+			Golden     string `json:"golden"`
+			Suspect    string `json:"suspect"`
+			GoldenTap  string `json:"goldenTap"`
+			SuspectTap string `json:"suspectTap"`
 		}
-		if err := json.Unmarshal(raw, &head); err == nil && head.Error != "" {
-			return fmt.Errorf("suite %s: compare %s vs %s: %s", merged.Suite, head.Golden, head.Suspect, head.Error)
+		if err := json.Unmarshal(raw, &head); err != nil || head.Suspect == "" {
+			return fmt.Errorf("shard report %s: unreadable comparison row %s", path, raw)
 		}
+		key := offramps.CompareKey(head.Golden, head.GoldenTap, head.Suspect, head.SuspectTap)
+		if _, dup := compares[key]; dup {
+			return fmt.Errorf("comparison %s vs %s appears in more than one shard input", head.Golden, head.Suspect)
+		}
+		compares[key] = raw
 	}
 	return nil
 }

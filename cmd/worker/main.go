@@ -1,0 +1,80 @@
+// Command worker joins a coordinator's sweep (see cmd/coordinator and
+// internal/farm): it fetches the suite once, then leases scenario names,
+// runs each lease's sub-suite (the owned scenario plus its helper golden
+// runs, recovered via SuiteSpec.Subset) through the ordinary campaign
+// path, and streams the JSONL rows back. Workers are stateless — all
+// they accumulate is a golden cache — so they can be killed, added, and
+// restarted freely at any point in the sweep.
+//
+// Usage:
+//
+//	worker -coordinator http://127.0.0.1:7333
+//	worker -coordinator http://host:7333 -name rig2 -poll 250ms
+//	worker -coordinator http://host:7333 -max 5   # drain 5 leases, then exit
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"offramps"
+	"offramps/internal/farm"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "worker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("worker", flag.ContinueOnError)
+	var (
+		coord   = fs.String("coordinator", "", "coordinator base `URL`, e.g. http://127.0.0.1:7333 (required)")
+		name    = fs.String("name", "", "worker name shown in coordinator status (default host-pid)")
+		dir     = fs.String("dir", ".", "directory resolving the suite's relative program references")
+		poll    = fs.Duration("poll", 500*time.Millisecond, "wait between lease polls while the queue is empty")
+		retries = fs.Int("retries", 10, "consecutive transport failures tolerated before giving up")
+		max     = fs.Int("max", 0, "exit after completing this many scenarios (0 = run until the sweep is done)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return fmt.Errorf("unexpected arguments: %v (the suite comes from the coordinator)", fs.Args())
+	}
+	if *coord == "" {
+		fs.Usage()
+		return fmt.Errorf("-coordinator is required")
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		if host == "" {
+			host = "worker"
+		}
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	w := &farm.Worker{
+		Client:     &farm.Client{Base: *coord},
+		Name:       *name,
+		Dir:        *dir,
+		Cache:      offramps.NewGoldenCache(),
+		Poll:       *poll,
+		MaxRetries: *retries,
+		Max:        *max,
+		Log:        stdout,
+	}
+	n, err := w.Run(context.Background())
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "worker %s: exiting after %d scenario(s)\n", *name, n)
+	return nil
+}

@@ -1,0 +1,65 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"offramps"
+	"offramps/internal/farm"
+)
+
+func TestFlagValidation(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{}, &out); err == nil || !strings.Contains(err.Error(), "-coordinator is required") {
+		t.Errorf("missing -coordinator accepted: %v", err)
+	}
+	if err := run([]string{"-coordinator", "http://x", "stray.json"}, &out); err == nil || !strings.Contains(err.Error(), "unexpected arguments") {
+		t.Errorf("positional args accepted: %v", err)
+	}
+}
+
+// TestWorkerEndToEnd: the real command against an in-process
+// coordinator drains the whole sweep and reports it.
+func TestWorkerEndToEnd(t *testing.T) {
+	grid := filepath.Join(t.TempDir(), "grid_worker.json")
+	if err := os.WriteFile(grid, []byte(`{
+  "name": "worker-grid",
+  "baseSeed": 1,
+  "extra": [{"name": "golden"}],
+  "axes": {"trojans": [{"label": "clean"}, {"name": "T2"}]},
+  "seedPolicy": {"deltaStart": 10},
+  "compareWith": "golden"
+}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec, err := offramps.LoadSuiteOrGrid(grid, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := farm.NewCoordinator(spec, 30*time.Second, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+
+	var out strings.Builder
+	if err := run([]string{"-coordinator", srv.URL, "-name", "t1", "-poll", "5ms"}, &out); err != nil {
+		t.Fatalf("worker: %v\n%s", err, out.String())
+	}
+	select {
+	case <-co.Done():
+	default:
+		t.Error("worker exited but the sweep is not done")
+	}
+	if _, _, done, total := co.Counts(); done != total {
+		t.Errorf("done = %d, total = %d", done, total)
+	}
+	if !strings.Contains(out.String(), "exiting after") {
+		t.Errorf("missing exit line:\n%s", out.String())
+	}
+}

@@ -217,6 +217,26 @@ func LoadGridSpec(path string) (*GridSpec, error) {
 	return g, nil
 }
 
+// LoadSuiteOrGrid loads a spec file as a plain suite, or as a grid
+// expanded into one. forceGrid forces grid interpretation; without it
+// the committed grid_*.json naming convention decides, so spec globs
+// with grids mixed in keep working. This is the one loading path shared
+// by cmd/suite, cmd/gridgen consumers, and the farm coordinator.
+func LoadSuiteOrGrid(path string, forceGrid bool) (*SuiteSpec, error) {
+	if forceGrid || strings.HasPrefix(filepath.Base(path), "grid_") {
+		g, err := LoadGridSpec(path)
+		if err != nil {
+			return nil, err
+		}
+		s, err := g.Expand()
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		return s, nil
+	}
+	return LoadSuiteSpec(path)
+}
+
 // programLabel derives a deterministic label for a program axis value.
 func programLabel(p ProgramSpec) string {
 	var parts []string
@@ -542,6 +562,15 @@ func (g *GridSpec) Expand() (*SuiteSpec, error) {
 // count shards. The key is an FNV-1a hash of the scenario name, so a
 // scenario's shard never depends on expansion order — reordering or
 // filtering a grid does not reshuffle the slices.
+//
+// Static shards and the farm's dynamic lease queue (internal/farm) are
+// two partitions of the same name space: `suite -shard i/N` fixes the
+// partition up front by this hash, while a farm coordinator hands out
+// the very same scenario names one lease at a time. Either way each
+// name runs exactly once, carries its golden closure (Subset), and the
+// stitched reports are byte-identical — `gridgen -names -shard i/N`
+// previews the static slices, `gridgen -names` lists the farm queue's
+// seed order.
 func ShardOf(name string, count int) int {
 	h := fnv.New64a()
 	h.Write([]byte(name))
@@ -593,12 +622,38 @@ func (s *SuiteSpec) Shard(index, count int) (*SuiteShard, error) {
 	if count < 1 || index < 1 || index > count {
 		return nil, fmt.Errorf("offramps: shard %d/%d out of range", index, count)
 	}
-
-	owned := make(map[string]bool)
+	var names []string
 	for _, sc := range s.Scenarios {
 		if ShardOf(sc.Name, count) == index-1 {
-			owned[sc.Name] = true
+			names = append(names, sc.Name)
 		}
+	}
+	return s.Subset(names...)
+}
+
+// Subset returns the runnable slice of the suite owning exactly the
+// named scenarios: the sub-suite contains them plus their golden
+// closure (golden references of owned detectors and owned comparisons,
+// transitively) as helper runs, and the owned comparisons are the ones
+// whose suspect is named. This is the closure logic both distribution
+// mechanisms share: Shard calls it with a hash-keyed slice, and a farm
+// worker (internal/farm) calls it with the single scenario name it
+// leased, so a lease carries its helper golden runs the same way a
+// static shard does.
+func (s *SuiteSpec) Subset(names ...string) (*SuiteShard, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	known := make(map[string]bool, len(s.Scenarios))
+	for _, sc := range s.Scenarios {
+		known[sc.Name] = true
+	}
+	owned := make(map[string]bool, len(names))
+	for _, name := range names {
+		if !known[name] {
+			return nil, fmt.Errorf("offramps: suite %q has no scenario %q", s.Name, name)
+		}
+		owned[name] = true
 	}
 
 	// need = owned ∪ golden closure. A needed scenario's own detector may

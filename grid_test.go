@@ -318,6 +318,74 @@ func TestShardGoldenClosure(t *testing.T) {
 	}
 }
 
+// TestSubset: a single-name subset — what a farm lease resolves to —
+// carries its full golden chain plus exactly the comparisons the named
+// scenario draws as suspect; unknown names are refused.
+func TestSubset(t *testing.T) {
+	suite := &SuiteSpec{
+		Name: "subset",
+		Scenarios: []ScenarioSpec{
+			{Name: "root"},
+			{Name: "mid", Detector: &DetectorSpec{Name: "golden-monitor", Golden: "root"}},
+			{Name: "leaf", Detector: &DetectorSpec{Name: "golden-monitor", Golden: "mid"}},
+		},
+		Compare: []CompareSpec{
+			{Golden: "root", Suspect: "leaf"},
+			{Golden: "root", Suspect: "mid"},
+		},
+	}
+	sh, err := suite.Subset("leaf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sh.Owned) != 1 || !sh.Owned["leaf"] {
+		t.Errorf("Owned = %v, want just leaf", sh.Owned)
+	}
+	inSpec := make(map[string]bool)
+	for _, sc := range sh.Spec.Scenarios {
+		inSpec[sc.Name] = true
+	}
+	if !inSpec["leaf"] || !inSpec["mid"] || !inSpec["root"] {
+		t.Errorf("sub-suite lacks the golden chain: %v", inSpec)
+	}
+	if len(sh.Spec.Compare) != 1 || sh.Spec.Compare[0].Suspect != "leaf" {
+		t.Errorf("sub-suite compares = %v, want only leaf's", sh.Spec.Compare)
+	}
+
+	if _, err := suite.Subset("no-such"); err == nil {
+		t.Error("Subset of an unknown scenario accepted")
+	}
+	// An empty subset is a valid (empty) shard — Shard delegates here and
+	// a sweep can have more shards than scenarios.
+	if empty, err := suite.Subset(); err != nil || len(empty.Spec.Scenarios) != 0 {
+		t.Errorf("empty Subset = %v, %v; want an empty shard", empty, err)
+	}
+
+	// Subset and Shard agree: a shard's spec equals the Subset of its
+	// owned names (same closure, same canonical order).
+	full, err := testGrid().Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shard, err := full.Shard(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var owned []string
+	for _, sc := range full.Scenarios {
+		if shard.Owned[sc.Name] {
+			owned = append(owned, sc.Name)
+		}
+	}
+	viaSubset, err := full.Subset(owned...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(viaSubset.Spec.Scenarios) != len(shard.Spec.Scenarios) {
+		t.Errorf("Subset(%v) has %d scenarios, Shard has %d", owned, len(viaSubset.Spec.Scenarios), len(shard.Spec.Scenarios))
+	}
+}
+
 // TestParseShard checks the "i/N" notation.
 func TestParseShard(t *testing.T) {
 	if i, n, err := ParseShard("2/4"); err != nil || i != 2 || n != 4 {

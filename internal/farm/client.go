@@ -1,0 +1,107 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the worker side of the farm protocol: a thin, retry-free
+// HTTP wrapper (the worker loop owns retry policy, because only it
+// knows whether a failure is worth waiting out).
+type Client struct {
+	// Base is the coordinator's URL, e.g. "http://127.0.0.1:7333".
+	Base string
+	// HTTP overrides the transport (nil = a client with a sane timeout).
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.Base, "/") + path
+}
+
+// FetchSuite downloads the canonical suite document.
+func (c *Client) FetchSuite(ctx context.Context) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(PathSuite), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("farm: %s: %s: %s", PathSuite, resp.Status, bytes.TrimSpace(body))
+	}
+	return body, nil
+}
+
+// Lease asks for one scenario.
+func (c *Client) Lease(ctx context.Context, worker string) (*LeaseReply, error) {
+	var out LeaseReply
+	if err := c.post(ctx, PathLease, LeaseRequest{Worker: worker}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Heartbeat extends a lease; false means the lease is gone.
+func (c *Client) Heartbeat(ctx context.Context, token string) (bool, error) {
+	var out HeartbeatReply
+	if err := c.post(ctx, PathHeartbeat, HeartbeatRequest{Token: token}, &out); err != nil {
+		return false, err
+	}
+	return out.OK, nil
+}
+
+// Complete returns a finished scenario's rows and reports the
+// coordinator's verdict (accepted, duplicate, unknown).
+func (c *Client) Complete(ctx context.Context, req CompleteRequest) (string, error) {
+	var out CompleteReply
+	if err := c.post(ctx, PathComplete, req, &out); err != nil {
+		return "", err
+	}
+	return out.Status, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("farm: %s: %s: %s", path, resp.Status, bytes.TrimSpace(data))
+	}
+	return json.Unmarshal(data, out)
+}

@@ -1,0 +1,204 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"offramps"
+)
+
+// Coordinator owns one sweep: the expanded suite, the lease queue over
+// its scenario names, the collected raw rows, and (optionally) a JSONL
+// journal that makes the sweep resumable. It is deliberately
+// simulation-free — all printing happens in workers — so a coordinator
+// for a million-scenario sweep is a queue of names and a file of rows.
+//
+// Resumability: every accepted completion appends its rows to the
+// journal (comparisons first, then the scenario row) before the worker
+// sees the ack. A restarted coordinator reads the journal back through
+// the resume index — tolerating the torn trailing line a crash leaves —
+// and enqueues only the complement, so the sweep continues instead of
+// restarting. The journal is the same row format `suite -jsonl` writes,
+// so `suite -merge` can also stitch it directly.
+type Coordinator struct {
+	Suite *offramps.SuiteSpec
+	// Progress, when non-nil, receives one line per accepted completion.
+	Progress io.Writer
+
+	suiteJSON []byte
+	queue     *Queue
+	journal   *os.File
+
+	mu        sync.Mutex
+	scenarios map[string]json.RawMessage
+	compares  map[string]json.RawMessage
+	resumed   int
+	accepted  int
+
+	doneOnce sync.Once
+	done     chan struct{}
+}
+
+// NewCoordinator builds the coordinator for a validated suite. ttl is
+// the per-lease heartbeat window. journalPath, when non-empty, persists
+// (and resumes) the sweep; an existing journal seeds the done set after
+// validating that its rows belong to this suite and base seed.
+func NewCoordinator(suite *offramps.SuiteSpec, ttl time.Duration, journalPath string) (*Coordinator, error) {
+	if err := suite.Validate(); err != nil {
+		return nil, err
+	}
+	suiteJSON, err := json.Marshal(suite)
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		Suite:     suite,
+		suiteJSON: suiteJSON,
+		queue:     NewQueue(suite.ScenarioNames(), ttl),
+		scenarios: make(map[string]json.RawMessage),
+		compares:  make(map[string]json.RawMessage),
+		done:      make(chan struct{}),
+	}
+
+	if journalPath != "" {
+		if f, err := os.Open(journalPath); err == nil {
+			ix, rerr := offramps.ReadResumeIndex(f, suite.Name)
+			f.Close()
+			if rerr != nil {
+				return nil, fmt.Errorf("farm: journal %s: %w", journalPath, rerr)
+			}
+			if err := ix.Validate(suite); err != nil {
+				return nil, fmt.Errorf("farm: journal %s: %w", journalPath, err)
+			}
+			for name, raw := range ix.Scenarios {
+				c.scenarios[name] = raw
+				c.queue.MarkDone(name)
+			}
+			for key, raw := range ix.Compares {
+				c.compares[key] = raw
+			}
+			c.resumed = len(ix.Scenarios)
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("farm: journal: %w", err)
+		}
+		f, err := os.OpenFile(journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("farm: journal: %w", err)
+		}
+		c.journal = f
+	}
+	if c.queue.Done() {
+		c.doneOnce.Do(func() { close(c.done) })
+	}
+	return c, nil
+}
+
+// Resumed reports how many scenarios the journal already covered.
+func (c *Coordinator) Resumed() int { return c.resumed }
+
+// Counts snapshots the queue.
+func (c *Coordinator) Counts() (pending, leased, done, total int) { return c.queue.Counts() }
+
+// Done is closed once every scenario has completed.
+func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Handler returns the coordinator's HTTP API.
+func (c *Coordinator) Handler() http.Handler {
+	s := &Server{
+		Suite:      c.suiteJSON,
+		SuiteName:  c.Suite.Name,
+		Queue:      c.queue,
+		OnComplete: c.accept,
+	}
+	return s.Handler()
+}
+
+// accept records one first-accepted completion: validate the rows
+// against the suite, journal them (comparisons first — the resume
+// invariant is "scenario row present ⇒ its comparisons present"), and
+// store them for the final stitch. An error here un-acks the completion
+// (the server reopens the scenario).
+func (c *Coordinator) accept(scenario string, compares []json.RawMessage, row json.RawMessage) error {
+	sc, ok := c.Suite.FindScenario(scenario)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q", scenario)
+	}
+	parsed, err := offramps.ParseStreamRow(row)
+	if err != nil {
+		return err
+	}
+	if parsed.Name != scenario {
+		return fmt.Errorf("row names scenario %q, lease was for %q", parsed.Name, scenario)
+	}
+	if parsed.Suite != c.Suite.Name {
+		return fmt.Errorf("row is labelled suite %q, not %q", parsed.Suite, c.Suite.Name)
+	}
+	if want := sc.EffectiveSeed(c.Suite.BaseSeed); parsed.Seed != want {
+		return fmt.Errorf("scenario %q ran seed %d, want %d (worker on a different base seed?)", scenario, parsed.Seed, want)
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, raw := range compares {
+		p, err := offramps.ParseStreamRow(raw)
+		if err != nil {
+			return err
+		}
+		if p.Key == "" {
+			return fmt.Errorf("scenario row %q sent among the comparisons", p.Name)
+		}
+		if _, dup := c.compares[p.Key]; dup {
+			continue // a re-run's repeat of an already-journaled comparison
+		}
+		if err := c.journalRow(raw); err != nil {
+			return err
+		}
+		c.compares[p.Key] = p.Report
+	}
+	if err := c.journalRow(row); err != nil {
+		return err
+	}
+	c.scenarios[scenario] = parsed.Report
+	c.accepted++
+
+	if c.Progress != nil {
+		_, _, done, total := c.queue.Counts()
+		fmt.Fprintf(c.Progress, "[%d/%d] %s\n", done, total, scenario)
+	}
+	if c.queue.Done() {
+		c.doneOnce.Do(func() { close(c.done) })
+	}
+	return nil
+}
+
+// journalRow appends one raw JSONL line.
+func (c *Coordinator) journalRow(raw json.RawMessage) error {
+	if c.journal == nil {
+		return nil
+	}
+	if _, err := c.journal.Write(append(append([]byte(nil), raw...), '\n')); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Report stitches the collected rows into the canonical suite report —
+// byte-identical to an uninterrupted single-process run.
+func (c *Coordinator) Report() (*offramps.RawSuiteReport, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return offramps.StitchReport(c.Suite, c.scenarios, c.compares)
+}
+
+// Close releases the journal.
+func (c *Coordinator) Close() error {
+	if c.journal == nil {
+		return nil
+	}
+	return c.journal.Close()
+}

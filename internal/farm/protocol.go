@@ -1,0 +1,96 @@
+// Package farm is the distributed campaign service: a small HTTP
+// coordinator owning a work queue of scenario names, and stateless
+// workers that lease scenarios, run them through the normal
+// campaign/testbed path, and stream the resulting rows back.
+//
+// The design leans entirely on the determinism the rest of the stack
+// already guarantees. A unit of work is a scenario *name*; the worker
+// recovers everything else (the sub-suite with helper golden runs) from
+// the suite spec via SuiteSpec.Subset, so a lease is a few bytes, not a
+// payload. Results travel as the same JSONL rows `suite -jsonl` writes,
+// the coordinator journals them verbatim, and the final report is
+// stitched from raw rows — byte-identical to an uninterrupted local
+// run. Leases expire on missed heartbeats and return to the queue;
+// duplicate completions (an expired lease finishing anyway) are
+// deterministic repeats and are dropped, first completion wins.
+package farm
+
+import "encoding/json"
+
+// Endpoint paths of the coordinator's HTTP API (version-prefixed so the
+// protocol can evolve under running fleets).
+const (
+	PathSuite     = "/v1/suite"
+	PathLease     = "/v1/lease"
+	PathHeartbeat = "/v1/heartbeat"
+	PathComplete  = "/v1/complete"
+	PathStatus    = "/v1/status"
+)
+
+// Lease reply statuses.
+const (
+	StatusLease = "lease" // a scenario is attached; run it
+	StatusWait  = "wait"  // queue momentarily empty but the sweep is live; poll again
+	StatusDone  = "done"  // every scenario is complete; the worker may exit
+)
+
+// Complete reply statuses.
+const (
+	CompleteAccepted  = "accepted"  // first completion; rows recorded
+	CompleteDuplicate = "duplicate" // already complete; rows dropped (deterministic repeat)
+	CompleteUnknown   = "unknown"   // scenario is not in this sweep
+)
+
+// LeaseRequest asks for one scenario. Worker is a display name for
+// status output; it does not gate anything.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+// LeaseReply carries one granted lease (StatusLease) or the queue's
+// state. TTLMillis is the lease's heartbeat deadline: miss it and the
+// scenario returns to the queue for another worker.
+type LeaseReply struct {
+	Status    string `json:"status"`
+	Scenario  string `json:"scenario,omitempty"`
+	Token     string `json:"token,omitempty"`
+	TTLMillis int64  `json:"ttlMillis,omitempty"`
+}
+
+// HeartbeatRequest extends a live lease.
+type HeartbeatRequest struct {
+	Token string `json:"token"`
+}
+
+// HeartbeatReply reports whether the lease is still held. A false OK
+// means the lease expired (and may be running elsewhere): the worker
+// should abandon the scenario.
+type HeartbeatReply struct {
+	OK bool `json:"ok"`
+}
+
+// CompleteRequest returns a finished scenario's rows: the JSONL
+// comparison rows first, then the scenario row — journal order, so the
+// coordinator can append them verbatim and the "scenario row present ⇒
+// its comparisons present" resume invariant holds. Rows are raw JSONL
+// lines exactly as JSONLSink writes them.
+type CompleteRequest struct {
+	Token    string            `json:"token"`
+	Scenario string            `json:"scenario"`
+	Compares []json.RawMessage `json:"compares,omitempty"`
+	Row      json.RawMessage   `json:"row"`
+}
+
+// CompleteReply acknowledges a completion.
+type CompleteReply struct {
+	Status string `json:"status"`
+}
+
+// StatusReply is the human/status endpoint's snapshot.
+type StatusReply struct {
+	Suite   string `json:"suite"`
+	Pending int    `json:"pending"`
+	Leased  int    `json:"leased"`
+	Done    int    `json:"done"`
+	Total   int    `json:"total"`
+}

@@ -1,0 +1,201 @@
+package farm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Queue is the coordinator's work queue plus lease table. Scenarios
+// move pending → leased → done; a lease that misses its heartbeat
+// window expires and its scenario returns to the *front* of the queue
+// (a straggler's scenario is the sweep's critical path). Completion is
+// keyed by scenario name, not token, so work finished under an expired
+// lease still counts — exactly once, first completion wins.
+type Queue struct {
+	// Now is the clock (nil = time.Now); injectable for expiry tests.
+	Now func() time.Time
+
+	mu      sync.Mutex
+	ttl     time.Duration
+	pending []string
+	leases  map[string]*lease // token → live lease
+	byName  map[string]string // leased scenario → token
+	done    map[string]bool
+	known   map[string]bool
+	total   int
+	seq     uint64
+}
+
+// lease is one outstanding grant.
+type lease struct {
+	token    string
+	scenario string
+	worker   string
+	seq      uint64
+	deadline time.Time
+}
+
+// NewQueue builds a queue over the scenario names in their given
+// (canonical) order. ttl is the heartbeat window granted to each lease.
+func NewQueue(names []string, ttl time.Duration) *Queue {
+	q := &Queue{
+		ttl:     ttl,
+		pending: append([]string(nil), names...),
+		leases:  make(map[string]*lease),
+		byName:  make(map[string]string),
+		done:    make(map[string]bool),
+		known:   make(map[string]bool, len(names)),
+		total:   len(names),
+	}
+	for _, n := range names {
+		q.known[n] = true
+	}
+	return q
+}
+
+// MarkDone records a scenario as already complete — how a resumed
+// coordinator seeds the queue with the journal's rows. It reports
+// whether the scenario was pending.
+func (q *Queue) MarkDone(name string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.known[name] || q.done[name] {
+		return false
+	}
+	q.done[name] = true
+	q.removePendingLocked(name)
+	return true
+}
+
+func (q *Queue) now() time.Time {
+	if q.Now != nil {
+		return q.Now()
+	}
+	return time.Now()
+}
+
+// reapLocked returns expired leases' scenarios to the queue front, in
+// lease-grant order so recovery is deterministic under the map's
+// iteration randomness.
+func (q *Queue) reapLocked(now time.Time) {
+	var expired []*lease
+	for _, l := range q.leases {
+		if now.After(l.deadline) {
+			expired = append(expired, l)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i].seq < expired[j].seq })
+	names := make([]string, 0, len(expired))
+	for _, l := range expired {
+		delete(q.leases, l.token)
+		delete(q.byName, l.scenario)
+		names = append(names, l.scenario)
+	}
+	q.pending = append(names, q.pending...)
+}
+
+// Lease grants the next pending scenario to worker, or reports the
+// queue's state (wait: all in flight; done: all complete).
+func (q *Queue) Lease(worker string) LeaseReply {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	q.reapLocked(now)
+	if len(q.pending) == 0 {
+		if len(q.done) == q.total {
+			return LeaseReply{Status: StatusDone}
+		}
+		return LeaseReply{Status: StatusWait}
+	}
+	name := q.pending[0]
+	q.pending = q.pending[1:]
+	q.seq++
+	l := &lease{
+		token:    fmt.Sprintf("L%d", q.seq),
+		scenario: name,
+		worker:   worker,
+		seq:      q.seq,
+		deadline: now.Add(q.ttl),
+	}
+	q.leases[l.token] = l
+	q.byName[name] = l.token
+	return LeaseReply{Status: StatusLease, Scenario: name, Token: l.token, TTLMillis: q.ttl.Milliseconds()}
+}
+
+// Heartbeat extends a live lease's deadline. False means the lease
+// expired (or never existed) — the caller should abandon the scenario,
+// which is back in the queue.
+func (q *Queue) Heartbeat(token string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.now()
+	l, ok := q.leases[token]
+	if !ok || now.After(l.deadline) {
+		return false
+	}
+	l.deadline = now.Add(q.ttl)
+	return true
+}
+
+// Complete marks a scenario done. The token is advisory: a completion
+// under an expired or superseded lease is still accepted as long as the
+// scenario is not already done (determinism makes every completion of a
+// scenario bit-identical, so first wins and the rest are duplicates).
+func (q *Queue) Complete(token, scenario string) string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.known[scenario] {
+		return CompleteUnknown
+	}
+	if q.done[scenario] {
+		return CompleteDuplicate
+	}
+	q.done[scenario] = true
+	delete(q.leases, token)
+	// The scenario may have been re-leased after this worker's lease
+	// expired, or returned to pending; either way it is done now.
+	if other, ok := q.byName[scenario]; ok {
+		delete(q.leases, other)
+		delete(q.byName, scenario)
+	}
+	q.removePendingLocked(scenario)
+	return CompleteAccepted
+}
+
+// Reopen returns a done scenario to the queue front. The completion
+// path uses it when recording an accepted completion's rows failed —
+// the ack must not outlive the record, so the scenario re-runs.
+func (q *Queue) Reopen(name string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if !q.known[name] || !q.done[name] {
+		return
+	}
+	delete(q.done, name)
+	q.pending = append([]string{name}, q.pending...)
+}
+
+func (q *Queue) removePendingLocked(name string) {
+	for i, n := range q.pending {
+		if n == name {
+			q.pending = append(q.pending[:i], q.pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// Done reports whether every scenario has completed.
+func (q *Queue) Done() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.done) == q.total
+}
+
+// Counts snapshots the queue for status output.
+func (q *Queue) Counts() (pending, leased, done, total int) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending), len(q.leases), len(q.done), q.total
+}

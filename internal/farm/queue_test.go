@@ -1,0 +1,130 @@
+package farm
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock advances only when told, making lease expiry deterministic.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newClockQueue(names []string, ttl time.Duration) (*Queue, *fakeClock) {
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	q := NewQueue(names, ttl)
+	q.Now = clk.now
+	return q, clk
+}
+
+func TestQueueLeaseOrderFIFO(t *testing.T) {
+	q, _ := newClockQueue([]string{"a", "b", "c"}, time.Minute)
+	for _, want := range []string{"a", "b", "c"} {
+		r := q.Lease("w")
+		if r.Status != StatusLease || r.Scenario != want {
+			t.Fatalf("lease = %+v, want scenario %q", r, want)
+		}
+	}
+	if r := q.Lease("w"); r.Status != StatusWait {
+		t.Fatalf("lease with all in flight = %+v, want wait", r)
+	}
+}
+
+func TestQueueExpiryRequeuesAtFront(t *testing.T) {
+	q, clk := newClockQueue([]string{"a", "b", "c"}, time.Minute)
+	la := q.Lease("w1")
+	lb := q.Lease("w2")
+	clk.advance(2 * time.Minute) // both leases expire
+
+	// Expired scenarios return to the front in grant order: a, b, then c.
+	for _, want := range []string{"a", "b", "c"} {
+		r := q.Lease("w3")
+		if r.Scenario != want {
+			t.Fatalf("post-expiry lease = %q, want %q", r.Scenario, want)
+		}
+	}
+	// The dead leases' tokens no longer heartbeat.
+	if q.Heartbeat(la.Token) || q.Heartbeat(lb.Token) {
+		t.Error("expired lease still heartbeats")
+	}
+}
+
+func TestQueueHeartbeatExtends(t *testing.T) {
+	q, clk := newClockQueue([]string{"a"}, time.Minute)
+	l := q.Lease("w")
+	clk.advance(45 * time.Second)
+	if !q.Heartbeat(l.Token) {
+		t.Fatal("live lease refused heartbeat")
+	}
+	clk.advance(45 * time.Second) // 90s total, but extended at 45s
+	if !q.Heartbeat(l.Token) {
+		t.Fatal("extended lease expired anyway")
+	}
+	clk.advance(2 * time.Minute)
+	if q.Heartbeat(l.Token) {
+		t.Fatal("expired lease accepted heartbeat")
+	}
+}
+
+func TestQueueCompleteDedupes(t *testing.T) {
+	q, clk := newClockQueue([]string{"a"}, time.Minute)
+	l1 := q.Lease("w1")
+	clk.advance(2 * time.Minute)
+	l2 := q.Lease("w2") // re-lease after expiry
+	if l2.Scenario != "a" {
+		t.Fatalf("re-lease = %q, want a", l2.Scenario)
+	}
+
+	// The expired lease finishes anyway: first completion wins.
+	if got := q.Complete(l1.Token, "a"); got != CompleteAccepted {
+		t.Fatalf("first completion = %q, want accepted", got)
+	}
+	if got := q.Complete(l2.Token, "a"); got != CompleteDuplicate {
+		t.Fatalf("second completion = %q, want duplicate", got)
+	}
+	if got := q.Complete("L99", "nope"); got != CompleteUnknown {
+		t.Fatalf("unknown scenario completion = %q, want unknown", got)
+	}
+	if !q.Done() {
+		t.Error("queue not done after its only scenario completed")
+	}
+	if r := q.Lease("w3"); r.Status != StatusDone {
+		t.Errorf("lease after done = %+v, want done", r)
+	}
+}
+
+func TestQueueMarkDoneSeedsResume(t *testing.T) {
+	q, _ := newClockQueue([]string{"a", "b", "c"}, time.Minute)
+	if !q.MarkDone("b") {
+		t.Fatal("MarkDone(b) = false")
+	}
+	if q.MarkDone("b") {
+		t.Fatal("second MarkDone(b) = true")
+	}
+	if q.MarkDone("zzz") {
+		t.Fatal("MarkDone of unknown scenario = true")
+	}
+	var got []string
+	for i := 0; i < 2; i++ {
+		got = append(got, q.Lease("w").Scenario)
+	}
+	if got[0] != "a" || got[1] != "c" {
+		t.Errorf("resumed queue leased %v, want [a c]", got)
+	}
+}
+
+func TestQueueReopen(t *testing.T) {
+	q, _ := newClockQueue([]string{"a", "b"}, time.Minute)
+	l := q.Lease("w")
+	if got := q.Complete(l.Token, "a"); got != CompleteAccepted {
+		t.Fatal(got)
+	}
+	q.Reopen("a")
+	if q.Done() {
+		t.Fatal("queue done after reopen")
+	}
+	// Reopened work comes back at the front, ahead of b.
+	if r := q.Lease("w"); r.Scenario != "a" {
+		t.Errorf("post-reopen lease = %q, want a", r.Scenario)
+	}
+}

@@ -1,0 +1,107 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// maxBodyBytes bounds request bodies; completion rows are summary rows
+// (no captures), so even a comparison-heavy scenario stays far under
+// this.
+const maxBodyBytes = 16 << 20
+
+// Server is the coordinator's HTTP face: it serves the suite document,
+// brokers leases and heartbeats through the queue, and hands accepted
+// completions to the coordinator's row store. It holds no state of its
+// own — kill the process, restart it, and the journal plus queue
+// rebuild the sweep.
+type Server struct {
+	// Suite is the canonical suite JSON served to workers.
+	Suite []byte
+	// SuiteName labels the status endpoint.
+	SuiteName string
+	// Queue brokers leases.
+	Queue *Queue
+	// OnComplete receives each first-accepted completion (comparison
+	// rows then the scenario row, journal order). Calls are serialized
+	// by the queue accept path running under the server's handler; an
+	// error fails the request and leaves the scenario incomplete so the
+	// worker (or its lease expiry) retries.
+	OnComplete func(scenario string, compares []json.RawMessage, row json.RawMessage) error
+}
+
+// Handler routes the farm protocol.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET "+PathSuite, func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(s.Suite)
+	})
+	mux.HandleFunc("POST "+PathLease, func(w http.ResponseWriter, r *http.Request) {
+		var req LeaseRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		reply(w, s.Queue.Lease(req.Worker))
+	})
+	mux.HandleFunc("POST "+PathHeartbeat, func(w http.ResponseWriter, r *http.Request) {
+		var req HeartbeatRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		reply(w, HeartbeatReply{OK: s.Queue.Heartbeat(req.Token)})
+	})
+	mux.HandleFunc("POST "+PathComplete, func(w http.ResponseWriter, r *http.Request) {
+		var req CompleteRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if req.Scenario == "" || len(req.Row) == 0 {
+			http.Error(w, "completion needs a scenario and its row", http.StatusBadRequest)
+			return
+		}
+		s.complete(w, req)
+	})
+	mux.HandleFunc("GET "+PathStatus, func(w http.ResponseWriter, r *http.Request) {
+		pending, leased, done, total := s.Queue.Counts()
+		reply(w, StatusReply{Suite: s.SuiteName, Pending: pending, Leased: leased, Done: done, Total: total})
+	})
+	return mux
+}
+
+// completeMu in the coordinator serializes the store; here we only
+// order accept-then-store so an acked completion is durably recorded.
+func (s *Server) complete(w http.ResponseWriter, req CompleteRequest) {
+	status := s.Queue.Complete(req.Token, req.Scenario)
+	if status == CompleteAccepted && s.OnComplete != nil {
+		if err := s.OnComplete(req.Scenario, req.Compares, req.Row); err != nil {
+			// Recording failed: the ack must not outlive the record.
+			// Re-open the scenario so the sweep cannot silently lose it.
+			s.Queue.Reopen(req.Scenario)
+			http.Error(w, fmt.Sprintf("recording completion: %v", err), http.StatusInternalServerError)
+			return
+		}
+	}
+	reply(w, CompleteReply{Status: status})
+}
+
+// decode reads a bounded JSON body; a false return means the response
+// is already written.
+func decode(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err == nil {
+		err = json.Unmarshal(body, dst)
+	}
+	if err != nil {
+		http.Error(w, fmt.Sprintf("bad request body: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,246 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"offramps"
+)
+
+// errLeaseLost marks a run abandoned because the coordinator reported
+// the lease gone — someone else owns the scenario now, so the worker
+// just moves on.
+var errLeaseLost = errors.New("farm: lease lost")
+
+// Worker is the stateless side of the farm: fetch the suite once, then
+// lease scenario names, recover each lease's sub-suite (owned scenario
+// plus helper golden runs) via SuiteSpec.Subset, run it through the
+// ordinary campaign path, and stream the rows back. All state a worker
+// accumulates is its golden cache — kill it at any point and the lease
+// expiry returns its scenario to the queue.
+type Worker struct {
+	// Client reaches the coordinator.
+	Client *Client
+	// Name labels this worker in lease requests (display only).
+	Name string
+	// Dir resolves the suite's relative program paths (usually the
+	// directory the coordinator loaded the spec from).
+	Dir string
+	// Cache is the shared golden cache (nil = a fresh one), so helper
+	// goldens simulate once per worker, not once per lease.
+	Cache *offramps.GoldenCache
+	// Poll is the wait between retries when the queue is momentarily
+	// empty or the coordinator is unreachable (0 = 500ms).
+	Poll time.Duration
+	// MaxRetries bounds consecutive transport failures before the worker
+	// gives up (0 = 10).
+	MaxRetries int
+	// Max stops the worker after completing this many scenarios (0 =
+	// run until the sweep is done). Useful for drain tests.
+	Max int
+	// Log receives progress lines (nil = discard).
+	Log io.Writer
+}
+
+func (w *Worker) poll() time.Duration {
+	if w.Poll > 0 {
+		return w.Poll
+	}
+	return 500 * time.Millisecond
+}
+
+func (w *Worker) retries() int {
+	if w.MaxRetries > 0 {
+		return w.MaxRetries
+	}
+	return 10
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Log != nil {
+		fmt.Fprintf(w.Log, "worker %s: %s\n", w.Name, fmt.Sprintf(format, args...))
+	}
+}
+
+// sleep waits one poll interval or until ctx is cancelled.
+func (w *Worker) sleep(ctx context.Context) error {
+	t := time.NewTimer(w.poll())
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Run executes the worker loop until the sweep is done, Max scenarios
+// have completed, or ctx is cancelled. It returns the number of
+// scenarios this worker completed.
+func (w *Worker) Run(ctx context.Context) (int, error) {
+	cache := w.Cache
+	if cache == nil {
+		cache = offramps.NewGoldenCache()
+	}
+
+	var data []byte
+	for attempt := 0; ; attempt++ {
+		var err error
+		data, err = w.Client.FetchSuite(ctx)
+		if err == nil {
+			break
+		}
+		if attempt+1 >= w.retries() {
+			return 0, fmt.Errorf("fetching suite: %w", err)
+		}
+		w.logf("fetching suite: %v (retrying)", err)
+		if serr := w.sleep(ctx); serr != nil {
+			return 0, serr
+		}
+	}
+	suite, err := offramps.ParseSuiteSpec(data, w.Dir)
+	if err != nil {
+		return 0, fmt.Errorf("parsing suite: %w", err)
+	}
+	w.logf("joined sweep %q (%d scenarios)", suite.Name, len(suite.Scenarios))
+
+	completed := 0
+	failures := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return completed, err
+		}
+		lease, err := w.Client.Lease(ctx, w.Name)
+		if err != nil {
+			failures++
+			if failures >= w.retries() {
+				return completed, fmt.Errorf("leasing: %w", err)
+			}
+			if serr := w.sleep(ctx); serr != nil {
+				return completed, serr
+			}
+			continue
+		}
+		failures = 0
+		switch lease.Status {
+		case StatusDone:
+			w.logf("sweep done after %d scenarios", completed)
+			return completed, nil
+		case StatusWait:
+			if serr := w.sleep(ctx); serr != nil {
+				return completed, serr
+			}
+			continue
+		case StatusLease:
+			err := w.runOne(ctx, suite, cache, lease)
+			if errors.Is(err, errLeaseLost) {
+				w.logf("lease on %q lost; moving on", lease.Scenario)
+				continue
+			}
+			if err != nil {
+				return completed, err
+			}
+			completed++
+			if w.Max > 0 && completed >= w.Max {
+				w.logf("reached max of %d scenarios", w.Max)
+				return completed, nil
+			}
+		default:
+			return completed, fmt.Errorf("lease: unknown status %q", lease.Status)
+		}
+	}
+}
+
+// runOne runs a single leased scenario end to end: sub-suite, campaign,
+// filter to owned rows, encode as JSONL, complete.
+func (w *Worker) runOne(ctx context.Context, suite *offramps.SuiteSpec, cache *offramps.GoldenCache, lease *LeaseReply) error {
+	sub, err := suite.Subset(lease.Scenario)
+	if err != nil {
+		return fmt.Errorf("lease %q: %w", lease.Scenario, err)
+	}
+
+	// Heartbeat at a third of the TTL; a reported-gone lease cancels the
+	// run so the worker abandons work someone else now owns.
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var lost atomic.Bool
+	hbDone := make(chan struct{})
+	interval := time.Duration(lease.TTLMillis) * time.Millisecond / 3
+	if interval <= 0 {
+		interval = time.Second
+	}
+	go func() {
+		defer close(hbDone)
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-t.C:
+				ok, err := w.Client.Heartbeat(runCtx, lease.Token)
+				if err == nil && !ok {
+					lost.Store(true)
+					cancel()
+					return
+				}
+				// Transport errors are ignored: lease expiry on the
+				// coordinator is the authority, and the completion path
+				// below tolerates an expired lease anyway.
+			}
+		}
+	}()
+
+	w.logf("running %q (%d scenario(s) incl. goldens)", lease.Scenario, len(sub.Spec.Scenarios))
+	camp := offramps.Campaign{Cache: cache}
+	rep, err := camp.RunSuite(runCtx, sub.Spec)
+	cancel()
+	<-hbDone
+	if err != nil {
+		if lost.Load() {
+			return errLeaseLost
+		}
+		return fmt.Errorf("running %q: %w", lease.Scenario, err)
+	}
+	rep = sub.Filter(rep)
+	if len(rep.Results) != 1 {
+		return fmt.Errorf("lease %q: filtered report has %d owned rows, want 1", lease.Scenario, len(rep.Results))
+	}
+
+	req := CompleteRequest{Token: lease.Token, Scenario: lease.Scenario}
+	var buf bytes.Buffer
+	sink := offramps.NewJSONLSink(&buf)
+	sink.Label = suite.Name
+	for _, cmp := range rep.Comparisons {
+		buf.Reset()
+		if err := sink.EmitCompare(cmp); err != nil {
+			return err
+		}
+		req.Compares = append(req.Compares, append([]byte(nil), bytes.TrimRight(buf.Bytes(), "\n")...))
+	}
+	buf.Reset()
+	if err := sink.Emit(rep.Results[0]); err != nil {
+		return err
+	}
+	req.Row = append([]byte(nil), bytes.TrimRight(buf.Bytes(), "\n")...)
+
+	for attempt := 0; ; attempt++ {
+		status, err := w.Client.Complete(ctx, req)
+		if err == nil {
+			w.logf("completed %q: %s", lease.Scenario, status)
+			return nil
+		}
+		if attempt+1 >= w.retries() {
+			return fmt.Errorf("completing %q: %w", lease.Scenario, err)
+		}
+		w.logf("completing %q: %v (retrying)", lease.Scenario, err)
+		if serr := w.sleep(ctx); serr != nil {
+			return serr
+		}
+	}
+}

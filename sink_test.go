@@ -188,3 +188,198 @@ func TestSuiteContinuesOnSinkError(t *testing.T) {
 		t.Errorf("comparisons did not run: %+v", rep.Comparisons)
 	}
 }
+
+// resumeSuite is the fixture for stream/resume tests: four scenarios
+// with distinct effective seeds and one comparison.
+func resumeSuite() *SuiteSpec {
+	return &SuiteSpec{
+		Name:     "rs",
+		BaseSeed: 10,
+		Scenarios: []ScenarioSpec{
+			{Name: "g"},
+			{Name: "a", SeedDelta: 1},
+			{Name: "b", SeedDelta: 2},
+			{Name: "c", SeedDelta: 3},
+		},
+		Compare: []CompareSpec{{Golden: "g", Suspect: "a"}},
+	}
+}
+
+// resumeStream renders JSONL rows for the named scenarios (and the
+// comparison, when asked) exactly as JSONLSink writes them.
+func resumeStream(t *testing.T, names []string, withCompare bool) string {
+	t.Helper()
+	s := resumeSuite()
+	var buf strings.Builder
+	sink := NewJSONLSink(&buf)
+	sink.Label = s.Name
+	for _, name := range names {
+		sc, ok := s.FindScenario(name)
+		if !ok {
+			t.Fatalf("fixture scenario %q missing", name)
+		}
+		if err := sink.Emit(ScenarioResult{Name: name, Seed: sc.EffectiveSeed(s.BaseSeed)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if withCompare {
+		if err := sink.EmitCompare(CompareResult{Golden: "g", Suspect: "a"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.String()
+}
+
+// TestResumeIndexComplement: a stream covering a strict subset — with a
+// torn trailing line on top — must yield exactly the complement, in
+// canonical suite order, as the scenarios still to run.
+func TestResumeIndexComplement(t *testing.T) {
+	stream := resumeStream(t, []string{"c", "g"}, true) + `{"suite":"rs","name":"b","se`
+	ix, err := ReadResumeIndex(strings.NewReader(stream), "rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Torn {
+		t.Error("torn trailing line not reported")
+	}
+	s := resumeSuite()
+	if err := ix.Validate(s); err != nil {
+		t.Fatal(err)
+	}
+	got := ix.Missing(s)
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Missing = %v, want [a b]", got)
+	}
+	if len(ix.Compares) != 1 {
+		t.Errorf("compares recovered = %d, want 1", len(ix.Compares))
+	}
+}
+
+// TestResumeIndexComplete: a stream covering every scenario seeds an
+// empty queue.
+func TestResumeIndexComplete(t *testing.T) {
+	stream := resumeStream(t, []string{"g", "a", "b", "c"}, true)
+	ix, err := ReadResumeIndex(strings.NewReader(stream), "rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix.Torn {
+		t.Error("intact stream reported torn")
+	}
+	if got := ix.Missing(resumeSuite()); len(got) != 0 {
+		t.Errorf("Missing = %v, want none", got)
+	}
+}
+
+// TestResumeIndexRejectsMidstreamCorruption: a malformed line is only
+// tolerable as the stream's tail; followed by more rows it is
+// corruption, not a crash artifact.
+func TestResumeIndexRejectsMidstreamCorruption(t *testing.T) {
+	rows := strings.SplitAfter(resumeStream(t, []string{"g", "a"}, false), "\n")
+	stream := rows[0] + "{torn garbage\n" + rows[1]
+	if _, err := ReadResumeIndex(strings.NewReader(stream), "rs"); err == nil ||
+		!strings.Contains(err.Error(), "not the stream's tail") {
+		t.Errorf("midstream corruption accepted: %v", err)
+	}
+}
+
+// TestResumeIndexFirstWinsAndForeignSuites: duplicate rows keep the
+// first occurrence; rows labelled with another suite are skipped.
+func TestResumeIndexFirstWinsAndForeignSuites(t *testing.T) {
+	stream := resumeStream(t, []string{"g", "g"}, false) +
+		`{"suite":"other","name":"x","seed":1,"result":null}` + "\n"
+	ix, err := ReadResumeIndex(strings.NewReader(stream), "rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ix.Scenarios) != 1 {
+		t.Errorf("scenarios = %d, want 1 (dup dropped, foreign suite skipped)", len(ix.Scenarios))
+	}
+}
+
+// TestResumeIndexValidateDrift: rows from a different base seed or an
+// edited suite must be refused — resuming from them would stitch a lie.
+func TestResumeIndexValidateDrift(t *testing.T) {
+	s := resumeSuite()
+	var buf strings.Builder
+	sink := NewJSONLSink(&buf)
+	sink.Label = "rs"
+	if err := sink.Emit(ScenarioResult{Name: "a", Seed: 999}); err != nil {
+		t.Fatal(err)
+	}
+	ix, err := ReadResumeIndex(strings.NewReader(buf.String()), "rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Validate(s); err == nil || !strings.Contains(err.Error(), "different base seed") {
+		t.Errorf("seed drift accepted: %v", err)
+	}
+
+	stream := resumeStream(t, nil, false) + `{"suite":"rs","name":"zzz","seed":1,"result":null}` + "\n"
+	ix, err = ReadResumeIndex(strings.NewReader(stream), "rs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Validate(s); err == nil || !strings.Contains(err.Error(), "stale stream") {
+		t.Errorf("unknown scenario accepted: %v", err)
+	}
+}
+
+// TestParseStreamRowRoundTrip: a scenario row parsed from the stream
+// reconstructs byte-for-byte the report row ScenarioResult marshals to,
+// and a comparison row carries its object verbatim — the foundation of
+// every byte-identity guarantee downstream.
+func TestParseStreamRowRoundTrip(t *testing.T) {
+	res := ScenarioResult{Name: "a", Seed: 11, Err: errors.New("boom")}
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	sink := NewJSONLSink(&buf)
+	sink.Label = "rs"
+	if err := sink.Emit(res); err != nil {
+		t.Fatal(err)
+	}
+	row, err := ParseStreamRow([]byte(strings.TrimSpace(buf.String())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(row.Report) != string(want) {
+		t.Errorf("reconstructed row = %s, want %s", row.Report, want)
+	}
+
+	buf.Reset()
+	cmp := CompareResult{Golden: "g", Suspect: "a", SuspectTap: "ramps"}
+	cmpWant, err := json.Marshal(cmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.EmitCompare(cmp); err != nil {
+		t.Fatal(err)
+	}
+	crow, err := ParseStreamRow([]byte(strings.TrimSpace(buf.String())))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crow.Key != CompareKey("g", "", "a", "ramps") {
+		t.Errorf("compare key = %q", crow.Key)
+	}
+	if string(crow.Report) != string(cmpWant) {
+		t.Errorf("compare row = %s, want %s", crow.Report, cmpWant)
+	}
+}
+
+// TestProgressSinkCacheStats: with a cache attached, every progress line
+// reports live hit/miss counts.
+func TestProgressSinkCacheStats(t *testing.T) {
+	cache := NewGoldenCache()
+	var out strings.Builder
+	ps := &ProgressSink{W: &out, Total: 2, Cache: cache}
+	if err := ps.Emit(ScenarioResult{Name: "a", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cache 0 hit / 0 miss") {
+		t.Errorf("progress line lacks cache stats: %q", out.String())
+	}
+}

@@ -506,6 +506,27 @@ func LoadSuiteSpec(path string) (*SuiteSpec, error) {
 	return s, nil
 }
 
+// FindScenario returns the named scenario spec, if the suite has it.
+func (s *SuiteSpec) FindScenario(name string) (ScenarioSpec, bool) {
+	for _, sc := range s.Scenarios {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return ScenarioSpec{}, false
+}
+
+// ScenarioNames returns the scenario names in canonical suite order —
+// the order reports list them and the order a farm coordinator seeds
+// its work queue.
+func (s *SuiteSpec) ScenarioNames() []string {
+	names := make([]string, len(s.Scenarios))
+	for i, sc := range s.Scenarios {
+		names[i] = sc.Name
+	}
+	return names
+}
+
 // Validate checks cross-scenario references, name uniqueness, and
 // suite-wide knobs. Deep per-scenario validation happens at Compile
 // time.
