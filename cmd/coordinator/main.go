@@ -9,13 +9,24 @@
 //
 //	coordinator -json merged.json spec.json
 //	coordinator -grid -journal sweep.jsonl -json merged.json grid_tableii.json
-//	coordinator -addr 127.0.0.1:7333 -ttl 30s -journal sweep.jsonl grid.json
+//	coordinator -addr 127.0.0.1:7333 -ttl 30s -strikes 3 -fsync 1 grid.json
 //
 // Kill it mid-sweep and start it again with the same -journal: it reads
-// the journal back (tolerating the torn trailing line a crash leaves),
-// re-queues only the missing scenarios, and the workers carry on. The
-// journal is the same row format `suite -jsonl` writes, so
-// `suite -merge` can also stitch it directly.
+// the journal back (tolerating the torn trailing line a crash leaves,
+// and compacting the file if the crash left dead rows), re-queues only
+// the missing scenarios, and the workers carry on. The journal is the
+// same row format `suite -jsonl` writes, so `suite -merge` can also
+// stitch it directly.
+//
+// SIGTERM/SIGINT drains instead of dying: no new leases are dealt
+// (workers see "drain" and exit), in-flight scenarios get their
+// heartbeats and completions honoured, then the journal is flushed and
+// closed so the sweep resumes cleanly on the next start.
+//
+// A scenario failed or abandoned by -strikes distinct leases is
+// quarantined: parked out of the queue, listed in /v1/status, and
+// reported as an error row in the stitched report — graceful
+// degradation instead of a livelocked sweep.
 package main
 
 import (
@@ -26,6 +37,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"offramps"
@@ -47,7 +60,9 @@ func run(args []string, stdout io.Writer) error {
 		grid     = fs.Bool("grid", false, "treat the spec file as a parameter-grid sweep and expand it first (grid_*.json auto-detects)")
 		seed     = fs.Uint64("seed", 0, "override the suite's base seed (0 = use the spec's)")
 		ttl      = fs.Duration("ttl", 30*time.Second, "lease heartbeat window; a worker silent this long loses its scenario")
+		strikes  = fs.Int("strikes", 3, "quarantine a scenario after this many failed/abandoned leases (0 = never)")
 		journal  = fs.String("journal", "", "append completed rows to this JSONL `file` and resume from it on restart")
+		fsync    = fs.Int("fsync", 1, "fsync the journal every `n` accepted completions (0 = leave flushing to the OS)")
 		jsonOut  = fs.String("json", "", "write the final stitched report as JSON to `file` (\"-\" = stdout)")
 		linger   = fs.Duration("linger", 2*time.Second, "keep serving this long after the sweep completes, so polling workers see \"done\" and exit")
 		progress = fs.Bool("progress", false, "print a line per accepted completion")
@@ -69,7 +84,12 @@ func run(args []string, stdout io.Writer) error {
 		spec.BaseSeed = *seed
 	}
 
-	co, err := farm.NewCoordinator(spec, *ttl, *journal)
+	co, err := farm.NewCoordinator(spec, farm.Config{
+		TTL:        *ttl,
+		Journal:    *journal,
+		SyncEvery:  *fsync,
+		MaxStrikes: *strikes,
+	})
 	if err != nil {
 		return err
 	}
@@ -79,6 +99,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if n := co.Resumed(); n > 0 {
 		fmt.Fprintf(stdout, "resumed %d of %d scenarios from %s\n", n, len(spec.Scenarios), *journal)
+	}
+	if n := co.Compacted(); n > 0 {
+		fmt.Fprintf(stdout, "compacted %s: dropped %d dead row(s)\n", *journal, n)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -96,10 +119,16 @@ func run(args []string, stdout io.Writer) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- srv.Serve(ln) }()
 
+	sigCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	select {
 	case <-co.Done():
 	case err := <-serveErr:
 		return fmt.Errorf("serving: %w", err)
+	case <-sigCtx.Done():
+		stop() // a second signal kills hard
+		return drain(co, srv, *ttl, *journal, stdout)
 	}
 	// Workers poll; give their next lease request a chance to see "done"
 	// before the listener goes away.
@@ -113,6 +142,9 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "sweep complete: %d scenarios, %d comparisons\n", len(rep.Results), len(rep.Comparisons))
+	for _, q := range co.Quarantined() {
+		fmt.Fprintf(stdout, "quarantined: %s (%d strikes; last: %s)\n", q.Scenario, q.Strikes, q.Reason)
+	}
 	if *jsonOut != "" {
 		if err := writeReport(*jsonOut, stdout, rep); err != nil {
 			return fmt.Errorf("json: %w", err)
@@ -122,6 +154,35 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	return rep.FirstError()
+}
+
+// drain is the SIGTERM path: stop dealing leases, let in-flight
+// scenarios complete (bounded by one TTL — a worker silent that long
+// has lost its lease anyway), then flush and close the journal. The
+// sweep stays incomplete on purpose; the journal resumes it.
+func drain(co *farm.Coordinator, srv *http.Server, ttl time.Duration, journal string, stdout io.Writer) error {
+	fmt.Fprintln(stdout, "draining: no new leases; waiting for in-flight scenarios")
+	co.Drain()
+	deadline := time.Now().Add(ttl + time.Second)
+	for {
+		_, leased, _, _, _ := co.Counts()
+		if leased == 0 || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	srv.Shutdown(shutCtx)
+	if err := co.Close(); err != nil {
+		return err
+	}
+	_, leased, done, quarantined, total := co.Counts()
+	fmt.Fprintf(stdout, "drained: %d/%d scenarios done (%d quarantined, %d still leased)\n", done, total, quarantined, leased)
+	if journal != "" {
+		fmt.Fprintf(stdout, "resume with the same -journal %s\n", journal)
+	}
+	return nil
 }
 
 // writeReport writes the {"suites":[...]} document `suite -json` writes,

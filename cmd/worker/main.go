@@ -15,10 +15,13 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"offramps"
@@ -71,7 +74,15 @@ func run(args []string, stdout io.Writer) error {
 		Max:        *max,
 		Log:        stdout,
 	}
-	n, err := w.Run(context.Background())
+	// SIGTERM/SIGINT abandons the in-flight scenario cleanly: the lease
+	// expires on the coordinator and another worker re-deals it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	n, err := w.Run(ctx)
+	if errors.Is(err, context.Canceled) && ctx.Err() != nil {
+		fmt.Fprintf(stdout, "worker %s: interrupted after %d scenario(s); lease returns to the queue\n", *name, n)
+		return nil
+	}
 	if err != nil {
 		return err
 	}

@@ -40,7 +40,7 @@ func TestWorkerEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	co, err := farm.NewCoordinator(spec, 30*time.Second, "")
+	co, err := farm.NewCoordinator(spec, farm.Config{TTL: 30 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,7 +56,7 @@ func TestWorkerEndToEnd(t *testing.T) {
 	default:
 		t.Error("worker exited but the sweep is not done")
 	}
-	if _, _, done, total := co.Counts(); done != total {
+	if _, _, done, _, total := co.Counts(); done != total {
 		t.Errorf("done = %d, total = %d", done, total)
 	}
 	if !strings.Contains(out.String(), "exiting after") {

@@ -9,23 +9,67 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"offramps/internal/farm/faults"
 )
+
+// Timeouts are the per-operation deadlines of the farm protocol. Small
+// control-plane calls (lease, heartbeat, fail) get short windows so a
+// stalled coordinator cannot wedge a heartbeat behind a slow transfer;
+// bulk calls (suite fetch, completion upload) get room. Zero fields
+// take the defaults.
+type Timeouts struct {
+	Lease     time.Duration // default 5s
+	Heartbeat time.Duration // default 3s
+	Fail      time.Duration // default 5s
+	Complete  time.Duration // default 30s
+	Suite     time.Duration // default 2m
+}
+
+func pick(d, def time.Duration) time.Duration {
+	if d > 0 {
+		return d
+	}
+	return def
+}
+
+func (t Timeouts) lease() time.Duration     { return pick(t.Lease, 5*time.Second) }
+func (t Timeouts) heartbeat() time.Duration { return pick(t.Heartbeat, 3*time.Second) }
+func (t Timeouts) fail() time.Duration      { return pick(t.Fail, 5*time.Second) }
+func (t Timeouts) complete() time.Duration  { return pick(t.Complete, 30*time.Second) }
+func (t Timeouts) suite() time.Duration     { return pick(t.Suite, 2*time.Minute) }
 
 // Client is the worker side of the farm protocol: a thin, retry-free
 // HTTP wrapper (the worker loop owns retry policy, because only it
-// knows whether a failure is worth waiting out).
+// knows whether a failure is worth waiting out). Every call carries its
+// own context deadline from Timeouts — there is deliberately no
+// catch-all http.Client timeout, so one slow operation class cannot
+// redefine the budget of another.
 type Client struct {
 	// Base is the coordinator's URL, e.g. "http://127.0.0.1:7333".
 	Base string
-	// HTTP overrides the transport (nil = a client with a sane timeout).
+	// HTTP overrides the transport (nil = http.DefaultClient semantics;
+	// chaos tests install a faults.Transport here).
 	HTTP *http.Client
+	// Timeouts are the per-call deadlines (zero fields = defaults).
+	Timeouts Timeouts
+	// Clock issues the deadlines (nil = faults.Wall{}); injectable so
+	// scripted chaos runs control when a call times out.
+	Clock faults.Clock
 }
 
 func (c *Client) http() *http.Client {
 	if c.HTTP != nil {
 		return c.HTTP
 	}
-	return &http.Client{Timeout: 30 * time.Second}
+	return &http.Client{}
+}
+
+func (c *Client) clock() faults.Clock {
+	if c.Clock != nil {
+		return c.Clock
+	}
+	return faults.Wall{}
 }
 
 func (c *Client) url(path string) string {
@@ -34,6 +78,8 @@ func (c *Client) url(path string) string {
 
 // FetchSuite downloads the canonical suite document.
 func (c *Client) FetchSuite(ctx context.Context) ([]byte, error) {
+	ctx, cancel := c.clock().WithTimeout(ctx, c.Timeouts.suite())
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.url(PathSuite), nil)
 	if err != nil {
 		return nil, err
@@ -56,7 +102,7 @@ func (c *Client) FetchSuite(ctx context.Context) ([]byte, error) {
 // Lease asks for one scenario.
 func (c *Client) Lease(ctx context.Context, worker string) (*LeaseReply, error) {
 	var out LeaseReply
-	if err := c.post(ctx, PathLease, LeaseRequest{Worker: worker}, &out); err != nil {
+	if err := c.post(ctx, PathLease, c.Timeouts.lease(), LeaseRequest{Worker: worker}, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -65,7 +111,7 @@ func (c *Client) Lease(ctx context.Context, worker string) (*LeaseReply, error) 
 // Heartbeat extends a lease; false means the lease is gone.
 func (c *Client) Heartbeat(ctx context.Context, token string) (bool, error) {
 	var out HeartbeatReply
-	if err := c.post(ctx, PathHeartbeat, HeartbeatRequest{Token: token}, &out); err != nil {
+	if err := c.post(ctx, PathHeartbeat, c.Timeouts.heartbeat(), HeartbeatRequest{Token: token}, &out); err != nil {
 		return false, err
 	}
 	return out.OK, nil
@@ -75,17 +121,29 @@ func (c *Client) Heartbeat(ctx context.Context, token string) (bool, error) {
 // coordinator's verdict (accepted, duplicate, unknown).
 func (c *Client) Complete(ctx context.Context, req CompleteRequest) (string, error) {
 	var out CompleteReply
-	if err := c.post(ctx, PathComplete, req, &out); err != nil {
+	if err := c.post(ctx, PathComplete, c.Timeouts.complete(), req, &out); err != nil {
 		return "", err
 	}
 	return out.Status, nil
 }
 
-func (c *Client) post(ctx context.Context, path string, in, out any) error {
+// Fail reports a scenario the worker could not run, releasing the lease
+// with a strike.
+func (c *Client) Fail(ctx context.Context, req FailRequest) (string, error) {
+	var out FailReply
+	if err := c.post(ctx, PathFail, c.Timeouts.fail(), req, &out); err != nil {
+		return "", err
+	}
+	return out.Status, nil
+}
+
+func (c *Client) post(ctx context.Context, path string, timeout time.Duration, in, out any) error {
 	body, err := json.Marshal(in)
 	if err != nil {
 		return err
 	}
+	ctx, cancel := c.clock().WithTimeout(ctx, timeout)
+	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.url(path), bytes.NewReader(body))
 	if err != nil {
 		return err

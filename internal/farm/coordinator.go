@@ -2,6 +2,7 @@ package farm
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -10,7 +11,40 @@ import (
 	"time"
 
 	"offramps"
+	"offramps/internal/farm/faults"
 )
+
+// Config tunes a coordinator. The zero value is usable: 30s TTL, no
+// journal, no quarantine, OS-managed journal flushing.
+type Config struct {
+	// TTL is the per-lease heartbeat window (0 = 30s).
+	TTL time.Duration
+	// Journal, when non-empty, persists (and resumes) the sweep.
+	Journal string
+	// SyncEvery fsyncs the journal after every Nth accepted completion
+	// (1 = every completion; ≤ 0 = leave flushing to the OS).
+	SyncEvery int
+	// MaxStrikes quarantines a scenario once this many of its leases
+	// expired or failed (≤ 0 = never quarantine).
+	MaxStrikes int
+	// Clock is the time source for lease expiry (nil = faults.Wall{});
+	// injectable so chaos runs control when leases die.
+	Clock faults.Clock
+}
+
+func (cfg Config) ttl() time.Duration {
+	if cfg.TTL > 0 {
+		return cfg.TTL
+	}
+	return 30 * time.Second
+}
+
+func (cfg Config) clock() faults.Clock {
+	if cfg.Clock != nil {
+		return cfg.Clock
+	}
+	return faults.Wall{}
+}
 
 // Coordinator owns one sweep: the expanded suite, the lease queue over
 // its scenario names, the collected raw rows, and (optionally) a JSONL
@@ -20,11 +54,20 @@ import (
 //
 // Resumability: every accepted completion appends its rows to the
 // journal (comparisons first, then the scenario row) before the worker
-// sees the ack. A restarted coordinator reads the journal back through
-// the resume index — tolerating the torn trailing line a crash leaves —
-// and enqueues only the complement, so the sweep continues instead of
-// restarting. The journal is the same row format `suite -jsonl` writes,
-// so `suite -merge` can also stitch it directly.
+// sees the ack, fsynced on the configured cadence. A restarted
+// coordinator reads the journal back through the resume index —
+// tolerating the torn trailing line a crash leaves — compacts the file
+// (atomically, temp-file + rename) if the crash left a torn tail or
+// duplicate rows, and enqueues only the complement, so the sweep
+// continues instead of restarting. The journal is the same row format
+// `suite -jsonl` writes, so `suite -merge` can also stitch it directly.
+//
+// Degradation: a scenario failed or abandoned by MaxStrikes distinct
+// leases is quarantined — parked, surfaced in /v1/status, and reported
+// as an error row in the stitched report — instead of being re-dealt
+// forever. Drain mode (SIGTERM in cmd/coordinator) stops dealing work
+// while honouring in-flight heartbeats and completions, then flushes
+// and closes the journal so the sweep resumes cleanly elsewhere.
 type Coordinator struct {
 	Suite *offramps.SuiteSpec
 	// Progress, when non-nil, receives one line per accepted completion.
@@ -32,23 +75,21 @@ type Coordinator struct {
 
 	suiteJSON []byte
 	queue     *Queue
-	journal   *os.File
+	journal   *Journal
 
 	mu        sync.Mutex
 	scenarios map[string]json.RawMessage
 	compares  map[string]json.RawMessage
 	resumed   int
 	accepted  int
+	compacted int
 
 	doneOnce sync.Once
 	done     chan struct{}
 }
 
-// NewCoordinator builds the coordinator for a validated suite. ttl is
-// the per-lease heartbeat window. journalPath, when non-empty, persists
-// (and resumes) the sweep; an existing journal seeds the done set after
-// validating that its rows belong to this suite and base seed.
-func NewCoordinator(suite *offramps.SuiteSpec, ttl time.Duration, journalPath string) (*Coordinator, error) {
+// NewCoordinator builds the coordinator for a validated suite.
+func NewCoordinator(suite *offramps.SuiteSpec, cfg Config) (*Coordinator, error) {
 	if err := suite.Validate(); err != nil {
 		return nil, err
 	}
@@ -59,21 +100,39 @@ func NewCoordinator(suite *offramps.SuiteSpec, ttl time.Duration, journalPath st
 	c := &Coordinator{
 		Suite:     suite,
 		suiteJSON: suiteJSON,
-		queue:     NewQueue(suite.ScenarioNames(), ttl),
+		queue:     NewQueue(suite.ScenarioNames(), cfg.ttl()),
 		scenarios: make(map[string]json.RawMessage),
 		compares:  make(map[string]json.RawMessage),
 		done:      make(chan struct{}),
 	}
+	clock := cfg.clock()
+	c.queue.Now = clock.Now
+	c.queue.MaxStrikes = cfg.MaxStrikes
+	c.queue.OnQuarantine = func() {
+		if c.queue.Done() {
+			c.doneOnce.Do(func() { close(c.done) })
+		}
+	}
 
-	if journalPath != "" {
-		if f, err := os.Open(journalPath); err == nil {
+	if cfg.Journal != "" {
+		if f, err := os.Open(cfg.Journal); err == nil {
 			ix, rerr := offramps.ReadResumeIndex(f, suite.Name)
 			f.Close()
 			if rerr != nil {
-				return nil, fmt.Errorf("farm: journal %s: %w", journalPath, rerr)
+				return nil, fmt.Errorf("farm: journal %s: %w", cfg.Journal, rerr)
 			}
 			if err := ix.Validate(suite); err != nil {
-				return nil, fmt.Errorf("farm: journal %s: %w", journalPath, err)
+				return nil, fmt.Errorf("farm: journal %s: %w", cfg.Journal, err)
+			}
+			// A torn tail or duplicate rows mean the file carries dead
+			// weight (and appending after a torn line would corrupt it):
+			// compact first-wins before reopening for append.
+			if ix.Torn || ix.Dups > 0 {
+				dropped, cerr := CompactJournal(cfg.Journal)
+				if cerr != nil {
+					return nil, cerr
+				}
+				c.compacted = dropped
 			}
 			for name, raw := range ix.Scenarios {
 				c.scenarios[name] = raw
@@ -86,11 +145,11 @@ func NewCoordinator(suite *offramps.SuiteSpec, ttl time.Duration, journalPath st
 		} else if !os.IsNotExist(err) {
 			return nil, fmt.Errorf("farm: journal: %w", err)
 		}
-		f, err := os.OpenFile(journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		j, err := OpenJournal(cfg.Journal, cfg.SyncEvery)
 		if err != nil {
-			return nil, fmt.Errorf("farm: journal: %w", err)
+			return nil, err
 		}
-		c.journal = f
+		c.journal = j
 	}
 	if c.queue.Done() {
 		c.doneOnce.Do(func() { close(c.done) })
@@ -101,11 +160,25 @@ func NewCoordinator(suite *offramps.SuiteSpec, ttl time.Duration, journalPath st
 // Resumed reports how many scenarios the journal already covered.
 func (c *Coordinator) Resumed() int { return c.resumed }
 
-// Counts snapshots the queue.
-func (c *Coordinator) Counts() (pending, leased, done, total int) { return c.queue.Counts() }
+// Compacted reports how many dead journal lines the resume compaction
+// dropped (0 when the journal was clean).
+func (c *Coordinator) Compacted() int { return c.compacted }
 
-// Done is closed once every scenario has completed.
+// Counts snapshots the queue.
+func (c *Coordinator) Counts() (pending, leased, done, quarantined, total int) {
+	return c.queue.Counts()
+}
+
+// Quarantined snapshots the parked scenarios.
+func (c *Coordinator) Quarantined() []QuarantinedScenario { return c.queue.Quarantined() }
+
+// Done is closed once every scenario has completed or been quarantined.
 func (c *Coordinator) Done() <-chan struct{} { return c.done }
+
+// Drain stops dealing leases (workers see "drain" and exit) while
+// in-flight heartbeats and completions keep working. Pair with Close
+// once Counts reports no leases outstanding.
+func (c *Coordinator) Drain() { c.queue.Drain() }
 
 // Handler returns the coordinator's HTTP API.
 func (c *Coordinator) Handler() http.Handler {
@@ -163,11 +236,16 @@ func (c *Coordinator) accept(scenario string, compares []json.RawMessage, row js
 	if err := c.journalRow(row); err != nil {
 		return err
 	}
+	if c.journal != nil {
+		if err := c.journal.Commit(); err != nil {
+			return err
+		}
+	}
 	c.scenarios[scenario] = parsed.Report
 	c.accepted++
 
 	if c.Progress != nil {
-		_, _, done, total := c.queue.Counts()
+		_, _, done, _, total := c.queue.Counts()
 		fmt.Fprintf(c.Progress, "[%d/%d] %s\n", done, total, scenario)
 	}
 	if c.queue.Done() {
@@ -181,24 +259,87 @@ func (c *Coordinator) journalRow(raw json.RawMessage) error {
 	if c.journal == nil {
 		return nil
 	}
-	if _, err := c.journal.Write(append(append([]byte(nil), raw...), '\n')); err != nil {
-		return fmt.Errorf("journal: %w", err)
-	}
-	return nil
+	return c.journal.Append(raw)
 }
 
 // Report stitches the collected rows into the canonical suite report —
-// byte-identical to an uninterrupted single-process run.
+// byte-identical to an uninterrupted single-process run. Quarantined
+// scenarios appear as error rows (and their comparisons as error
+// comparisons), so a degraded sweep still reports — loudly — instead of
+// refusing to.
 func (c *Coordinator) Report() (*offramps.RawSuiteReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return offramps.StitchReport(c.Suite, c.scenarios, c.compares)
+	parked := c.queue.Quarantined()
+	if len(parked) == 0 {
+		return offramps.StitchReport(c.Suite, c.scenarios, c.compares)
+	}
+
+	scenarios := make(map[string]json.RawMessage, len(c.scenarios))
+	for k, v := range c.scenarios {
+		scenarios[k] = v
+	}
+	compares := make(map[string]json.RawMessage, len(c.compares))
+	for k, v := range c.compares {
+		compares[k] = v
+	}
+	quarantined := make(map[string]bool, len(parked))
+	for _, q := range parked {
+		quarantined[q.Scenario] = true
+		if _, ok := scenarios[q.Scenario]; ok {
+			continue
+		}
+		sc, ok := c.Suite.FindScenario(q.Scenario)
+		if !ok {
+			return nil, fmt.Errorf("farm: quarantined scenario %q is not in the suite", q.Scenario)
+		}
+		row, err := json.Marshal(offramps.ScenarioResult{
+			Name: q.Scenario,
+			Seed: sc.EffectiveSeed(c.Suite.BaseSeed),
+			Err:  errors.New(quarantineMessage(q)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		scenarios[q.Scenario] = row
+	}
+	for _, cmp := range c.Suite.Compare {
+		key := offramps.CompareKey(cmp.Golden, cmp.GoldenTap, cmp.Suspect, cmp.SuspectTap)
+		if _, ok := compares[key]; ok {
+			continue
+		}
+		if !quarantined[cmp.Golden] && !quarantined[cmp.Suspect] {
+			continue
+		}
+		row, err := json.Marshal(offramps.CompareResult{
+			Golden:     cmp.Golden,
+			Suspect:    cmp.Suspect,
+			GoldenTap:  cmp.GoldenTap,
+			SuspectTap: cmp.SuspectTap,
+			Error:      "farm: scenario quarantined; comparison never ran",
+		})
+		if err != nil {
+			return nil, err
+		}
+		compares[key] = row
+	}
+	return offramps.StitchReport(c.Suite, scenarios, compares)
 }
 
-// Close releases the journal.
+// quarantineMessage is the error a parked scenario reports.
+func quarantineMessage(q QuarantinedScenario) string {
+	return fmt.Sprintf("farm: quarantined after %d failed leases (last: %s)", q.Strikes, q.Reason)
+}
+
+// Close flushes and releases the journal. It takes the accept path's
+// lock, so a completion mid-record finishes before the file goes away.
 func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if c.journal == nil {
 		return nil
 	}
-	return c.journal.Close()
+	j := c.journal
+	c.journal = nil
+	return j.Close()
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"offramps"
+	"offramps/internal/farm/faults"
 )
 
 // farmGrid is a small sweep with helper goldens and comparisons — enough
@@ -122,7 +123,7 @@ func TestFarmByteIdentity(t *testing.T) {
 			want := localDoc(t, loadFarmSuite(t, seed))
 
 			journal := filepath.Join(t.TempDir(), "sweep.jsonl")
-			co, err := NewCoordinator(loadFarmSuite(t, seed), 30*time.Second, journal)
+			co, err := NewCoordinator(loadFarmSuite(t, seed), Config{TTL: 30 * time.Second, Journal: journal})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -175,8 +176,12 @@ func TestFarmResume(t *testing.T) {
 
 	// Phase 1: a short-TTL coordinator; one lease is taken and abandoned
 	// (the "worker killed mid-scenario"), one worker completes two
-	// scenarios and exits, then the coordinator process "dies".
-	co1, err := NewCoordinator(loadFarmSuite(t, 1), 50*time.Millisecond, journal)
+	// scenarios and exits, then the coordinator process "dies". Expiry
+	// runs on a fake clock: the abandoned lease dies by Advance, and the
+	// live worker's leases cannot expire however slowly the sims run
+	// (under -race they stretch past any real-time TTL).
+	clk := faults.NewFakeClock()
+	co1, err := NewCoordinator(loadFarmSuite(t, 1), Config{TTL: 50 * time.Millisecond, Journal: journal, Clock: clk})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +194,7 @@ func TestFarmResume(t *testing.T) {
 	if lease.Status != StatusLease {
 		t.Fatalf("lease = %+v", lease)
 	}
-	time.Sleep(100 * time.Millisecond) // heartbeat window missed; scenario requeues
+	clk.Advance(60 * time.Millisecond) // heartbeat window missed; scenario requeues
 
 	w := &Worker{Client: cl, Name: "partial", Poll: 5 * time.Millisecond, Max: 2}
 	if n, err := w.Run(context.Background()); err != nil || n != 2 {
@@ -202,7 +207,7 @@ func TestFarmResume(t *testing.T) {
 
 	// Phase 2: a fresh coordinator resumes from the journal and two
 	// workers finish the sweep.
-	co2, err := NewCoordinator(loadFarmSuite(t, 1), 30*time.Second, journal)
+	co2, err := NewCoordinator(loadFarmSuite(t, 1), Config{TTL: 30 * time.Second, Journal: journal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +231,7 @@ func TestFarmResumeTornJournal(t *testing.T) {
 	want := localDoc(t, loadFarmSuite(t, 1))
 	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
 
-	co1, err := NewCoordinator(loadFarmSuite(t, 1), 30*time.Second, journal)
+	co1, err := NewCoordinator(loadFarmSuite(t, 1), Config{TTL: 30 * time.Second, Journal: journal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -248,7 +253,7 @@ func TestFarmResumeTornJournal(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	co2, err := NewCoordinator(loadFarmSuite(t, 1), 30*time.Second, journal)
+	co2, err := NewCoordinator(loadFarmSuite(t, 1), Config{TTL: 30 * time.Second, Journal: journal})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -271,7 +276,7 @@ func TestFarmResumeTornJournal(t *testing.T) {
 func TestFarmDuplicateCompletion(t *testing.T) {
 	journal := filepath.Join(t.TempDir(), "sweep.jsonl")
 	spec := loadFarmSuite(t, 1)
-	co, err := NewCoordinator(spec, 30*time.Second, journal)
+	co, err := NewCoordinator(spec, Config{TTL: 30 * time.Second, Journal: journal})
 	if err != nil {
 		t.Fatal(err)
 	}

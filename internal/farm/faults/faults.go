@@ -1,0 +1,205 @@
+// Package faults is the farm's deterministic chaos layer: an injectable
+// clock, a capped exponential backoff with full jitter, and a seeded,
+// scriptable http.RoundTripper that injects transport faults (drops,
+// delays, 5xx, response truncation, duplicate delivery).
+//
+// Everything here is deterministic by construction — a seed fixes the
+// fault schedule, a fake clock fixes time — so a chaos run that breaks
+// the farm is reproducible by replaying the same seed, not by hoping
+// the same race recurs. The production side of the package (Wall,
+// Backoff) is what the worker and client run in real deployments; the
+// injection side (Transport, FakeClock) exists so the e2e suite can
+// drive the same production code through scripted failure schedules.
+package faults
+
+import (
+	"context"
+	"hash/fnv"
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Clock abstracts the time operations the farm performs, so chaos tests
+// can pin them. Wall is the production implementation.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done (returning ctx's error).
+	Sleep(ctx context.Context, d time.Duration) error
+	// WithTimeout derives a context that is cancelled once d elapses on
+	// this clock.
+	WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc)
+}
+
+// Wall is the real-time Clock.
+type Wall struct{}
+
+// Now returns time.Now().
+func (Wall) Now() time.Time { return time.Now() }
+
+// Sleep waits on a real timer.
+func (Wall) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// WithTimeout is context.WithTimeout.
+func (Wall) WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	return context.WithTimeout(ctx, d)
+}
+
+// FakeClock is a manually advanced Clock for deterministic tests: time
+// moves only when Advance is called, and sleepers/timeouts fire exactly
+// at their deadlines. The zero value is not usable; call NewFakeClock.
+type FakeClock struct {
+	mu      sync.Mutex
+	now     time.Time
+	waiters []*fakeWaiter
+}
+
+type fakeWaiter struct {
+	deadline time.Time
+	fire     func() // called once, with the clock's lock NOT held
+}
+
+// NewFakeClock starts a fake clock at an arbitrary fixed epoch.
+func NewFakeClock() *FakeClock {
+	return &FakeClock{now: time.Unix(1_000_000, 0)}
+}
+
+// Now returns the fake time.
+func (c *FakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward, firing every sleeper and timeout
+// whose deadline has passed.
+func (c *FakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.now = c.now.Add(d)
+	var due []*fakeWaiter
+	var keep []*fakeWaiter
+	for _, w := range c.waiters {
+		if !c.now.Before(w.deadline) {
+			due = append(due, w)
+		} else {
+			keep = append(keep, w)
+		}
+	}
+	c.waiters = keep
+	c.mu.Unlock()
+	for _, w := range due {
+		w.fire()
+	}
+}
+
+// Sleep blocks until Advance moves the clock past the deadline or ctx
+// is done.
+func (c *FakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	ch := make(chan struct{})
+	var once sync.Once
+	c.mu.Lock()
+	c.waiters = append(c.waiters, &fakeWaiter{
+		deadline: c.now.Add(d),
+		fire:     func() { once.Do(func() { close(ch) }) },
+	})
+	c.mu.Unlock()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-ch:
+		return nil
+	}
+}
+
+// WithTimeout derives a context cancelled when the fake clock passes
+// the deadline (or the returned cancel runs).
+func (c *FakeClock) WithTimeout(ctx context.Context, d time.Duration) (context.Context, context.CancelFunc) {
+	tctx, cancel := context.WithCancel(ctx)
+	c.mu.Lock()
+	c.waiters = append(c.waiters, &fakeWaiter{deadline: c.now.Add(d), fire: cancel})
+	c.mu.Unlock()
+	return tctx, cancel
+}
+
+// Backoff is a capped exponential backoff with full jitter (the delay
+// before attempt n is uniform in [0, min(Cap, Base·2ⁿ)]), the policy
+// that replaces the worker's old fixed-interval retry loops: retries
+// from a fleet of workers spread out instead of stampeding a recovering
+// coordinator in lockstep.
+type Backoff struct {
+	// Base scales the first delay (0 = 100ms).
+	Base time.Duration
+	// Cap bounds every delay (0 = 5s).
+	Cap time.Duration
+	// Attempts bounds the total tries of one operation (0 = 10).
+	Attempts int
+}
+
+func (b Backoff) base() time.Duration {
+	if b.Base > 0 {
+		return b.Base
+	}
+	return 100 * time.Millisecond
+}
+
+func (b Backoff) cap() time.Duration {
+	if b.Cap > 0 {
+		return b.Cap
+	}
+	return 5 * time.Second
+}
+
+// MaxAttempts returns the configured attempt bound.
+func (b Backoff) MaxAttempts() int {
+	if b.Attempts > 0 {
+		return b.Attempts
+	}
+	return 10
+}
+
+// Delay returns the wait before retry attempt (0-based: Delay(0) is the
+// wait after the first failure), drawn from rng for full jitter. A nil
+// rng degrades to the deterministic envelope (no jitter).
+func (b Backoff) Delay(attempt int, rng *rand.Rand) time.Duration {
+	ceil := b.cap()
+	// Base<<attempt with shift-overflow protection: past 62 bits (or
+	// whenever the doubling passes the cap) the envelope is just Cap.
+	if attempt < 62 {
+		if d := b.base() << uint(attempt); d < ceil {
+			ceil = d
+		}
+	}
+	if rng == nil {
+		return ceil
+	}
+	return time.Duration(rng.Int64N(int64(ceil) + 1))
+}
+
+// NewRand returns a deterministic jitter source for seed.
+func NewRand(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, 0x9e3779b97f4a7c15))
+}
+
+// SeedFromString derives a stable seed from a name (FNV-1a), so a
+// worker's jitter stream is reproducible from its name alone.
+func SeedFromString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,298 @@
+package faults
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBackoffEnvelope(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: 2 * time.Second}
+	// Without jitter, Delay returns the envelope itself: doubling from
+	// Base, capped at Cap, and immune to shift overflow.
+	for _, tc := range []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, 100 * time.Millisecond},
+		{1, 200 * time.Millisecond},
+		{4, 1600 * time.Millisecond},
+		{5, 2 * time.Second},
+		{63, 2 * time.Second},
+		{1000, 2 * time.Second},
+	} {
+		if got := b.Delay(tc.attempt, nil); got != tc.want {
+			t.Errorf("Delay(%d) = %v, want %v", tc.attempt, got, tc.want)
+		}
+	}
+}
+
+func TestBackoffFullJitterBoundsAndDeterminism(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Cap: 2 * time.Second}
+	a, c := NewRand(42), NewRand(42)
+	other := NewRand(43)
+	same, diff := true, false
+	for attempt := 0; attempt < 20; attempt++ {
+		ceil := b.Delay(attempt, nil)
+		da, dc, do := b.Delay(attempt, a), b.Delay(attempt, c), b.Delay(attempt, other)
+		if da < 0 || da > ceil {
+			t.Fatalf("attempt %d: jittered delay %v outside [0, %v]", attempt, da, ceil)
+		}
+		if da != dc {
+			same = false
+		}
+		if da != do {
+			diff = true
+		}
+	}
+	if !same {
+		t.Error("same seed produced different delay streams")
+	}
+	if !diff {
+		t.Error("different seeds produced identical delay streams (jitter suspiciously absent)")
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	var b Backoff
+	if got := b.MaxAttempts(); got != 10 {
+		t.Errorf("MaxAttempts() = %d, want 10", got)
+	}
+	if got := b.Delay(0, nil); got != 100*time.Millisecond {
+		t.Errorf("Delay(0) = %v, want 100ms", got)
+	}
+	if got := b.Delay(100, nil); got != 5*time.Second {
+		t.Errorf("Delay(100) = %v, want the 5s default cap", got)
+	}
+}
+
+func TestFakeClockSleepAndTimeout(t *testing.T) {
+	clk := NewFakeClock()
+	done := make(chan error, 1)
+	go func() { done <- clk.Sleep(context.Background(), time.Minute) }()
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	case <-time.After(10 * time.Millisecond):
+	}
+	clk.Advance(time.Minute)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Sleep: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Sleep never woke after Advance")
+	}
+
+	ctx, cancel := clk.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if ctx.Err() != nil {
+		t.Fatal("timeout fired before its deadline")
+	}
+	clk.Advance(31 * time.Second)
+	select {
+	case <-ctx.Done():
+	case <-time.After(time.Second):
+		t.Fatal("timeout context never fired")
+	}
+
+	// A cancelled context unblocks a pending Sleep.
+	sctx, scancel := context.WithCancel(context.Background())
+	go func() { done <- clk.Sleep(sctx, time.Hour) }()
+	scancel()
+	if err := <-done; err == nil {
+		t.Fatal("Sleep on a cancelled context returned nil")
+	}
+}
+
+func TestSeedFromStringStable(t *testing.T) {
+	if SeedFromString("w1") != SeedFromString("w1") {
+		t.Error("SeedFromString is not stable")
+	}
+	if SeedFromString("w1") == SeedFromString("w2") {
+		t.Error("distinct names hashed to the same seed")
+	}
+}
+
+// chaosServer counts deliveries and echoes a fixed JSON body.
+func chaosServer(t *testing.T, body string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte(body))
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &hits
+}
+
+func TestTransportScriptedFaults(t *testing.T) {
+	srv, hits := chaosServer(t, `{"ok":true}`)
+
+	t.Run("drop", func(t *testing.T) {
+		before := hits.Load()
+		tr := NewTransport(1, Rule{Kind: Drop})
+		cl := &http.Client{Transport: tr}
+		if _, err := cl.Get(srv.URL + "/x"); err == nil {
+			t.Fatal("dropped request returned no error")
+		}
+		if hits.Load() != before {
+			t.Error("dropped request reached the server")
+		}
+		if tr.Injected()[Drop] != 1 {
+			t.Errorf("Injected() = %v, want one drop", tr.Injected())
+		}
+	})
+
+	t.Run("err500", func(t *testing.T) {
+		before := hits.Load()
+		cl := &http.Client{Transport: NewTransport(1, Rule{Kind: Err500})}
+		resp, err := cl.Get(srv.URL + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusInternalServerError {
+			t.Errorf("status = %d, want 500", resp.StatusCode)
+		}
+		if hits.Load() != before {
+			t.Error("5xx-faulted request reached the server")
+		}
+	})
+
+	t.Run("truncate", func(t *testing.T) {
+		cl := &http.Client{Transport: NewTransport(1, Rule{Kind: Truncate})}
+		resp, err := cl.Get(srv.URL + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if want := len(`{"ok":true}`) / 2; len(body) != want {
+			t.Errorf("truncated body is %d bytes, want %d", len(body), want)
+		}
+	})
+
+	t.Run("duplicate", func(t *testing.T) {
+		before := hits.Load()
+		cl := &http.Client{Transport: NewTransport(1, Rule{Kind: Duplicate})}
+		resp, err := cl.Post(srv.URL+"/x", "application/json", strings.NewReader(`{"n":1}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if got := hits.Load() - before; got != 2 {
+			t.Errorf("duplicate delivered %d times, want 2", got)
+		}
+	})
+
+	t.Run("delay", func(t *testing.T) {
+		cl := &http.Client{Transport: NewTransport(1, Rule{Kind: Delay, Delay: 30 * time.Millisecond})}
+		start := time.Now()
+		resp, err := cl.Get(srv.URL + "/x")
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if d := time.Since(start); d < 30*time.Millisecond {
+			t.Errorf("delayed request returned after %v, want ≥ 30ms", d)
+		}
+	})
+}
+
+func TestTransportRuleMatching(t *testing.T) {
+	srv, hits := chaosServer(t, `{}`)
+	tr := NewTransport(1,
+		Rule{Path: "/only", Kind: Drop},
+		Rule{Body: `"scenario":"poison"`, Kind: Err500},
+	)
+	cl := &http.Client{Transport: tr}
+
+	// Wrong path, wrong body: both rules pass the request through.
+	resp, err := cl.Post(srv.URL+"/other", "application/json", strings.NewReader(`{"scenario":"fine"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if hits.Load() != 1 {
+		t.Fatalf("clean request did not reach the server (hits=%d)", hits.Load())
+	}
+
+	if _, err := cl.Get(srv.URL + "/only"); err == nil {
+		t.Error("path-matched drop rule did not fire")
+	}
+	resp, err = cl.Post(srv.URL+"/other", "application/json", strings.NewReader(`{"scenario":"poison"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("body-matched rule returned %d, want 500", resp.StatusCode)
+	}
+}
+
+func TestTransportMaxAndSeededDeterminism(t *testing.T) {
+	srv, _ := chaosServer(t, `{}`)
+
+	// Max bounds the firings.
+	tr := NewTransport(1, Rule{Kind: Drop, Max: 2})
+	cl := &http.Client{Transport: tr}
+	fails := 0
+	for i := 0; i < 5; i++ {
+		resp, err := cl.Get(srv.URL)
+		if err != nil {
+			fails++
+			continue
+		}
+		resp.Body.Close()
+	}
+	if fails != 2 {
+		t.Errorf("Max=2 rule fired %d times", fails)
+	}
+
+	// The same seed yields the same fault schedule for the same request
+	// sequence; the marginal rate roughly follows P.
+	schedule := func(seed uint64) []bool {
+		tr := NewTransport(seed, Rule{Kind: Drop, P: 0.5})
+		cl := &http.Client{Transport: tr}
+		var out []bool
+		for i := 0; i < 40; i++ {
+			resp, err := cl.Get(srv.URL)
+			if err == nil {
+				resp.Body.Close()
+			}
+			out = append(out, err != nil)
+		}
+		return out
+	}
+	a, b, c := schedule(7), schedule(7), schedule(8)
+	drops := 0
+	same, diff := true, false
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff = true
+		}
+		if a[i] {
+			drops++
+		}
+	}
+	if !same {
+		t.Error("same seed produced different fault schedules")
+	}
+	if !diff {
+		t.Error("different seeds produced identical schedules")
+	}
+	if drops < 8 || drops > 32 {
+		t.Errorf("P=0.5 dropped %d/40 — schedule is not probabilistic", drops)
+	}
+}

@@ -1,0 +1,219 @@
+package faults
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind enumerates the transport faults the harness can inject.
+type Kind int
+
+const (
+	// None delivers the request untouched.
+	None Kind = iota
+	// Drop returns a transport error; the server never sees the request.
+	Drop
+	// Delay delivers the request after Rule.Delay.
+	Delay
+	// Err500 returns a synthetic 500; the server never sees the request.
+	Err500
+	// Truncate delivers the request but returns only the first half of
+	// the response body — a torn read mid-stream.
+	Truncate
+	// Duplicate delivers the request twice and returns the second
+	// response — at-least-once delivery, the fault completion dedupe
+	// exists for.
+	Duplicate
+)
+
+// String names a fault kind for logs and counters.
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Drop:
+		return "drop"
+	case Delay:
+		return "delay"
+	case Err500:
+		return "err500"
+	case Truncate:
+		return "truncate"
+	case Duplicate:
+		return "duplicate"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Rule scripts one fault over matching requests. Rules are evaluated in
+// order; the first matching rule whose probability draw passes fires.
+type Rule struct {
+	// Path restricts the rule to one URL path ("" = any).
+	Path string
+	// Body restricts the rule to requests whose body contains this
+	// substring ("" = any) — e.g. `"scenario":"x"` targets one
+	// scenario's completions.
+	Body string
+	// Kind is the fault to inject.
+	Kind Kind
+	// Delay is the injected latency for Kind Delay.
+	Delay time.Duration
+	// P is the per-request firing probability; 0 means always fire.
+	P float64
+	// Max bounds how many times the rule fires (0 = unlimited).
+	Max int
+}
+
+// Transport is a seeded fault-injecting http.RoundTripper: every
+// request is matched against the script and the chosen fault is
+// applied. All probabilistic draws come from one seeded PCG stream
+// behind a mutex, so a single-goroutine request sequence is exactly
+// reproducible by seed, and a concurrent one draws from a fixed stream
+// (the interleaving may vary; the marginal schedule does not).
+type Transport struct {
+	// Inner performs real deliveries (nil = http.DefaultTransport).
+	Inner http.RoundTripper
+	// Clock times injected delays (nil = Wall{}).
+	Clock Clock
+
+	mu    sync.Mutex
+	rng   interface{ Float64() float64 }
+	rules []Rule
+	fired map[int]int  // rule index → times fired
+	count map[Kind]int // injected fault → count
+}
+
+// NewTransport builds a seeded transport over a fault script.
+func NewTransport(seed uint64, rules ...Rule) *Transport {
+	return &Transport{
+		rng:   NewRand(seed),
+		rules: rules,
+		fired: make(map[int]int),
+		count: make(map[Kind]int),
+	}
+}
+
+// Injected snapshots how many faults of each kind have fired — chaos
+// tests assert the schedule actually exercised something.
+func (t *Transport) Injected() map[Kind]int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[Kind]int, len(t.count))
+	for k, n := range t.count {
+		out[k] = n
+	}
+	return out
+}
+
+func (t *Transport) inner() http.RoundTripper {
+	if t.Inner != nil {
+		return t.Inner
+	}
+	return http.DefaultTransport
+}
+
+func (t *Transport) clock() Clock {
+	if t.Clock != nil {
+		return t.Clock
+	}
+	return Wall{}
+}
+
+// decide picks the fault for one request. The body is already buffered.
+func (t *Transport) decide(path string, body []byte) Rule {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, r := range t.rules {
+		if r.Path != "" && r.Path != path {
+			continue
+		}
+		if r.Body != "" && !bytes.Contains(body, []byte(r.Body)) {
+			continue
+		}
+		if r.Max > 0 && t.fired[i] >= r.Max {
+			continue
+		}
+		// The draw happens for every probabilistic candidate — even ones
+		// that do not fire — so the stream's consumption is a function of
+		// the request sequence alone.
+		if r.P > 0 && t.rng.Float64() >= r.P {
+			continue
+		}
+		t.fired[i]++
+		t.count[r.Kind]++
+		return r
+	}
+	return Rule{Kind: None}
+}
+
+// RoundTrip applies the scripted fault to one request.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	var body []byte
+	if req.Body != nil {
+		var err error
+		body, err = io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	rule := t.decide(req.URL.Path, body)
+
+	deliver := func() (*http.Response, error) {
+		r := req.Clone(req.Context())
+		if req.Body != nil {
+			r.Body = io.NopCloser(bytes.NewReader(body))
+			r.ContentLength = int64(len(body))
+		}
+		return t.inner().RoundTrip(r)
+	}
+
+	switch rule.Kind {
+	case Drop:
+		return nil, fmt.Errorf("faults: injected drop of %s", req.URL.Path)
+	case Err500:
+		return &http.Response{
+			Status:     "500 Internal Server Error",
+			StatusCode: http.StatusInternalServerError,
+			Proto:      "HTTP/1.1", ProtoMajor: 1, ProtoMinor: 1,
+			Header:  http.Header{"Content-Type": []string{"text/plain"}},
+			Body:    io.NopCloser(strings.NewReader("faults: injected 500")),
+			Request: req,
+		}, nil
+	case Delay:
+		if err := t.clock().Sleep(req.Context(), rule.Delay); err != nil {
+			return nil, err
+		}
+		return deliver()
+	case Truncate:
+		resp, err := deliver()
+		if err != nil {
+			return resp, err
+		}
+		full, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			return nil, rerr
+		}
+		cut := full[:len(full)/2]
+		resp.Body = io.NopCloser(bytes.NewReader(cut))
+		resp.ContentLength = int64(len(cut))
+		return resp, nil
+	case Duplicate:
+		first, err := deliver()
+		if err == nil {
+			// The first delivery happened; its response is discarded, as
+			// if the network ate the ack and the client resent.
+			io.Copy(io.Discard, first.Body)
+			first.Body.Close()
+		}
+		return deliver()
+	default:
+		return deliver()
+	}
+}

@@ -1,0 +1,163 @@
+package farm
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"offramps"
+)
+
+// Journal is the coordinator's durable row store: an append-only JSONL
+// file with an explicit durability policy. Writes happen per row;
+// fsync happens per completion *unit* (a scenario row plus its
+// comparisons) on a configurable cadence, so callers choose their spot
+// on the durability/throughput line instead of inheriting whatever the
+// page cache felt like.
+type Journal struct {
+	path      string
+	f         *os.File
+	syncEvery int // fsync after every Nth committed unit; ≤0 = OS-managed
+	sinceSync int
+}
+
+// OpenJournal opens (creating if needed) an append-only journal.
+// syncEvery > 0 fsyncs after every Nth committed completion; ≤ 0 leaves
+// flushing to the OS (the pre-hardening behavior).
+func OpenJournal(path string, syncEvery int) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("farm: journal: %w", err)
+	}
+	return &Journal{path: path, f: f, syncEvery: syncEvery}, nil
+}
+
+// Append writes one raw JSONL line.
+func (j *Journal) Append(raw json.RawMessage) error {
+	if _, err := j.f.Write(append(append([]byte(nil), raw...), '\n')); err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	return nil
+}
+
+// Commit marks the end of one completion unit and fsyncs if the cadence
+// says so.
+func (j *Journal) Commit() error {
+	if j.syncEvery <= 0 {
+		return nil
+	}
+	j.sinceSync++
+	if j.sinceSync < j.syncEvery {
+		return nil
+	}
+	j.sinceSync = 0
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close flushes and releases the journal.
+func (j *Journal) Close() error {
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	if j.syncEvery > 0 {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return fmt.Errorf("journal sync: %w", err)
+		}
+	}
+	return f.Close()
+}
+
+// CompactJournal rewrites a journal first-wins: duplicate rows (the
+// deterministic repeats of re-run leases) are dropped, a torn trailing
+// line is cut, and every surviving line keeps its original order and
+// bytes — so the resume invariant ("scenario row present ⇒ its
+// comparisons present") survives compaction untouched. The rewrite is
+// atomic: temp file in the same directory, fsync, rename over the
+// original, directory fsync. Returns the number of lines dropped.
+//
+// A malformed line anywhere but the tail is corruption, same rule as
+// ReadResumeIndex, and aborts the compaction with the journal intact.
+func CompactJournal(path string) (dropped int, err error) {
+	in, err := os.Open(path)
+	if err != nil {
+		return 0, fmt.Errorf("farm: compact: %w", err)
+	}
+	defer in.Close()
+
+	var kept []string
+	seen := make(map[string]bool)
+	tornLine := 0
+	br := bufio.NewReader(in)
+	for lineNo := 1; ; lineNo++ {
+		line, rerr := br.ReadString('\n')
+		text := strings.TrimSpace(line)
+		if text != "" {
+			if tornLine != 0 {
+				return 0, fmt.Errorf("farm: compact: line %d: malformed row is not the journal's tail", tornLine)
+			}
+			row, perr := offramps.ParseStreamRow([]byte(text))
+			switch {
+			case perr != nil:
+				tornLine = lineNo
+				dropped++
+			default:
+				key := row.Suite + "\x00" + row.Name + "\x00" + row.Key
+				if seen[key] {
+					dropped++
+				} else {
+					seen[key] = true
+					kept = append(kept, text)
+				}
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			return 0, fmt.Errorf("farm: compact: %w", rerr)
+		}
+	}
+	if dropped == 0 {
+		return 0, nil
+	}
+
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".compact-*")
+	if err != nil {
+		return 0, fmt.Errorf("farm: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	for _, line := range kept {
+		if _, err := tmp.WriteString(line + "\n"); err != nil {
+			tmp.Close()
+			return 0, fmt.Errorf("farm: compact: %w", err)
+		}
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return 0, fmt.Errorf("farm: compact: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return 0, fmt.Errorf("farm: compact: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return 0, fmt.Errorf("farm: compact: %w", err)
+	}
+	// Make the rename itself durable. Directory fsync can fail on some
+	// filesystems; the rename already happened, so treat that as advice.
+	if d, derr := os.Open(dir); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return dropped, nil
+}

@@ -1,0 +1,139 @@
+package farm
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func journalRows() []string {
+	return []string{
+		`{"suite":"s","compare":{"golden":"g","goldenTap":"","suspect":"a","suspectTap":"","match":true}}`,
+		`{"suite":"s","name":"a","seed":11,"result":{"steps":3}}`,
+		`{"suite":"s","name":"g","seed":1,"result":{"steps":3}}`,
+	}
+}
+
+func writeJournal(t *testing.T, lines ...string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "")), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCompactJournalNoopWhenClean(t *testing.T) {
+	rows := journalRows()
+	path := writeJournal(t, rows[0]+"\n", rows[1]+"\n", rows[2]+"\n")
+	before, _ := os.Stat(path)
+	dropped, err := CompactJournal(path)
+	if err != nil || dropped != 0 {
+		t.Fatalf("CompactJournal(clean) = %d, %v", dropped, err)
+	}
+	after, _ := os.Stat(path)
+	if before.ModTime() != after.ModTime() || before.Size() != after.Size() {
+		t.Error("clean journal was rewritten")
+	}
+}
+
+func TestCompactJournalDropsDupsAndTornTail(t *testing.T) {
+	rows := journalRows()
+	path := writeJournal(t,
+		rows[0]+"\n",
+		rows[1]+"\n",
+		rows[0]+"\n", // duplicate comparison
+		rows[2]+"\n",
+		rows[1]+"\n", // duplicate scenario row
+		rows[2][:13], // torn tail, no newline
+	)
+	dropped, err := CompactJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 3 {
+		t.Errorf("dropped = %d, want 3 (two duplicates + the torn tail)", dropped)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Survivors keep their original order and exact bytes.
+	want := rows[0] + "\n" + rows[1] + "\n" + rows[2] + "\n"
+	if string(data) != want {
+		t.Errorf("compacted journal:\n%s\nwant:\n%s", data, want)
+	}
+}
+
+func TestCompactJournalRejectsMidStreamCorruption(t *testing.T) {
+	rows := journalRows()
+	path := writeJournal(t, rows[0]+"\n", "garbage that is not json\n", rows[1]+"\n")
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompactJournal(path); err == nil || !strings.Contains(err.Error(), "not the journal's tail") {
+		t.Fatalf("CompactJournal(corrupt middle) err = %v, want a tail-position error", err)
+	}
+	// The journal is untouched on a refused compaction.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(before) != string(after) {
+		t.Error("refused compaction modified the journal")
+	}
+}
+
+func TestJournalAppendCommitClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path, 2) // fsync every 2nd commit
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range journalRows() {
+		if err := j.Append(json.RawMessage(row)); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Commit(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := string(data), strings.Join(journalRows(), "\n")+"\n"; got != want {
+		t.Errorf("journal:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Reopening appends, never truncates.
+	j2, err := OpenJournal(path, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Append(json.RawMessage(journalRows()[0])); err != nil {
+		t.Fatal(err)
+	}
+	if err := j2.Commit(); err != nil { // syncEvery 0: Commit is a no-op
+		t.Fatal(err)
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err = os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(strings.Split(strings.TrimSpace(string(data)), "\n")); got != 4 {
+		t.Errorf("reopened journal has %d rows, want 4", got)
+	}
+}

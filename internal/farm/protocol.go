@@ -24,6 +24,7 @@ const (
 	PathLease     = "/v1/lease"
 	PathHeartbeat = "/v1/heartbeat"
 	PathComplete  = "/v1/complete"
+	PathFail      = "/v1/fail"
 	PathStatus    = "/v1/status"
 )
 
@@ -32,6 +33,7 @@ const (
 	StatusLease = "lease" // a scenario is attached; run it
 	StatusWait  = "wait"  // queue momentarily empty but the sweep is live; poll again
 	StatusDone  = "done"  // every scenario is complete; the worker may exit
+	StatusDrain = "drain" // the coordinator is draining; no new work, the worker may exit
 )
 
 // Complete reply statuses.
@@ -86,11 +88,43 @@ type CompleteReply struct {
 	Status string `json:"status"`
 }
 
+// Fail reply statuses.
+const (
+	FailAccepted    = "accepted"    // strike recorded; the scenario is requeued
+	FailQuarantined = "quarantined" // the strike tipped the scenario into quarantine
+	FailDuplicate   = "duplicate"   // the scenario already completed; strike ignored
+	FailUnknown     = "unknown"     // scenario is not in this sweep
+)
+
+// FailRequest reports a run failure: the worker could not produce the
+// scenario's rows (simulation error, local crash path) and is releasing
+// the lease. Each failure is a strike; a scenario failed or abandoned by
+// enough distinct leases is quarantined instead of requeued forever.
+type FailRequest struct {
+	Token    string `json:"token"`
+	Scenario string `json:"scenario"`
+	Error    string `json:"error,omitempty"`
+}
+
+// FailReply acknowledges a failure report.
+type FailReply struct {
+	Status string `json:"status"`
+}
+
+// QuarantinedScenario is one parked scenario in the status snapshot.
+type QuarantinedScenario struct {
+	Scenario string `json:"scenario"`
+	Strikes  int    `json:"strikes"`
+	Reason   string `json:"reason,omitempty"`
+}
+
 // StatusReply is the human/status endpoint's snapshot.
 type StatusReply struct {
-	Suite   string `json:"suite"`
-	Pending int    `json:"pending"`
-	Leased  int    `json:"leased"`
-	Done    int    `json:"done"`
-	Total   int    `json:"total"`
+	Suite       string                `json:"suite"`
+	Pending     int                   `json:"pending"`
+	Leased      int                   `json:"leased"`
+	Done        int                   `json:"done"`
+	Total       int                   `json:"total"`
+	Draining    bool                  `json:"draining,omitempty"`
+	Quarantined []QuarantinedScenario `json:"quarantined,omitempty"`
 }

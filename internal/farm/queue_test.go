@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -110,6 +111,165 @@ func TestQueueMarkDoneSeedsResume(t *testing.T) {
 	}
 	if got[0] != "a" || got[1] != "c" {
 		t.Errorf("resumed queue leased %v, want [a c]", got)
+	}
+}
+
+func TestQueueExpiryStrikesIntoQuarantine(t *testing.T) {
+	q, clk := newClockQueue([]string{"a", "b"}, time.Minute)
+	q.MaxStrikes = 2
+	fired := 0
+	q.OnQuarantine = func() { fired++ }
+
+	// Burn two leases of "a" by expiry; the second strike quarantines it.
+	if r := q.Lease("w"); r.Scenario != "a" {
+		t.Fatalf("first lease = %q, want a", r.Scenario)
+	}
+	clk.advance(2 * time.Minute)
+	// The next lease reaps the expired one (strike 1) and re-deals "a"
+	// from the queue front.
+	if r := q.Lease("w"); r.Scenario != "a" {
+		t.Fatalf("post-expiry lease = %q, want a", r.Scenario)
+	}
+	clk.advance(2 * time.Minute)
+	// Strike 2 quarantines "a"; the lease moves on to "b".
+	if r := q.Lease("w"); r.Scenario != "b" {
+		t.Fatalf("post-quarantine lease = %q, want b", r.Scenario)
+	}
+	qs := q.Quarantined()
+	if len(qs) != 1 || qs[0].Scenario != "a" || qs[0].Strikes != 2 {
+		t.Fatalf("Quarantined() = %+v, want a with 2 strikes", qs)
+	}
+	if !strings.Contains(qs[0].Reason, "expired without completing") {
+		t.Errorf("reason = %q, want an expiry reason", qs[0].Reason)
+	}
+	if fired == 0 {
+		t.Error("OnQuarantine never fired")
+	}
+	if _, _, _, quarantined, _ := q.Counts(); quarantined != 1 {
+		t.Errorf("Counts() quarantined = %d, want 1", quarantined)
+	}
+}
+
+func TestQueueFailPathQuarantinesAndSettles(t *testing.T) {
+	q, _ := newClockQueue([]string{"a", "b"}, time.Minute)
+	q.MaxStrikes = 2
+	fired := 0
+	q.OnQuarantine = func() { fired++ }
+
+	if got := q.Fail("L99", "zzz", "x"); got != FailUnknown {
+		t.Fatalf("Fail(unknown scenario) = %q", got)
+	}
+
+	// First failure strikes and requeues "a" at the *back*.
+	l := q.Lease("w")
+	if got := q.Fail(l.Token, "a", "compile exploded"); got != FailAccepted {
+		t.Fatalf("first Fail = %q, want accepted", got)
+	}
+	if r := q.Lease("w"); r.Scenario != "b" {
+		t.Fatalf("post-fail lease = %q, want b (failed scenario goes to the back)", r.Scenario)
+	}
+
+	// Second failure of "a" quarantines it.
+	l = q.Lease("w")
+	if l.Scenario != "a" {
+		t.Fatalf("lease = %q, want a", l.Scenario)
+	}
+	if got := q.Fail(l.Token, "a", "compile exploded again"); got != FailQuarantined {
+		t.Fatalf("second Fail = %q, want quarantined", got)
+	}
+	if fired != 1 {
+		t.Errorf("OnQuarantine fired %d times, want 1", fired)
+	}
+	qs := q.Quarantined()
+	if len(qs) != 1 || qs[0].Reason != "compile exploded again" {
+		t.Fatalf("Quarantined() = %+v", qs)
+	}
+	// A repeat failure report for a parked scenario is idempotent.
+	if got := q.Fail("L77", "a", "again"); got != FailQuarantined {
+		t.Errorf("Fail on parked scenario = %q, want quarantined", got)
+	}
+
+	// b completes → the queue settles with one done + one quarantined.
+	if got := q.Complete(q.byName["b"], "b"); got != CompleteAccepted {
+		t.Fatalf("complete b = %q", got)
+	}
+	if !q.Done() {
+		t.Error("queue not done with every scenario completed or quarantined")
+	}
+	if r := q.Lease("w"); r.Status != StatusDone {
+		t.Errorf("lease on settled queue = %+v, want done", r)
+	}
+	if got := q.Fail("L50", "b", "late"); got != FailDuplicate {
+		t.Errorf("Fail on done scenario = %q, want duplicate", got)
+	}
+}
+
+func TestQueueFailDoesNotDoubleStrikeExpiredLease(t *testing.T) {
+	q, clk := newClockQueue([]string{"a"}, time.Minute)
+	q.MaxStrikes = 2
+	l := q.Lease("w")
+	clk.advance(2 * time.Minute)
+	q.Lease("w2") // reap strikes the expired lease and re-deals "a"
+	// The original worker's late failure report must not add a second
+	// strike — its lease's strike was the reap's.
+	if got := q.Fail(l.Token, "a", "late report"); got != FailAccepted {
+		t.Fatalf("late Fail = %q, want accepted (no-op)", got)
+	}
+	if qs := q.Quarantined(); len(qs) != 0 {
+		t.Fatalf("one lease produced two strikes: %+v", qs)
+	}
+}
+
+func TestQueueCompleteRescuesQuarantined(t *testing.T) {
+	q, _ := newClockQueue([]string{"a"}, time.Minute)
+	q.MaxStrikes = 1
+	l := q.Lease("w")
+	if got := q.Fail(l.Token, "a", "flaky"); got != FailQuarantined {
+		t.Fatalf("Fail = %q, want quarantined", got)
+	}
+	// A straggler's real completion beats the synthesized failure row.
+	if got := q.Complete(l.Token, "a"); got != CompleteAccepted {
+		t.Fatalf("Complete of quarantined scenario = %q, want accepted", got)
+	}
+	if qs := q.Quarantined(); len(qs) != 0 {
+		t.Errorf("scenario still parked after rescue: %+v", qs)
+	}
+	if !q.Done() {
+		t.Error("queue not done after rescue")
+	}
+}
+
+func TestQueueDrainStopsLeasingOnly(t *testing.T) {
+	q, _ := newClockQueue([]string{"a", "b"}, time.Minute)
+	l := q.Lease("w")
+	q.Drain()
+	if !q.Draining() {
+		t.Fatal("Draining() = false after Drain")
+	}
+	if r := q.Lease("w2"); r.Status != StatusDrain {
+		t.Fatalf("lease while draining = %+v, want drain", r)
+	}
+	// In-flight work still heartbeats and completes.
+	if !q.Heartbeat(l.Token) {
+		t.Error("heartbeat refused while draining")
+	}
+	if got := q.Complete(l.Token, l.Scenario); got != CompleteAccepted {
+		t.Errorf("complete while draining = %q, want accepted", got)
+	}
+}
+
+func TestQueueNoQuarantineWithoutMaxStrikes(t *testing.T) {
+	q, clk := newClockQueue([]string{"a"}, time.Minute)
+	// MaxStrikes = 0: a flaky scenario is re-dealt forever, never parked.
+	for i := 0; i < 5; i++ {
+		l := q.Lease("w")
+		if l.Scenario != "a" {
+			t.Fatalf("round %d leased %q", i, l.Scenario)
+		}
+		clk.advance(2 * time.Minute)
+	}
+	if qs := q.Quarantined(); len(qs) != 0 {
+		t.Fatalf("quarantined without MaxStrikes: %+v", qs)
 	}
 }
 

@@ -64,9 +64,28 @@ func (s *Server) Handler() http.Handler {
 		}
 		s.complete(w, req)
 	})
+	mux.HandleFunc("POST "+PathFail, func(w http.ResponseWriter, r *http.Request) {
+		var req FailRequest
+		if !decode(w, r, &req) {
+			return
+		}
+		if req.Scenario == "" {
+			http.Error(w, "failure report needs a scenario", http.StatusBadRequest)
+			return
+		}
+		reply(w, FailReply{Status: s.Queue.Fail(req.Token, req.Scenario, req.Error)})
+	})
 	mux.HandleFunc("GET "+PathStatus, func(w http.ResponseWriter, r *http.Request) {
-		pending, leased, done, total := s.Queue.Counts()
-		reply(w, StatusReply{Suite: s.SuiteName, Pending: pending, Leased: leased, Done: done, Total: total})
+		pending, leased, done, _, total := s.Queue.Counts()
+		reply(w, StatusReply{
+			Suite:       s.SuiteName,
+			Pending:     pending,
+			Leased:      leased,
+			Done:        done,
+			Total:       total,
+			Draining:    s.Queue.Draining(),
+			Quarantined: s.Queue.Quarantined(),
+		})
 	})
 	return mux
 }

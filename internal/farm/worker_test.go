@@ -1,0 +1,60 @@
+package farm
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestHeartbeatInterval pins the clamp. The old formula, max(TTL/3, 1s),
+// let the floor exceed the whole TTL: a 1.2s lease heartbeat every 1s,
+// one hiccup from expiry, and anything under 1s was dead on arrival.
+func TestHeartbeatInterval(t *testing.T) {
+	for _, tc := range []struct{ ttl, want time.Duration }{
+		{0, time.Second},
+		{-time.Second, time.Second},
+		{30 * time.Second, 10 * time.Second},
+		{3 * time.Second, time.Second},
+		{1200 * time.Millisecond, 400 * time.Millisecond}, // old clamp: 1s — most of the TTL
+		{150 * time.Millisecond, 50 * time.Millisecond},
+		{120 * time.Millisecond, 50 * time.Millisecond}, // floor engages…
+		{60 * time.Millisecond, 30 * time.Millisecond},  // …but never past TTL/2
+	} {
+		if got := HeartbeatInterval(tc.ttl); got != tc.want {
+			t.Errorf("HeartbeatInterval(%v) = %v, want %v", tc.ttl, got, tc.want)
+		}
+	}
+	for _, ttl := range []time.Duration{time.Millisecond, 50 * time.Millisecond, 500 * time.Millisecond, 2 * time.Second, time.Minute} {
+		if got := HeartbeatInterval(ttl); got > ttl/2 {
+			t.Errorf("HeartbeatInterval(%v) = %v exceeds half the TTL — a single missed beat loses the lease", ttl, got)
+		}
+	}
+}
+
+// TestFarmShortTTLSweep is the end-to-end regression: under a TTL
+// below the old 1s heartbeat floor, a healthy worker must keep every
+// lease alive. The old max(TTL/3, 1s) cadence would fire its first
+// beat after this 900ms window had already closed on any scenario
+// running longer than the TTL (which -race guarantees); the fixed
+// clamp beats every 300ms. MaxStrikes of 1 turns any silent expiry
+// into a quarantine, so the sweep finishing cleanly proves the cadence
+// beat the window every time.
+func TestFarmShortTTLSweep(t *testing.T) {
+	want := localDoc(t, loadFarmSuite(t, 1))
+	co, err := NewCoordinator(loadFarmSuite(t, 1), Config{TTL: 900 * time.Millisecond, MaxStrikes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co.Close()
+	srv := httptest.NewServer(co.Handler())
+	defer srv.Close()
+
+	runWorkers(t, co, srv.URL, 2)
+	if qs := co.Quarantined(); len(qs) != 0 {
+		t.Fatalf("healthy workers lost leases under a short TTL: %+v", qs)
+	}
+	if got := stitchDoc(t, co); !bytes.Equal(got, want) {
+		t.Error("short-TTL sweep differs from the local run")
+	}
+}

@@ -292,12 +292,15 @@ func ParseStreamRow(line []byte) (*StreamRow, error) {
 // occurrence winning (duplicate completions — a lease that expired
 // mid-flight and was re-run — are deterministic repeats, so dropping
 // later ones is sound). Torn records whether a truncated trailing line
-// was discarded, the signature of a crash mid-append.
+// was discarded, the signature of a crash mid-append; Dups counts the
+// duplicate rows skipped. Either being non-zero marks a stream worth
+// compacting before appending more.
 type ResumeIndex struct {
 	Scenarios map[string]json.RawMessage
 	Seeds     map[string]uint64
 	Compares  map[string]json.RawMessage
 	Torn      bool
+	Dups      int
 }
 
 // ReadResumeIndex scans a JSONL stream. Rows labelled with a different
@@ -328,12 +331,16 @@ func ReadResumeIndex(r io.Reader, suite string) (*ResumeIndex, error) {
 			case suite != "" && row.Suite != suite:
 				// Another suite's rows sharing the stream.
 			case row.Name != "":
-				if _, dup := ix.Scenarios[row.Name]; !dup {
+				if _, dup := ix.Scenarios[row.Name]; dup {
+					ix.Dups++
+				} else {
 					ix.Scenarios[row.Name] = row.Report
 					ix.Seeds[row.Name] = row.Seed
 				}
 			default:
-				if _, dup := ix.Compares[row.Key]; !dup {
+				if _, dup := ix.Compares[row.Key]; dup {
+					ix.Dups++
+				} else {
 					ix.Compares[row.Key] = row.Report
 				}
 			}

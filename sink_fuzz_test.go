@@ -1,0 +1,93 @@
+package offramps
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// FuzzReadResumeIndex hammers the resume reader with arbitrary streams.
+// The contract under fuzzing: never panic, and on a nil error return an
+// index whose rows are valid first-wins JSON — re-reading the same
+// stream must reproduce it exactly, and replaying a clean stream after
+// itself must change nothing but the duplicate count.
+func FuzzReadResumeIndex(f *testing.F) {
+	scen := `{"suite":"s","name":"a","seed":11,"result":{"steps":3}}`
+	scen2 := `{"suite":"s","name":"g","seed":1,"result":{"steps":3}}`
+	errRow := `{"suite":"s","name":"b","seed":12,"error":"sim exploded"}`
+	cmp := `{"suite":"s","compare":{"golden":"g","goldenTap":"","suspect":"a","suspectTap":"","match":true}}`
+	f.Add(scen + "\n" + cmp + "\n" + scen2 + "\n")
+	f.Add(scen + "\n" + scen + "\n" + cmp + "\n" + cmp + "\n") // duplicates
+	f.Add(scen + "\n" + errRow + "\n")
+	f.Add(scen + "\n" + scen2[:20]) // torn tail
+	f.Add("garbage\n" + scen + "\n")
+	f.Add(scen + "\n\n\n" + cmp + "\n") // interleaved blank lines
+	f.Add(`{"suite":"other","name":"x","seed":5}` + "\n" + scen + "\n")
+	f.Add("")
+	f.Add("\x00\xff\xfe")
+	f.Add(`{"name":""}` + "\n")
+	f.Add(`{"compare":{}}` + "\n")
+
+	f.Fuzz(func(t *testing.T, stream string) {
+		ix, err := ReadResumeIndex(strings.NewReader(stream), "")
+		if err != nil {
+			return // rejecting a corrupt stream is a valid outcome
+		}
+		if ix.Dups < 0 {
+			t.Fatalf("Dups = %d", ix.Dups)
+		}
+		for name, raw := range ix.Scenarios {
+			if name == "" {
+				t.Fatal("index holds a scenario row with an empty name")
+			}
+			if !json.Valid(raw) {
+				t.Fatalf("scenario %q row is not valid JSON: %s", name, raw)
+			}
+			if _, ok := ix.Seeds[name]; !ok {
+				t.Fatalf("scenario %q has a row but no seed", name)
+			}
+		}
+		for key, raw := range ix.Compares {
+			if key == "" {
+				t.Fatal("index holds a comparison row with an empty key")
+			}
+			if !json.Valid(raw) {
+				t.Fatalf("comparison %q row is not valid JSON: %s", key, raw)
+			}
+		}
+
+		// Determinism: the same bytes index identically.
+		again, err := ReadResumeIndex(strings.NewReader(stream), "")
+		if err != nil {
+			t.Fatalf("second read errored: %v", err)
+		}
+		if again.Torn != ix.Torn || again.Dups != ix.Dups ||
+			len(again.Scenarios) != len(ix.Scenarios) || len(again.Compares) != len(ix.Compares) {
+			t.Fatalf("re-read diverged: %+v vs %+v", again, ix)
+		}
+
+		// First wins: replaying a clean (untorn) stream after itself may
+		// only add duplicates, never change or grow the indexed rows.
+		if !ix.Torn {
+			replay, err := ReadResumeIndex(strings.NewReader(stream+"\n"+stream), "")
+			if err != nil {
+				t.Fatalf("replayed stream errored: %v", err)
+			}
+			if len(replay.Scenarios) != len(ix.Scenarios) || len(replay.Compares) != len(ix.Compares) {
+				t.Fatalf("replay grew the index: %d/%d rows, want %d/%d",
+					len(replay.Scenarios), len(replay.Compares), len(ix.Scenarios), len(ix.Compares))
+			}
+			for name, raw := range ix.Scenarios {
+				if !bytes.Equal(replay.Scenarios[name], raw) {
+					t.Fatalf("replay rewrote scenario %q — first-wins violated", name)
+				}
+			}
+			for key, raw := range ix.Compares {
+				if !bytes.Equal(replay.Compares[key], raw) {
+					t.Fatalf("replay rewrote comparison %q — first-wins violated", key)
+				}
+			}
+		}
+	})
+}
