@@ -2,7 +2,9 @@ package offramps
 
 import (
 	"context"
+	"fmt"
 	"testing"
+	"time"
 
 	"offramps/internal/detect"
 	"offramps/internal/flaw3d"
@@ -111,16 +113,19 @@ func BenchmarkDrift(b *testing.B) {
 }
 
 // BenchmarkGoldenPrint measures one full end-to-end simulated print —
-// slicer output through firmware, MITM, drivers, plant, and capture.
+// slicer output through firmware, MITM, drivers, plant, and capture. It
+// runs the way a campaign worker does: successive testbeds on one
+// pooled core, each iteration's buffers reclaimed for the next.
 func BenchmarkGoldenPrint(b *testing.B) {
 	prog, err := TestPart()
 	if err != nil {
 		b.Fatal(err)
 	}
+	core := NewTestbedCore()
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tb, err := NewTestbed(WithSeed(uint64(i) + 1))
+		tb, err := NewTestbed(WithSeed(uint64(i)+1), WithCore(core))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -133,6 +138,7 @@ func BenchmarkGoldenPrint(b *testing.B) {
 		}
 		b.ReportMetric(res.Duration.Seconds(), "sim-s/op")
 		b.ReportMetric(float64(tb.Engine.Executed()), "events/op")
+		core.Reclaim(res)
 	}
 }
 
@@ -165,6 +171,54 @@ func BenchmarkCampaign(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.ReportMetric(float64(len(results)), "scenarios/op")
+	}
+}
+
+// BenchmarkCampaignWide measures the campaign hot path at survey scale:
+// a 104-scenario grid (8 golden-free detector variants × 13 seeds) over
+// one program — the shape of a detector-threshold sweep. Sub-benchmarks
+// contrast full-trace capture with fingerprint mode, where the
+// same-(program, seed) variants fuse onto shared simulations and no
+// recording is ever materialized.
+func BenchmarkCampaignWide(b *testing.B) {
+	prog, err := TestPart()
+	if err != nil {
+		b.Fatal(err)
+	}
+	const variants, seeds = 8, 13
+	var scens []Scenario
+	for v := 0; v < variants; v++ {
+		lim := detect.DefaultLimits()
+		lim.MaxStepsPerWindow += int32(v) * 96
+		lim.MaxStationaryExtrude += int32(v) * 8
+		for s := 0; s < seeds; s++ {
+			scens = append(scens, Scenario{
+				Name:    fmt.Sprintf("v%d-s%d", v, s+1),
+				Program: prog,
+				Seed:    uint64(s) + 1,
+				Detector: func() (detect.Detector, error) {
+					return detect.NewRuleEngine(lim)
+				},
+				Policy: FlagOnly,
+			})
+		}
+	}
+	for _, mode := range []CaptureMode{CaptureFull, CaptureFingerprint} {
+		mode := mode
+		b.Run(mode.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				start := time.Now()
+				results, err := Campaign{CaptureMode: mode}.Run(context.Background(), scens)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := firstScenarioErr(results); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(results))/time.Since(start).Seconds(), "scenarios/sec")
+			}
+		})
 	}
 }
 

@@ -2,12 +2,14 @@ package offramps
 
 import (
 	"context"
+	"crypto/sha256"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"offramps/internal/capture"
 	"offramps/internal/detect"
+	"offramps/internal/firmware"
 	"offramps/internal/fpga"
 	"offramps/internal/gcode"
 	"offramps/internal/sim"
@@ -94,22 +96,135 @@ type Campaign struct {
 	// sweep), so the owner must call Close after the last campaign or
 	// buffered sinks (e.g. CSVSink) lose their tail.
 	Sinks []ResultSink
+	// CaptureMode selects full-trace or fingerprint-only capture for
+	// every run (default CaptureFull). In fingerprint mode no scenario
+	// materializes a Recording, and same-(program, seed, budget)
+	// scenarios that differ only in their FlagOnly detector are fused
+	// into one simulation observing all the detectors at once — the N-
+	// detectors-per-print sweep costs one print instead of N.
+	CaptureMode CaptureMode
+}
+
+// planEntry lazily compiles one program's shared move plan. Compilation
+// failures are swallowed — the member runs fall back to the live
+// interpreter, which accepts anything the planner would reject.
+type planEntry struct {
+	once sync.Once
+	c    *firmware.Compiled
+}
+
+func (pe *planEntry) compiled(prog gcode.Program) *firmware.Compiled {
+	pe.once.Do(func() { pe.c, _ = firmware.Compile(prog, firmware.DefaultConfig()) })
+	return pe.c
+}
+
+// planEligible reports whether a scenario may run from a plan compiled
+// under the default firmware configuration: any extra Options could
+// carry WithFirmwareConfig, whose effect on planning is opaque, so only
+// option-free scenarios share plans. Seed and time noise never affect
+// planning (see firmware.Compile).
+func planEligible(s *Scenario) bool { return len(s.Options) == 0 }
+
+// fusible reports whether a scenario can join a fused fingerprint-mode
+// run: the simulation must be fully determined by (program, seed,
+// budget) — no trojans, hooks, or opaque options — and the detector
+// must be a passive FlagOnly observer of the primary/Arduino feed, so
+// attaching N of them to one print is observationally identical to N
+// separate prints.
+func fusible(s *Scenario) bool {
+	return s.Trojan == nil && s.Prepare == nil &&
+		len(s.Options) == 0 && len(s.RunOptions) == 0 &&
+		s.Detector != nil && s.Policy == FlagOnly &&
+		(s.DetectorBind == BindPrimary || s.DetectorBind == BindArduino)
+}
+
+// fuseKey identifies one shared simulation of a fused unit.
+type fuseKey struct {
+	program [sha256.Size]byte
+	seed    uint64
+	bind    TapBinding
 }
 
 // Run executes every scenario and returns the results in scenario order.
 // Per-scenario failures land in the corresponding ScenarioResult.Err; Run
 // itself errors only when the context is cancelled (already-finished
 // results are still returned).
+//
+// Same-program scenarios share one compiled move plan (parse/plan cost
+// is paid once per distinct program), every worker reuses a pooled
+// testbed core across its runs, and in fingerprint mode scenarios that
+// differ only in their detector are fused into shared simulations. All
+// three are pure mechanics: results are bit-identical to the naive
+// one-testbed-per-scenario execution.
 func (c Campaign) Run(ctx context.Context, scenarios []Scenario) ([]ScenarioResult, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+
+	budget := c.Budget
+	if budget == 0 {
+		budget = DefaultRunBudget
+	}
+
+	// Precompute effective seeds, shared-plan groups, and — in
+	// fingerprint mode — fusion units. A unit is one worker task: a
+	// single scenario, or several fused onto one simulation.
+	effSeed := make([]uint64, len(scenarios))
+	plans := make(map[[sha256.Size]byte]*planEntry)
+	planOf := make([]*planEntry, len(scenarios))
+	hashes := make([][sha256.Size]byte, len(scenarios))
+	hashed := make([]bool, len(scenarios))
+	hashOf := func(i int) [sha256.Size]byte {
+		if !hashed[i] {
+			hashes[i] = hashProgram(scenarios[i].Program)
+			hashed[i] = true
+		}
+		return hashes[i]
+	}
+	for i := range scenarios {
+		effSeed[i] = scenarios[i].Seed
+		if effSeed[i] == 0 && c.BaseSeed != 0 {
+			effSeed[i] = c.BaseSeed + uint64(i)*31 + 1
+		}
+		if planEligible(&scenarios[i]) {
+			h := hashOf(i)
+			pe, ok := plans[h]
+			if !ok {
+				pe = &planEntry{}
+				plans[h] = pe
+			}
+			planOf[i] = pe
+		}
+	}
+	var units [][]int
+	if c.CaptureMode == CaptureFingerprint {
+		fused := make(map[fuseKey]int) // key → index into units
+		for i := range scenarios {
+			if !fusible(&scenarios[i]) {
+				units = append(units, []int{i})
+				continue
+			}
+			key := fuseKey{program: hashOf(i), seed: effSeed[i], bind: scenarios[i].DetectorBind}
+			if u, ok := fused[key]; ok {
+				units[u] = append(units[u], i)
+			} else {
+				fused[key] = len(units)
+				units = append(units, []int{i})
+			}
+		}
+	} else {
+		units = make([][]int, len(scenarios))
+		for i := range scenarios {
+			units[i] = []int{i}
+		}
+	}
+
 	workers := c.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(scenarios) {
-		workers = len(scenarios)
+	if workers > len(units) {
+		workers = len(units)
 	}
 
 	results := make([]ScenarioResult, len(scenarios))
@@ -127,20 +242,30 @@ func (c Campaign) Run(ctx context.Context, scenarios []Scenario) ([]ScenarioResu
 			}
 		}
 	}
-	indices := make(chan int)
+	unitCh := make(chan []int)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range indices {
-				results[i] = c.runScenario(ctx, i, scenarios[i])
-				emit(results[i])
+			core := acquireCore()
+			defer releaseCore(core)
+			for unit := range unitCh {
+				if len(unit) == 1 {
+					i := unit[0]
+					results[i] = c.runScenario(ctx, scenarios[i], effSeed[i], budget, planOf[i], core)
+					emit(results[i])
+					continue
+				}
+				for i, r := range c.runFused(ctx, scenarios, unit, effSeed[unit[0]], budget, planOf[unit[0]], core) {
+					results[unit[i]] = r
+					emit(r)
+				}
 			}
 		}()
 	}
 feed:
-	for i := range scenarios {
+	for _, unit := range units {
 		// Checked before each handoff: a blocked select chooses randomly
 		// when both a worker and Done are ready, so without this guard a
 		// cancelled campaign could keep feeding the pool.
@@ -148,12 +273,12 @@ feed:
 			break
 		}
 		select {
-		case indices <- i:
+		case unitCh <- unit:
 		case <-ctx.Done():
 			break feed
 		}
 	}
-	close(indices)
+	close(unitCh)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return results, fmt.Errorf("offramps: campaign cancelled: %w", err)
@@ -163,27 +288,18 @@ feed:
 
 // runScenario builds and runs one scenario end to end, consulting the
 // golden cache for memoizable scenarios.
-func (c Campaign) runScenario(ctx context.Context, i int, s Scenario) ScenarioResult {
-	seed := s.Seed
-	if seed == 0 && c.BaseSeed != 0 {
-		seed = c.BaseSeed + uint64(i)*31 + 1
-	}
+func (c Campaign) runScenario(ctx context.Context, s Scenario, seed uint64, budget sim.Time, plan *planEntry, core *TestbedCore) ScenarioResult {
 	out := ScenarioResult{Name: s.Name, Seed: seed}
-
-	budget := c.Budget
-	if budget == 0 {
-		budget = DefaultRunBudget
-	}
 
 	var res *Result
 	var err error
 	if c.Cache != nil && s.goldenCacheable() {
-		key := goldenKey{program: hashProgram(s.Program), seed: seed, budget: budget}
+		key := goldenKey{program: hashProgram(s.Program), seed: seed, budget: budget, mode: c.CaptureMode}
 		res, err = c.Cache.run(key, func() (*Result, error) {
-			return c.runFresh(ctx, s, seed, budget)
+			return c.runFresh(ctx, s, seed, budget, plan, core)
 		})
 	} else {
-		res, err = c.runFresh(ctx, s, seed, budget)
+		res, err = c.runFresh(ctx, s, seed, budget, plan, core)
 	}
 	if err != nil {
 		out.Err = fmt.Errorf("offramps: scenario %q: %w", s.Name, err)
@@ -194,8 +310,11 @@ func (c Campaign) runScenario(ctx context.Context, i int, s Scenario) ScenarioRe
 }
 
 // runFresh builds a testbed for the scenario and simulates it.
-func (c Campaign) runFresh(ctx context.Context, s Scenario, seed uint64, budget sim.Time) (*Result, error) {
+func (c Campaign) runFresh(ctx context.Context, s Scenario, seed uint64, budget sim.Time, plan *planEntry, core *TestbedCore) (*Result, error) {
 	opts := []Option{WithSeed(seed)}
+	if core != nil {
+		opts = append(opts, WithCore(core))
+	}
 	if s.Trojan != nil {
 		tr := s.Trojan(seed)
 		if tr == nil {
@@ -214,7 +333,12 @@ func (c Campaign) runFresh(ctx context.Context, s Scenario, seed uint64, budget 
 		}
 	}
 
-	ropts := []RunOption{WithLimit(budget)}
+	ropts := []RunOption{WithLimit(budget), WithCaptureMode(c.CaptureMode)}
+	if plan != nil {
+		if compiled := plan.compiled(s.Program); compiled != nil {
+			ropts = append(ropts, withCompiled(compiled))
+		}
+	}
 	if s.Detector != nil {
 		d, err := s.Detector()
 		if err != nil {
@@ -225,6 +349,74 @@ func (c Campaign) runFresh(ctx context.Context, s Scenario, seed uint64, budget 
 	ropts = append(ropts, s.RunOptions...)
 
 	return tb.Run(ctx, s.Program, ropts...)
+}
+
+// runFused executes one fused unit: a single simulation of the unit's
+// shared (program, seed, budget) observed by every member's detector at
+// once. Member k's result is the shared outcome narrowed to its own
+// detector's report. Fusion is only attempted for fusible scenarios
+// (passive FlagOnly detectors on the same feed), so the stream each
+// detector observes — and hence its verdict — is identical to a solo
+// run; if the fused simulation fails for any reason, every member falls
+// back to an independent solo run so error semantics stay per-scenario.
+func (c Campaign) runFused(ctx context.Context, scenarios []Scenario, unit []int, seed uint64, budget sim.Time, plan *planEntry, core *TestbedCore) []ScenarioResult {
+	out := make([]ScenarioResult, len(unit))
+	solo := func() []ScenarioResult {
+		for k, i := range unit {
+			out[k] = c.runScenario(ctx, scenarios[i], seed, budget, plan, core)
+		}
+		return out
+	}
+
+	// Build every member's detector first: a factory failure is that
+	// member's own error and must not poison the shared run.
+	detectors := make([]detect.Detector, len(unit))
+	attached := make([]int, 0, len(unit)) // unit positions with a live detector
+	for k, i := range unit {
+		s := &scenarios[i]
+		out[k] = ScenarioResult{Name: s.Name, Seed: seed}
+		d, err := s.Detector()
+		if err != nil {
+			out[k].Err = fmt.Errorf("offramps: scenario %q: detector: %w", s.Name, err)
+			continue
+		}
+		detectors[k] = d
+		attached = append(attached, k)
+	}
+	if len(attached) == 0 {
+		return out
+	}
+
+	opts := []Option{WithSeed(seed)}
+	if core != nil {
+		opts = append(opts, WithCore(core))
+	}
+	tb, err := NewTestbed(opts...)
+	if err != nil {
+		return solo()
+	}
+	ropts := []RunOption{WithLimit(budget), WithCaptureMode(CaptureFingerprint)}
+	if plan != nil {
+		if compiled := plan.compiled(scenarios[unit[0]].Program); compiled != nil {
+			ropts = append(ropts, withCompiled(compiled))
+		}
+	}
+	for _, k := range attached {
+		i := unit[k]
+		ropts = append(ropts, WithDetectorAt(scenarios[i].DetectorBind, detectors[k], scenarios[i].Policy))
+	}
+	res, err := tb.Run(ctx, scenarios[unit[0]].Program, ropts...)
+	if err != nil {
+		return solo()
+	}
+	for slot, k := range attached {
+		rep := res.Detections[slot]
+		narrowed := *res
+		narrowed.Detections = []*detect.Report{rep}
+		narrowed.TrojanLikely = rep.TrojanLikely
+		out[k].Result = &narrowed
+	}
+	return out
 }
 
 // firstScenarioErr returns the first per-scenario failure, or nil.

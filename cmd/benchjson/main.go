@@ -2,9 +2,13 @@
 // a JSON document on stdout, so CI can archive the perf trajectory of the
 // key benchmarks across PRs (see scripts/bench.sh).
 //
-// Every benchmark line becomes one object carrying the iteration count and
+// Every benchmark becomes one object carrying the iteration count and
 // every reported metric keyed by its unit (ns/op, allocs/op, B/op, and any
-// custom b.ReportMetric units such as events/op or sim-s/op).
+// custom b.ReportMetric units such as events/op or sim-s/op). When the
+// input carries `-count N` repetitions of a benchmark, the repetitions
+// are collapsed to one object holding the per-metric MEDIAN — robust to
+// the one slow outlier a shared CI runner produces — and the report's
+// top-level "runs" field records N.
 //
 // With -compare, benchjson instead diffs two archived reports:
 //
@@ -22,7 +26,9 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -60,23 +66,31 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// Report is the document benchjson emits.
+// Report is the document benchjson emits. Runs is the `-count`
+// repetition depth the medians were taken over (largest group seen;
+// omitted in pre-aggregation reports).
 type Report struct {
 	Goos       string   `json:"goos,omitempty"`
 	Goarch     string   `json:"goarch,omitempty"`
 	Pkg        string   `json:"pkg,omitempty"`
 	CPU        string   `json:"cpu,omitempty"`
+	Runs       int      `json:"runs,omitempty"`
 	Benchmarks []Result `json:"benchmarks"`
 }
 
-func run(in *os.File, out *os.File) error {
+func run(in io.Reader, out io.Writer) error {
 	sc := bufio.NewScanner(in)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	rep := Report{}
+	var order []string
+	samples := make(map[string][]Result)
 	for sc.Scan() {
 		line := sc.Text()
 		if r, ok := parseBenchLine(line); ok {
-			rep.Benchmarks = append(rep.Benchmarks, r)
+			if _, seen := samples[r.Name]; !seen {
+				order = append(order, r.Name)
+			}
+			samples[r.Name] = append(samples[r.Name], r)
 			continue
 		}
 		parseHeader(&rep, line)
@@ -84,12 +98,58 @@ func run(in *os.File, out *os.File) error {
 	if err := sc.Err(); err != nil {
 		return err
 	}
+	for _, name := range order {
+		group := samples[name]
+		rep.Benchmarks = append(rep.Benchmarks, aggregate(group))
+		if len(group) > rep.Runs {
+			rep.Runs = len(group)
+		}
+	}
 	if len(rep.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	if rep.Runs == 1 {
+		rep.Runs = 0 // single-shot input: keep the legacy document shape
 	}
 	enc := json.NewEncoder(out)
 	enc.SetIndent("", "  ")
 	return enc.Encode(rep)
+}
+
+// aggregate collapses the `-count` repetitions of one benchmark into a
+// single result: the median of each metric (over the repetitions that
+// reported it) and the median iteration count.
+func aggregate(group []Result) Result {
+	if len(group) == 1 {
+		return group[0]
+	}
+	out := Result{Name: group[0].Name, Metrics: make(map[string]float64)}
+	iters := make([]float64, len(group))
+	for i, r := range group {
+		iters[i] = float64(r.Runs)
+	}
+	out.Runs = int64(median(iters))
+	units := make(map[string][]float64)
+	for _, r := range group {
+		for unit, v := range r.Metrics {
+			units[unit] = append(units[unit], v)
+		}
+	}
+	for unit, vs := range units {
+		out.Metrics[unit] = median(vs)
+	}
+	return out
+}
+
+// median returns the middle value (mean of the two middles for even
+// counts). vs is sorted in place.
+func median(vs []float64) float64 {
+	sort.Float64s(vs)
+	n := len(vs)
+	if n%2 == 1 {
+		return vs[n/2]
+	}
+	return (vs[n/2-1] + vs[n/2]) / 2
 }
 
 // parseHeader captures the context lines `go test` prints before results.

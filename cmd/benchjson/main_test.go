@@ -53,6 +53,59 @@ func TestParseBenchLineRejectsNoise(t *testing.T) {
 	}
 }
 
+func TestRunAggregatesRepetitionsToMedians(t *testing.T) {
+	input := strings.Join([]string{
+		"goos: linux",
+		"BenchmarkGoldenPrint-8   2   100 ns/op   10 allocs/op",
+		"BenchmarkCampaign-8      4   500 ns/op",
+		"BenchmarkGoldenPrint-8   2   900 ns/op   14 allocs/op", // outlier
+		"BenchmarkGoldenPrint-8   3   110 ns/op   12 allocs/op",
+		"BenchmarkCampaign-8      4   520 ns/op",
+		"PASS",
+	}, "\n")
+	var out strings.Builder
+	if err := run(strings.NewReader(input), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 3 {
+		t.Errorf("runs = %d, want 3", rep.Runs)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2 (repetitions must collapse)", len(rep.Benchmarks))
+	}
+	gp := rep.Benchmarks[0]
+	if gp.Name != "BenchmarkGoldenPrint-8" || gp.Metrics["ns/op"] != 110 || gp.Metrics["allocs/op"] != 12 {
+		t.Errorf("median not taken: %+v", gp)
+	}
+	if gp.Runs != 2 {
+		t.Errorf("iteration median = %d, want 2", gp.Runs)
+	}
+	if c := rep.Benchmarks[1]; c.Metrics["ns/op"] != 510 {
+		t.Errorf("even-count median = %v, want 510", c.Metrics["ns/op"])
+	}
+}
+
+func TestRunSingleShotKeepsLegacyShape(t *testing.T) {
+	var out strings.Builder
+	if err := run(strings.NewReader("BenchmarkGoldenPrint-8   2   100 ns/op"), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal([]byte(out.String()), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Runs != 0 {
+		t.Errorf("single-shot report grew a top-level runs field: %d", rep.Runs)
+	}
+	if len(rep.Benchmarks) != 1 || rep.Benchmarks[0].Metrics["ns/op"] != 100 {
+		t.Errorf("single-shot result mangled: %+v", rep.Benchmarks)
+	}
+}
+
 func TestParseHeader(t *testing.T) {
 	rep := Report{}
 	for _, line := range []string{

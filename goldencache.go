@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync"
 
+	"offramps/internal/capture"
 	"offramps/internal/gcode"
 	"offramps/internal/sim"
 )
@@ -22,6 +23,11 @@ type goldenKey struct {
 	program [sha256.Size]byte
 	seed    uint64
 	budget  sim.Time
+	// mode keeps full-trace and fingerprint-only results apart: the two
+	// are deliberately different shapes (one carries a Recording, the
+	// other only summaries), so a campaign must never be handed the
+	// other mode's cached result.
+	mode CaptureMode
 }
 
 // hashProgram computes the content address of a program.
@@ -51,6 +57,12 @@ type goldenEntry struct {
 	once sync.Once
 	res  *Result
 	err  error
+	// lastUsed and bytes are owned by the cache mutex: the LRU clock at
+	// the entry's most recent lookup, and the entry's retained-size
+	// estimate (0 until the result materializes and is counted).
+	lastUsed uint64
+	bytes    int64
+	counted  bool
 }
 
 // GoldenCache memoizes golden (trojan-free, detector-free, unmodified)
@@ -68,11 +80,29 @@ type GoldenCache struct {
 	entries map[goldenKey]*goldenEntry
 	hits    uint64
 	misses  uint64
+	// limit caps len(entries); 0 means unbounded. When an insert pushes
+	// the cache over the cap, the least-recently-used settled entry is
+	// evicted (callers already holding the evicted *goldenEntry keep
+	// their result — eviction only forgets, it never invalidates).
+	limit int
+	bytes int64
+	clock uint64
 }
 
-// NewGoldenCache returns an empty cache.
+// NewGoldenCache returns an empty, unbounded cache.
 func NewGoldenCache() *GoldenCache {
 	return &GoldenCache{entries: make(map[goldenKey]*goldenEntry)}
+}
+
+// NewGoldenCacheWithLimit returns a cache holding at most maxEntries
+// memoized goldens, evicting the least recently used beyond that. A
+// non-positive limit means unbounded (same as NewGoldenCache).
+func NewGoldenCacheWithLimit(maxEntries int) *GoldenCache {
+	gc := NewGoldenCache()
+	if maxEntries > 0 {
+		gc.limit = maxEntries
+	}
+	return gc
 }
 
 // Stats reports cache hits and misses so far.
@@ -87,6 +117,67 @@ func (gc *GoldenCache) Len() int {
 	gc.mu.Lock()
 	defer gc.mu.Unlock()
 	return len(gc.entries)
+}
+
+// Bytes estimates the memory retained by the cached results: recording
+// transactions, deposit ledgers, and a small fixed overhead per entry.
+// It is an accounting figure (slice backing arrays, not Go runtime
+// overhead), intended for progress displays and capacity planning.
+func (gc *GoldenCache) Bytes() int64 {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.bytes
+}
+
+// resultBytes estimates the bulk memory a cached result retains.
+func resultBytes(res *Result) int64 {
+	const (
+		txSize      = 20  // capture.Transaction: uint32 + 4×int32
+		depositSize = 32  // printer.Deposit: 4×float64
+		fixed       = 512 // result struct, fingerprints, reports
+	)
+	size := int64(fixed)
+	if res == nil {
+		return size
+	}
+	seen := make(map[*capture.Recording]bool, 3)
+	for _, rec := range []*capture.Recording{res.Recording, res.ArduinoRecording, res.RAMPSRecording} {
+		if rec == nil || seen[rec] {
+			continue
+		}
+		seen[rec] = true
+		size += int64(cap(rec.Transactions)) * txSize
+	}
+	if res.Part != nil {
+		size += int64(len(res.Part.Deposits())) * depositSize
+	}
+	return size
+}
+
+// evictLocked drops least-recently-used settled entries until the cache
+// fits its limit. keep is the entry that triggered the insert and must
+// survive. Callers hold gc.mu.
+func (gc *GoldenCache) evictLocked(keep *goldenEntry) {
+	if gc.limit <= 0 {
+		return
+	}
+	for len(gc.entries) > gc.limit {
+		var oldestKey goldenKey
+		var oldest *goldenEntry
+		for k, e := range gc.entries {
+			if e == keep || !e.counted {
+				continue
+			}
+			if oldest == nil || e.lastUsed < oldest.lastUsed {
+				oldestKey, oldest = k, e
+			}
+		}
+		if oldest == nil {
+			return // everything else is still in flight; over-cap is transient
+		}
+		delete(gc.entries, oldestKey)
+		gc.bytes -= oldest.bytes
+	}
 }
 
 // run returns the memoized result for key, computing it via fresh exactly
@@ -106,15 +197,23 @@ func (gc *GoldenCache) run(key goldenKey, fresh func() (*Result, error)) (*Resul
 	} else {
 		gc.hits++
 	}
+	gc.clock++
+	e.lastUsed = gc.clock
 	gc.mu.Unlock()
 	e.once.Do(func() { e.res, e.err = fresh() })
-	if e.err != nil {
-		gc.mu.Lock()
+	gc.mu.Lock()
+	switch {
+	case e.err != nil:
 		if gc.entries[key] == e {
 			delete(gc.entries, key)
 		}
-		gc.mu.Unlock()
+	case !e.counted:
+		e.counted = true
+		e.bytes = resultBytes(e.res)
+		gc.bytes += e.bytes
+		gc.evictLocked(e)
 	}
+	gc.mu.Unlock()
 	return e.res, e.err
 }
 

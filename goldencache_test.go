@@ -94,6 +94,81 @@ func TestGoldenCacheKeySeparation(t *testing.T) {
 	}
 }
 
+// TestGoldenCacheLimitEvictsLRU exercises the bounded cache directly:
+// entries beyond the cap evict least-recently-used, Bytes tracks the
+// retained estimate, and an evicted key recomputes on the next ask.
+func TestGoldenCacheLimitEvictsLRU(t *testing.T) {
+	gc := NewGoldenCacheWithLimit(2)
+	computes := 0
+	fresh := func() (*Result, error) {
+		computes++
+		return &Result{}, nil
+	}
+	key := func(b byte) goldenKey {
+		return goldenKey{program: [32]byte{b}}
+	}
+	for _, b := range []byte{1, 2} {
+		if _, err := gc.run(key(b), fresh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if gc.Len() != 2 || computes != 2 {
+		t.Fatalf("len=%d computes=%d, want 2/2", gc.Len(), computes)
+	}
+	if gc.Bytes() <= 0 {
+		t.Error("no bytes accounted for cached results")
+	}
+	perEntry := gc.Bytes() / 2
+
+	// Touch 1, insert 3: 2 is now the LRU and must go.
+	if _, err := gc.run(key(1), fresh); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gc.run(key(3), fresh); err != nil {
+		t.Fatal(err)
+	}
+	if gc.Len() != 2 {
+		t.Fatalf("len=%d after eviction, want 2", gc.Len())
+	}
+	if gc.Bytes() != 2*perEntry {
+		t.Errorf("bytes=%d after eviction, want %d", gc.Bytes(), 2*perEntry)
+	}
+
+	// 1 survived (hit, no recompute); 2 was evicted (recompute).
+	before := computes
+	if _, err := gc.run(key(1), fresh); err != nil {
+		t.Fatal(err)
+	}
+	if computes != before {
+		t.Error("surviving entry recomputed")
+	}
+	if _, err := gc.run(key(2), fresh); err != nil {
+		t.Fatal(err)
+	}
+	if computes != before+1 {
+		t.Error("evicted entry not recomputed")
+	}
+}
+
+// TestGoldenCacheModeSeparation: full-trace and fingerprint-mode results
+// are different shapes; the key must keep them apart.
+func TestGoldenCacheModeSeparation(t *testing.T) {
+	gc := NewGoldenCache()
+	fresh := func() (*Result, error) { return &Result{}, nil }
+	k := goldenKey{seed: 1}
+	kf := k
+	kf.mode = CaptureFingerprint
+	if _, err := gc.run(k, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := gc.run(kf, fresh); err != nil {
+		t.Fatal(err)
+	}
+	if gc.Len() != 2 {
+		t.Fatalf("modes share a cache entry: len=%d", gc.Len())
+	}
+}
+
 // TestGoldenCacheSkipsNonGoldenScenarios verifies scenarios carrying
 // trojans or opaque options bypass the cache entirely.
 func TestGoldenCacheSkipsNonGoldenScenarios(t *testing.T) {

@@ -75,8 +75,16 @@ func (t Transaction) Column(name string) (int32, error) {
 var Columns = []string{"X", "Y", "Z", "E"}
 
 // Recording is a complete capture of one print.
+//
+// Period and StartedAt are populated by live capture but NOT by the CSV
+// format — ReadCSV leaves both zero, since the paper's trace carries
+// only the counter sequence. Code that needs wall-clock window timing
+// must go through WindowTime, which rejects zero-period recordings
+// explicitly; replay-style detectors that only consume the transaction
+// sequence work on either kind.
 type Recording struct {
 	// Period is the export window length (0.1 s on the paper's hardware).
+	// Zero for recordings parsed from CSV.
 	Period sim.Time
 	// StartedAt is the simulation time the first window opened (after
 	// homing + first step edge, per the paper's synchronization rule).
@@ -95,6 +103,20 @@ func (r *Recording) Final() (Transaction, bool) {
 		return Transaction{}, false
 	}
 	return r.Transactions[len(r.Transactions)-1], true
+}
+
+// WindowTime returns the simulated instant window i was exported. It
+// errors — instead of returning a garbage zero-period extrapolation —
+// when the recording carries no timing (Period zero, the ReadCSV case)
+// or when i is out of range.
+func (r *Recording) WindowTime(i int) (sim.Time, error) {
+	if r.Period <= 0 {
+		return 0, fmt.Errorf("capture: recording has no period (parsed from CSV?); window times unavailable")
+	}
+	if i < 0 || i >= len(r.Transactions) {
+		return 0, fmt.Errorf("capture: window %d out of range [0,%d)", i, len(r.Transactions))
+	}
+	return r.StartedAt + sim.Time(i+1)*r.Period, nil
 }
 
 // Append adds a transaction, enforcing contiguous indices.

@@ -1,0 +1,144 @@
+package capture
+
+import (
+	"fmt"
+
+	"offramps/internal/sim"
+)
+
+// Mode selects how a capture session materializes what the tracker
+// exports. ModeFull keeps every transaction in Recording.Transactions —
+// the paper's CSV trace, required for offline replay and reconstruction.
+// ModeFingerprint streams each transaction into the bound detectors and
+// a rolling Fingerprint only, never growing the trace: allocations stay
+// O(1) in window count, which is what lets a wide campaign scale with
+// scenario count instead of print length.
+type Mode int
+
+const (
+	// ModeFull records the complete transaction trace (default).
+	ModeFull Mode = iota
+	// ModeFingerprint keeps only the rolling fingerprint; the trace is
+	// never materialized.
+	ModeFingerprint
+)
+
+// String names the mode for logs and JSON.
+func (m Mode) String() string {
+	switch m {
+	case ModeFull:
+		return "full"
+	case ModeFingerprint:
+		return "fingerprint"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// FNV-1a 64-bit parameters; the digest is a running FNV-1a over the
+// 16-byte wire frame of every exported transaction, so two captures have
+// equal digests exactly when they exported identical frame sequences.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// AxisSummary condenses one axis of a capture into window statistics:
+// the final counter value, its observed range, and the total absolute
+// per-window movement. Together with the digest these are the compact
+// per-axis embeddings the similarity-detection roadmap item matches
+// against a fingerprint library.
+type AxisSummary struct {
+	Final         int64 `json:"final"`
+	Min           int64 `json:"min"`
+	Max           int64 `json:"max"`
+	TotalAbsDelta int64 `json:"totalAbsDelta"`
+}
+
+// Fingerprint is a fixed-size, content-hashable summary of a capture:
+// the window count and cadence, a running FNV-1a-64 digest over every
+// exported frame, and per-axis window summaries. It is updated in place
+// by Add with zero allocations, making it the O(1) stand-in for a full
+// Recording in fingerprint-mode runs. Axes are indexed X, Y, Z, E.
+type Fingerprint struct {
+	Windows   int            `json:"windows"`
+	Period    sim.Time       `json:"period"`
+	StartedAt sim.Time       `json:"startedAt"`
+	Digest    uint64         `json:"digest"`
+	Axes      [4]AxisSummary `json:"axes"`
+
+	// prev holds the previous window's counters for delta accounting.
+	prev [4]int64
+}
+
+// Reset returns the fingerprint to its empty state, keeping Period.
+func (fp *Fingerprint) Reset() {
+	period := fp.Period
+	*fp = Fingerprint{Period: period}
+}
+
+// Add folds one transaction into the fingerprint. It allocates nothing.
+func (fp *Fingerprint) Add(t Transaction) {
+	frame := t.Frame()
+	h := fp.Digest
+	if fp.Windows == 0 {
+		h = fnvOffset64
+	}
+	for _, b := range frame {
+		h = (h ^ uint64(b)) * fnvPrime64
+	}
+	fp.Digest = h
+
+	counts := [4]int64{int64(t.X), int64(t.Y), int64(t.Z), int64(t.E)}
+	for i, c := range counts {
+		s := &fp.Axes[i]
+		if fp.Windows == 0 {
+			s.Min, s.Max = c, c
+		} else {
+			if c < s.Min {
+				s.Min = c
+			}
+			if c > s.Max {
+				s.Max = c
+			}
+			d := c - fp.prev[i]
+			if d < 0 {
+				d = -d
+			}
+			s.TotalAbsDelta += d
+		}
+		s.Final = c
+		fp.prev[i] = c
+	}
+	fp.Windows++
+}
+
+// Equal reports whether two fingerprints summarize identical captures.
+func (fp *Fingerprint) Equal(other *Fingerprint) bool {
+	if fp == nil || other == nil {
+		return fp == other
+	}
+	return fp.Windows == other.Windows &&
+		fp.Period == other.Period &&
+		fp.StartedAt == other.StartedAt &&
+		fp.Digest == other.Digest &&
+		fp.Axes == other.Axes
+}
+
+// String renders a one-line summary.
+func (fp *Fingerprint) String() string {
+	return fmt.Sprintf("fingerprint{windows=%d digest=%016x final=[%d %d %d %d]}",
+		fp.Windows, fp.Digest,
+		fp.Axes[0].Final, fp.Axes[1].Final, fp.Axes[2].Final, fp.Axes[3].Final)
+}
+
+// FingerprintOf computes the fingerprint a fingerprint-mode capture of
+// rec's transaction sequence would have produced — the differential
+// anchor between modes.
+func FingerprintOf(rec *Recording) Fingerprint {
+	fp := Fingerprint{Period: rec.Period, StartedAt: rec.StartedAt}
+	for _, t := range rec.Transactions {
+		fp.Add(t)
+	}
+	return fp
+}

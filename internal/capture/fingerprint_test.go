@@ -1,0 +1,122 @@
+package capture
+
+import (
+	"strings"
+	"testing"
+
+	"offramps/internal/sim"
+)
+
+func sampleRecording() *Recording {
+	rec := &Recording{Period: 100 * sim.Millisecond, StartedAt: 2 * sim.Second}
+	for i, tx := range []Transaction{
+		{Index: 0, X: 10, Y: 20, Z: 0, E: 5},
+		{Index: 1, X: 30, Y: 15, Z: 0, E: 12},
+		{Index: 2, X: 25, Y: 40, Z: 4, E: 20},
+	} {
+		tx.Index = uint32(i)
+		if err := rec.Append(tx); err != nil {
+			panic(err)
+		}
+	}
+	return rec
+}
+
+func TestWindowTime(t *testing.T) {
+	rec := sampleRecording()
+	// Ticker semantics: window i is exported one full period after the
+	// previous, the first at StartedAt+Period.
+	for i, want := range []sim.Time{2100 * sim.Millisecond, 2200 * sim.Millisecond, 2300 * sim.Millisecond} {
+		at, err := rec.WindowTime(i)
+		if err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		if at != want {
+			t.Errorf("window %d at %v, want %v", i, at, want)
+		}
+	}
+	for _, i := range []int{-1, 3} {
+		if _, err := rec.WindowTime(i); err == nil {
+			t.Errorf("window %d: out-of-range index tolerated", i)
+		}
+	}
+}
+
+func TestWindowTimeZeroPeriod(t *testing.T) {
+	// ReadCSV leaves Period zero: window times must error, not
+	// extrapolate garbage.
+	rec, err := ReadCSV(strings.NewReader("Index, X, Y, Z, E\n0, 1, 2, 3, 4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rec.WindowTime(0); err == nil {
+		t.Fatal("zero-period recording produced a window time")
+	}
+}
+
+func TestFingerprintStreamingMatchesRecomputed(t *testing.T) {
+	rec := sampleRecording()
+	fp := Fingerprint{Period: rec.Period, StartedAt: rec.StartedAt}
+	for _, tx := range rec.Transactions {
+		fp.Add(tx)
+	}
+	want := FingerprintOf(rec)
+	if !fp.Equal(&want) {
+		t.Errorf("streamed fingerprint differs from recomputed:\n%v\n%v", &fp, &want)
+	}
+	if fp.Windows != rec.Len() {
+		t.Errorf("windows = %d, want %d", fp.Windows, rec.Len())
+	}
+}
+
+func TestFingerprintDigestSensitivity(t *testing.T) {
+	rec := sampleRecording()
+	a := FingerprintOf(rec)
+	rec.Transactions[1].E++
+	b := FingerprintOf(rec)
+	if a.Digest == b.Digest {
+		t.Error("digest unchanged by a counter mutation")
+	}
+	if a.Equal(&b) {
+		t.Error("fingerprints of different captures compare equal")
+	}
+}
+
+func TestFingerprintAxisSummaries(t *testing.T) {
+	rec := sampleRecording()
+	fp := FingerprintOf(rec)
+	// Axis X: values 10, 30, 25 → final 25, min 10, max 30, total |Δ| =
+	// 20 + 5 (the first window seeds prev; its delta is not counted).
+	x := fp.Axes[0]
+	if x.Final != 25 || x.Min != 10 || x.Max != 30 || x.TotalAbsDelta != 25 {
+		t.Errorf("X summary = %+v", x)
+	}
+	// Axis E: 5, 12, 20 monotonic → final = max = 20, total |Δ| = 15.
+	e := fp.Axes[3]
+	if e.Final != 20 || e.Max != 20 || e.TotalAbsDelta != 15 {
+		t.Errorf("E summary = %+v", e)
+	}
+}
+
+func TestFingerprintReset(t *testing.T) {
+	rec := sampleRecording()
+	fp := Fingerprint{Period: rec.Period}
+	for _, tx := range rec.Transactions {
+		fp.Add(tx)
+	}
+	fp.Reset()
+	if fp.Windows != 0 || fp.Digest != 0 {
+		t.Errorf("reset left state: %+v", fp)
+	}
+	if fp.Period != rec.Period {
+		t.Error("reset cleared the configured period")
+	}
+	for _, tx := range rec.Transactions {
+		fp.Add(tx)
+	}
+	want := FingerprintOf(rec)
+	want.StartedAt = fp.StartedAt
+	if !fp.Equal(&want) {
+		t.Error("fingerprint after reset differs from a fresh one")
+	}
+}

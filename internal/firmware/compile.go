@@ -1,0 +1,187 @@
+package firmware
+
+import (
+	"fmt"
+	"math"
+
+	"offramps/internal/gcode"
+	"offramps/internal/signal"
+)
+
+// moveEntry is the pre-resolved execution of one G0/G1 command: whether
+// the modal evaluation produced a move at all (resolved), whether that
+// move has physical extent (motion — a zero-distance move still enables
+// the motors, so the distinction matters for event-order identity), and
+// the planned pulse trains. Entries are immutable once compiled.
+type moveEntry struct {
+	resolved bool
+	motion   bool
+	pm       plannedMove
+}
+
+// Compiled is an immutable pre-planned execution of one program under
+// one firmware configuration: every G0/G1 resolved through the modal
+// state, homing and G92 frame effects folded in, and each move's
+// trapezoidal profile planned. N same-program scenarios share one
+// Compiled — parse/plan cost is paid once per program instead of once
+// per run — and simulate from it with byte-identical results, because
+// planning is deterministic in (program, config) and independent of the
+// run's time-noise seed. Safe for concurrent readers.
+type Compiled struct {
+	prog    gcode.Program
+	entries []moveEntry
+}
+
+// Commands reports the compiled program's length.
+func (c *Compiled) Commands() int { return len(c.prog) }
+
+// Compile dry-runs the program's geometry under cfg: it tracks the
+// modal interpreter state, believed machine position, and G92 offsets
+// exactly as execution would, and plans every move. The returned plan
+// is only valid for firmwares built with an identical motion
+// configuration (StepsPerMM, feedrates, acceleration, pulse timing);
+// seed and time-noise settings do not affect planning and may differ.
+func Compile(prog gcode.Program, cfg Config) (*Compiled, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := gcode.NewState()
+	steps := make(map[signal.Axis]int64, 4)
+	offset := make(map[signal.Axis]float64, 4)
+	c := &Compiled{prog: prog, entries: make([]moveEntry, len(prog))}
+	for i, cmd := range prog {
+		if cmd.Empty() {
+			continue
+		}
+		switch cmd.Code {
+		case "G0", "G1":
+			mv, ok := st.Apply(cmd)
+			e := resolveMove(&cfg, steps, offset, mv, ok)
+			c.entries[i] = e
+			if e.motion {
+				for j, a := range signal.Axes {
+					n := e.pm.axes[j].steps
+					if n == 0 {
+						continue
+					}
+					if e.pm.axes[j].negative {
+						steps[a] -= int64(n)
+					} else {
+						steps[a] += int64(n)
+					}
+				}
+			}
+		case "G28":
+			// Net effect of double-tap homing: each homed axis's machine
+			// position and G92 offset are zeroed (see homeNextAxis).
+			all := !cmd.Has('X') && !cmd.Has('Y') && !cmd.Has('Z')
+			for _, a := range cfg.HomingOrder {
+				var letter byte
+				switch a {
+				case signal.AxisX:
+					letter = 'X'
+				case signal.AxisY:
+					letter = 'Y'
+				case signal.AxisZ:
+					letter = 'Z'
+				default:
+					continue
+				}
+				if all || cmd.Has(letter) {
+					steps[a] = 0
+					offset[a] = 0
+				}
+			}
+			st.Apply(cmd)
+		case "G90", "G91", "M82", "M83":
+			st.Apply(cmd)
+		case "G92":
+			st.Apply(cmd)
+			for _, spec := range []struct {
+				letter byte
+				axis   signal.Axis
+				val    float64
+			}{
+				{'X', signal.AxisX, st.Pos.X},
+				{'Y', signal.AxisY, st.Pos.Y},
+				{'Z', signal.AxisZ, st.Pos.Z},
+				{'E', signal.AxisE, st.Pos.E},
+			} {
+				if cmd.Has(spec.letter) {
+					offset[spec.axis] = float64(steps[spec.axis])/cfg.StepsPerMM[spec.axis] - spec.val
+				}
+			}
+		}
+	}
+	return c, nil
+}
+
+// resolveMove turns one modal-evaluated move into its execution plan.
+// It is THE move-resolution path — the live interpreter and the
+// compiler both call it, so a compiled run reproduces an interpreted
+// run by construction. steps and offset are read, never written; the
+// caller applies the plan's position updates.
+func resolveMove(cfg *Config, steps map[signal.Axis]int64, offset map[signal.Axis]float64, mv gcode.Move, ok bool) moveEntry {
+	if !ok {
+		return moveEntry{} // feedrate-only or zero-length move
+	}
+	e := moveEntry{resolved: true}
+
+	// Resolve logical targets into machine steps.
+	var deltas [4]int
+	targets := [4]float64{
+		mv.To.X + offset[signal.AxisX],
+		mv.To.Y + offset[signal.AxisY],
+		mv.To.Z + offset[signal.AxisZ],
+		mv.To.E + offset[signal.AxisE],
+	}
+	for i, a := range signal.Axes {
+		target := int64(math.Round(targets[i] * cfg.StepsPerMM[a]))
+		deltas[i] = int(target - steps[a])
+	}
+
+	// Feedrate resolution: F is mm/min; clamp per-axis.
+	feed := mv.Feedrate
+	if feed <= 0 {
+		feed = cfg.DefaultFeedrate
+	}
+	speed := feed / 60 // mm/s
+	dist := mv.From.Distance(mv.To)
+	if dist < 1e-12 {
+		dist = math.Abs(mv.Extrusion())
+	}
+	if dist < 1e-12 {
+		return e // resolved but no physical motion
+	}
+	axisDist := [4]float64{}
+	for i, a := range signal.Axes {
+		axisDist[i] = math.Abs(float64(deltas[i])) / cfg.StepsPerMM[a]
+		if axisDist[i] < 1e-12 {
+			continue
+		}
+		axisSpeed := speed * axisDist[i] / dist
+		if limit := cfg.MaxFeedrate[a]; axisSpeed > limit {
+			speed *= limit / axisSpeed
+		}
+	}
+
+	e.motion = true
+	e.pm = planMove(deltas, dist, speed, cfg.Acceleration, cfg.MaxStepRate)
+	return e
+}
+
+// LoadCompiled loads prog together with its pre-compiled plan, replacing
+// any previously loaded program. The plan must have been compiled from
+// the same program; command count is validated (full content identity is
+// the caller's contract — the campaign keys plans by program hash).
+func (fw *Firmware) LoadCompiled(prog gcode.Program, c *Compiled) error {
+	if c == nil {
+		return fmt.Errorf("firmware: LoadCompiled(nil plan)")
+	}
+	if len(prog) != len(c.prog) {
+		return fmt.Errorf("firmware: compiled plan is for a %d-command program, got %d commands", len(c.prog), len(prog))
+	}
+	fw.prog = prog
+	fw.compiled = c
+	return nil
+}

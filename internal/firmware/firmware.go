@@ -2,7 +2,6 @@ package firmware
 
 import (
 	"fmt"
-	"math"
 
 	"offramps/internal/gcode"
 	"offramps/internal/signal"
@@ -19,6 +18,10 @@ type Firmware struct {
 
 	prog gcode.Program
 	pc   int
+	// compiled, when non-nil, is the shared pre-planned execution of
+	// prog (see Compile); executeMove reads entries from it instead of
+	// re-planning each move.
+	compiled *Compiled
 
 	modal  *gcode.State
 	steps  map[signal.Axis]int64   // believed machine position, microsteps
@@ -49,10 +52,10 @@ type Firmware struct {
 
 	// Scheduling fast-path state: cached method values (one bound func
 	// instead of a fresh allocation per dispatch), the recycled step-train
-	// pool, the part-fan PWM gate target, and the cached fan line.
+	// cache, the part-fan PWM gate target, and the cached fan line.
 	nextFn        func()
 	executeNextFn func()
-	trainPool     []*stepTrain
+	trains        *TrainCache
 	fan           fanGate
 	fanLine       *signal.Line
 }
@@ -88,13 +91,17 @@ func New(engine *sim.Engine, bus *signal.Bus, cfg Config) (*Firmware, error) {
 	}
 	fw.nextFn = fw.next
 	fw.executeNextFn = fw.executeNext
+	fw.trains = cfg.Trains
+	if fw.trains == nil {
+		fw.trains = NewTrainCache()
+	}
 	fw.fan = fanGate{fw: fw}
 	fw.fanLine = bus.Line(signal.PinFan)
 	return fw, nil
 }
 
 // Load sets the program to execute. It must be called before Start.
-func (fw *Firmware) Load(prog gcode.Program) { fw.prog = prog }
+func (fw *Firmware) Load(prog gcode.Program) { fw.prog, fw.compiled = prog, nil }
 
 // Start begins execution: the temperature control loop, fan PWM, and the
 // command dispatcher. Calling Start twice is an error.
@@ -344,57 +351,31 @@ func (fw *Firmware) setMotors(on bool) {
 	}
 }
 
-// executeMove plans and schedules a G0/G1.
+// executeMove plans and schedules a G0/G1. The modal state always
+// advances through Apply (it is the source of truth for later commands);
+// the execution plan comes from the shared compiled plan when one is
+// loaded, else from the same resolveMove path the compiler uses — the
+// two routes are identical by construction.
 func (fw *Firmware) executeMove(cmd gcode.Command) {
 	mv, ok := fw.modal.Apply(cmd)
-	if !ok {
+	var entry moveEntry
+	if fw.compiled != nil {
+		entry = fw.compiled.entries[fw.pc-1]
+	} else {
+		entry = resolveMove(&fw.cfg, fw.steps, fw.offset, mv, ok)
+	}
+	if !entry.resolved {
 		fw.next() // feedrate-only or zero-length move
 		return
 	}
 	if !fw.motorsEnabled {
 		fw.setMotors(true)
 	}
-
-	// Resolve logical targets into machine steps.
-	var deltas [4]int
-	var targets = [4]float64{
-		mv.To.X + fw.offset[signal.AxisX],
-		mv.To.Y + fw.offset[signal.AxisY],
-		mv.To.Z + fw.offset[signal.AxisZ],
-		mv.To.E + fw.offset[signal.AxisE],
-	}
-	for i, a := range signal.Axes {
-		target := int64(math.Round(targets[i] * fw.cfg.StepsPerMM[a]))
-		deltas[i] = int(target - fw.steps[a])
-	}
-
-	// Feedrate resolution: F is mm/min; clamp per-axis.
-	feed := mv.Feedrate
-	if feed <= 0 {
-		feed = fw.cfg.DefaultFeedrate
-	}
-	speed := feed / 60 // mm/s
-	dist := mv.From.Distance(mv.To)
-	if dist < 1e-12 {
-		dist = math.Abs(mv.Extrusion())
-	}
-	if dist < 1e-12 {
+	if !entry.motion {
 		fw.next()
 		return
 	}
-	axisDist := [4]float64{}
-	for i, a := range signal.Axes {
-		axisDist[i] = math.Abs(float64(deltas[i])) / fw.cfg.StepsPerMM[a]
-		if axisDist[i] < 1e-12 {
-			continue
-		}
-		axisSpeed := speed * axisDist[i] / dist
-		if limit := fw.cfg.MaxFeedrate[a]; axisSpeed > limit {
-			speed *= limit / axisSpeed
-		}
-	}
-
-	pm := planMove(deltas, dist, speed, fw.cfg.Acceleration, fw.cfg.MaxStepRate)
+	pm := entry.pm
 
 	// Set DIR lines now; first step happens ≥ DirSetup later.
 	for i, a := range signal.Axes {

@@ -63,12 +63,24 @@ func (t *stepTrain) FireEdge(arg uint64) {
 	}
 }
 
+// TrainCache recycles step trains. Each firmware owns one by default;
+// a pooled testbed core (Config.Trains) shares a cache across the
+// sequential runs of one campaign worker, so a reused rig steps with
+// zero train allocations. Released trains are fully zeroed, so a cache
+// never pins a dead run's engine or firmware. Not safe for concurrent
+// use — one cache belongs to one worker at a time.
+type TrainCache struct{ pool []*stepTrain }
+
+// NewTrainCache returns an empty cache.
+func NewTrainCache() *TrainCache { return &TrainCache{} }
+
 // acquireTrain takes a train from the pool or allocates one.
 func (fw *Firmware) acquireTrain() *stepTrain {
-	if n := len(fw.trainPool); n > 0 {
-		t := fw.trainPool[n-1]
-		fw.trainPool[n-1] = nil
-		fw.trainPool = fw.trainPool[:n-1]
+	pool := fw.trains.pool
+	if n := len(pool); n > 0 {
+		t := pool[n-1]
+		pool[n-1] = nil
+		fw.trains.pool = pool[:n-1]
 		return t
 	}
 	return new(stepTrain)
@@ -77,5 +89,5 @@ func (fw *Firmware) acquireTrain() *stepTrain {
 // releaseTrain returns a finished train to the pool.
 func (fw *Firmware) releaseTrain(t *stepTrain) {
 	*t = stepTrain{}
-	fw.trainPool = append(fw.trainPool, t)
+	fw.trains.pool = append(fw.trains.pool, t)
 }

@@ -142,6 +142,11 @@ type Board struct {
 	taps    map[TapSide]*tap
 	primary TapSide
 
+	// spare holds recycled recording buffers donated by a pooled testbed
+	// core; exporters consume them (in start order) instead of
+	// allocating fresh backing arrays.
+	spare [][]capture.Transaction
+
 	trojans map[string]Trojan
 	order   []string
 }
@@ -238,6 +243,61 @@ func (b *Board) Tracker() *AxisTracker { return b.taps[b.primary].tracker }
 func (b *Board) TrackerAt(side TapSide) *AxisTracker {
 	if t, ok := b.taps[side]; ok {
 		return t.tracker
+	}
+	return nil
+}
+
+// SetCaptureMode selects full-trace or fingerprint-only capture for
+// every tap. It must be called before any exporter starts (i.e. before
+// the print's first post-homing step); changing mode mid-capture is an
+// error.
+func (b *Board) SetCaptureMode(m capture.Mode) error {
+	if m != capture.ModeFull && m != capture.ModeFingerprint {
+		return fmt.Errorf("fpga: unknown capture mode %v", m)
+	}
+	for _, t := range b.taps {
+		if t.exporter.started {
+			return fmt.Errorf("fpga: capture already started; cannot switch to %v mode", m)
+		}
+	}
+	for _, t := range b.taps {
+		t.exporter.mode = m
+	}
+	return nil
+}
+
+// CaptureMode reports the capture mode in effect.
+func (b *Board) CaptureMode() capture.Mode { return b.taps[b.primary].exporter.mode }
+
+// Windows reports how many transactions the primary tap has exported —
+// valid in both capture modes (Recording().Len() is always zero in
+// fingerprint mode).
+func (b *Board) Windows() int { return b.taps[b.primary].exporter.Windows() }
+
+// Fingerprint returns the primary tap's rolling capture fingerprint,
+// maintained in both modes.
+func (b *Board) Fingerprint() *capture.Fingerprint { return b.taps[b.primary].exporter.Fingerprint() }
+
+// FingerprintAt returns one side's fingerprint, or nil when that side
+// is not tapped. side must be TapArduino or TapRAMPS.
+func (b *Board) FingerprintAt(side TapSide) *capture.Fingerprint {
+	if t, ok := b.taps[side]; ok {
+		return t.exporter.Fingerprint()
+	}
+	return nil
+}
+
+// DonateScratch hands the board recycled transaction buffers (length
+// zero, capacity retained) for exporters to record into instead of
+// allocating. Only meaningful before capture starts; full mode only.
+func (b *Board) DonateScratch(bufs [][]capture.Transaction) { b.spare = append(b.spare, bufs...) }
+
+// scratch pops one donated buffer, or nil.
+func (b *Board) scratch() []capture.Transaction {
+	if n := len(b.spare); n > 0 {
+		buf := b.spare[n-1]
+		b.spare = b.spare[:n-1]
+		return buf[:0]
 	}
 	return nil
 }

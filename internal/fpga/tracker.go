@@ -109,6 +109,8 @@ type Exporter struct {
 	board     *Board
 	tracker   *AxisTracker
 	recording *capture.Recording
+	fp        capture.Fingerprint
+	mode      capture.Mode
 	index     uint32
 	started   bool
 	stop      func()
@@ -119,15 +121,10 @@ type Exporter struct {
 // board runs one exporter per tapped bus.
 func newExporter(b *Board, tracker *AxisTracker) *Exporter {
 	e := &Exporter{
-		board:   b,
-		tracker: tracker,
-		recording: &capture.Recording{
-			Period: b.cfg.ExportPeriod,
-			// Preallocate for a typical print: the standard test part runs
-			// ≈2 simulated minutes, ≈1.2k windows at the 0.1 s export
-			// period. Growing past this is still amortized append.
-			Transactions: make([]capture.Transaction, 0, 2048),
-		},
+		board:     b,
+		tracker:   tracker,
+		recording: &capture.Recording{Period: b.cfg.ExportPeriod},
+		fp:        capture.Fingerprint{Period: b.cfg.ExportPeriod},
 	}
 	b.homing.OnHomed(func(sim.Time) {
 		tracker.OnFirstStep(func(at sim.Time) { e.start(at) })
@@ -141,18 +138,40 @@ func (e *Exporter) start(at sim.Time) {
 	}
 	e.started = true
 	e.recording.StartedAt = at
+	e.fp.StartedAt = at
+	if e.mode == capture.ModeFull && e.recording.Transactions == nil {
+		// Preallocate for a typical print: the standard test part runs
+		// ≈2 simulated minutes, ≈1.2k windows at the 0.1 s export
+		// period. Growing past this is still amortized append.
+		// Fingerprint-mode captures never pay for this buffer.
+		if cap := e.board.scratch(); cap != nil {
+			e.recording.Transactions = cap
+		} else {
+			e.recording.Transactions = make([]capture.Transaction, 0, 2048)
+		}
+	}
 	e.stop = e.board.engine.Ticker(e.board.cfg.ExportPeriod, func(sim.Time) {
 		tx := e.tracker.Snapshot(e.index)
 		e.index++
-		// Append cannot fail: indices are generated contiguously here.
-		if err := e.recording.Append(tx); err != nil {
-			panic("fpga: exporter generated non-contiguous index: " + err.Error())
+		e.fp.Add(tx)
+		if e.mode == capture.ModeFull {
+			// Append cannot fail: indices are generated contiguously here.
+			if err := e.recording.Append(tx); err != nil {
+				panic("fpga: exporter generated non-contiguous index: " + err.Error())
+			}
 		}
 		for _, fn := range e.onExport {
 			fn(tx)
 		}
 	})
 }
+
+// Fingerprint returns the rolling capture fingerprint, maintained in
+// both modes. Stable (no further Adds) once the exporter is stopped.
+func (e *Exporter) Fingerprint() *capture.Fingerprint { return &e.fp }
+
+// Windows reports how many transactions have been exported.
+func (e *Exporter) Windows() int { return int(e.index) }
 
 // OnExport registers fn to receive every transaction this exporter
 // emits, in export order, at the simulated instant the hardware would

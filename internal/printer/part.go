@@ -41,6 +41,15 @@ func (p *Part) Add(d Deposit) { p.deposits = append(p.deposits, d) }
 // Deposits returns the raw ledger (borrowed, do not modify).
 func (p *Part) Deposits() []Deposit { return p.deposits }
 
+// ReclaimDeposits severs the deposit ledger from the part and returns
+// it for buffer recycling; the part is left empty. Only call on a part
+// nothing will read again.
+func (p *Part) ReclaimDeposits() []Deposit {
+	d := p.deposits
+	p.deposits = nil
+	return d
+}
+
 // TotalFilament returns the total filament length deposited, mm.
 func (p *Part) TotalFilament() float64 {
 	sum := 0.0

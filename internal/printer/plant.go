@@ -31,6 +31,12 @@ type Config struct {
 	LayerQuantum float64
 	// FanTau is the fan inertia time constant for the duty meter.
 	FanTau sim.Time
+	// DepositBuffer, when non-nil, is a recycled deposit ledger (length
+	// zero, capacity retained) the plant's Part records into instead of
+	// growing a fresh one — donated by a pooled testbed core. Ownership
+	// transfers to the Part; the donor must not reuse the slice while
+	// the Part is live.
+	DepositBuffer []Deposit
 }
 
 // DefaultConfig returns the simulated Prusa-on-RAMPS used throughout the
@@ -145,6 +151,9 @@ func NewPlant(engine *sim.Engine, bus *signal.Bus, cfg Config) (*Plant, error) {
 		endstops:   make(map[signal.Axis]*ramps.Endstop, 3),
 		thermistor: ramps.StandardThermistor(),
 		part:       NewPart(cfg.LayerQuantum),
+	}
+	if cfg.DepositBuffer != nil {
+		p.part.deposits = cfg.DepositBuffer[:0]
 	}
 
 	const hardStopBelow = 0.5 // mm of crush travel below the endstop

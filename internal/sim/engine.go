@@ -110,6 +110,34 @@ type Engine struct {
 // NewEngine returns an empty engine at time zero.
 func NewEngine() *Engine { return &Engine{} }
 
+// Reset returns the engine to the state NewEngine would produce while
+// retaining the backing storage of its wheel slots and far-tier heap —
+// the point of pooling an engine across runs. Every queued event's
+// callback reference is released (a reset engine pins nothing from the
+// previous run), the clock returns to zero, and the sequence counter
+// restarts, so a run on a reset engine is bit-identical to a run on a
+// fresh one.
+func (e *Engine) Reset() {
+	for s := range e.slots {
+		slot := e.slots[s]
+		for i := range slot {
+			slot[i] = event{} // release fn/tgt references
+		}
+		e.slots[s] = slot[:0]
+	}
+	for i := range e.heap {
+		e.heap[i] = event{}
+	}
+	e.heap = e.heap[:0]
+	e.now = 0
+	e.seq = 0
+	e.stopped = false
+	e.executed = 0
+	e.pending = 0
+	e.base = 0
+	e.wheelCount = 0
+}
+
 // Now reports the current simulation time.
 func (e *Engine) Now() Time { return e.now }
 

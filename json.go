@@ -22,24 +22,37 @@ func (r *Result) MarshalJSON() ([]byte, error) {
 	type alias Result
 	aux := struct {
 		*alias
-		Part             *printer.Part      `json:"Part,omitempty"`
-		Recording        *capture.Recording `json:"Recording,omitempty"`
-		ArduinoRecording *capture.Recording `json:"ArduinoRecording,omitempty"`
-		RAMPSRecording   *capture.Recording `json:"RAMPSRecording,omitempty"`
-		HaltError        string             `json:"HaltError,omitempty"`
-		Windows          int                `json:"Windows"`
-		ArduinoWindows   int                `json:"ArduinoWindows,omitempty"`
-		RAMPSWindows     int                `json:"RAMPSWindows,omitempty"`
+		Part               *printer.Part        `json:"Part,omitempty"`
+		Recording          *capture.Recording   `json:"Recording,omitempty"`
+		ArduinoRecording   *capture.Recording   `json:"ArduinoRecording,omitempty"`
+		RAMPSRecording     *capture.Recording   `json:"RAMPSRecording,omitempty"`
+		Fingerprint        *capture.Fingerprint `json:"Fingerprint,omitempty"`
+		ArduinoFingerprint *capture.Fingerprint `json:"ArduinoFingerprint,omitempty"`
+		RAMPSFingerprint   *capture.Fingerprint `json:"RAMPSFingerprint,omitempty"`
+		HaltError          string               `json:"HaltError,omitempty"`
+		Windows            int                  `json:"Windows"`
+		ArduinoWindows     int                  `json:"ArduinoWindows,omitempty"`
+		RAMPSWindows       int                  `json:"RAMPSWindows,omitempty"`
 	}{alias: (*alias)(r)}
 	if r.HaltError != nil {
 		aux.HaltError = r.HaltError.Error()
 	}
-	if r.Recording != nil {
+	// Window counts come from the recordings in full mode and from the
+	// fingerprints otherwise, so a fingerprint-mode result serializes to
+	// exactly the bytes its full-mode twin would.
+	switch {
+	case r.Recording != nil:
 		aux.Windows = r.Recording.Len()
+	case r.Fingerprint != nil:
+		aux.Windows = r.Fingerprint.Windows
 	}
-	if r.ArduinoRecording != nil && r.RAMPSRecording != nil {
+	switch {
+	case r.ArduinoRecording != nil && r.RAMPSRecording != nil:
 		aux.ArduinoWindows = r.ArduinoRecording.Len()
 		aux.RAMPSWindows = r.RAMPSRecording.Len()
+	case r.ArduinoFingerprint != nil && r.RAMPSFingerprint != nil:
+		aux.ArduinoWindows = r.ArduinoFingerprint.Windows
+		aux.RAMPSWindows = r.RAMPSFingerprint.Windows
 	}
 	return json.Marshal(aux)
 }

@@ -82,6 +82,7 @@ type options struct {
 	startPos    map[signal.Axis]float64
 	firmwareMod func(*firmware.Config)
 	plantMod    func(*printer.Config)
+	core        *TestbedCore
 }
 
 func defaultOptions() options {
@@ -177,7 +178,13 @@ func NewTestbed(opts ...Option) (*Testbed, error) {
 	if err := o.validate(); err != nil {
 		return nil, err
 	}
-	engine := sim.NewEngine()
+	var engine *sim.Engine
+	if o.core != nil {
+		engine = o.core.engine
+		engine.Reset()
+	} else {
+		engine = sim.NewEngine()
+	}
 	arduino := signal.NewBus(engine)
 	ramps := signal.NewBus(engine)
 
@@ -197,6 +204,11 @@ func NewTestbed(opts ...Option) (*Testbed, error) {
 				return nil, fmt.Errorf("offramps: %w", err)
 			}
 		}
+		if o.core != nil {
+			if bufs := o.core.takeRecBufs(); len(bufs) > 0 {
+				board.DonateScratch(bufs)
+			}
+		}
 		tb.Board = board
 	} else {
 		arduino.ConnectAll(ramps, 0)
@@ -205,6 +217,9 @@ func NewTestbed(opts ...Option) (*Testbed, error) {
 	pcfg := printer.DefaultConfig()
 	if o.startPos != nil {
 		pcfg.StartPos = o.startPos
+	}
+	if o.core != nil {
+		pcfg.DepositBuffer = o.core.takeDeposits()
 	}
 	if o.plantMod != nil {
 		o.plantMod(&pcfg)
@@ -218,6 +233,9 @@ func NewTestbed(opts ...Option) (*Testbed, error) {
 	fcfg := firmware.DefaultConfig()
 	fcfg.Seed = o.seed
 	fcfg.TimeNoise = o.timeNoise
+	if o.core != nil {
+		fcfg.Trains = o.core.trains
+	}
 	if o.firmwareMod != nil {
 		o.firmwareMod(&fcfg)
 	}
@@ -248,6 +266,14 @@ type Result struct {
 	// default Arduino-only tap, ArduinoRecording aliases Recording.
 	ArduinoRecording *capture.Recording
 	RAMPSRecording   *capture.Recording
+	// Fingerprint is the rolling per-window digest of the primary tap's
+	// capture, maintained in both capture modes — in fingerprint mode it
+	// is the only capture artifact (the Recording fields are nil).
+	Fingerprint *capture.Fingerprint
+	// ArduinoFingerprint and RAMPSFingerprint are the per-side
+	// fingerprints; each is nil when that bus is not tapped.
+	ArduinoFingerprint *capture.Fingerprint
+	RAMPSFingerprint   *capture.Fingerprint
 	// Quality summarizes the deposited part.
 	Quality printer.Quality
 	// Part is the raw deposited part, kept for deeper comparisons than

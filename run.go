@@ -6,6 +6,7 @@ import (
 
 	"offramps/internal/capture"
 	"offramps/internal/detect"
+	"offramps/internal/firmware"
 	"offramps/internal/fpga"
 	"offramps/internal/gcode"
 	"offramps/internal/signal"
@@ -82,15 +83,42 @@ func (b TapBinding) String() string {
 	}
 }
 
+// CaptureMode selects how much of the board's capture a run
+// materializes. CaptureFull (the zero value) records the complete
+// transaction trace — the paper's CSV — into Result.Recording.
+// CaptureFingerprint streams transactions into the bound detectors and
+// rolling capture.Fingerprints only: detector verdicts are identical
+// (they observe the same stream), but no trace is allocated, so a run's
+// memory cost is O(1) in window count. Result.Recording and its per-
+// side siblings are nil in fingerprint mode; Result.Fingerprint (and
+// siblings) are populated in both modes.
+type CaptureMode int
+
+const (
+	// CaptureFull materializes the full transaction trace (default).
+	CaptureFull CaptureMode = iota
+	// CaptureFingerprint keeps only rolling fingerprints.
+	CaptureFingerprint
+)
+
+// String names the mode for reports.
+func (m CaptureMode) String() string { return capture.Mode(m).String() }
+
 // RunOption configures one Testbed.Run.
 type RunOption func(*runConfig)
 
 // sideFeed buffers one tap's exported transactions as the board streams
 // them (Board.OnExport); detectors drain it between simulation steps so
-// trips and aborts stay deterministic step-boundary decisions.
+// trips and aborts stay deterministic step-boundary decisions. Consumed
+// entries are compacted away between steps (base counts them), keeping
+// the buffer O(detector lag) instead of O(windows).
 type sideFeed struct {
-	txs []capture.Transaction
+	txs  []capture.Transaction
+	base int // stream index of txs[0]
 }
+
+// total is the count of transactions ever streamed into the feed.
+func (f *sideFeed) total() int { return f.base + len(f.txs) }
 
 type boundDetector struct {
 	d       detect.Detector
@@ -110,11 +138,28 @@ type runConfig struct {
 	limit     sim.Time
 	detectors []*boundDetector
 	progress  func(RunProgress)
+	mode      CaptureMode
+	plan      *firmware.Compiled
 }
 
 // WithLimit bounds the run's *simulated* time (default DefaultRunBudget).
 func WithLimit(limit sim.Time) RunOption {
 	return func(rc *runConfig) { rc.limit = limit }
+}
+
+// WithCaptureMode selects full-trace or fingerprint-only capture for
+// the run (default CaptureFull). See CaptureMode.
+func WithCaptureMode(m CaptureMode) RunOption {
+	return func(rc *runConfig) { rc.mode = m }
+}
+
+// withCompiled runs the program from a pre-compiled move plan (shared
+// across same-program scenarios by the campaign layer) instead of
+// planning each move during execution. The plan must have been compiled
+// from the same program and firmware config; Run validates the program
+// identity.
+func withCompiled(c *firmware.Compiled) RunOption {
+	return func(rc *runConfig) { rc.plan = c }
 }
 
 // WithDetector attaches a live streaming detector to the run, fed from
@@ -164,6 +209,14 @@ func (tb *Testbed) Run(ctx context.Context, prog gcode.Program, opts ...RunOptio
 	if len(rc.detectors) > 0 && tb.Board == nil {
 		return nil, fmt.Errorf("offramps: live detectors require the MITM path (captures come from the board)")
 	}
+	if rc.mode != CaptureFull && rc.mode != CaptureFingerprint {
+		return nil, fmt.Errorf("offramps: unknown capture mode %v", rc.mode)
+	}
+	if rc.mode == CaptureFingerprint && tb.Board != nil {
+		if err := tb.Board.SetCaptureMode(capture.ModeFingerprint); err != nil {
+			return nil, fmt.Errorf("offramps: %w", err)
+		}
+	}
 	if err := tb.bindDetectors(&rc); err != nil {
 		return nil, err
 	}
@@ -171,7 +224,13 @@ func (tb *Testbed) Run(ctx context.Context, prog gcode.Program, opts ...RunOptio
 		ctx = context.Background()
 	}
 
-	tb.Firmware.Load(prog)
+	if rc.plan != nil {
+		if err := tb.Firmware.LoadCompiled(prog, rc.plan); err != nil {
+			return nil, fmt.Errorf("offramps: %w", err)
+		}
+	} else {
+		tb.Firmware.Load(prog)
+	}
 	if err := tb.Firmware.Start(); err != nil {
 		return nil, fmt.Errorf("offramps: %w", err)
 	}
@@ -242,9 +301,14 @@ func (tb *Testbed) Run(ctx context.Context, prog gcode.Program, opts ...RunOptio
 		res.StepsLost[a] = tb.Plant.Driver(a).StepsLost()
 	}
 	if tb.Board != nil {
-		res.Recording = tb.Board.Recording()
-		res.ArduinoRecording = tb.Board.RecordingAt(fpga.TapArduino)
-		res.RAMPSRecording = tb.Board.RecordingAt(fpga.TapRAMPS)
+		if rc.mode == CaptureFull {
+			res.Recording = tb.Board.Recording()
+			res.ArduinoRecording = tb.Board.RecordingAt(fpga.TapArduino)
+			res.RAMPSRecording = tb.Board.RecordingAt(fpga.TapRAMPS)
+		}
+		res.Fingerprint = tb.Board.Fingerprint()
+		res.ArduinoFingerprint = tb.Board.FingerprintAt(fpga.TapArduino)
+		res.RAMPSFingerprint = tb.Board.FingerprintAt(fpga.TapRAMPS)
 	}
 	for _, bd := range rc.detectors {
 		rep := bd.d.Finalize()
@@ -253,7 +317,7 @@ func (tb *Testbed) Run(ctx context.Context, prog gcode.Program, opts ...RunOptio
 			// exported and the other never did are a divergence the
 			// detector cannot see on its own (a board suppressing its
 			// trailing exports must not attest clean).
-			detect.FlagImbalance(rep, len(bd.down.txs)-len(bd.up.txs))
+			detect.FlagImbalance(rep, bd.down.total()-bd.up.total())
 		}
 		res.Detections = append(res.Detections, rep)
 		if rep.TrojanLikely {
@@ -351,15 +415,15 @@ func (tb *Testbed) feedDetectors(rc *runConfig, res *Result, allowAbort bool) er
 		for _, bd := range rc.detectors {
 			var v detect.Verdict
 			if bd.pair != nil {
-				if bd.fed >= len(bd.up.txs) || bd.fed >= len(bd.down.txs) {
+				if bd.fed >= bd.up.total() || bd.fed >= bd.down.total() {
 					continue
 				}
-				v = bd.pair.ObservePair(bd.up.txs[bd.fed], bd.down.txs[bd.fed])
+				v = bd.pair.ObservePair(bd.up.txs[bd.fed-bd.up.base], bd.down.txs[bd.fed-bd.down.base])
 			} else {
-				if bd.fed >= len(bd.src.txs) {
+				if bd.fed >= bd.src.total() {
 					continue
 				}
-				v = bd.d.Observe(bd.src.txs[bd.fed])
+				v = bd.d.Observe(bd.src.txs[bd.fed-bd.src.base])
 			}
 			bd.fed++
 			progressed = true
@@ -376,7 +440,42 @@ func (tb *Testbed) feedDetectors(rc *runConfig, res *Result, allowAbort bool) er
 			}
 		}
 		if !progressed || res.Aborted {
+			compactFeeds(rc)
 			return nil
+		}
+	}
+}
+
+// compactFeeds drops feed entries every detector has consumed, shifting
+// the survivors to the front so the buffers stay O(detector lag) across
+// the whole run instead of retaining every window ever streamed. Without
+// this, fingerprint mode would still accumulate an O(windows) shadow of
+// the trace inside the feeds.
+func compactFeeds(rc *runConfig) {
+	minFed := func(f *sideFeed) int {
+		low := -1
+		for _, bd := range rc.detectors {
+			if bd.src == f || bd.up == f || bd.down == f {
+				if low < 0 || bd.fed < low {
+					low = bd.fed
+				}
+			}
+		}
+		return low
+	}
+	seen := make(map[*sideFeed]bool, 2)
+	for _, bd := range rc.detectors {
+		for _, f := range []*sideFeed{bd.src, bd.up, bd.down} {
+			if f == nil || seen[f] {
+				continue
+			}
+			seen[f] = true
+			low := minFed(f)
+			if keep := low - f.base; keep > 0 {
+				n := copy(f.txs, f.txs[keep:])
+				f.txs = f.txs[:n]
+				f.base = low
+			}
 		}
 	}
 }
@@ -384,7 +483,7 @@ func (tb *Testbed) feedDetectors(rc *runConfig, res *Result, allowAbort bool) er
 func (tb *Testbed) progressSnapshot(rc *runConfig) RunProgress {
 	p := RunProgress{Now: tb.Engine.Now()}
 	if tb.Board != nil {
-		p.Windows = tb.Board.Recording().Len()
+		p.Windows = tb.Board.Windows()
 	}
 	for _, bd := range rc.detectors {
 		if bd.tripped {

@@ -1,8 +1,12 @@
 #!/usr/bin/env bash
 # bench.sh runs the key perf benchmarks (GoldenPrint, Campaign,
-# MonitorObserve, plus the engine microbenchmarks) and writes their
-# results to BENCH_<label>.json so the perf trajectory is tracked across
-# PRs. The label defaults to the repo's commit count.
+# CampaignWide, MonitorObserve, plus the engine microbenchmarks) and
+# writes their results to BENCH_<label>.json so the perf trajectory is
+# tracked across PRs. The label defaults to the repo's commit count.
+#
+# Each benchmark runs `-count 5`; benchjson collapses the repetitions to
+# per-metric medians (the archived JSON notes "runs": 5), so one noisy
+# run on a shared box cannot skew the trajectory.
 #
 # Usage: scripts/bench.sh [label] [benchtime]
 set -euo pipefail
@@ -15,11 +19,11 @@ tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 go test -run NONE \
-  -bench 'BenchmarkGoldenPrint$|BenchmarkCampaign$|BenchmarkMonitorObserve$' \
-  -benchtime "$benchtime" -count 1 . | tee "$tmp"
+  -bench 'BenchmarkGoldenPrint$|BenchmarkCampaign$|BenchmarkCampaignWide$|BenchmarkMonitorObserve$' \
+  -benchtime "$benchtime" -count 5 . | tee "$tmp"
 go test -run NONE \
   -bench 'BenchmarkEngineSchedule$|BenchmarkEngineScheduleEdge$|BenchmarkEngineTicker$|BenchmarkEngineMixedHorizon$' \
-  -benchtime 100x -count 1 ./internal/sim | tee -a "$tmp"
+  -benchtime 100x -count 5 ./internal/sim | tee -a "$tmp"
 
 go run ./cmd/benchjson < "$tmp" > "$out"
 echo "wrote $out"

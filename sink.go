@@ -125,6 +125,8 @@ func ScenarioCSVRow(suite string, r ScenarioResult) []string {
 	windows := 0
 	if res.Recording != nil {
 		windows = res.Recording.Len()
+	} else if res.Fingerprint != nil {
+		windows = res.Fingerprint.Windows
 	}
 	f := func(v float64) string { return strconv.FormatFloat(v, 'f', -1, 64) }
 	return append(row,
@@ -196,7 +198,7 @@ func (s *ProgressSink) Emit(r ScenarioResult) error {
 	cache := ""
 	if s.Cache != nil {
 		hits, misses := s.Cache.Stats()
-		cache = fmt.Sprintf("  cache %d hit / %d miss", hits, misses)
+		cache = fmt.Sprintf("  cache %d hit / %d miss / %.1f MiB", hits, misses, float64(s.Cache.Bytes())/(1<<20))
 	}
 	s.done++
 	_, err := fmt.Fprintf(w, "[%d/%s] %-24s seed=%-8d %s%s\n", s.done, total, r.Name, r.Seed, scenarioVerdict(r), cache)
