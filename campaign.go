@@ -3,6 +3,7 @@ package offramps
 import (
 	"context"
 	"crypto/sha256"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -281,7 +282,9 @@ feed:
 	close(unitCh)
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
-		return results, fmt.Errorf("offramps: campaign cancelled: %w", err)
+		// A sink failure observed before the cancellation must still
+		// surface — callers distinguish *SinkError from a run failure.
+		return results, errors.Join(fmt.Errorf("offramps: campaign cancelled: %w", err), sinkErr)
 	}
 	return results, sinkErr
 }

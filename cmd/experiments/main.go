@@ -23,6 +23,9 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"time"
+
+	"offramps"
+	"offramps/internal/goldenstore"
 )
 
 func main() {
@@ -47,6 +50,7 @@ func run(args []string) error {
 		runs     = fs.Int("runs", 4, "number of prints for the drift experiment")
 		workers  = fs.Int("workers", 0, "campaign worker-pool size (0 = GOMAXPROCS)")
 		jsonOut  = fs.String("json", "", "also write the machine-readable reports to `file` (\"-\" = stdout)")
+		storeDir = fs.String("golden-store", "", "persist golden runs in `dir` across invocations")
 
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the selected experiments to `file`")
 		memprofile = fs.String("memprofile", "", "write a heap profile taken after the experiments to `file`")
@@ -87,6 +91,19 @@ func run(args []string) error {
 		return fmt.Errorf("nothing selected; use -all or pick experiments")
 	}
 
+	// -golden-store swaps the process-wide experiment cache for one backed
+	// by a persistent tier: a rerun of the same tables serves its goldens
+	// from disk instead of re-simulating them.
+	var cache *offramps.GoldenCache
+	if *storeDir != "" {
+		store, err := goldenstore.Open(*storeDir)
+		if err != nil {
+			return fmt.Errorf("golden-store: %w", err)
+		}
+		cache = offramps.NewGoldenCache()
+		cache.AttachStore(store)
+	}
+
 	type experiment struct {
 		enabled bool
 		name    string
@@ -94,13 +111,13 @@ func run(args []string) error {
 		run     func() (interface{ Format() string }, error)
 	}
 	list := []experiment{
-		{*table1, "Table I", "table1", func() (interface{ Format() string }, error) { return offrampsTableI(*seed, *workers) }},
-		{*table2, "Table II", "table2", func() (interface{ Format() string }, error) { return offrampsTableII(*seed, *workers) }},
-		{*figure4, "Figure 4", "figure4", func() (interface{ Format() string }, error) { return offrampsFigure4(*seed, *workers) }},
-		{*overhead, "Overhead (§V-B)", "overhead", func() (interface{ Format() string }, error) { return offrampsOverhead(*seed, *workers) }},
-		{*drift, "Drift (§V-C)", "drift", func() (interface{ Format() string }, error) { return offrampsDrift(*seed, *runs, *workers) }},
-		{*tapside, "Tap sides (§V-D)", "tapside", func() (interface{ Format() string }, error) { return offrampsTapSides(*seed, *workers) }},
-		{*selfatt, "Self-attestation", "selfattest", func() (interface{ Format() string }, error) { return offrampsSelfAttest(*seed, *workers) }},
+		{*table1, "Table I", "table1", func() (interface{ Format() string }, error) { return offrampsTableI(*seed, *workers, cache) }},
+		{*table2, "Table II", "table2", func() (interface{ Format() string }, error) { return offrampsTableII(*seed, *workers, cache) }},
+		{*figure4, "Figure 4", "figure4", func() (interface{ Format() string }, error) { return offrampsFigure4(*seed, *workers, cache) }},
+		{*overhead, "Overhead (§V-B)", "overhead", func() (interface{ Format() string }, error) { return offrampsOverhead(*seed, *workers, cache) }},
+		{*drift, "Drift (§V-C)", "drift", func() (interface{ Format() string }, error) { return offrampsDrift(*seed, *runs, *workers, cache) }},
+		{*tapside, "Tap sides (§V-D)", "tapside", func() (interface{ Format() string }, error) { return offrampsTapSides(*seed, *workers, cache) }},
+		{*selfatt, "Self-attestation", "selfattest", func() (interface{ Format() string }, error) { return offrampsSelfAttest(*seed, *workers, cache) }},
 	}
 	reports := make(map[string]any)
 	for _, ex := range list {
@@ -116,6 +133,11 @@ func run(args []string) error {
 		fmt.Print(rep.Format())
 		fmt.Printf("(regenerated in %v)\n\n", time.Since(start).Round(time.Millisecond))
 		reports[ex.key] = rep
+	}
+	if cache != nil {
+		storeHits, storeMisses := cache.StoreStats()
+		fmt.Printf("golden store: %d hits, %d misses, %d simulations\n",
+			storeHits, storeMisses, cache.Sims())
 	}
 	if *jsonOut != "" {
 		if err := writeJSON(*jsonOut, *seed, reports); err != nil {

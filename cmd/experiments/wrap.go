@@ -3,40 +3,44 @@ package main
 import "offramps"
 
 // Thin adapters giving each experiment the common Format() interface the
-// runner loop consumes and translating the -workers flag into campaign
-// options.
+// runner loop consumes and translating the -workers and -golden-store
+// flags into campaign options.
 
-func campaignOpts(workers int) []offramps.ExperimentOption {
-	if workers <= 0 {
-		return nil
+func campaignOpts(workers int, cache *offramps.GoldenCache) []offramps.ExperimentOption {
+	var opts []offramps.ExperimentOption
+	if workers > 0 {
+		opts = append(opts, offramps.WithWorkers(workers))
 	}
-	return []offramps.ExperimentOption{offramps.WithWorkers(workers)}
+	if cache != nil {
+		opts = append(opts, offramps.WithGoldenCache(cache))
+	}
+	return opts
 }
 
-func offrampsTableI(seed uint64, workers int) (interface{ Format() string }, error) {
-	return offramps.TableI(seed, campaignOpts(workers)...)
+func offrampsTableI(seed uint64, workers int, cache *offramps.GoldenCache) (interface{ Format() string }, error) {
+	return offramps.TableI(seed, campaignOpts(workers, cache)...)
 }
 
-func offrampsTableII(seed uint64, workers int) (interface{ Format() string }, error) {
-	return offramps.TableII(seed, campaignOpts(workers)...)
+func offrampsTableII(seed uint64, workers int, cache *offramps.GoldenCache) (interface{ Format() string }, error) {
+	return offramps.TableII(seed, campaignOpts(workers, cache)...)
 }
 
-func offrampsFigure4(seed uint64, workers int) (interface{ Format() string }, error) {
-	return offramps.Figure4(seed, campaignOpts(workers)...)
+func offrampsFigure4(seed uint64, workers int, cache *offramps.GoldenCache) (interface{ Format() string }, error) {
+	return offramps.Figure4(seed, campaignOpts(workers, cache)...)
 }
 
-func offrampsOverhead(seed uint64, workers int) (interface{ Format() string }, error) {
-	return offramps.Overhead(seed, campaignOpts(workers)...)
+func offrampsOverhead(seed uint64, workers int, cache *offramps.GoldenCache) (interface{ Format() string }, error) {
+	return offramps.Overhead(seed, campaignOpts(workers, cache)...)
 }
 
-func offrampsDrift(seed uint64, runs, workers int) (interface{ Format() string }, error) {
-	return offramps.Drift(seed, runs, campaignOpts(workers)...)
+func offrampsDrift(seed uint64, runs, workers int, cache *offramps.GoldenCache) (interface{ Format() string }, error) {
+	return offramps.Drift(seed, runs, campaignOpts(workers, cache)...)
 }
 
-func offrampsTapSides(seed uint64, workers int) (interface{ Format() string }, error) {
-	return offramps.TapSides(seed, campaignOpts(workers)...)
+func offrampsTapSides(seed uint64, workers int, cache *offramps.GoldenCache) (interface{ Format() string }, error) {
+	return offramps.TapSides(seed, campaignOpts(workers, cache)...)
 }
 
-func offrampsSelfAttest(seed uint64, workers int) (interface{ Format() string }, error) {
-	return offramps.SelfAttest(seed, campaignOpts(workers)...)
+func offrampsSelfAttest(seed uint64, workers int, cache *offramps.GoldenCache) (interface{ Format() string }, error) {
+	return offramps.SelfAttest(seed, campaignOpts(workers, cache)...)
 }

@@ -15,6 +15,7 @@
 //	suite -grid -merge -json merged.json grid.json shard*.json
 //	suite -grid -merge -json merged.json grid.json shard*.jsonl
 //	suite -jsonl results.jsonl -progress big_sweep.json
+//	suite -golden-store .goldens spec.json  # reuse golden prints across runs
 //
 // A grid file (-grid) is a compact sweep description — axes of programs,
 // trojans, detectors, taps, budgets, and seeds, cross-multiplied minus
@@ -46,6 +47,7 @@ import (
 	"time"
 
 	"offramps"
+	"offramps/internal/goldenstore"
 )
 
 func main() {
@@ -67,6 +69,7 @@ func run(args []string, stdout io.Writer) error {
 		merge    = fs.Bool("merge", false, "merge shard outputs: first arg is the spec/grid file, the rest are per-shard -json reports or -jsonl streams")
 		jsonlOut = fs.String("jsonl", "", "stream one JSON line per completed scenario to `file` (\"-\" = stdout)")
 		progress = fs.Bool("progress", false, "print a progress line as each scenario completes")
+		storeDir = fs.String("golden-store", "", "persist golden runs in `dir` across invocations (misses fill it; corrupt entries re-simulate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -104,8 +107,16 @@ func run(args []string, stdout io.Writer) error {
 	}
 
 	// One golden cache across all suites: spec files that print the same
-	// (program, seed) golden share a single simulation.
+	// (program, seed) golden share a single simulation. -golden-store adds
+	// a persistent tier underneath, shared across invocations.
 	cache := offramps.NewGoldenCache()
+	if *storeDir != "" {
+		store, err := goldenstore.Open(*storeDir)
+		if err != nil {
+			return fmt.Errorf("golden-store: %w", err)
+		}
+		cache.AttachStore(store)
+	}
 	var reports []*offramps.SuiteReport
 	var sinkFailure error
 	for _, path := range paths {
@@ -193,6 +204,11 @@ func run(args []string, stdout io.Writer) error {
 		if cerr := jsonl.Close(); cerr != nil && sinkFailure == nil {
 			sinkFailure = fmt.Errorf("jsonl: %w", cerr)
 		}
+	}
+	if *storeDir != "" {
+		storeHits, storeMisses := cache.StoreStats()
+		fmt.Fprintf(stdout, "golden store: %d hits, %d misses, %d simulations\n",
+			storeHits, storeMisses, cache.Sims())
 	}
 
 	if *jsonOut != "" {

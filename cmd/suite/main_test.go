@@ -398,3 +398,44 @@ func TestMergePerTapComparisons(t *testing.T) {
 		t.Errorf("comparison rows do not carry their tap:\n%s", want)
 	}
 }
+
+// TestGoldenStoreWarmRerun is the persistent-store acceptance test at
+// the command level: a cold invocation populates -golden-store, a second
+// invocation (fresh process state: new cache, reopened store) replays
+// the suite with zero golden simulations, and the two JSON reports are
+// byte-identical.
+func TestGoldenStoreWarmRerun(t *testing.T) {
+	spec := filepath.Join(repoRoot(t), "examples", "specs", "tapside.json")
+	tmp := t.TempDir()
+	storeDir := filepath.Join(tmp, "goldens")
+	coldJSON := filepath.Join(tmp, "cold.json")
+	warmJSON := filepath.Join(tmp, "warm.json")
+
+	var coldOut strings.Builder
+	if err := run([]string{"-golden-store", storeDir, "-json", coldJSON, spec}, &coldOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(coldOut.String(), "golden store: 0 hits, 1 misses, 1 simulations") {
+		t.Errorf("cold run stats missing or wrong:\n%s", coldOut.String())
+	}
+
+	var warmOut strings.Builder
+	if err := run([]string{"-golden-store", storeDir, "-json", warmJSON, spec}, &warmOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(warmOut.String(), "golden store: 1 hits, 0 misses, 0 simulations") {
+		t.Errorf("warm run still simulating goldens:\n%s", warmOut.String())
+	}
+
+	cold, err := os.ReadFile(coldJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := os.ReadFile(warmJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Error("warm report differs from cold report")
+	}
+}

@@ -11,6 +11,7 @@
 //	worker -coordinator http://127.0.0.1:7333
 //	worker -coordinator http://host:7333 -name rig2 -poll 250ms
 //	worker -coordinator http://host:7333 -max 5   # drain 5 leases, then exit
+//	worker -coordinator http://host:7333 -golden-store /shared/goldens
 package main
 
 import (
@@ -26,6 +27,7 @@ import (
 
 	"offramps"
 	"offramps/internal/farm"
+	"offramps/internal/goldenstore"
 )
 
 func main() {
@@ -44,6 +46,7 @@ func run(args []string, stdout io.Writer) error {
 		poll    = fs.Duration("poll", 500*time.Millisecond, "wait between lease polls while the queue is empty")
 		retries = fs.Int("retries", 10, "consecutive transport failures tolerated before giving up")
 		max     = fs.Int("max", 0, "exit after completing this many scenarios (0 = run until the sweep is done)")
+		store   = fs.String("golden-store", "", "persist golden runs in `dir`, shared across workers and restarts")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -64,11 +67,23 @@ func run(args []string, stdout io.Writer) error {
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
+	// A restarted worker loses its in-memory goldens; -golden-store lets
+	// it warm back up from disk instead of re-simulating, and lets
+	// co-located workers share one golden pool.
+	cache := offramps.NewGoldenCache()
+	if *store != "" {
+		gs, err := goldenstore.Open(*store)
+		if err != nil {
+			return fmt.Errorf("golden-store: %w", err)
+		}
+		cache.AttachStore(gs)
+	}
+
 	w := &farm.Worker{
 		Client:     &farm.Client{Base: *coord},
 		Name:       *name,
 		Dir:        *dir,
-		Cache:      offramps.NewGoldenCache(),
+		Cache:      cache,
 		Poll:       *poll,
 		MaxRetries: *retries,
 		Max:        *max,

@@ -8,6 +8,7 @@ import (
 
 	"offramps/internal/capture"
 	"offramps/internal/gcode"
+	"offramps/internal/goldenstore"
 	"offramps/internal/sim"
 )
 
@@ -28,6 +29,17 @@ type goldenKey struct {
 	// other only summaries), so a campaign must never be handed the
 	// other mode's cached result.
 	mode CaptureMode
+}
+
+// storeKey maps the in-memory key onto the persistent store's key type
+// (identical fields; goldenstore cannot import this package).
+func (k goldenKey) storeKey() goldenstore.Key {
+	return goldenstore.Key{
+		Program: k.program,
+		Seed:    k.seed,
+		Budget:  int64(k.budget),
+		Mode:    uint8(k.mode),
+	}
 }
 
 // hashProgram computes the content address of a program.
@@ -51,10 +63,14 @@ func hashProgram(prog gcode.Program) [sha256.Size]byte {
 	return [sha256.Size]byte(h.Sum(nil))
 }
 
-// goldenEntry is one memoized golden run. The Once serializes concurrent
-// workers asking for the same golden: the first computes, the rest reuse.
+// goldenEntry is one memoized golden run. The first caller to insert the
+// entry owns the computation; everyone else blocks on done. If the owner
+// fails, it records the error, unpublishes the entry, and closes done —
+// waiters observe the failure and re-attempt with a fresh entry rather
+// than inheriting an error that may have been specific to the owner (a
+// cancelled context, a transient store fault).
 type goldenEntry struct {
-	once sync.Once
+	done chan struct{} // closed once res/err are final
 	res  *Result
 	err  error
 	// lastUsed and bytes are owned by the cache mutex: the LRU clock at
@@ -87,6 +103,16 @@ type GoldenCache struct {
 	limit int
 	bytes int64
 	clock uint64
+
+	// store is the optional persistent tier (AttachStore). A memory miss
+	// consults it before simulating; a fresh simulation is written back
+	// best-effort. storeHits/storeMisses count those consultations, and
+	// sims counts actual fresh simulations — on a fully warm store a
+	// fresh process reports memory misses but zero sims.
+	store       *goldenstore.Store
+	storeHits   uint64
+	storeMisses uint64
+	sims        uint64
 }
 
 // NewGoldenCache returns an empty, unbounded cache.
@@ -105,11 +131,40 @@ func NewGoldenCacheWithLimit(maxEntries int) *GoldenCache {
 	return gc
 }
 
-// Stats reports cache hits and misses so far.
+// AttachStore wires a persistent golden store behind the in-memory tier.
+// Memory misses consult the store before simulating; fresh simulations
+// are persisted best-effort (encode or write failures are ignored — the
+// store is an accelerator, never a correctness dependency). Attach
+// before the cache is shared across goroutines.
+func (gc *GoldenCache) AttachStore(store *goldenstore.Store) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	gc.store = store
+}
+
+// Stats reports memory-tier hits and misses so far. A hit is counted
+// only when a settled result is actually served — a waiter that joined a
+// computation that then failed re-attempts and is not a hit.
 func (gc *GoldenCache) Stats() (hits, misses uint64) {
 	gc.mu.Lock()
 	defer gc.mu.Unlock()
 	return gc.hits, gc.misses
+}
+
+// StoreStats reports persistent-tier hits and misses (zero when no store
+// is attached).
+func (gc *GoldenCache) StoreStats() (hits, misses uint64) {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.storeHits, gc.storeMisses
+}
+
+// Sims reports the number of fresh golden simulations actually run — the
+// figure a warm persistent store drives to zero.
+func (gc *GoldenCache) Sims() uint64 {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	return gc.sims
 }
 
 // Len reports the number of memoized goldens.
@@ -180,41 +235,96 @@ func (gc *GoldenCache) evictLocked(keep *goldenEntry) {
 	}
 }
 
-// run returns the memoized result for key, computing it via fresh exactly
-// once per key (concurrent callers block on the first computation).
-// Failures are not memoized: a transient error (e.g. a cancelled context)
-// must not poison the key for later campaigns.
+// run returns the memoized result for key. Concurrent callers for the
+// same key block on the first caller's computation; if that owner fails,
+// its waiters re-attempt the key themselves instead of inheriting an
+// error that may have been the owner's alone (a cancelled context), so a
+// transient failure never poisons the key — and never fails bystanders.
+// Failures are not memoized.
 func (gc *GoldenCache) run(key goldenKey, fresh func() (*Result, error)) (*Result, error) {
-	gc.mu.Lock()
-	if gc.entries == nil {
-		gc.entries = make(map[goldenKey]*goldenEntry)
-	}
-	e, ok := gc.entries[key]
-	if !ok {
-		e = &goldenEntry{}
+	for {
+		gc.mu.Lock()
+		if gc.entries == nil {
+			gc.entries = make(map[goldenKey]*goldenEntry)
+		}
+		if e, ok := gc.entries[key]; ok {
+			gc.clock++
+			e.lastUsed = gc.clock
+			gc.mu.Unlock()
+			<-e.done
+			if e.err != nil {
+				continue // owner failed and unpublished the entry; re-attempt
+			}
+			gc.mu.Lock()
+			gc.hits++
+			gc.mu.Unlock()
+			return e.res, nil
+		}
+		e := &goldenEntry{done: make(chan struct{})}
 		gc.entries[key] = e
 		gc.misses++
-	} else {
-		gc.hits++
-	}
-	gc.clock++
-	e.lastUsed = gc.clock
-	gc.mu.Unlock()
-	e.once.Do(func() { e.res, e.err = fresh() })
-	gc.mu.Lock()
-	switch {
-	case e.err != nil:
-		if gc.entries[key] == e {
-			delete(gc.entries, key)
+		gc.clock++
+		e.lastUsed = gc.clock
+		gc.mu.Unlock()
+
+		res, err := gc.fill(key, fresh)
+
+		gc.mu.Lock()
+		if err != nil {
+			e.err = err
+			if gc.entries[key] == e {
+				delete(gc.entries, key)
+			}
+			gc.mu.Unlock()
+			close(e.done)
+			return nil, err
 		}
-	case !e.counted:
+		e.res = res
 		e.counted = true
-		e.bytes = resultBytes(e.res)
+		e.bytes = resultBytes(res)
 		gc.bytes += e.bytes
 		gc.evictLocked(e)
+		gc.mu.Unlock()
+		close(e.done)
+		return res, nil
 	}
+}
+
+// fill produces the result for a memory-tier miss: consult the persistent
+// store if one is attached (a corrupt or undecodable entry is a miss,
+// never an error), otherwise simulate fresh and write the golden back
+// best-effort.
+func (gc *GoldenCache) fill(key goldenKey, fresh func() (*Result, error)) (*Result, error) {
+	gc.mu.Lock()
+	store := gc.store
 	gc.mu.Unlock()
-	return e.res, e.err
+	if store != nil {
+		sk := key.storeKey()
+		if payload, ok := store.Get(sk); ok {
+			if res, err := decodeGoldenResult(payload); err == nil {
+				gc.mu.Lock()
+				gc.storeHits++
+				gc.mu.Unlock()
+				return res, nil
+			}
+		}
+		gc.mu.Lock()
+		gc.storeMisses++
+		gc.mu.Unlock()
+	}
+	res, err := fresh()
+	if err != nil {
+		return nil, err
+	}
+	gc.mu.Lock()
+	gc.sims++
+	gc.mu.Unlock()
+	if store != nil {
+		if payload, encErr := encodeGoldenResult(res); encErr == nil {
+			_ = store.Put(key.storeKey(), payload)
+		}
+	}
+	return res, nil
 }
 
 // goldenCacheable reports whether the scenario is a pure golden print the

@@ -2,9 +2,16 @@ package offramps
 
 import (
 	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"offramps/internal/fpga"
+	"offramps/internal/goldenstore"
 	"offramps/internal/sim"
 	"offramps/internal/trojan"
 )
@@ -192,5 +199,320 @@ func TestGoldenCacheSkipsNonGoldenScenarios(t *testing.T) {
 	}
 	if hits, misses := cache.Stats(); hits != 0 || misses != 0 {
 		t.Errorf("cache consulted for non-golden scenarios: %d hits / %d misses", hits, misses)
+	}
+}
+
+// TestGoldenCacheStoreCrossProcessBitIdentical is the persistent-store
+// extension of TestGoldenCacheBitIdentical: a cold process populates the
+// store, a "fresh process" (new cache, reopened store) serves the same
+// scenario from disk with zero golden simulations, and the served result
+// is indistinguishable from a fresh, uncached run.
+func TestGoldenCacheStoreCrossProcessBitIdentical(t *testing.T) {
+	for _, mode := range []CaptureMode{CaptureFull, CaptureFingerprint} {
+		t.Run(mode.String(), func(t *testing.T) {
+			prog := mustTestPart(t)
+			scens := []Scenario{{Name: "golden", Program: prog, Seed: 5}}
+			dir := t.TempDir()
+
+			fresh, err := Campaign{Workers: 1, CaptureMode: mode}.Run(context.Background(), scens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := firstScenarioErr(fresh); err != nil {
+				t.Fatal(err)
+			}
+
+			// Cold process: memory miss, store miss, one simulation.
+			store1, err := goldenstore.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold := NewGoldenCache()
+			cold.AttachStore(store1)
+			coldRes, err := Campaign{Workers: 1, CaptureMode: mode, Cache: cold}.Run(context.Background(), scens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := firstScenarioErr(coldRes); err != nil {
+				t.Fatal(err)
+			}
+			if sh, sm := cold.StoreStats(); sh != 0 || sm != 1 {
+				t.Fatalf("cold store stats = %d/%d, want 0 hits / 1 miss", sh, sm)
+			}
+			if cold.Sims() != 1 {
+				t.Fatalf("cold sims = %d, want 1", cold.Sims())
+			}
+
+			// Warm "process": a brand-new cache over a reopened store.
+			store2, err := goldenstore.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			warm := NewGoldenCache()
+			warm.AttachStore(store2)
+			warmRes, err := Campaign{Workers: 1, CaptureMode: mode, Cache: warm}.Run(context.Background(), scens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := firstScenarioErr(warmRes); err != nil {
+				t.Fatal(err)
+			}
+			if warm.Sims() != 0 {
+				t.Errorf("warm process simulated %d goldens, want 0", warm.Sims())
+			}
+			if sh, sm := warm.StoreStats(); sh != 1 || sm != 0 {
+				t.Errorf("warm store stats = %d/%d, want 1 hit / 0 misses", sh, sm)
+			}
+			if !reflect.DeepEqual(fresh[0].Result, warmRes[0].Result) {
+				t.Error("store-served golden differs from a fresh, uncached run")
+			}
+			if !reflect.DeepEqual(coldRes[0].Result, warmRes[0].Result) {
+				t.Error("store-served golden differs from the run that populated it")
+			}
+		})
+	}
+}
+
+// TestGoldenCacheStoreCorruptFallsBackToSim: on-disk corruption of every
+// persisted entry degrades to re-simulation — same bytes out, no error.
+func TestGoldenCacheStoreCorruptFallsBackToSim(t *testing.T) {
+	prog := mustTestPart(t)
+	scens := []Scenario{{Name: "golden", Program: prog, Seed: 5}}
+	dir := t.TempDir()
+
+	store1, err := goldenstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := NewGoldenCache()
+	cold.AttachStore(store1)
+	coldRes, err := Campaign{Workers: 1, Cache: cold}.Run(context.Background(), scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := firstScenarioErr(coldRes); err != nil {
+		t.Fatal(err)
+	}
+
+	// Trash every persisted entry in place.
+	entries, err := filepath.Glob(filepath.Join(dir, "g*", "*.golden"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("no persisted entries to corrupt (%v)", err)
+	}
+	for _, path := range entries {
+		if err := os.WriteFile(path, []byte("rotten"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	store2, err := goldenstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewGoldenCache()
+	warm.AttachStore(store2)
+	warmRes, err := Campaign{Workers: 1, Cache: warm}.Run(context.Background(), scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := firstScenarioErr(warmRes); err != nil {
+		t.Fatal(err)
+	}
+	if warm.Sims() != 1 {
+		t.Errorf("corrupt store did not fall back to simulation: sims = %d", warm.Sims())
+	}
+	if !reflect.DeepEqual(coldRes[0].Result, warmRes[0].Result) {
+		t.Error("re-simulated result differs from the original")
+	}
+	// The fallback path healed the store: a third process hits clean.
+	store3, err := goldenstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	healed := NewGoldenCache()
+	healed.AttachStore(store3)
+	if _, err := (Campaign{Workers: 1, Cache: healed}).Run(context.Background(), scens); err != nil {
+		t.Fatal(err)
+	}
+	if healed.Sims() != 0 {
+		t.Errorf("healed store still simulating: sims = %d", healed.Sims())
+	}
+}
+
+// TestGoldenCacheFailedOwnerWaitersRetry is the joined-waiter bugfix
+// test: when the first caller's computation fails, callers that joined
+// it must re-attempt the key themselves rather than inherit the owner's
+// error — and a join served no result must not count as a hit.
+func TestGoldenCacheFailedOwnerWaitersRetry(t *testing.T) {
+	gc := NewGoldenCache()
+	key := goldenKey{seed: 42}
+	ownerIn := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int32
+	fresh := func() (*Result, error) {
+		if calls.Add(1) == 1 {
+			close(ownerIn)
+			<-release
+			return nil, errors.New("transient owner failure")
+		}
+		return &Result{Completed: true}, nil
+	}
+
+	ownerErr := make(chan error, 1)
+	go func() {
+		_, err := gc.run(key, fresh)
+		ownerErr <- err
+	}()
+	<-ownerIn
+
+	// Waiters join the in-flight (doomed) computation.
+	const waiters = 4
+	var wg sync.WaitGroup
+	type outcome struct {
+		res *Result
+		err error
+	}
+	outcomes := make(chan outcome, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := gc.run(key, fresh)
+			outcomes <- outcome{res, err}
+		}()
+	}
+	close(release)
+	wg.Wait()
+	close(outcomes)
+
+	if err := <-ownerErr; err == nil {
+		t.Error("owner's own failure was swallowed")
+	}
+	for o := range outcomes {
+		if o.err != nil {
+			t.Errorf("waiter inherited the owner's error: %v", o.err)
+		} else if o.res == nil || !o.res.Completed {
+			t.Errorf("waiter served a wrong result: %+v", o.res)
+		}
+	}
+	if gc.Len() != 1 {
+		t.Errorf("cache len = %d after retry, want 1", gc.Len())
+	}
+	// Hits only for joins actually served a settled result; the failed
+	// round contributes misses (owner + re-attempting waiters), never hits.
+	hits, misses := gc.Stats()
+	if hits+misses != waiters+1 {
+		t.Errorf("stats = %d hits / %d misses, want %d total", hits, misses, waiters+1)
+	}
+	if misses < 2 {
+		t.Errorf("misses = %d, want >= 2 (failed owner + retry owner)", misses)
+	}
+	if int(calls.Load()) < 2 {
+		t.Errorf("fresh called %d times, want >= 2", calls.Load())
+	}
+	// The settled entry now serves hits.
+	before := calls.Load()
+	if res, err := gc.run(key, fresh); err != nil || !res.Completed {
+		t.Fatalf("settled entry not served: %v, %v", res, err)
+	}
+	if calls.Load() != before {
+		t.Error("settled entry recomputed")
+	}
+}
+
+// TestGoldenCacheEvictionSparesInFlight: an entry still computing is
+// never evicted, no matter how much settled traffic churns past it.
+func TestGoldenCacheEvictionSparesInFlight(t *testing.T) {
+	gc := NewGoldenCacheWithLimit(1)
+	key := func(b byte) goldenKey { return goldenKey{program: [32]byte{b}} }
+
+	slowIn := make(chan struct{})
+	release := make(chan struct{})
+	var slowCalls atomic.Int32
+	slowDone := make(chan struct{})
+	go func() {
+		defer close(slowDone)
+		_, err := gc.run(key(0), func() (*Result, error) {
+			slowCalls.Add(1)
+			if slowCalls.Load() == 1 {
+				close(slowIn)
+				<-release
+			}
+			return &Result{}, nil
+		})
+		if err != nil {
+			t.Errorf("slow owner failed: %v", err)
+		}
+	}()
+	<-slowIn
+
+	// Churn settled entries past the cap while key 0 is in flight.
+	for b := byte(1); b <= 5; b++ {
+		if _, err := gc.run(key(b), func() (*Result, error) { return &Result{}, nil }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(release)
+	<-slowDone
+
+	if gc.Bytes() < 0 {
+		t.Errorf("bytes went negative: %d", gc.Bytes())
+	}
+	// Key 0 must have survived the churn: asking again is a hit.
+	if _, err := gc.run(key(0), func() (*Result, error) {
+		t.Error("in-flight entry was evicted and recomputed")
+		return &Result{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if slowCalls.Load() != 1 {
+		t.Errorf("slow key computed %d times, want 1", slowCalls.Load())
+	}
+}
+
+// TestGoldenCacheChurnInvariants drives a bounded cache through
+// concurrent hits, misses, failures, and evictions (run under -race in
+// CI) and checks the accounting invariants afterwards: bytes never
+// negative, length within the cap once quiescent.
+func TestGoldenCacheChurnInvariants(t *testing.T) {
+	gc := NewGoldenCacheWithLimit(2)
+	key := func(b byte) goldenKey { return goldenKey{program: [32]byte{b}} }
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b := byte((g + i) % 8)
+				fail := (g+i)%5 == 0
+				res, err := gc.run(key(b), func() (*Result, error) {
+					if fail {
+						return nil, errors.New("synthetic failure")
+					}
+					return &Result{}, nil
+				})
+				// A caller that owns a failing compute gets the error;
+				// everyone served must get a result.
+				if err == nil && res == nil {
+					t.Error("nil result without error")
+					return
+				}
+				if gc.Bytes() < 0 {
+					t.Errorf("bytes negative mid-churn: %d", gc.Bytes())
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if gc.Bytes() < 0 {
+		t.Errorf("bytes negative after churn: %d", gc.Bytes())
+	}
+	if gc.Len() > 2 {
+		t.Errorf("len = %d after churn with limit 2", gc.Len())
+	}
+	hits, misses := gc.Stats()
+	if hits+misses == 0 {
+		t.Error("no traffic recorded")
 	}
 }

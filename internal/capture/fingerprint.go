@@ -113,6 +113,22 @@ func (fp *Fingerprint) Add(t Transaction) {
 	fp.Windows++
 }
 
+// Rehydrate restores the delta-accounting state a fingerprint loses
+// across serialization (the previous window's counters are not part of
+// the public summary). After the last Add the previous counters equal
+// the per-axis Final values, so a rehydrated fingerprint is
+// indistinguishable — including under reflect.DeepEqual — from the live
+// fingerprint it was decoded from, and further Adds stay correct.
+func (fp *Fingerprint) Rehydrate() {
+	if fp.Windows == 0 {
+		fp.prev = [4]int64{}
+		return
+	}
+	for i := range fp.Axes {
+		fp.prev[i] = fp.Axes[i].Final
+	}
+}
+
 // Equal reports whether two fingerprints summarize identical captures.
 func (fp *Fingerprint) Equal(other *Fingerprint) bool {
 	if fp == nil || other == nil {

@@ -1,0 +1,82 @@
+package goldenstore
+
+import "math"
+
+// bloom is a fixed-size Bloom filter used as the store's cheap existence
+// pre-check: a negative answer skips the disk entirely, a positive answer
+// is advisory and falls through to the authoritative file read (whose
+// failure is just a miss). Sizing follows the standard formulas
+// m = -n·ln(p)/ln(2)² and k = (m/n)·ln(2); membership uses double
+// hashing (g_i = h1 + i·h2) over two independent FNV-1a streams, so no
+// external hash dependency is needed.
+//
+// The filter is not safe for concurrent mutation; the Store serializes
+// add under its own lock, and test-vs-add races are benign there because
+// a stale negative only costs a re-simulation, never a wrong result.
+type bloom struct {
+	bits []uint64
+	m    uint64 // filter size in bits
+	k    int    // hash count
+}
+
+// newBloom sizes a filter for the expected entry count at the target
+// false-positive rate. capacity is clamped to at least 1.
+func newBloom(capacity uint64, fpRate float64) *bloom {
+	if capacity == 0 {
+		capacity = 1
+	}
+	if fpRate <= 0 || fpRate >= 1 {
+		fpRate = 0.01
+	}
+	ln2 := math.Ln2
+	m := uint64(math.Ceil(-float64(capacity) * math.Log(fpRate) / (ln2 * ln2)))
+	if m < 64 {
+		m = 64
+	}
+	k := int(math.Round(float64(m) / float64(capacity) * ln2))
+	if k < 1 {
+		k = 1
+	}
+	return &bloom{bits: make([]uint64, (m+63)/64), m: m, k: k}
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// hashPair derives the two double-hashing streams from one pass over the
+// key: h1 is plain FNV-1a, h2 is FNV-1a over the same bytes from a
+// distinct offset basis, forced odd so it generates the full residue
+// ring for any power-of-two-free modulus.
+func hashPair(key []byte) (h1, h2 uint64) {
+	h1 = fnvOffset64
+	h2 = fnvOffset64 ^ 0x9e3779b97f4a7c15
+	for _, b := range key {
+		h1 = (h1 ^ uint64(b)) * fnvPrime64
+		h2 = (h2 ^ uint64(b)) * fnvPrime64
+	}
+	return h1, h2 | 1
+}
+
+// add inserts a key.
+func (bf *bloom) add(key []byte) {
+	h1, h2 := hashPair(key)
+	for i := 0; i < bf.k; i++ {
+		bit := (h1 + uint64(i)*h2) % bf.m
+		bf.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// mightContain reports whether the key may be present. False means
+// definitely absent (among the keys added to this filter).
+func (bf *bloom) mightContain(key []byte) bool {
+	h1, h2 := hashPair(key)
+	for i := 0; i < bf.k; i++ {
+		bit := (h1 + uint64(i)*h2) % bf.m
+		if bf.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -38,6 +38,11 @@ func NewPart(layerQuantum float64) *Part {
 // Add records a deposit.
 func (p *Part) Add(d Deposit) { p.deposits = append(p.deposits, d) }
 
+// LayerQuantum returns the Z bucketing quantum, so a serialized part can
+// be reconstructed with NewPart(LayerQuantum()) + Add and behave
+// identically to the original.
+func (p *Part) LayerQuantum() float64 { return p.layerQuantum }
+
 // Deposits returns the raw ledger (borrowed, do not modify).
 func (p *Part) Deposits() []Deposit { return p.deposits }
 

@@ -44,12 +44,14 @@ func scenarioVerdict(r ScenarioResult) string {
 	if r.Result == nil {
 		return "not run"
 	}
-	verdict := "clean"
-	if r.Result.TrojanLikely {
+	// Decide the detector-free case first: "-" means no detector looked,
+	// which must never mask a TrojanLikely flag set some other way.
+	verdict := "-"
+	switch {
+	case r.Result.TrojanLikely:
 		verdict = "TROJAN LIKELY"
-	}
-	if len(r.Result.Detections) == 0 {
-		verdict = "-"
+	case len(r.Result.Detections) > 0:
+		verdict = "clean"
 	}
 	if r.Result.Aborted {
 		verdict += " (aborted)"

@@ -8,6 +8,8 @@ import (
 	"fmt"
 	"strings"
 	"testing"
+
+	"offramps/internal/detect"
 )
 
 // sinkScenarios builds a small campaign input: three clean prints on
@@ -383,3 +385,65 @@ func TestProgressSinkCacheStats(t *testing.T) {
 		t.Errorf("progress line lacks cache stats: %q", out.String())
 	}
 }
+
+// TestScenarioVerdict tables every verdict state. The detector-free
+// placeholder ("-") applies only when nothing flagged the run: a
+// TrojanLikely result must surface TROJAN LIKELY even with an empty
+// Detections slice (e.g. a result narrowed or synthesized elsewhere).
+func TestScenarioVerdict(t *testing.T) {
+	flagged := []*detect.Report{{TrojanLikely: true}}
+	quiet := []*detect.Report{{}}
+	cases := []struct {
+		name string
+		r    ScenarioResult
+		want string
+	}{
+		{"error", ScenarioResult{Err: errors.New("boom")}, "error: boom"},
+		{"not-run", ScenarioResult{}, "not run"},
+		{"no-detector", ScenarioResult{Result: &Result{}}, "-"},
+		{"clean", ScenarioResult{Result: &Result{Detections: quiet}}, "clean"},
+		{"trojan", ScenarioResult{Result: &Result{Detections: flagged, TrojanLikely: true}}, "TROJAN LIKELY"},
+		{"trojan-empty-reports", ScenarioResult{Result: &Result{TrojanLikely: true}}, "TROJAN LIKELY"},
+		{"aborted-no-detector", ScenarioResult{Result: &Result{Aborted: true}}, "- (aborted)"},
+		{"aborted-clean", ScenarioResult{Result: &Result{Detections: quiet, Aborted: true}}, "clean (aborted)"},
+		{"aborted-trojan", ScenarioResult{Result: &Result{Detections: flagged, TrojanLikely: true, Aborted: true}}, "TROJAN LIKELY (aborted)"},
+	}
+	for _, c := range cases {
+		if got := scenarioVerdict(c.r); got != c.want {
+			t.Errorf("%s: verdict = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+// TestCampaignCancelKeepsSinkError: a sink failure observed before the
+// context is cancelled must survive the cancel return path — callers
+// match *SinkError to tell "results incomplete on disk" from a mere
+// early stop.
+func TestCampaignCancelKeepsSinkError(t *testing.T) {
+	prog, err := TestPart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	scens := []Scenario{
+		{Name: "a", Program: prog, Seed: 1, Prepare: func(*Testbed) error {
+			cancel()
+			return nil
+		}},
+		{Name: "b", Program: prog, Seed: 2},
+	}
+	_, err = Campaign{Workers: 1, Sinks: []ResultSink{alwaysFailSink{}}}.Run(ctx, scens)
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("error does not wrap context.Canceled: %v", err)
+	}
+	var se *SinkError
+	if !errors.As(err, &se) {
+		t.Errorf("sink failure dropped on the cancel path: %v", err)
+	}
+}
+
+type alwaysFailSink struct{}
+
+func (alwaysFailSink) Emit(ScenarioResult) error { return errors.New("disk full") }
+func (alwaysFailSink) Close() error              { return nil }
