@@ -16,6 +16,16 @@
 //	suite -grid -merge -json merged.json grid.json shard*.jsonl
 //	suite -jsonl results.jsonl -progress big_sweep.json
 //	suite -golden-store .goldens spec.json  # reuse golden prints across runs
+//	suite -progressive -scenario-budget 14 -earlystop 2 grid_sweep.json
+//	suite -golden-store .goldens -golden-store-gc spec.json  # drop stale goldens
+//
+// -progressive runs a grid as a progressive sweep (internal/sched):
+// round one executes one seed per grid cell (plus every extra), later
+// rounds refine cells that sit on a detection boundary first, and
+// -scenario-budget / -earlystop bound the total work. Scenarios the
+// scheduler retires become synthesized "skipped (...)" rows, so the
+// report and any -jsonl stream stay complete; every executed row is
+// byte-identical to the full run's.
 //
 // A grid file (-grid) is a compact sweep description — axes of programs,
 // trojans, detectors, taps, budgets, and seeds, cross-multiplied minus
@@ -48,6 +58,7 @@ import (
 
 	"offramps"
 	"offramps/internal/goldenstore"
+	"offramps/internal/sched"
 )
 
 func main() {
@@ -70,6 +81,10 @@ func run(args []string, stdout io.Writer) error {
 		jsonlOut = fs.String("jsonl", "", "stream one JSON line per completed scenario to `file` (\"-\" = stdout)")
 		progress = fs.Bool("progress", false, "print a progress line as each scenario completes")
 		storeDir = fs.String("golden-store", "", "persist golden runs in `dir` across invocations (misses fill it; corrupt entries re-simulate)")
+		storeGC  = fs.Bool("golden-store-gc", false, "after the run, rebuild the golden store keeping only entries this run touched (requires -golden-store)")
+		prog     = fs.Bool("progressive", false, "run grids progressively: coverage round first, boundary-guided refinement after (grid specs only)")
+		budget   = fs.Int("scenario-budget", 0, "progressive: target number of executed scenarios, coverage included (0 = unlimited; coverage always runs)")
+		early    = fs.Int("earlystop", 0, "progressive: retire a cell once its first `k` seeds agree on a verdict (0 = never)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,6 +93,15 @@ func run(args []string, stdout io.Writer) error {
 	if len(paths) == 0 {
 		fs.Usage()
 		return fmt.Errorf("no spec files given")
+	}
+	if *storeGC && *storeDir == "" {
+		return fmt.Errorf("-golden-store-gc requires -golden-store")
+	}
+	if *prog && (*shard != "" || *merge) {
+		return fmt.Errorf("-progressive is incompatible with -shard and -merge (the scheduler owns the execution order)")
+	}
+	if (*budget != 0 || *early != 0) && !*prog {
+		return fmt.Errorf("-scenario-budget and -earlystop require -progressive")
 	}
 	if *merge {
 		if *shard != "" {
@@ -110,9 +134,10 @@ func run(args []string, stdout io.Writer) error {
 	// (program, seed) golden share a single simulation. -golden-store adds
 	// a persistent tier underneath, shared across invocations.
 	cache := offramps.NewGoldenCache()
+	var store *goldenstore.Store
 	if *storeDir != "" {
-		store, err := goldenstore.Open(*storeDir)
-		if err != nil {
+		var err error
+		if store, err = goldenstore.Open(*storeDir); err != nil {
 			return fmt.Errorf("golden-store: %w", err)
 		}
 		cache.AttachStore(store)
@@ -120,7 +145,14 @@ func run(args []string, stdout io.Writer) error {
 	var reports []*offramps.SuiteReport
 	var sinkFailure error
 	for _, path := range paths {
-		spec, err := loadSuite(path, *grid)
+		var spec *offramps.SuiteSpec
+		var layout *sched.Grid
+		var err error
+		if *prog {
+			spec, layout, err = offramps.LoadSuiteOrGridLayout(path, *grid)
+		} else {
+			spec, err = loadSuite(path, *grid)
+		}
 		if err != nil {
 			return err
 		}
@@ -160,8 +192,15 @@ func run(args []string, stdout io.Writer) error {
 
 		start := time.Now()
 		rep := &offramps.SuiteReport{Suite: runSpec.Name, BaseSeed: runSpec.BaseSeed, Results: []offramps.ScenarioResult{}}
+		var stats offramps.SweepStats
 		if len(runSpec.Scenarios) > 0 {
-			if rep, err = c.RunSuite(context.Background(), runSpec); err != nil {
+			if layout != nil {
+				rep, stats, err = c.RunSuiteProgressive(context.Background(), runSpec, layout,
+					sched.Config{Budget: *budget, EarlyStopK: *early})
+			} else {
+				rep, err = c.RunSuite(context.Background(), runSpec)
+			}
+			if err != nil {
 				// A sink failure still produced a complete report — keep
 				// going so -json/-csv artifacts are written, and surface
 				// the error at exit.
@@ -197,6 +236,9 @@ func run(args []string, stdout io.Writer) error {
 			}
 		}
 		fmt.Fprint(stdout, rep.Format())
+		if layout != nil {
+			fmt.Fprintln(stdout, stats.Summary())
+		}
 		fmt.Fprintf(stdout, "(%s executed in %v)\n\n", path, time.Since(start).Round(time.Millisecond))
 		reports = append(reports, rep)
 	}
@@ -209,6 +251,21 @@ func run(args []string, stdout io.Writer) error {
 		storeHits, storeMisses := cache.StoreStats()
 		fmt.Fprintf(stdout, "golden store: %d hits, %d misses, %d simulations\n",
 			storeHits, storeMisses, cache.Sims())
+	}
+	if *storeGC {
+		// The keep set is every store key this run consulted (hit or
+		// miss-then-fill); everything else is a leftover from old specs,
+		// formats, or seeds and is compacted away atomically.
+		before := store.Len()
+		keep := make(map[goldenstore.Key]bool)
+		for _, k := range cache.UsedStoreKeys() {
+			keep[k] = true
+		}
+		if err := store.Rebuild(func(k goldenstore.Key, _ []byte) bool { return keep[k] }); err != nil {
+			return fmt.Errorf("golden-store-gc: %w", err)
+		}
+		fmt.Fprintf(stdout, "golden store gc: kept %d entries, dropped %d\n",
+			store.Len(), before-store.Len())
 	}
 
 	if *jsonOut != "" {
@@ -265,16 +322,17 @@ func loadSuite(path string, grid bool) (*offramps.SuiteSpec, error) {
 }
 
 // firstError surfaces scenario or comparison failures as a non-zero exit
-// (a TrojanLikely verdict is a finding, not a failure).
+// (a TrojanLikely verdict is a finding, not a failure, and a progressive
+// sweep's synthesized "skipped (...)" rows are deliberate outcomes).
 func firstError(reports []*offramps.SuiteReport) error {
 	for _, rep := range reports {
 		for _, r := range rep.Results {
-			if r.Err != nil {
+			if r.Err != nil && !offramps.IsSkippedResult(r.Err.Error()) {
 				return fmt.Errorf("suite %s: scenario %s: %w", rep.Suite, r.Name, r.Err)
 			}
 		}
 		for _, c := range rep.Comparisons {
-			if c.Err != nil {
+			if c.Err != nil && !offramps.IsSkippedResult(c.Err.Error()) {
 				return fmt.Errorf("suite %s: compare %s vs %s: %w", rep.Suite, c.Golden, c.Suspect, c.Err)
 			}
 		}

@@ -113,6 +113,10 @@ type GoldenCache struct {
 	storeHits   uint64
 	storeMisses uint64
 	sims        uint64
+	// used records every store key this cache has been asked for — the
+	// keep set a store GC (goldenstore.Rebuild) retains. Tracked only
+	// while a store is attached.
+	used map[goldenstore.Key]bool
 }
 
 // NewGoldenCache returns an empty, unbounded cache.
@@ -247,6 +251,12 @@ func (gc *GoldenCache) run(key goldenKey, fresh func() (*Result, error)) (*Resul
 		if gc.entries == nil {
 			gc.entries = make(map[goldenKey]*goldenEntry)
 		}
+		if gc.store != nil {
+			if gc.used == nil {
+				gc.used = make(map[goldenstore.Key]bool)
+			}
+			gc.used[key.storeKey()] = true
+		}
 		if e, ok := gc.entries[key]; ok {
 			gc.clock++
 			e.lastUsed = gc.clock
@@ -325,6 +335,20 @@ func (gc *GoldenCache) fill(key goldenKey, fresh func() (*Result, error)) (*Resu
 		}
 	}
 	return res, nil
+}
+
+// UsedStoreKeys returns every persistent-store key the cache has been
+// asked for since its store was attached — the keep set for a
+// goldenstore.Rebuild garbage collection after a run (see cmd/suite's
+// -golden-store-gc).
+func (gc *GoldenCache) UsedStoreKeys() []goldenstore.Key {
+	gc.mu.Lock()
+	defer gc.mu.Unlock()
+	out := make([]goldenstore.Key, 0, len(gc.used))
+	for k := range gc.used {
+		out = append(out, k)
+	}
+	return out
 }
 
 // goldenCacheable reports whether the scenario is a pure golden print the

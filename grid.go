@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"strings"
 
+	"offramps/internal/sched"
 	"offramps/internal/sim"
 )
 
@@ -425,15 +426,30 @@ func (g *GridSpec) axes() ([]gridAxis, error) {
 // and validated as a suite. Expansion is pure and deterministic — same
 // grid, same suite.
 func (g *GridSpec) Expand() (*SuiteSpec, error) {
+	s, _, err := g.expand(false)
+	return s, err
+}
+
+// ExpandLayout expands the grid and additionally derives its
+// progressive layout: the sched.Grid of cells (one per point on the
+// swept non-seed axes, holding that point's scenario names in seed
+// order) plus the extra scenarios. The layout walks the same
+// cross-product as Expand, so cell order, coordinates, and seed
+// grouping are exactly as deterministic as the suite itself.
+func (g *GridSpec) ExpandLayout() (*SuiteSpec, *sched.Grid, error) {
+	return g.expand(true)
+}
+
+func (g *GridSpec) expand(withLayout bool) (*SuiteSpec, *sched.Grid, error) {
 	if g.Name == "" {
-		return nil, fmt.Errorf("offramps: grid spec needs a name")
+		return nil, nil, fmt.Errorf("offramps: grid spec needs a name")
 	}
 	if g.SeedPolicy != nil && (g.Template.Seed != 0 || g.Template.SeedDelta != 0) {
-		return nil, fmt.Errorf("offramps: grid %q: seedPolicy conflicts with template seed fields", g.Name)
+		return nil, nil, fmt.Errorf("offramps: grid %q: seedPolicy conflicts with template seed fields", g.Name)
 	}
 	axes, err := g.axes()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	// A filter naming an axis the grid does not sweep would silently
 	// never match (labels carry swept axes only) — reject it instead.
@@ -445,15 +461,35 @@ func (g *GridSpec) Expand() (*SuiteSpec, error) {
 	}
 	for _, f := range append(append([]GridFilter{}, g.Include...), g.Exclude...) {
 		if f.isEmpty() {
-			return nil, fmt.Errorf("offramps: grid %q: empty include/exclude filter matches nothing", g.Name)
+			return nil, nil, fmt.Errorf("offramps: grid %q: empty include/exclude filter matches nothing", g.Name)
 		}
 		for axis, val := range map[string]string{
 			"program": f.Program, "trojan": f.Trojan, "detector": f.Detector, "tap": f.Tap,
 		} {
 			if val != "" && !present[axis] {
-				return nil, fmt.Errorf("offramps: grid %q: filter references the %s axis, which the grid does not sweep", g.Name, axis)
+				return nil, nil, fmt.Errorf("offramps: grid %q: filter references the %s axis, which the grid does not sweep", g.Name, axis)
 			}
 		}
+	}
+
+	// The progressive layout shadows the walk: Dims are the present
+	// non-seed axes' cardinalities, a cell is one coordinate on them, and
+	// the seed axis (innermost) groups each cell's scenarios in seed
+	// order. The seed axis index is fixed by axes()'s expansion order.
+	const seedAxis = 5
+	var layout *sched.Grid
+	var cellAt map[string]int
+	if withLayout {
+		layout = &sched.Grid{}
+		for ai, ax := range axes {
+			if ax.present && ai != seedAxis {
+				layout.Dims = append(layout.Dims, len(ax.values))
+			}
+		}
+		for _, ex := range g.Extra {
+			layout.Extras = append(layout.Extras, ex.Name)
+		}
+		cellAt = make(map[string]int)
 	}
 
 	// Walk the cross-product in fixed nested order. idx is the cell's
@@ -469,6 +505,7 @@ func (g *GridSpec) Expand() (*SuiteSpec, error) {
 		spec := g.Template
 		labels := make(map[string]string, len(axes))
 		var nameParts []string
+		var coord []int
 		if spec.Name != "" {
 			nameParts = append(nameParts, spec.Name)
 		}
@@ -482,7 +519,21 @@ func (g *GridSpec) Expand() (*SuiteSpec, error) {
 				if len(ax.values) > 1 {
 					nameParts = append(nameParts, v.label)
 				}
+				if ai != seedAxis {
+					coord = append(coord, counters[ai])
+				}
 			}
+		}
+		// The cell label is the name minus the seed axis's contribution —
+		// the seed axis is last, so its label (when it contributes one) is
+		// the final name part.
+		cellParts := nameParts
+		if axes[seedAxis].present && len(axes[seedAxis].values) > 1 {
+			cellParts = nameParts[:len(nameParts)-1]
+		}
+		cellName := strings.Join(cellParts, "/")
+		if cellName == "" {
+			cellName = "cell"
 		}
 		if len(nameParts) == 0 {
 			nameParts = append(nameParts, "cell")
@@ -500,7 +551,7 @@ func (g *GridSpec) Expand() (*SuiteSpec, error) {
 		for _, f := range g.Include {
 			ok, err := f.matches(spec.Name, labels)
 			if err != nil {
-				return nil, fmt.Errorf("offramps: grid %q: include: %w", g.Name, err)
+				return nil, nil, fmt.Errorf("offramps: grid %q: include: %w", g.Name, err)
 			}
 			if ok {
 				keep = true
@@ -510,7 +561,7 @@ func (g *GridSpec) Expand() (*SuiteSpec, error) {
 		for _, f := range g.Exclude {
 			ok, err := f.matches(spec.Name, labels)
 			if err != nil {
-				return nil, fmt.Errorf("offramps: grid %q: exclude: %w", g.Name, err)
+				return nil, nil, fmt.Errorf("offramps: grid %q: exclude: %w", g.Name, err)
 			}
 			if ok {
 				keep = false
@@ -519,6 +570,15 @@ func (g *GridSpec) Expand() (*SuiteSpec, error) {
 		}
 		if keep {
 			cells = append(cells, spec)
+			if withLayout {
+				ck := fmt.Sprint(coord)
+				if ci, ok := cellAt[ck]; ok {
+					layout.Cells[ci].Seeds = append(layout.Cells[ci].Seeds, spec.Name)
+				} else {
+					cellAt[ck] = len(layout.Cells)
+					layout.Cells = append(layout.Cells, sched.Cell{Key: cellName, Coord: coord, Seeds: []string{spec.Name}})
+				}
+			}
 		}
 
 		// Odometer increment, innermost (seeds) axis fastest.
@@ -531,7 +591,7 @@ func (g *GridSpec) Expand() (*SuiteSpec, error) {
 		}
 	}
 	if len(cells) == 0 {
-		return nil, fmt.Errorf("offramps: grid %q: filters removed every cell", g.Name)
+		return nil, nil, fmt.Errorf("offramps: grid %q: filters removed every cell", g.Name)
 	}
 
 	suite := &SuiteSpec{
@@ -549,9 +609,29 @@ func (g *GridSpec) Expand() (*SuiteSpec, error) {
 	}
 	suite.Compare = append(suite.Compare, g.Compare...)
 	if err := suite.Validate(); err != nil {
-		return nil, fmt.Errorf("offramps: grid %q: expanded suite invalid: %w", g.Name, err)
+		return nil, nil, fmt.Errorf("offramps: grid %q: expanded suite invalid: %w", g.Name, err)
 	}
-	return suite, nil
+	return suite, layout, nil
+}
+
+// LoadSuiteOrGridLayout is LoadSuiteOrGrid's progressive twin: it loads
+// the file as a grid (by the grid_*.json convention, or forced) and
+// expands it together with its sched layout. Plain suites are rejected —
+// a progressive sweep needs the grid's axes to derive cell
+// neighbourhoods from.
+func LoadSuiteOrGridLayout(path string, forceGrid bool) (*SuiteSpec, *sched.Grid, error) {
+	if !forceGrid && !strings.HasPrefix(filepath.Base(path), "grid_") {
+		return nil, nil, fmt.Errorf("offramps: %s: progressive execution needs a grid spec (name it grid_*.json or force grid interpretation)", path)
+	}
+	g, err := LoadGridSpec(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	s, layout, err := g.ExpandLayout()
+	if err != nil {
+		return nil, nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, layout, nil
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 package farm
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -12,6 +13,7 @@ import (
 
 	"offramps"
 	"offramps/internal/farm/faults"
+	"offramps/internal/sched"
 )
 
 // Config tunes a coordinator. The zero value is usable: 30s TTL, no
@@ -30,6 +32,23 @@ type Config struct {
 	// Clock is the time source for lease expiry (nil = faults.Wall{});
 	// injectable so chaos runs control when leases die.
 	Clock faults.Clock
+	// Progressive, when non-nil, feeds the lease queue from the
+	// progressive scheduler instead of naive suite order: scenarios are
+	// dealt in rounds (coverage, then boundary-first refinement) and
+	// retired scenarios become journaled skip rows. The queue is
+	// reordered, never re-keyed, so journals, resume, quarantine, and
+	// stitching work unchanged — but a resumed sweep must be given the
+	// same Progressive settings it started with, or the re-derived
+	// schedule will not match the journal.
+	Progressive *Progressive
+}
+
+// Progressive configures scheduler-fed execution: the grid layout
+// (from offramps.GridSpec.ExpandLayout) and the budget / early-stop
+// knobs.
+type Progressive struct {
+	Layout *sched.Grid
+	Sched  sched.Config
 }
 
 func (cfg Config) ttl() time.Duration {
@@ -84,6 +103,13 @@ type Coordinator struct {
 	accepted  int
 	compacted int
 
+	// Progressive state (all under mu; nil sched = naive order). The
+	// scheduler itself is single-threaded — accept, quarantine, and
+	// construction-time resume all advance it under mu.
+	sched       *sched.Scheduler
+	outstanding map[string]bool
+	schedErr    error
+
 	doneOnce sync.Once
 	done     chan struct{}
 }
@@ -108,10 +134,20 @@ func NewCoordinator(suite *offramps.SuiteSpec, cfg Config) (*Coordinator, error)
 	clock := cfg.clock()
 	c.queue.Now = clock.Now
 	c.queue.MaxStrikes = cfg.MaxStrikes
-	c.queue.OnQuarantine = func() {
-		if c.queue.Done() {
-			c.doneOnce.Do(func() { close(c.done) })
+	c.queue.OnQuarantine = c.onQuarantine
+	if cfg.Progressive != nil {
+		if err := offramps.ValidateProgressive(suite, cfg.Progressive.Layout); err != nil {
+			return nil, err
 		}
+		s, err := sched.New(cfg.Progressive.Layout, cfg.Progressive.Sched)
+		if err != nil {
+			return nil, err
+		}
+		c.sched = s
+		c.outstanding = make(map[string]bool)
+		// The naive-seeded queue is held; rounds are Released as the
+		// scheduler deals them.
+		c.queue.Hold()
 	}
 
 	if cfg.Journal != "" {
@@ -151,10 +187,230 @@ func NewCoordinator(suite *offramps.SuiteSpec, cfg Config) (*Coordinator, error)
 		}
 		c.journal = j
 	}
+	// Replay the schedule against whatever the journal already proved:
+	// resumed rows observe instantly, re-derived retirements are no-ops
+	// when already journaled, and the first round with genuinely open
+	// work lands in the queue.
+	c.mu.Lock()
+	c.advanceLocked()
+	err = c.schedErr
+	c.mu.Unlock()
+	if err != nil {
+		c.Close()
+		return nil, fmt.Errorf("farm: progressive schedule: %w", err)
+	}
 	if c.queue.Done() {
 		c.doneOnce.Do(func() { close(c.done) })
 	}
 	return c, nil
+}
+
+// onQuarantine reacts to scenarios the queue parked: a progressive
+// sweep observes them as Errored so the schedule advances past them
+// (a completion later rescuing the scenario is still accepted and
+// journaled — only the scheduling signal was pessimistic), and any
+// coordinator checks for settlement.
+func (c *Coordinator) onQuarantine() {
+	if c.sched != nil {
+		c.mu.Lock()
+		for _, q := range c.queue.Quarantined() {
+			if !c.outstanding[q.Scenario] {
+				continue
+			}
+			delete(c.outstanding, q.Scenario)
+			if err := c.sched.Observe(q.Scenario, sched.Errored); err != nil && c.schedErr == nil {
+				c.schedErr = err
+			}
+		}
+		if len(c.outstanding) == 0 {
+			c.advanceLocked()
+		}
+		c.mu.Unlock()
+	}
+	if c.queue.Done() {
+		c.doneOnce.Do(func() { close(c.done) })
+	}
+}
+
+// advanceLocked drives the scheduler until a round has open work in the
+// queue or the sweep is decided. Rounds fully covered by stored rows
+// (a resumed journal) observe and roll forward immediately; freshly
+// decided retirements synthesize their skip rows on the spot. Callers
+// hold c.mu.
+func (c *Coordinator) advanceLocked() {
+	if c.sched == nil || c.schedErr != nil {
+		return
+	}
+	for len(c.outstanding) == 0 {
+		round, err := c.sched.NextRound()
+		if err != nil {
+			c.schedErr = err
+			return
+		}
+		for _, sk := range c.sched.TakeRetired() {
+			if err := c.retireLocked(sk); err != nil {
+				c.schedErr = err
+				return
+			}
+		}
+		if len(round) == 0 {
+			return
+		}
+		var release []string
+		for _, name := range round {
+			if raw, ok := c.scenarios[name]; ok {
+				if err := c.sched.Observe(name, c.rowVerdictLocked(name, raw)); err != nil {
+					c.schedErr = err
+					return
+				}
+				continue
+			}
+			c.outstanding[name] = true
+			release = append(release, name)
+		}
+		if len(release) > 0 {
+			c.queue.Release(release...)
+			return
+		}
+	}
+}
+
+// retireLocked synthesizes one retired scenario's rows: skip-error
+// comparisons for every comparison it was the suspect of (goldens are
+// extras by ValidateProgressive, so only the suspect side can be
+// skipped), then the skip scenario row — journaled in that order, the
+// same comparisons-before-row invariant accept keeps. Already-stored
+// rows (a resumed journal re-deriving the same retirement) are left
+// untouched. Callers hold c.mu.
+func (c *Coordinator) retireLocked(sk sched.Skip) error {
+	if _, ok := c.scenarios[sk.Name]; ok {
+		c.queue.MarkDone(sk.Name)
+		return nil
+	}
+	sc, ok := c.Suite.FindScenario(sk.Name)
+	if !ok {
+		return fmt.Errorf("retired scenario %q is not in the suite", sk.Name)
+	}
+	var buf bytes.Buffer
+	sink := offramps.NewJSONLSink(&buf)
+	sink.Label = c.Suite.Name
+	for _, cmp := range c.Suite.Compare {
+		if cmp.Suspect != sk.Name {
+			continue
+		}
+		key := offramps.CompareKey(cmp.Golden, cmp.GoldenTap, cmp.Suspect, cmp.SuspectTap)
+		if _, dup := c.compares[key]; dup {
+			continue
+		}
+		buf.Reset()
+		if err := sink.EmitCompare(offramps.CompareResult{
+			Golden:     cmp.Golden,
+			Suspect:    cmp.Suspect,
+			GoldenTap:  cmp.GoldenTap,
+			SuspectTap: cmp.SuspectTap,
+			Error:      offramps.SkipMessage(sk.Reason),
+		}); err != nil {
+			return err
+		}
+		raw := json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+		p, err := offramps.ParseStreamRow(raw)
+		if err != nil {
+			return err
+		}
+		if err := c.journalRow(raw); err != nil {
+			return err
+		}
+		c.compares[key] = p.Report
+	}
+	buf.Reset()
+	if err := sink.Emit(offramps.ScenarioResult{
+		Name: sk.Name,
+		Seed: sc.EffectiveSeed(c.Suite.BaseSeed),
+		Err:  errors.New(offramps.SkipMessage(sk.Reason)),
+	}); err != nil {
+		return err
+	}
+	raw := json.RawMessage(bytes.TrimSpace(buf.Bytes()))
+	p, err := offramps.ParseStreamRow(raw)
+	if err != nil {
+		return err
+	}
+	if err := c.journalRow(raw); err != nil {
+		return err
+	}
+	if c.journal != nil {
+		if err := c.journal.Commit(); err != nil {
+			return err
+		}
+	}
+	c.scenarios[sk.Name] = p.Report
+	c.queue.MarkDone(sk.Name)
+	if c.Progress != nil {
+		_, _, done, _, total := c.queue.Counts()
+		fmt.Fprintf(c.Progress, "[%d/%d] %s — %s\n", done, total, sk.Name, offramps.SkipMessage(sk.Reason))
+	}
+	return nil
+}
+
+// rowVerdictLocked derives the scheduler verdict from a stored
+// report-shaped scenario row — the raw-row twin of the root package's
+// in-memory rule: an error row is Errored; a live detection decides by
+// TrojanLikely; otherwise the scenario's first stored comparison (spec
+// order) decides; otherwise the result's own TrojanLikely flag;
+// otherwise Unknown. Callers hold c.mu.
+func (c *Coordinator) rowVerdictLocked(name string, raw json.RawMessage) sched.Verdict {
+	var head struct {
+		Err    string
+		Result *struct {
+			Detections   []json.RawMessage
+			TrojanLikely bool
+		}
+	}
+	if err := json.Unmarshal(raw, &head); err != nil || head.Err != "" || head.Result == nil {
+		return sched.Errored
+	}
+	if len(head.Result.Detections) > 0 {
+		if head.Result.TrojanLikely {
+			return sched.Trojan
+		}
+		return sched.Clean
+	}
+	for _, cmp := range c.Suite.Compare {
+		if cmp.Suspect != name {
+			continue
+		}
+		key := offramps.CompareKey(cmp.Golden, cmp.GoldenTap, cmp.Suspect, cmp.SuspectTap)
+		craw, ok := c.compares[key]
+		if !ok {
+			continue
+		}
+		var chead struct {
+			Error  string                       `json:"error"`
+			Report *struct{ TrojanLikely bool } `json:"report"`
+		}
+		if err := json.Unmarshal(craw, &chead); err != nil || chead.Error != "" || chead.Report == nil {
+			return sched.Errored
+		}
+		if chead.Report.TrojanLikely {
+			return sched.Trojan
+		}
+		return sched.Clean
+	}
+	if head.Result.TrojanLikely {
+		return sched.Trojan
+	}
+	return sched.Unknown
+}
+
+// SweepStats reports the progressive scheduler's statistics; ok is
+// false for a naive-order coordinator.
+func (c *Coordinator) SweepStats() (st offramps.SweepStats, ok bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sched == nil {
+		return offramps.SweepStats{}, false
+	}
+	return offramps.SweepStats{Stats: c.sched.Stats()}, true
 }
 
 // Resumed reports how many scenarios the journal already covered.
@@ -243,6 +499,15 @@ func (c *Coordinator) accept(scenario string, compares []json.RawMessage, row js
 	}
 	c.scenarios[scenario] = parsed.Report
 	c.accepted++
+	if c.sched != nil && c.outstanding[scenario] {
+		delete(c.outstanding, scenario)
+		if err := c.sched.Observe(scenario, c.rowVerdictLocked(scenario, parsed.Report)); err != nil && c.schedErr == nil {
+			c.schedErr = err
+		}
+		if len(c.outstanding) == 0 {
+			c.advanceLocked()
+		}
+	}
 
 	if c.Progress != nil {
 		_, _, done, _, total := c.queue.Counts()
@@ -270,6 +535,9 @@ func (c *Coordinator) journalRow(raw json.RawMessage) error {
 func (c *Coordinator) Report() (*offramps.RawSuiteReport, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.schedErr != nil {
+		return nil, fmt.Errorf("farm: progressive schedule: %w", c.schedErr)
+	}
 	parked := c.queue.Quarantined()
 	if len(parked) == 0 {
 		return offramps.StitchReport(c.Suite, c.scenarios, c.compares)

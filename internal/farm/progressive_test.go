@@ -1,0 +1,181 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"offramps"
+	"offramps/internal/sched"
+)
+
+// sweepGrid is a small multi-seed sweep with a detection boundary: the
+// clean cell compares equal to the golden, the T2 cell does not, so
+// both cells border each other and refinement has something to chase.
+const sweepGrid = `{
+  "name": "farm-sweep",
+  "baseSeed": 1,
+  "extra": [{"name": "golden"}],
+  "axes": {
+    "trojans": [{"label": "clean"}, {"name": "T2"}],
+    "seeds": {"delta": true, "values": [10, 20, 30]}
+  },
+  "compareWith": "golden"
+}`
+
+// loadSweep expands the sweep grid fresh, returning the suite and its
+// progressive layout.
+func loadSweep(t *testing.T) (*offramps.SuiteSpec, *sched.Grid) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "grid_sweep.json")
+	if err := os.WriteFile(path, []byte(sweepGrid), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	suite, layout, err := offramps.LoadSuiteOrGridLayout(path, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return suite, layout
+}
+
+// localProgressiveDoc is the reference: a single-process progressive
+// run, serialized exactly as `suite -json` writes it.
+func localProgressiveDoc(t *testing.T, cfg sched.Config) []byte {
+	t.Helper()
+	suite, layout := loadSweep(t)
+	c := offramps.Campaign{Cache: offramps.NewGoldenCache()}
+	rep, _, err := c.RunSuiteProgressive(context.Background(), suite, layout, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	doc := struct {
+		Suites []*offramps.SuiteReport `json:"suites"`
+	}{[]*offramps.SuiteReport{rep}}
+	if err := offramps.EncodeReport(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestFarmProgressiveByteIdentity: a distributed progressive sweep —
+// rounds dealt through the lease queue, skips synthesized by the
+// coordinator — must stitch to the exact bytes of a single-process
+// RunSuiteProgressive with the same budget and early-stop settings.
+func TestFarmProgressiveByteIdentity(t *testing.T) {
+	for _, cfg := range []sched.Config{
+		{}, // unlimited: also byte-identical to the naive full run
+		{Budget: 5, EarlyStopK: 2},
+	} {
+		want := localProgressiveDoc(t, cfg)
+
+		suite, layout := loadSweep(t)
+		journal := filepath.Join(t.TempDir(), "sweep.jsonl")
+		co, err := NewCoordinator(suite, Config{
+			TTL:         30 * time.Second,
+			Journal:     journal,
+			Progressive: &Progressive{Layout: layout, Sched: cfg},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer co.Close()
+		srv := httptest.NewServer(co.Handler())
+		defer srv.Close()
+
+		runWorkers(t, co, srv.URL, 2)
+		if got := stitchDoc(t, co); !bytes.Equal(got, want) {
+			t.Errorf("cfg %+v: farm progressive report differs from local progressive run\nlocal: %d bytes\nfarm:  %d bytes", cfg, len(want), len(got))
+		}
+		if st, ok := co.SweepStats(); !ok {
+			t.Error("SweepStats() not available on a progressive coordinator")
+		} else if st.Covered != st.Cells {
+			t.Errorf("cfg %+v: covered %d of %d cells", cfg, st.Covered, st.Cells)
+		}
+	}
+}
+
+// TestFarmProgressiveResume: a progressive sweep killed after a partial
+// round resumes from its journal — restarted with the same Progressive
+// settings — and still stitches the local progressive run's bytes.
+// Resumed rows observe into the re-derived schedule instantly, and
+// already-journaled skip rows are not synthesized twice.
+func TestFarmProgressiveResume(t *testing.T) {
+	cfg := sched.Config{Budget: 5, EarlyStopK: 2}
+	want := localProgressiveDoc(t, cfg)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "sweep.jsonl")
+
+	// Phase 1: one worker completes two scenarios, then the coordinator
+	// "dies" mid-sweep.
+	suite1, layout1 := loadSweep(t)
+	co1, err := NewCoordinator(suite1, Config{
+		TTL:         30 * time.Second,
+		Journal:     journal,
+		Progressive: &Progressive{Layout: layout1, Sched: cfg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv1 := httptest.NewServer(co1.Handler())
+	w := &Worker{Client: &Client{Base: srv1.URL}, Name: "partial", Poll: 5 * time.Millisecond, Max: 2}
+	if n, err := w.Run(context.Background()); err != nil || n != 2 {
+		t.Fatalf("partial worker: n=%d err=%v", n, err)
+	}
+	srv1.Close()
+	if err := co1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: a fresh coordinator with the same Progressive settings
+	// replays the journal into the schedule and workers finish the sweep.
+	suite2, layout2 := loadSweep(t)
+	co2, err := NewCoordinator(suite2, Config{
+		TTL:         30 * time.Second,
+		Journal:     journal,
+		Progressive: &Progressive{Layout: layout2, Sched: cfg},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer co2.Close()
+	if co2.Resumed() == 0 {
+		t.Fatal("nothing resumed from the journal")
+	}
+	srv2 := httptest.NewServer(co2.Handler())
+	defer srv2.Close()
+	runWorkers(t, co2, srv2.URL, 2)
+
+	if got := stitchDoc(t, co2); !bytes.Equal(got, want) {
+		t.Error("resumed progressive farm report differs from uninterrupted local progressive run")
+	}
+}
+
+// TestQueueHoldRelease covers the round-barrier primitives the
+// progressive coordinator drives the queue with.
+func TestQueueHoldRelease(t *testing.T) {
+	q := NewQueue([]string{"a", "b", "c"}, time.Minute)
+	q.Hold()
+	if r := q.Lease("w"); r.Status != StatusWait {
+		t.Fatalf("held queue dealt %+v, want wait", r)
+	}
+
+	q.Release("b", "nope", "b", "a")
+	r1 := q.Lease("w")
+	r2 := q.Lease("w")
+	if r1.Scenario != "b" || r2.Scenario != "a" {
+		t.Fatalf("released order = %s, %s; want b, a", r1.Scenario, r2.Scenario)
+	}
+	// Releasing a leased or done scenario is a no-op.
+	if st := q.Complete(r1.Token, "b"); st != CompleteAccepted {
+		t.Fatalf("complete b = %s", st)
+	}
+	q.Release("b", "a", "c")
+	if r := q.Lease("w"); r.Scenario != "c" {
+		t.Fatalf("lease after re-release = %+v, want c", r)
+	}
+}

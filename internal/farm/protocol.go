@@ -1,18 +1,5 @@
-// Package farm is the distributed campaign service: a small HTTP
-// coordinator owning a work queue of scenario names, and stateless
-// workers that lease scenarios, run them through the normal
-// campaign/testbed path, and stream the resulting rows back.
-//
-// The design leans entirely on the determinism the rest of the stack
-// already guarantees. A unit of work is a scenario *name*; the worker
-// recovers everything else (the sub-suite with helper golden runs) from
-// the suite spec via SuiteSpec.Subset, so a lease is a few bytes, not a
-// payload. Results travel as the same JSONL rows `suite -jsonl` writes,
-// the coordinator journals them verbatim, and the final report is
-// stitched from raw rows — byte-identical to an uninterrupted local
-// run. Leases expire on missed heartbeats and return to the queue;
-// duplicate completions (an expired lease finishing anyway) are
-// deterministic repeats and are dropped, first completion wins.
+// This file defines the wire protocol of the coordinator's HTTP API;
+// the package documentation lives in doc.go.
 package farm
 
 import "encoding/json"

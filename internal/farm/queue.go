@@ -275,6 +275,45 @@ func (q *Queue) failLocked(token, scenario, reason string) string {
 	return FailAccepted
 }
 
+// Hold clears the pending queue without touching leases, completions,
+// or quarantine. A progressive coordinator holds the naive-seeded queue
+// at construction and then Releases one scheduler round at a time: with
+// nothing pending and the sweep not settled, Lease answers StatusWait —
+// the natural barrier workers already poll at between rounds.
+func (q *Queue) Hold() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.pending = nil
+}
+
+// Release appends scenarios to the back of the pending queue, in the
+// given order — how a progressive coordinator deals a round. Names that
+// are unknown, done, quarantined, leased, or already pending are
+// skipped, so releasing is idempotent and can never duplicate work.
+// The names are appended, never re-keyed: leases, completion, journal
+// rows, and resume all see the same scenario names as a naive sweep.
+func (q *Queue) Release(names ...string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	pending := make(map[string]bool, len(q.pending))
+	for _, n := range q.pending {
+		pending[n] = true
+	}
+	for _, name := range names {
+		if !q.known[name] || q.done[name] || pending[name] {
+			continue
+		}
+		if _, parked := q.quarantine[name]; parked {
+			continue
+		}
+		if _, leased := q.byName[name]; leased {
+			continue
+		}
+		q.pending = append(q.pending, name)
+		pending[name] = true
+	}
+}
+
 // Reopen returns a done scenario to the queue front. The completion
 // path uses it when recording an accepted completion's rows failed —
 // the ack must not outlive the record, so the scenario re-runs.

@@ -1,43 +1,5 @@
-// Package offramps is a full-system software reproduction of "OFFRAMPS:
-// An FPGA-based Intermediary for Analysis and Modification of Additive
-// Manufacturing Control Systems" (DSN 2024).
-//
-// The physical OFFRAMPS is a PCB that places an FPGA as a machine-in-the-
-// middle between an Arduino Mega running Marlin and a RAMPS 1.4 printer
-// control board. This package assembles the simulated equivalent:
-//
-//	slicer ─► G-code ─► firmware twin ─► Arduino-side bus
-//	                                         │
-//	                                   OFFRAMPS board (FPGA MITM)
-//	                                   · bypass / trojan / capture
-//	                                         │
-//	                                   RAMPS-side bus ─► drivers,
-//	                                   heaters, endstops ─► printer plant
-//	                                   (kinematics + thermodynamics +
-//	                                    deposited part)
-//
-// A Testbed wires all of it together; Run executes a print end-to-end and
-// returns the capture, the printed part's quality metrics, and the
-// machine's thermal outcome. Run optionally attaches live streaming
-// detectors (WithDetector) that can abort the print the moment a trojan
-// is suspected. Campaign fans many (program × trojan × seed × detector)
-// scenarios across a worker pool with deterministic per-scenario seeding.
-//
-// Scenarios are data: a serializable ScenarioSpec (program ref, trojan
-// spec, detector spec, tap placement, seed policy, budget) compiles into
-// a runnable Scenario through the trojan/detector registries, and a
-// SuiteSpec file bundles scenarios with post-run golden comparisons
-// (cmd/suite executes them). The experiment entry points (TableI,
-// TableII, Figure4, Overhead, Drift, TapSides) all compile themselves
-// from specs to regenerate every table and figure in the paper's
-// evaluation. The board's capture tap point is itself configuration
-// (WithTapSide): the paper's Arduino-side tap, a RAMPS-side tap that can
-// see board-injected trojans (§V-D), or both. Live detection is tap-
-// addressable on top of that: WithDetectorAt binds a detector to a
-// chosen tap, and the dual binding feeds attestation-style detectors
-// synchronized pairs from both sides, so a single dual-tap print detects
-// board-resident trojans with no golden reference (SelfAttest). See
-// DESIGN.md for the architecture.
+// This file wires the simulated testbed together; the package
+// documentation lives in doc.go.
 package offramps
 
 import (

@@ -1,0 +1,290 @@
+package offramps
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+
+	"offramps/internal/capture"
+	"offramps/internal/sched"
+)
+
+// This file runs a grid suite progressively: internal/sched decides
+// which scenarios run (coverage first, refinement around detection
+// boundaries, early stop for unanimous cells) and RunSuiteProgressive
+// executes each round as an ordinary campaign batch, feeding verdicts
+// back. Scenarios the scheduler retires become synthesized skip rows —
+// ScenarioResult errors with the canonical "skipped (...)" text — so
+// the report, the JSONL streams, and StitchReport stay complete. Every
+// executed scenario's row is byte-identical to the full run's row for
+// the same name: execution inputs are per-scenario and never depend on
+// which other scenarios ran.
+
+// skippedResultPrefix marks a synthesized skip row's error text. The
+// prefix — not a sentinel error type — is the contract, because skip
+// rows round-trip through JSONL streams and farm journals as plain
+// strings.
+const skippedResultPrefix = "skipped ("
+
+// SkipMessage renders the canonical error text of a synthesized skip
+// row ("skipped (early-stop, 2/2 unanimous)").
+func SkipMessage(reason string) string { return skippedResultPrefix + reason + ")" }
+
+// IsSkippedResult reports whether a scenario or comparison error text
+// marks a progressive-sweep skip row rather than a real failure, so
+// exit-code checks can pass over skips while still failing on errors.
+func IsSkippedResult(msg string) bool { return strings.HasPrefix(msg, skippedResultPrefix) }
+
+// SweepStats summarizes a finished progressive sweep.
+type SweepStats struct {
+	sched.Stats
+}
+
+// Summary renders the stats as one progress line.
+func (st SweepStats) Summary() string {
+	return fmt.Sprintf("progressive: %d/%d cells covered, %d boundary cells, %d scenarios executed, %d skipped of %d (%d rounds)",
+		st.Covered, st.Cells, st.Boundary, st.Executed, st.Skipped, st.Total, st.Rounds)
+}
+
+// ValidateProgressive checks that the suite is safely skippable under
+// the layout: every golden reference — a detector's golden scenario or
+// a comparison's golden side — must be one of the layout's extras.
+// Extras always execute (round 1, never retired); a cell seed used as a
+// golden could be skipped, and a compare or detector referencing a skip
+// row would then diverge from the full run instead of reproducing it.
+func ValidateProgressive(suite *SuiteSpec, layout *sched.Grid) error {
+	extra := make(map[string]bool, len(layout.Extras))
+	for _, name := range layout.Extras {
+		extra[name] = true
+	}
+	for _, sc := range suite.Scenarios {
+		if sc.Detector != nil && sc.Detector.Golden != "" && !extra[sc.Detector.Golden] {
+			return fmt.Errorf("offramps: suite %q: progressive execution requires detector goldens to be grid extras, but %q references cell scenario %q", suite.Name, sc.Name, sc.Detector.Golden)
+		}
+	}
+	for _, cmp := range suite.Compare {
+		if !extra[cmp.Golden] {
+			return fmt.Errorf("offramps: suite %q: progressive execution requires compare goldens to be grid extras, but %q vs %q compares against a cell scenario", suite.Name, cmp.Golden, cmp.Suspect)
+		}
+	}
+	return nil
+}
+
+// progressiveVerdict derives the scheduler verdict for one executed
+// scenario. The rule — and the farm coordinator's raw-row twin
+// (internal/farm) — is: an error is Errored; a live detection decides
+// by TrojanLikely; otherwise the scenario's first comparison whose
+// golden has executed decides (memoized in cache so the final report
+// reuses the same CompareResult); otherwise the result's own
+// TrojanLikely flag; otherwise Unknown.
+func progressiveVerdict(name string, suite *SuiteSpec, results map[string]ScenarioResult, cache map[string]CompareResult) sched.Verdict {
+	res, ok := results[name]
+	if !ok || res.Err != nil || res.Result == nil {
+		return sched.Errored
+	}
+	if len(res.Result.Detections) > 0 {
+		if res.Result.TrojanLikely {
+			return sched.Trojan
+		}
+		return sched.Clean
+	}
+	for _, cmp := range suite.Compare {
+		if cmp.Suspect != name {
+			continue
+		}
+		if _, ran := results[cmp.Golden]; !ran {
+			continue
+		}
+		key := CompareKey(cmp.Golden, cmp.GoldenTap, cmp.Suspect, cmp.SuspectTap)
+		cr, ok := cache[key]
+		if !ok {
+			cr = runCompare(cmp, results)
+			cache[key] = cr
+		}
+		if cr.Err != nil {
+			return sched.Errored
+		}
+		if cr.Report.TrojanLikely {
+			return sched.Trojan
+		}
+		return sched.Clean
+	}
+	if res.Result.TrojanLikely {
+		return sched.Trojan
+	}
+	return sched.Unknown
+}
+
+// RunSuiteProgressive executes a grid suite under the progressive
+// scheduler: rounds of scenarios chosen by sched run as ordinary
+// campaign batches (each batch internally wave-ordered for golden
+// references, exactly like RunSuite), detector verdicts feed back, and
+// retired scenarios become synthesized skip rows in the report and the
+// sinks. With an unlimited budget and no early stop the executed set is
+// the whole suite and the report is byte-identical to RunSuite's. The
+// receiver's Workers/Budget act as defaults; the suite's own values win
+// when set.
+func (c Campaign) RunSuiteProgressive(runCtx context.Context, suite *SuiteSpec, layout *sched.Grid, cfg sched.Config) (*SuiteReport, SweepStats, error) {
+	if err := suite.Validate(); err != nil {
+		return nil, SweepStats{}, err
+	}
+	if err := ValidateProgressive(suite, layout); err != nil {
+		return nil, SweepStats{}, err
+	}
+	sch, err := sched.New(layout, cfg)
+	if err != nil {
+		return nil, SweepStats{}, err
+	}
+	if suite.Workers != 0 {
+		c.Workers = suite.Workers
+	}
+	if suite.Budget != 0 {
+		c.Budget = suite.Budget
+	}
+
+	specs := make(map[string]ScenarioSpec, len(suite.Scenarios))
+	for _, sc := range suite.Scenarios {
+		specs[sc.Name] = sc
+	}
+
+	recordings := make(map[string]*capture.Recording)
+	results := make(map[string]ScenarioResult, len(suite.Scenarios))
+	compares := make(map[string]CompareResult)
+	ctx := SpecContext{
+		BaseSeed: suite.BaseSeed,
+		Dir:      suite.dir,
+		Goldens:  func(name string) *capture.Recording { return recordings[name] },
+	}
+
+	var sinkFailure error
+	noteSink := func(err error) {
+		if sinkFailure == nil && err != nil {
+			sinkFailure = err
+		}
+	}
+	runWave := func(specs []ScenarioSpec) error {
+		res, err := c.RunSpecs(runCtx, ctx, specs)
+		var se *SinkError
+		if errors.As(err, &se) {
+			noteSink(err)
+			err = nil
+		}
+		for _, r := range res {
+			if r.Name == "" {
+				continue
+			}
+			results[r.Name] = r
+			if r.Err == nil && r.Result != nil && r.Result.Recording != nil {
+				recordings[r.Name] = r.Result.Recording
+			}
+		}
+		return err
+	}
+	// Skip rows go through the campaign's sinks too, so JSONL streams
+	// and journals stay complete records of the sweep.
+	emitSkip := func(sk sched.Skip) {
+		sc, ok := specs[sk.Name]
+		if !ok {
+			return
+		}
+		row := ScenarioResult{
+			Name: sk.Name,
+			Seed: sc.EffectiveSeed(suite.BaseSeed),
+			Err:  errors.New(SkipMessage(sk.Reason)),
+		}
+		results[sk.Name] = row
+		for _, s := range c.Sinks {
+			if err := s.Emit(row); err != nil {
+				noteSink(&SinkError{Err: err})
+			}
+		}
+	}
+
+	report := &SuiteReport{Suite: suite.Name, BaseSeed: suite.BaseSeed}
+	assemble := func() {
+		report.Results = make([]ScenarioResult, 0, len(suite.Scenarios))
+		for _, sc := range suite.Scenarios {
+			r, ok := results[sc.Name]
+			if !ok {
+				r = ScenarioResult{Name: sc.Name, Seed: sc.EffectiveSeed(suite.BaseSeed)}
+			}
+			report.Results = append(report.Results, r)
+		}
+	}
+	stats := func() SweepStats { return SweepStats{Stats: sch.Stats()} }
+
+	for {
+		round, err := sch.NextRound()
+		if err != nil {
+			assemble()
+			return report, stats(), fmt.Errorf("offramps: suite %q: %w", suite.Name, err)
+		}
+		// Retirements decided while dealing this round (early stop,
+		// budget exhaustion) synthesize immediately, so streams carry
+		// skips in decision order.
+		for _, sk := range sch.TakeRetired() {
+			emitSkip(sk)
+		}
+		if len(round) == 0 {
+			break
+		}
+
+		batch := make([]ScenarioSpec, 0, len(round))
+		for _, name := range round {
+			sc, ok := specs[name]
+			if !ok {
+				assemble()
+				return report, stats(), fmt.Errorf("offramps: suite %q: layout names scenario %q the suite does not have", suite.Name, name)
+			}
+			batch = append(batch, sc)
+		}
+		// Wave-order the batch for golden references, mirroring RunSuite:
+		// extras referenced as goldens run in this same round (round 1)
+		// or already ran in an earlier one.
+		remaining := batch
+		for len(remaining) > 0 {
+			var wave, deferred []ScenarioSpec
+			for _, sc := range remaining {
+				ready := sc.Detector == nil || sc.Detector.Golden == ""
+				if !ready {
+					_, ready = results[sc.Detector.Golden]
+				}
+				if ready {
+					wave = append(wave, sc)
+				} else {
+					deferred = append(deferred, sc)
+				}
+			}
+			if len(wave) == 0 {
+				assemble()
+				return report, stats(), fmt.Errorf("offramps: suite %q: unresolvable golden references", suite.Name)
+			}
+			if err := runWave(wave); err != nil {
+				assemble()
+				return report, stats(), err
+			}
+			remaining = deferred
+		}
+		for _, name := range round {
+			if err := sch.Observe(name, progressiveVerdict(name, suite, results, compares)); err != nil {
+				assemble()
+				return report, stats(), fmt.Errorf("offramps: suite %q: %w", suite.Name, err)
+			}
+		}
+	}
+	assemble()
+
+	// Comparisons computed eagerly for verdicts are reused verbatim; the
+	// rest (including any against skip rows, whose pick() naturally
+	// yields the skip text) compute here against the final results.
+	for _, cmp := range suite.Compare {
+		key := CompareKey(cmp.Golden, cmp.GoldenTap, cmp.Suspect, cmp.SuspectTap)
+		cr, ok := compares[key]
+		if !ok {
+			cr = runCompare(cmp, results)
+		}
+		report.Comparisons = append(report.Comparisons, cr)
+	}
+	return report, stats(), sinkFailure
+}

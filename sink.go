@@ -480,11 +480,13 @@ func StitchReport(s *SuiteSpec, scenarios map[string]json.RawMessage, compares m
 }
 
 // FirstError surfaces a failed row the way the live path's error check
-// does, so stitched runs exit non-zero on the same failures.
+// does, so stitched runs exit non-zero on the same failures. Synthesized
+// progressive skip rows (IsSkippedResult) are deliberate outcomes, not
+// failures, and are passed over.
 func (r *RawSuiteReport) FirstError() error {
 	for _, raw := range r.Results {
 		var head struct{ Name, Err string }
-		if err := json.Unmarshal(raw, &head); err == nil && head.Err != "" {
+		if err := json.Unmarshal(raw, &head); err == nil && head.Err != "" && !IsSkippedResult(head.Err) {
 			return fmt.Errorf("offramps: suite %s: scenario %s: %s", r.Suite, head.Name, head.Err)
 		}
 	}
@@ -494,7 +496,7 @@ func (r *RawSuiteReport) FirstError() error {
 			Suspect string `json:"suspect"`
 			Error   string `json:"error"`
 		}
-		if err := json.Unmarshal(raw, &head); err == nil && head.Error != "" {
+		if err := json.Unmarshal(raw, &head); err == nil && head.Error != "" && !IsSkippedResult(head.Error) {
 			return fmt.Errorf("offramps: suite %s: compare %s vs %s: %s", r.Suite, head.Golden, head.Suspect, head.Error)
 		}
 	}
